@@ -1,0 +1,109 @@
+//===- bench/BenchUtil.cpp ------------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace alter;
+using namespace alter::bench;
+
+const std::vector<unsigned> &alter::bench::paperProcessorCounts() {
+  static const std::vector<unsigned> Counts = {1, 2, 4, 8};
+  return Counts;
+}
+
+uint64_t alter::bench::measureSequentialNs(const std::string &Name,
+                                           size_t InputIndex, int Repeats) {
+  uint64_t Best = ~uint64_t(0);
+  for (int Rep = 0; Rep != Repeats; ++Rep) {
+    std::unique_ptr<Workload> W = makeWorkload(Name);
+    W->setUp(InputIndex);
+    const RunResult R = W->runSequential();
+    Best = std::min(Best, R.Stats.RealTimeNs);
+  }
+  return Best;
+}
+
+SweepSeries alter::bench::runSweep(const std::string &Name, size_t InputIndex,
+                                   const RuntimeParams &Params,
+                                   const std::string &Label, uint64_t SeqNs,
+                                   const std::vector<unsigned> &Workers) {
+  SweepSeries Series;
+  Series.Label = Label;
+  for (unsigned P : Workers) {
+    std::unique_ptr<Workload> W = makeWorkload(Name);
+    W->setUp(InputIndex);
+    const RunResult R = W->runLockstep(Params, P);
+    SweepPoint Point;
+    Point.NumWorkers = P;
+    Point.Status = R.Status;
+    Point.SimTimeNs = R.Stats.SimTimeNs;
+    Point.RetryRate = R.Stats.retryRate();
+    Point.Speedup = R.Stats.SimTimeNs == 0
+                        ? 0.0
+                        : static_cast<double>(SeqNs) /
+                              static_cast<double>(R.Stats.SimTimeNs);
+    Series.Points.push_back(Point);
+  }
+  return Series;
+}
+
+std::string alter::bench::speedupCell(const SweepPoint &Point) {
+  if (Point.Status != RunStatus::Success)
+    return runStatusName(Point.Status);
+  return formatSpeedup(Point.Speedup);
+}
+
+void alter::bench::printFigure(const std::string &Title,
+                               const std::vector<SweepSeries> &Series,
+                               const std::string &PaperNote) {
+  std::printf("\n%s\n", Title.c_str());
+  std::vector<std::string> Header = {"procs"};
+  for (const SweepSeries &S : Series)
+    Header.push_back(S.Label);
+  TextTable Table(Header);
+  if (!Series.empty()) {
+    for (size_t Row = 0; Row != Series[0].Points.size(); ++Row) {
+      std::vector<std::string> Cells = {
+          strprintf("%u", Series[0].Points[Row].NumWorkers)};
+      for (const SweepSeries &S : Series)
+        Cells.push_back(speedupCell(S.Points[Row]));
+      Table.addRow(Cells);
+    }
+  }
+  Table.printText();
+  std::string Id;
+  for (char C : Title)
+    Id += (std::isalnum(static_cast<unsigned char>(C)) ? C : '_');
+  maybeWriteCsv(Id, Table);
+  if (!PaperNote.empty())
+    std::printf("paper: %s\n", PaperNote.c_str());
+}
+
+void alter::bench::maybeWriteCsv(const std::string &Id,
+                                 const TextTable &Table) {
+  const char *Dir = std::getenv("ALTER_BENCH_CSV_DIR");
+  if (!Dir || !*Dir)
+    return;
+  const std::string Path = std::string(Dir) + "/" + Id + ".csv";
+  Table.writeCsv(Path);
+  std::printf("(csv written to %s)\n", Path.c_str());
+}
+
+void alter::bench::printHeader(const std::string &Id,
+                               const std::string &What) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("ALTER reproduction — %s\n%s\n", Id.c_str(), What.c_str());
+  std::printf("==============================================================="
+              "=\n");
+}

@@ -1,0 +1,84 @@
+//===- bench/BenchUtil.h - Shared benchmark-harness helpers -----*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-table/per-figure harness binaries. Every
+/// binary regenerates one artifact of the paper's evaluation (§7) and
+/// prints rows in a uniform format, with the paper's reported values
+/// alongside where available.
+///
+/// Speedups follow the paper's definition: time of the sequential loop
+/// nest (without ALTER) divided by the (modeled) parallel time of the same
+/// loop nest. See DESIGN.md §2 and EXPERIMENTS.md for the cost-model
+/// substitution that stands in for the paper's 8-core Xeon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_BENCH_BENCHUTIL_H
+#define ALTER_BENCH_BENCHUTIL_H
+
+#include "runtime/RuntimeParams.h"
+#include "support/Table.h"
+#include "workloads/Workload.h"
+
+#include <string>
+#include <vector>
+
+namespace alter {
+namespace bench {
+
+/// One point of a speedup-vs-processors series.
+struct SweepPoint {
+  unsigned NumWorkers = 0;
+  double Speedup = 0.0;
+  double RetryRate = 0.0;
+  uint64_t SimTimeNs = 0;
+  RunStatus Status = RunStatus::Success;
+};
+
+/// A named speedup series (one line of a paper figure).
+struct SweepSeries {
+  std::string Label;
+  std::vector<SweepPoint> Points;
+};
+
+/// The processor counts of the paper's figures.
+const std::vector<unsigned> &paperProcessorCounts();
+
+/// Measures the sequential loop-nest time of \p Name on \p InputIndex
+/// (best of \p Repeats runs, to tame timer noise).
+uint64_t measureSequentialNs(const std::string &Name, size_t InputIndex,
+                             int Repeats = 3);
+
+/// Runs \p Name under \p Params for each processor count and returns the
+/// speedup series. \p SeqNs is the baseline from measureSequentialNs.
+SweepSeries runSweep(const std::string &Name, size_t InputIndex,
+                     const RuntimeParams &Params, const std::string &Label,
+                     uint64_t SeqNs,
+                     const std::vector<unsigned> &Workers =
+                         paperProcessorCounts());
+
+/// Prints a figure: one row per processor count, one column per series.
+/// \p PaperNote describes the paper's reported shape for eyeballing.
+void printFigure(const std::string &Title,
+                 const std::vector<SweepSeries> &Series,
+                 const std::string &PaperNote);
+
+/// Prints the standard harness banner for a table/figure binary.
+void printHeader(const std::string &Id, const std::string &What);
+
+/// Formats a speedup value ("2.04x").
+std::string speedupCell(const SweepPoint &Point);
+
+/// If the ALTER_BENCH_CSV_DIR environment variable names a directory,
+/// writes \p Table there as <Id>.csv (creating nothing on failure is not
+/// an option: aborts on I/O errors). No-op when the variable is unset.
+void maybeWriteCsv(const std::string &Id, const TextTable &Table);
+
+} // namespace bench
+} // namespace alter
+
+#endif // ALTER_BENCH_BENCHUTIL_H

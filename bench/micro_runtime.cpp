@@ -1,0 +1,262 @@
+//===- bench/micro_runtime.cpp - Runtime micro-benchmarks -----------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks for the runtime's hot paths and the
+/// ablations DESIGN.md §6 calls out. The headline ablation: the per-access
+/// cost of StaleReads (write tracking only) vs OutOfOrder (read + write
+/// tracking) vs range instrumentation — the mechanism behind the paper's
+/// §7.2 performance ordering.
+///
+//===----------------------------------------------------------------------===//
+
+#include "memory/AccessSet.h"
+#include "memory/AlterAllocator.h"
+#include "memory/WriteLog.h"
+#include "runtime/Annotation.h"
+#include "runtime/ConflictDetector.h"
+#include "runtime/LockstepExecutor.h"
+#include "runtime/TxnContext.h"
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+using namespace alter;
+
+//===----------------------------------------------------------------------===
+// AccessSet
+//===----------------------------------------------------------------------===
+
+static void BM_AccessSetInsert(benchmark::State &State) {
+  std::vector<double> Data(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    AccessSet Set;
+    for (double &D : Data)
+      Set.insert(&D);
+    benchmark::DoNotOptimize(Set.sizeWords());
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_AccessSetInsert)->Arg(64)->Arg(1024)->Arg(16384);
+
+static void BM_AccessSetInsertRange(benchmark::State &State) {
+  std::vector<double> Data(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    AccessSet Set;
+    Set.insertRange(Data.data(), Data.size() * sizeof(double));
+    benchmark::DoNotOptimize(Set.sizeWords());
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_AccessSetInsertRange)->Arg(64)->Arg(1024)->Arg(16384);
+
+static void BM_AccessSetIntersect(benchmark::State &State) {
+  std::vector<double> A(1024), B(1024);
+  AccessSet SetA, SetB;
+  for (double &D : A)
+    SetA.insert(&D);
+  for (double &D : B)
+    SetB.insert(&D);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(SetA.intersects(SetB));
+}
+BENCHMARK(BM_AccessSetIntersect);
+
+//===----------------------------------------------------------------------===
+// WriteLog
+//===----------------------------------------------------------------------===
+
+static void BM_WriteLogRecord(benchmark::State &State) {
+  std::vector<double> Data(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    WriteLog Log;
+    for (size_t I = 0; I != Data.size(); ++I) {
+      const double V = static_cast<double>(I);
+      Log.record(&Data[I], &V, sizeof(V));
+    }
+    benchmark::DoNotOptimize(Log.numEntries());
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_WriteLogRecord)->Arg(64)->Arg(1024);
+
+static void BM_WriteLogLookupHit(benchmark::State &State) {
+  std::vector<double> Data(1024);
+  WriteLog Log;
+  for (size_t I = 0; I != Data.size(); ++I) {
+    const double V = static_cast<double>(I);
+    Log.record(&Data[I], &V, sizeof(V));
+  }
+  size_t I = 0;
+  for (auto _ : State) {
+    double Out;
+    benchmark::DoNotOptimize(Log.lookup(&Data[I % 1024], &Out, sizeof(Out)));
+    ++I;
+  }
+}
+BENCHMARK(BM_WriteLogLookupHit);
+
+static void BM_WriteLogLookupMissEmpty(benchmark::State &State) {
+  WriteLog Log;
+  double Target = 0;
+  for (auto _ : State) {
+    double Out;
+    benchmark::DoNotOptimize(Log.lookup(&Target, &Out, sizeof(Out)));
+  }
+}
+BENCHMARK(BM_WriteLogLookupMissEmpty);
+
+//===----------------------------------------------------------------------===
+// AlterAllocator
+//===----------------------------------------------------------------------===
+
+static void BM_AllocatorBump(benchmark::State &State) {
+  AlterAllocator Alloc(1, size_t(256) << 20);
+  const ArenaMark Mark = Alloc.mark(0);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Alloc.allocate(0, 48));
+    if (Alloc.bumpOffset(0) > (size_t(200) << 20))
+      Alloc.rollback(0, Mark);
+  }
+}
+BENCHMARK(BM_AllocatorBump);
+
+static void BM_AllocatorFreeListCycle(benchmark::State &State) {
+  AlterAllocator Alloc(1, 1 << 20);
+  for (auto _ : State) {
+    void *P = Alloc.allocate(0, 48);
+    Alloc.deallocate(0, P, 48);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_AllocatorFreeListCycle);
+
+//===----------------------------------------------------------------------===
+// Instrumented access ablation: StaleReads vs OutOfOrder vs range
+//===----------------------------------------------------------------------===
+
+namespace {
+
+RuntimeParams paramsFor(ConflictPolicy Policy) {
+  RuntimeParams Params;
+  Params.Conflict = Policy;
+  return Params;
+}
+
+} // namespace
+
+static void BM_LoadTrackedRaw(benchmark::State &State) {
+  LoopSpec Spec;
+  const RuntimeParams Params = paramsFor(ConflictPolicy::RAW);
+  TxnContext Ctx(ContextMode::Transactional, &Params, &Spec, nullptr, 1);
+  Ctx.beginTxn();
+  std::vector<double> Data(4096);
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Ctx.load(&Data[I % 4096]));
+    ++I;
+  }
+}
+BENCHMARK(BM_LoadTrackedRaw);
+
+static void BM_LoadUntrackedWaw(benchmark::State &State) {
+  LoopSpec Spec;
+  const RuntimeParams Params = paramsFor(ConflictPolicy::WAW);
+  TxnContext Ctx(ContextMode::Transactional, &Params, &Spec, nullptr, 1);
+  Ctx.beginTxn();
+  std::vector<double> Data(4096);
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Ctx.load(&Data[I % 4096]));
+    ++I;
+  }
+}
+BENCHMARK(BM_LoadUntrackedWaw);
+
+static void BM_ReadRangeVsElementwise(benchmark::State &State) {
+  LoopSpec Spec;
+  const RuntimeParams Params = paramsFor(ConflictPolicy::RAW);
+  std::vector<double> Data(1024), Out(1024);
+  const bool UseRange = State.range(0) != 0;
+  for (auto _ : State) {
+    TxnContext Ctx(ContextMode::Transactional, &Params, &Spec, nullptr, 1);
+    Ctx.beginTxn();
+    if (UseRange) {
+      Ctx.readRange(Data.data(), Data.size(), Out.data());
+    } else {
+      for (size_t I = 0; I != Data.size(); ++I)
+        Out[I] = Ctx.load(&Data[I]);
+    }
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.SetItemsProcessed(State.iterations() * 1024);
+}
+BENCHMARK(BM_ReadRangeVsElementwise)
+    ->Arg(0)  // element-wise (the FFT failure mode)
+    ->Arg(1); // range instrumentation (the §4.1 optimization)
+
+static void BM_StoreBuffered(benchmark::State &State) {
+  LoopSpec Spec;
+  const RuntimeParams Params = paramsFor(ConflictPolicy::WAW);
+  TxnContext Ctx(ContextMode::Transactional, &Params, &Spec, nullptr, 1);
+  Ctx.beginTxn();
+  std::vector<double> Data(4096);
+  size_t I = 0;
+  for (auto _ : State) {
+    Ctx.store(&Data[I % 4096], 1.0);
+    ++I;
+  }
+}
+BENCHMARK(BM_StoreBuffered);
+
+//===----------------------------------------------------------------------===
+// Conflict detection and end-to-end rounds
+//===----------------------------------------------------------------------===
+
+static void BM_ConflictValidation(benchmark::State &State) {
+  std::vector<double> Mine(static_cast<size_t>(State.range(0)));
+  std::vector<double> Theirs(512);
+  AccessSet Reads, Writes, Committed;
+  for (double &D : Mine)
+    Reads.insert(&D);
+  for (double &D : Theirs)
+    Committed.insert(&D);
+  ConflictDetector Detector(ConflictPolicy::RAW);
+  Detector.recordCommit(Committed);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Detector.hasConflict(Reads, Writes));
+}
+BENCHMARK(BM_ConflictValidation)->Arg(64)->Arg(1024);
+
+static void BM_LockstepRoundOverhead(benchmark::State &State) {
+  // An empty-body loop isolates the per-round protocol cost.
+  std::vector<double> Data(256);
+  LoopSpec Spec;
+  Spec.NumIterations = 256;
+  Spec.Body = [&Data](TxnContext &Ctx, int64_t I) {
+    Ctx.store(&Data[static_cast<size_t>(I)], 1.0);
+  };
+  ExecutorConfig Config;
+  Config.NumWorkers = 4;
+  Config.Params.Conflict = ConflictPolicy::WAW;
+  Config.Params.ChunkFactor = 16;
+  for (auto _ : State) {
+    LockstepExecutor Exec(Config);
+    benchmark::DoNotOptimize(Exec.run(Spec).Stats.NumRounds);
+  }
+}
+BENCHMARK(BM_LockstepRoundOverhead);
+
+static void BM_AnnotationParse(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        parseAnnotation("[StaleReads + Reduction(err, max); "
+                        "Reduction(n, +)]"));
+}
+BENCHMARK(BM_AnnotationParse);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,152 @@
+//===- examples/linear_solver.cpp - The paper's Figure 1, end to end ------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A faithful walkthrough of the paper's motivating example (Figure 1): an
+/// iterative Gauss-Seidel solver for Ax = b whose inner loop has a tight
+/// loop-carried RAW chain — every x[i] written is read by all later
+/// iterations — so "the only possible way to parallelize this loop is to
+/// violate sequential semantics".
+///
+/// The example runs the inner loop under four execution models and prints
+/// what the paper's §2 discussion predicts:
+///
+///   sequential        converges in k sweeps (the baseline)
+///   TLS (Thm 4.3)     sequential semantics: same k, but every chunk
+///                     conflicts — no parallelism to be had
+///   OutOfOrder        same story (the RAW chain is real)
+///   StaleReads        converges in ~k (+1 or so) sweeps with ZERO
+///                     conflicts: the algorithm tolerates stale reads
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Annotation.h"
+#include "runtime/LockstepExecutor.h"
+#include "runtime/LoopRunner.h"
+#include "support/Format.h"
+#include "support/Random.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+using namespace alter;
+
+namespace {
+
+/// The Figure 1 program, written against the ALTER API.
+class LinearSolver {
+public:
+  explicit LinearSolver(int64_t N) : N(N) {
+    Xoshiro256StarStar Rng(0xF16 + static_cast<uint64_t>(N));
+    A.assign(static_cast<size_t>(N * N), 0.0);
+    B.assign(static_cast<size_t>(N), 0.0);
+    X.assign(static_cast<size_t>(N), 0.0);
+    Scratch.assign(static_cast<size_t>(N), 0.0);
+    for (double &V : B)
+      V = Rng.nextDoubleIn(-1.0, 1.0);
+    for (int64_t I = 0; I != N; ++I) {
+      double RowSum = 0.0;
+      for (int64_t J = 0; J != N; ++J) {
+        if (J == I)
+          continue;
+        const double V = -Rng.nextDoubleIn(0.1, 1.0);
+        A[static_cast<size_t>(I * N + J)] = V;
+        RowSum += std::fabs(V);
+      }
+      A[static_cast<size_t>(I * N + I)] = RowSum / 0.7;
+    }
+  }
+
+  /// while (CheckConvergence(...) == 0) { tripCount++; [P] for i ... }
+  /// Returns the number of outer sweeps, or -1 on failure.
+  int solve(LoopRunner &Runner) {
+    std::fill(X.begin(), X.end(), 0.0);
+    LoopSpec Spec;
+    Spec.Name = "figure1.inner";
+    Spec.NumIterations = N;
+    Spec.Body = [this](TxnContext &Ctx, int64_t I) {
+      // sum = scalarProduct(AMatrix[i], XVector): reads ALL of x.
+      Ctx.readRange(X.data(), static_cast<size_t>(N), Scratch.data());
+      Ctx.noteMemoryTraffic(static_cast<uint64_t>(N) * sizeof(double));
+      const double *Row = &A[static_cast<size_t>(I * N)];
+      double Sum = 0.0;
+      for (int64_t J = 0; J != N; ++J)
+        Sum += Row[J] * Scratch[static_cast<size_t>(J)];
+      Sum -= Row[I] * Scratch[static_cast<size_t>(I)];
+      // XVector[i] = (BVector[i] - sum) / AMatrix[i][i]
+      Ctx.store(&X[static_cast<size_t>(I)],
+                (B[static_cast<size_t>(I)] - Sum) / Row[I]);
+    };
+
+    int Trips = 0;
+    while (residual() > 1e-8) {
+      if (++Trips > 400)
+        return -1;
+      if (!Runner.runInner(Spec))
+        return -1;
+    }
+    return Trips;
+  }
+
+  double residual() const {
+    double Max = 0.0;
+    for (int64_t I = 0; I != N; ++I) {
+      double Ax = 0.0;
+      for (int64_t J = 0; J != N; ++J)
+        Ax += A[static_cast<size_t>(I * N + J)] * X[static_cast<size_t>(J)];
+      Max = std::max(Max, std::fabs(B[static_cast<size_t>(I)] - Ax));
+    }
+    return Max;
+  }
+
+private:
+  int64_t N;
+  std::vector<double> A, B, X, Scratch;
+};
+
+void runModel(LinearSolver &Solver, const char *Label,
+              const RuntimeParams &Params) {
+  ExecutorConfig Config;
+  Config.NumWorkers = 4;
+  Config.Params = Params;
+  LockstepExecutor Exec(Config);
+  ExecutorLoopRunner Runner(Exec);
+  const int Trips = Solver.solve(Runner);
+  const RunResult &R = Runner.result();
+  std::printf("%-12s sweeps=%-4d residual=%.2e retries=%-6llu "
+              "modeled time=%s\n",
+              Label, Trips, Solver.residual(),
+              static_cast<unsigned long long>(R.Stats.NumRetries),
+              formatDurationNs(R.Stats.SimTimeNs).c_str());
+}
+
+} // namespace
+
+int main() {
+  std::printf("Figure 1: Gauss-Seidel linear solver under ALTER\n");
+  std::printf("------------------------------------------------\n");
+  LinearSolver Solver(512);
+
+  {
+    SequentialLoopRunner Runner;
+    const int Trips = Solver.solve(Runner);
+    std::printf("%-12s sweeps=%-4d residual=%.2e (wall time=%s)\n",
+                "sequential", Trips, Solver.residual(),
+                formatDurationNs(Runner.result().Stats.RealTimeNs).c_str());
+  }
+  runModel(Solver, "TLS", paramsForSequentialSpeculation(32));
+  runModel(Solver, "OutOfOrder",
+           paramsForAnnotation(*parseAnnotation("[OutOfOrder]"), {}));
+  runModel(Solver, "StaleReads",
+           paramsForAnnotation(*parseAnnotation("[StaleReads]"), {}));
+
+  std::printf("\nStaleReads converges with zero conflicts and at most a "
+              "couple of extra sweeps — the paper's 1.70x-on-4-cores "
+              "result (§2); the read-tracking models churn retries on the "
+              "RAW chain instead.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===- examples/process_isolation.cpp - Fork-join and the allocator -------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demonstrates the two pieces of the paper's §4.1 memory design working
+/// together across real process boundaries:
+///
+///  - the ALTER allocator's disjoint-virtual-address guarantee, which lets
+///    a child process build linked structures that the parent can adopt
+///    verbatim at commit;
+///  - the deterministic fork-join protocol, where conflicting inserts into
+///    a shared list retry and the final structure is identical to the
+///    lock-step engine's.
+///
+/// The loop builds a shared intrusive list of prime numbers discovered by
+/// trial division — each insert allocates a node in the worker's arena and
+/// links it through the shared head pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "collections/AlterList.h"
+#include "runtime/ForkJoinExecutor.h"
+#include "runtime/LockstepExecutor.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace alter;
+
+namespace {
+
+bool isPrime(int64_t V) {
+  if (V < 2)
+    return false;
+  for (int64_t D = 2; D * D <= V; ++D)
+    if (V % D == 0)
+      return false;
+  return true;
+}
+
+/// Collects primes in [2, Limit) into an AlterList under the given engine.
+/// Returns the list contents in discovery-commit order.
+template <typename ExecutorT>
+std::vector<int64_t> collectPrimes(int64_t Limit, unsigned Workers) {
+  AlterAllocator Alloc(/*NumWorkers=*/8, /*BytesPerWorker=*/size_t(8) << 20);
+  AlterList<int64_t> Primes(Alloc);
+
+  LoopSpec Spec;
+  Spec.Name = "primes.collect";
+  Spec.NumIterations = Limit;
+  Spec.Body = [&Primes](TxnContext &Ctx, int64_t I) {
+    if (isPrime(I))
+      Primes.pushFront(Ctx, I); // allocate in the worker arena + link
+  };
+
+  ExecutorConfig Config;
+  Config.NumWorkers = Workers;
+  Config.Params.Conflict = ConflictPolicy::WAW;
+  Config.Params.CommitOrder = CommitOrderPolicy::OutOfOrder;
+  Config.Params.ChunkFactor = 64;
+  Config.Allocator = &Alloc;
+  ExecutorT Exec(Config);
+  const RunResult R = Exec.run(Spec);
+
+  std::printf("  %-10s %llu txns, %llu retries (head-pointer conflicts), "
+              "%zu primes linked\n",
+              R.succeeded() ? "ok" : runStatusName(R.Status),
+              static_cast<unsigned long long>(R.Stats.NumTransactions),
+              static_cast<unsigned long long>(R.Stats.NumRetries),
+              Primes.countAlive());
+
+  std::vector<int64_t> Values;
+  for (const auto *N = Primes.head(); N; N = N->Next)
+    Values.push_back(N->Value);
+  return Values;
+}
+
+} // namespace
+
+int main() {
+  constexpr int64_t Limit = 4000;
+  std::printf("Collecting primes below %lld into a shared AlterList\n",
+              static_cast<long long>(Limit));
+
+  std::printf("lock-step engine (in-process isolation):\n");
+  const std::vector<int64_t> FromLockstep =
+      collectPrimes<LockstepExecutor>(Limit, 4);
+
+  std::printf("fork-join engine (real child processes; nodes allocated in "
+              "per-worker arenas ship to the parent over pipes):\n");
+  const std::vector<int64_t> FromForkJoin =
+      collectPrimes<ForkJoinExecutor>(Limit, 4);
+
+  std::printf("\nlists identical across engines: %s (%zu primes)\n",
+              FromLockstep == FromForkJoin ? "yes" : "NO",
+              FromLockstep.size());
+  std::printf("Determinism holds even across process boundaries because "
+              "commit order is fixed by the protocol, not by scheduling "
+              "(§4.3).\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+//===- examples/quickstart.cpp - Five-minute tour of the ALTER API --------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The smallest end-to-end ALTER program:
+///
+///  1. Write a loop against TxnContext (the instrumentation the paper's
+///     compiler would have inserted).
+///  2. Declare a reduction variable.
+///  3. Pick an annotation — here "[StaleReads + Reduction(sum, +)]" — and
+///     lower it to runtime parameters via Theorem 4.2.
+///  4. Run it on the deterministic lock-step engine and on the
+///     process-based fork-join engine, and check both agree with the
+///     sequential execution.
+///
+/// Build and run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Annotation.h"
+#include "runtime/ForkJoinExecutor.h"
+#include "runtime/LockstepExecutor.h"
+#include "runtime/SequentialExecutor.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace alter;
+
+int main() {
+  // Shared state: a vector we normalize in place, plus a running total —
+  // the loop-carried dependence an annotation must break.
+  constexpr int64_t N = 100000;
+  std::vector<double> Data(N);
+  for (int64_t I = 0; I != N; ++I)
+    Data[I] = static_cast<double>(I % 1000) / 1000.0;
+  double Sum = 0.0;
+
+  // The annotated loop. Shared accesses go through the TxnContext; the
+  // reduction update reports its operand and source operator (sum += v).
+  LoopSpec Spec;
+  Spec.Name = "quickstart.normalize";
+  Spec.NumIterations = N;
+  Spec.Reductions.push_back({"sum", &Sum, ScalarKind::F64});
+  Spec.Body = [&Data](TxnContext &Ctx, int64_t I) {
+    const double V = Ctx.load(&Data[static_cast<size_t>(I)]);
+    const double Scaled = V * V + 0.5;
+    Ctx.store(&Data[static_cast<size_t>(I)], Scaled);
+    Ctx.redUpdateF(0, ReduceOp::Plus, Scaled);
+  };
+
+  // Reference: plain sequential execution.
+  std::vector<double> SeqData = Data;
+  double SeqSum = 0.0;
+  {
+    LoopSpec SeqSpec = Spec;
+    SeqSpec.Reductions[0].Addr = &SeqSum;
+    SeqSpec.Body = [&SeqData](TxnContext &Ctx, int64_t I) {
+      const double V = Ctx.load(&SeqData[static_cast<size_t>(I)]);
+      const double Scaled = V * V + 0.5;
+      Ctx.store(&SeqData[static_cast<size_t>(I)], Scaled);
+      Ctx.redUpdateF(0, ReduceOp::Plus, Scaled);
+    };
+    SequentialExecutor Seq;
+    Seq.run(SeqSpec);
+  }
+  std::printf("sequential:  sum = %.6f\n", SeqSum);
+
+  // The paper's annotation syntax, lowered via the theorem mappings.
+  const Annotation A = *parseAnnotation("[StaleReads + Reduction(sum, +)]");
+  ExecutorConfig Config;
+  Config.NumWorkers = 4;
+  Config.Params = paramsForAnnotation(A, Spec.reductionNames());
+  Config.Params.ChunkFactor = 256;
+  std::printf("annotation:  %s  ->  params %s\n", A.str().c_str(),
+              Config.Params.str().c_str());
+
+  // Deterministic lock-step engine.
+  {
+    std::vector<double> Work = Data;
+    double WorkSum = 0.0;
+    LoopSpec RunSpec = Spec;
+    RunSpec.Reductions[0].Addr = &WorkSum;
+    RunSpec.Body = [&Work](TxnContext &Ctx, int64_t I) {
+      const double V = Ctx.load(&Work[static_cast<size_t>(I)]);
+      const double Scaled = V * V + 0.5;
+      Ctx.store(&Work[static_cast<size_t>(I)], Scaled);
+      Ctx.redUpdateF(0, ReduceOp::Plus, Scaled);
+    };
+    LockstepExecutor Exec(Config);
+    const RunResult R = Exec.run(RunSpec);
+    std::printf("lockstep:    sum = %.6f   (%llu txns, %llu retries, "
+                "status %s, data %s)\n",
+                WorkSum,
+                static_cast<unsigned long long>(R.Stats.NumTransactions),
+                static_cast<unsigned long long>(R.Stats.NumRetries),
+                runStatusName(R.Status),
+                Work == SeqData ? "matches" : "DIFFERS");
+  }
+
+  // Real process-based fork-join engine (the paper's Figure 4 model).
+  {
+    std::vector<double> Work = Data;
+    double WorkSum = 0.0;
+    LoopSpec RunSpec = Spec;
+    RunSpec.Reductions[0].Addr = &WorkSum;
+    RunSpec.Body = [&Work](TxnContext &Ctx, int64_t I) {
+      const double V = Ctx.load(&Work[static_cast<size_t>(I)]);
+      const double Scaled = V * V + 0.5;
+      Ctx.store(&Work[static_cast<size_t>(I)], Scaled);
+      Ctx.redUpdateF(0, ReduceOp::Plus, Scaled);
+    };
+    ForkJoinExecutor Exec(Config);
+    const RunResult R = Exec.run(RunSpec);
+    std::printf("fork-join:   sum = %.6f   (%llu txns across child "
+                "processes, data %s)\n",
+                WorkSum,
+                static_cast<unsigned long long>(R.Stats.NumTransactions),
+                Work == SeqData ? "matches" : "DIFFERS");
+  }
+
+  std::printf("\nAll three executions computed the same result — ALTER's "
+              "determinism guarantee (§4.3).\n");
+  return 0;
+}

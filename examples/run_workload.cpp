@@ -1,0 +1,164 @@
+//===- examples/run_workload.cpp - Command-line workload runner -----------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A general-purpose driver: run any of the twelve benchmarks under any
+/// annotation, engine, worker count, and input — the "manual
+/// parallelization" usage scenario of §6, where ALTER serves as a
+/// high-level parallelism library the developer steers by hand.
+///
+/// Usage:
+///   run_workload <name> [options]
+///     --annotation '<text>'   e.g. '[StaleReads + Reduction(delta, +)]'
+///     --tls                   Theorem 4.3 parameters instead
+///     --engine lockstep|forkjoin|sequential   (default lockstep)
+///     --workers N             (default 4)
+///     --cf N                  chunk factor (default: the loop's tuned one)
+///     --input K               input index (default 0)
+///
+/// Examples:
+///   run_workload gsdense --annotation '[StaleReads]' --workers 8
+///   run_workload kmeans --tls --input 2
+///   run_workload genome --engine forkjoin
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace alter;
+
+namespace {
+
+[[noreturn]] void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s <workload> [--annotation '<text>' | --tls] "
+               "[--engine lockstep|forkjoin|sequential] [--workers N] "
+               "[--cf N] [--input K]\nworkloads:",
+               Argv0);
+  for (const std::string &Name : allWorkloadNames())
+    std::fprintf(stderr, " %s", Name.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    usage(Argv[0]);
+  const std::string Name = Argv[1];
+
+  std::string AnnotationText;
+  std::string Engine = "lockstep";
+  bool Tls = false;
+  unsigned Workers = 4;
+  int Cf = 0;
+  size_t Input = 0;
+  for (int I = 2; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc)
+        usage(Argv[0]);
+      return Argv[++I];
+    };
+    if (Arg == "--annotation")
+      AnnotationText = Next();
+    else if (Arg == "--tls")
+      Tls = true;
+    else if (Arg == "--engine")
+      Engine = Next();
+    else if (Arg == "--workers")
+      Workers = static_cast<unsigned>(std::atoi(Next()));
+    else if (Arg == "--cf")
+      Cf = std::atoi(Next());
+    else if (Arg == "--input")
+      Input = static_cast<size_t>(std::atoi(Next()));
+    else
+      usage(Argv[0]);
+  }
+
+  std::unique_ptr<Workload> W = makeWorkload(Name);
+  if (Input >= W->numInputs()) {
+    std::fprintf(stderr, "error: input %zu out of range (workload has %zu)\n",
+                 Input, W->numInputs());
+    return 2;
+  }
+
+  // Sequential reference for validation and the baseline.
+  W->setUp(Input);
+  const RunResult Seq = W->runSequential();
+  const std::vector<double> Reference = W->outputSignature();
+  std::printf("%s, input %s: sequential loop time %s\n", Name.c_str(),
+              W->inputName(Input).c_str(),
+              formatDurationNs(Seq.Stats.RealTimeNs).c_str());
+
+  if (Engine == "sequential")
+    return 0;
+
+  RuntimeParams Params;
+  if (Tls) {
+    Params = paramsForSequentialSpeculation(
+        Cf > 0 ? Cf : W->defaultChunkFactor());
+  } else {
+    std::optional<Annotation> A;
+    if (!AnnotationText.empty()) {
+      std::string Error;
+      A = parseAnnotation(AnnotationText, &Error);
+      if (!A) {
+        std::fprintf(stderr, "error: cannot parse annotation: %s\n",
+                     Error.c_str());
+        return 2;
+      }
+    } else {
+      A = W->paperAnnotation();
+      if (!A) {
+        std::fprintf(stderr,
+                     "error: the paper found no valid annotation for %s; "
+                     "pass --annotation to force one\n",
+                     Name.c_str());
+        return 2;
+      }
+      std::printf("using the paper's annotation %s\n", A->str().c_str());
+    }
+    Params = W->resolveAnnotation(*A);
+  }
+  if (Cf > 0)
+    Params.ChunkFactor = Cf;
+
+  W->setUp(Input);
+  RunResult R;
+  if (Engine == "lockstep")
+    R = W->runLockstep(Params, Workers);
+  else if (Engine == "forkjoin")
+    R = W->runForkJoin(Params, Workers);
+  else
+    usage(Argv[0]);
+
+  const bool Valid = R.succeeded() && W->validate(Reference);
+  std::printf("engine=%s workers=%u params=%s\n", Engine.c_str(), Workers,
+              Params.str().c_str());
+  std::printf("status=%s  txns=%llu  retries=%llu (%s)  rounds=%llu\n",
+              runStatusName(R.Status),
+              static_cast<unsigned long long>(R.Stats.NumTransactions),
+              static_cast<unsigned long long>(R.Stats.NumRetries),
+              formatPercent(R.Stats.retryRate()).c_str(),
+              static_cast<unsigned long long>(R.Stats.NumRounds));
+  std::printf("modeled parallel time=%s  speedup over sequential=%s\n",
+              formatDurationNs(R.Stats.SimTimeNs).c_str(),
+              R.Stats.SimTimeNs
+                  ? formatSpeedup(static_cast<double>(Seq.Stats.RealTimeNs) /
+                                  static_cast<double>(R.Stats.SimTimeNs))
+                        .c_str()
+                  : "-");
+  std::printf("output: %s\n", Valid ? "valid" : "INVALID");
+  return Valid ? 0 : 1;
+}

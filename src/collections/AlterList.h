@@ -1,0 +1,172 @@
+//===- collections/AlterList.h - Process-safe linked list -------*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AlterList is the paper's list collection class (§4.1, used by AggloClust
+/// and BarnesHut). Its purpose is to make loops over linked structures
+/// parallelizable: "induction variables of loops that iterate over elements
+/// of a heap data structure will not be detected by most compilers", so the
+/// list exposes its iteration order as an indexable sequence — the
+/// materialize() call — which the runtime chunks like any counted loop.
+///
+/// Nodes live in AlterAllocator space, so fork-based execution can ship
+/// freshly inserted nodes between processes. In-loop mutation happens
+/// through the TxnContext:
+///
+///  - kill() tombstones a node (a conflicting concurrent kill of the same
+///    node serializes via the write set);
+///  - pushFront(Ctx, ...) inserts by writing the shared head pointer, so
+///    two concurrent inserts conflict and one retries;
+///  - compact() (sequential-only, between loop invocations) unlinks dead
+///    nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_COLLECTIONS_ALTERLIST_H
+#define ALTER_COLLECTIONS_ALTERLIST_H
+
+#include "memory/AlterAllocator.h"
+#include "runtime/TxnContext.h"
+
+#include <cassert>
+#include <type_traits>
+#include <vector>
+
+namespace alter {
+
+/// Singly linked list with transactional access and an induction-variable
+/// view of its iteration order.
+template <typename T> class AlterList {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlterList elements must be trivially copyable");
+
+public:
+  /// One list node. Alive is a word-sized tombstone so it is individually
+  /// trackable by the conflict machinery.
+  struct Node {
+    T Value;
+    uint64_t Alive;
+    Node *Next;
+  };
+
+  /// Creates a list whose nodes are carved from \p Alloc (must outlive the
+  /// list).
+  explicit AlterList(AlterAllocator &Alloc) : Alloc(&Alloc) {}
+
+  //===--------------------------------------------------------------------===
+  // Sequential-only structure management
+  //===--------------------------------------------------------------------===
+
+  /// Prepends a node (setup-time; arena 0).
+  Node *pushFront(const T &Value) {
+    Node *N = static_cast<Node *>(Alloc->allocate(0, sizeof(Node)));
+    N->Value = Value;
+    N->Alive = 1;
+    N->Next = Head;
+    Head = N;
+    ++NumNodes;
+    return N;
+  }
+
+  /// Unlinks dead nodes and returns how many were removed. Sequential-only;
+  /// call between loop invocations when the committed state is quiescent.
+  size_t compact() {
+    size_t Removed = 0;
+    Node **Link = &Head;
+    while (Node *N = *Link) {
+      if (N->Alive == 0) {
+        *Link = N->Next;
+        Alloc->deallocate(0, N, sizeof(Node));
+        --NumNodes;
+        ++Removed;
+        continue;
+      }
+      Link = &N->Next;
+    }
+    return Removed;
+  }
+
+  /// Number of linked nodes (alive or tombstoned but not yet compacted).
+  size_t sizeLinked() const { return NumNodes; }
+
+  /// Counts alive nodes (sequential-only).
+  size_t countAlive() const {
+    size_t Count = 0;
+    for (Node *N = Head; N; N = N->Next)
+      if (N->Alive != 0)
+        ++Count;
+    return Count;
+  }
+
+  /// First node (sequential-only traversal).
+  Node *head() const { return Head; }
+
+  //===--------------------------------------------------------------------===
+  // The induction-variable view
+  //===--------------------------------------------------------------------===
+
+  /// Materializes the loop's iteration order: the alive nodes in list
+  /// order. The annotated loop then runs `for i in 0..V.size()` over this
+  /// snapshot — this is what "iterators over linked data structures are
+  /// recognized as induction variables" means operationally. Sequential-
+  /// only; call at loop entry.
+  std::vector<Node *> materialize() const {
+    std::vector<Node *> Order;
+    Order.reserve(NumNodes);
+    for (Node *N = Head; N; N = N->Next)
+      if (N->Alive != 0)
+        Order.push_back(N);
+    return Order;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Loop-facing (instrumented) node access
+  //===--------------------------------------------------------------------===
+
+  /// Instrumented read of a node's value.
+  static T value(TxnContext &Ctx, const Node *N) {
+    return Ctx.load(&N->Value);
+  }
+
+  /// Instrumented write of a node's value.
+  static void setValue(TxnContext &Ctx, Node *N, const T &Value) {
+    Ctx.store(&N->Value, Value);
+  }
+
+  /// Instrumented liveness test.
+  static bool isAlive(TxnContext &Ctx, const Node *N) {
+    return Ctx.load(&N->Alive) != 0;
+  }
+
+  /// Instrumented tombstone: concurrent kills of the same node conflict.
+  static void kill(TxnContext &Ctx, Node *N) {
+    Ctx.store<uint64_t>(&N->Alive, 0);
+  }
+
+  /// Transactional prepend: allocates from the worker arena, initializes
+  /// the node as fresh data, and links it by writing the shared head
+  /// pointer (a conflicting concurrent insert retries).
+  Node *pushFront(TxnContext &Ctx, const T &Value) {
+    Node *N = static_cast<Node *>(Ctx.allocate(sizeof(Node)));
+    Ctx.storeInit(&N->Value, Value);
+    Ctx.storeInit<uint64_t>(&N->Alive, 1);
+    Node *OldHead = Ctx.load(&Head);
+    Ctx.storeInit(&N->Next, OldHead);
+    Ctx.store(&Head, N);
+    const uint64_t Count = Ctx.load(&NumNodes);
+    Ctx.store(&NumNodes, Count + 1);
+    return N;
+  }
+
+private:
+  AlterAllocator *Alloc;
+  Node *Head = nullptr;
+  uint64_t NumNodes = 0;
+};
+
+} // namespace alter
+
+#endif // ALTER_COLLECTIONS_ALTERLIST_H

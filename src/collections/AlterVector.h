@@ -1,0 +1,119 @@
+//===- collections/AlterVector.h - Process-safe vector ----------*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AlterVector is the paper's vector collection class (§4.1, used by
+/// Labyrinth): a contiguous sequence whose element accesses inside an
+/// annotated loop are routed through the TxnContext, so the runtime sees
+/// them with allocation-granularity instrumentation. Outside annotated
+/// loops (setup, validation) raw accessors operate directly.
+///
+/// Structural mutation (resize/push_back) is sequential-only: the loop
+/// index over an AlterVector is an ordinary induction variable, which is
+/// exactly why the runtime can chunk such loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_COLLECTIONS_ALTERVECTOR_H
+#define ALTER_COLLECTIONS_ALTERVECTOR_H
+
+#include "runtime/TxnContext.h"
+
+#include <cassert>
+#include <type_traits>
+#include <vector>
+
+namespace alter {
+
+/// Contiguous collection with instrumented element access.
+template <typename T> class AlterVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlterVector elements must be trivially copyable");
+
+public:
+  AlterVector() = default;
+  explicit AlterVector(size_t Count, const T &Value = T())
+      : Storage(Count, Value) {}
+
+  //===--------------------------------------------------------------------===
+  // Loop-facing (instrumented) access
+  //===--------------------------------------------------------------------===
+
+  /// Instrumented element read.
+  T get(TxnContext &Ctx, size_t Index) const {
+    assert(Index < Storage.size() && "AlterVector index out of range");
+    return Ctx.load(&Storage[Index]);
+  }
+
+  /// Instrumented element write.
+  void set(TxnContext &Ctx, size_t Index, const T &Value) {
+    assert(Index < Storage.size() && "AlterVector index out of range");
+    Ctx.store(&Storage[Index], Value);
+  }
+
+  /// Instrumented whole-range read into \p Out (one instrumentation call —
+  /// the §4.1 induction-indexed-array optimization).
+  void readAll(TxnContext &Ctx, T *Out) const {
+    Ctx.readRange(Storage.data(), Storage.size(), Out);
+  }
+
+  /// Instrumented subrange read of \p Count elements starting at \p First.
+  void readRange(TxnContext &Ctx, size_t First, size_t Count, T *Out) const {
+    assert(First + Count <= Storage.size() && "subrange out of range");
+    Ctx.readRange(Storage.data() + First, Count, Out);
+  }
+
+  /// Instrumented subrange write of \p Count elements starting at \p First.
+  void writeRange(TxnContext &Ctx, size_t First, const T *Src, size_t Count) {
+    assert(First + Count <= Storage.size() && "subrange out of range");
+    Ctx.writeRange(Storage.data() + First, Src, Count);
+  }
+
+  /// Address of element \p Index, for advanced instrumentation patterns.
+  T *addressOf(size_t Index) {
+    assert(Index < Storage.size() && "AlterVector index out of range");
+    return &Storage[Index];
+  }
+  const T *addressOf(size_t Index) const {
+    assert(Index < Storage.size() && "AlterVector index out of range");
+    return &Storage[Index];
+  }
+
+  //===--------------------------------------------------------------------===
+  // Sequential-only access (setup / validation)
+  //===--------------------------------------------------------------------===
+
+  T &operator[](size_t Index) {
+    assert(Index < Storage.size() && "AlterVector index out of range");
+    return Storage[Index];
+  }
+  const T &operator[](size_t Index) const {
+    assert(Index < Storage.size() && "AlterVector index out of range");
+    return Storage[Index];
+  }
+
+  size_t size() const { return Storage.size(); }
+  bool empty() const { return Storage.empty(); }
+  void resize(size_t Count, const T &Value = T()) {
+    Storage.resize(Count, Value);
+  }
+  void push_back(const T &Value) { Storage.push_back(Value); }
+  void clear() { Storage.clear(); }
+  T *data() { return Storage.data(); }
+  const T *data() const { return Storage.data(); }
+
+  auto begin() { return Storage.begin(); }
+  auto end() { return Storage.end(); }
+  auto begin() const { return Storage.begin(); }
+  auto end() const { return Storage.end(); }
+
+private:
+  std::vector<T> Storage;
+};
+
+} // namespace alter
+
+#endif // ALTER_COLLECTIONS_ALTERVECTOR_H

@@ -1,0 +1,8 @@
+//===- collections/Anchor.cpp ---------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+// The ALTER collection classes are header-only templates; this file anchors
+// the library target.

@@ -1,0 +1,138 @@
+//===- inference/InferenceEngine.h - Test-driven annotation inference -*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §5 annotation-inference framework. For a given loop, the
+/// engine enumerates candidate execution models, runs each once per test
+/// input (determinism makes one run per test sufficient, §4.3), and
+/// classifies the outcomes. The enumeration matches the paper:
+///
+///  - a dependence check "in join()" (loop-carried RAW/WAW/WAR);
+///  - TLS feasibility (RAW + InOrder, Theorem 4.3);
+///  - the two ALTER models without reductions, (OutOfOrder, ε) and
+///    (StaleReads, ε), at the fixed inference chunk factor of 16;
+///  - a bounded reduction search — only entered when no reduction-free
+///    annotation is valid — trying each of the six operators, the same
+///    operator applied to every candidate variable;
+///  - an iterative-doubling chunk-factor search for valid annotations.
+///
+/// Every candidate executes inside a forked sandbox: crashes, runaway
+/// loops, and state corruption stay contained, and the child's death mode
+/// feeds the crash/timeout classification directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_INFERENCE_INFERENCEENGINE_H
+#define ALTER_INFERENCE_INFERENCEENGINE_H
+
+#include "inference/Outcome.h"
+#include "runtime/Annotation.h"
+#include "runtime/RuntimeParams.h"
+#include "workloads/Workload.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace alter {
+
+/// One candidate execution model for a loop.
+struct Candidate {
+  enum class ModelKind { Tls, OutOfOrder, StaleReads };
+
+  ModelKind Model = ModelKind::StaleReads;
+  /// Optional reduction clause; per the paper's search strategy the same
+  /// operator is applied to every reducible variable of the loop.
+  std::optional<ReduceOp> ReductionOp;
+
+  /// Short display name ("TLS", "OutOfOrder", "StaleReads+Red(max)").
+  std::string str() const;
+
+  /// Realizes the candidate as runtime parameters for \p W at chunk factor
+  /// \p ChunkFactor.
+  RuntimeParams lower(const Workload &W, int ChunkFactor) const;
+};
+
+/// Engine configuration (defaults follow the paper).
+struct InferenceConfig {
+  unsigned NumWorkers = 4;
+  /// Fixed chunk factor during candidate evaluation (§5).
+  int InferenceChunkFactor = 16;
+  /// Timeout rule: modeled time > TimeoutFactor x sequential.
+  double TimeoutFactor = 10.0;
+  /// High-conflict rule: failed commits / attempts > this.
+  double HighConflictRate = 0.5;
+  /// Modeled machine-memory cap on per-transaction access-set footprint
+  /// (reproduces the paper's AggloClust out-of-memory crash).
+  size_t MaxAccessSetBytes = 160 << 10;
+  /// Hard wall-clock limit for one sandboxed evaluation.
+  unsigned SandboxTimeoutSec = 120;
+  /// Which workload input to evaluate on (0 = the test input).
+  size_t InputIndex = 0;
+};
+
+/// Result of evaluating one candidate.
+struct CandidateReport {
+  Candidate Cand;
+  InferenceOutcome Outcome = InferenceOutcome::Crash;
+  /// Failed-commit fraction observed (0 when the run died early).
+  double RetryRate = 0.0;
+  /// Scalar statistics shipped back from the sandbox.
+  uint64_t NumTransactions = 0;
+  uint64_t NumRetries = 0;
+  double ReadSetWordsMean = 0.0;
+  double WriteSetWordsMean = 0.0;
+  uint64_t SimTimeNs = 0;
+  uint64_t SeqTimeNs = 0;
+};
+
+/// Complete inference result for one loop (one Table 3 row, plus the
+/// reduction search detail).
+struct InferenceResult {
+  std::string WorkloadName;
+  bool LoopCarriedDep = false;
+  CandidateReport Tls;
+  CandidateReport OutOfOrder;
+  CandidateReport StaleReads;
+  /// Populated only when the reduction search ran.
+  std::vector<CandidateReport> ReductionSearch;
+
+  /// All candidates that classified as success, most permissive first.
+  std::vector<Candidate> validCandidates() const;
+
+  /// The reduction operators (if any) that made a model succeed.
+  std::string reductionSummary() const;
+};
+
+/// Test-driven annotation inference over the workload registry.
+class InferenceEngine {
+public:
+  explicit InferenceEngine(InferenceConfig Config) : Config(Config) {}
+
+  /// Runs the full §5 procedure for one workload.
+  InferenceResult inferForWorkload(const std::string &Name) const;
+
+  /// Evaluates a single candidate in a sandbox.
+  CandidateReport evaluateCandidate(const std::string &Name,
+                                    const Candidate &Cand) const;
+
+  /// The configuration in force.
+  const InferenceConfig &config() const { return Config; }
+
+private:
+  InferenceConfig Config;
+};
+
+/// Iterative-doubling chunk-factor search (§5): starting at 1, doubles the
+/// chunk factor until performance degrades over two successive increments,
+/// then returns the best-performing value. \p Make must return a fresh
+/// workload set up on the chosen input.
+int searchChunkFactor(Workload &W, const Candidate &Cand, unsigned NumWorkers,
+                      size_t InputIndex, int MaxChunkFactor = 4096);
+
+} // namespace alter
+
+#endif // ALTER_INFERENCE_INFERENCEENGINE_H

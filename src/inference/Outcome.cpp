@@ -1,0 +1,44 @@
+//===- inference/Outcome.cpp ----------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "inference/Outcome.h"
+
+#include "support/Error.h"
+
+using namespace alter;
+
+const char *alter::inferenceOutcomeName(InferenceOutcome Outcome) {
+  switch (Outcome) {
+  case InferenceOutcome::Success:
+    return "success";
+  case InferenceOutcome::Crash:
+    return "crash";
+  case InferenceOutcome::Timeout:
+    return "timeout";
+  case InferenceOutcome::HighConflicts:
+    return "h.c.";
+  case InferenceOutcome::OutputMismatch:
+    return "mismatch";
+  }
+  ALTER_UNREACHABLE("covered switch");
+}
+
+InferenceOutcome alter::classifyRun(const RunResult &Result, bool OutputValid,
+                                    double HighConflictRate) {
+  switch (Result.Status) {
+  case RunStatus::Crash:
+    return InferenceOutcome::Crash;
+  case RunStatus::Timeout:
+    return InferenceOutcome::Timeout;
+  case RunStatus::Success:
+    break;
+  }
+  if (Result.Stats.retryRate() > HighConflictRate)
+    return InferenceOutcome::HighConflicts;
+  if (!OutputValid)
+    return InferenceOutcome::OutputMismatch;
+  return InferenceOutcome::Success;
+}

@@ -1,0 +1,45 @@
+//===- inference/Outcome.h - Candidate outcome classification ---*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §5 outcome lattice: "For each annotation, the reported outcome is
+/// one of the following: success, failure ∈ (crash, timeout, high
+/// conflicts, output mismatch). A timeout is flagged if the execution takes
+/// more than 10 times the sequential execution time. An execution is
+/// flagged as having high conflicts if more than 50% of the attempted
+/// commits fail."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_INFERENCE_OUTCOME_H
+#define ALTER_INFERENCE_OUTCOME_H
+
+#include "runtime/RunResult.h"
+
+namespace alter {
+
+/// Classification of one candidate-annotation evaluation.
+enum class InferenceOutcome {
+  Success,
+  Crash,
+  Timeout,
+  HighConflicts,
+  OutputMismatch,
+};
+
+/// Paper-style short name ("success", "crash", "timeout", "h.c.",
+/// "mismatch").
+const char *inferenceOutcomeName(InferenceOutcome Outcome);
+
+/// Applies the §5 classification rules to a completed run.
+/// \p OutputValid is the program-specific validation verdict;
+/// \p HighConflictRate is the failed-commit threshold (paper: 0.5).
+InferenceOutcome classifyRun(const RunResult &Result, bool OutputValid,
+                             double HighConflictRate = 0.5);
+
+} // namespace alter
+
+#endif // ALTER_INFERENCE_OUTCOME_H

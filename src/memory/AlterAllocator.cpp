@@ -1,0 +1,150 @@
+//===- memory/AlterAllocator.cpp ------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/AlterAllocator.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstring>
+#include <sys/mman.h>
+
+using namespace alter;
+
+namespace {
+/// Size classes: 16, 32, 64, ..., 4096. Larger blocks are bump-only.
+constexpr size_t MinClassBytes = 16;
+constexpr size_t MaxClassBytes = 4096;
+constexpr unsigned NumClasses = 9; // 16 << 8 == 4096
+
+size_t alignUp(size_t Value, size_t Align) {
+  return (Value + Align - 1) & ~(Align - 1);
+}
+} // namespace
+
+unsigned AlterAllocator::sizeClassFor(size_t Size) {
+  size_t Bytes = MinClassBytes;
+  unsigned Class = 0;
+  while (Bytes < Size) {
+    Bytes <<= 1;
+    ++Class;
+  }
+  return Class;
+}
+
+size_t AlterAllocator::sizeClassBytes(unsigned Class) {
+  return MinClassBytes << Class;
+}
+
+AlterAllocator::AlterAllocator(unsigned NumWorkers, size_t BytesPerWorker)
+    : Workers(NumWorkers) {
+  ArenaBytes = alignUp(BytesPerWorker, 4096);
+  const unsigned TotalArenas = NumWorkers + 1; // arena 0 = sequential
+  ReservationBytes = ArenaBytes * TotalArenas;
+  void *Mapped = ::mmap(nullptr, ReservationBytes, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (Mapped == MAP_FAILED)
+    fatalError(strprintf("AlterAllocator: mmap of %zu bytes failed",
+                         ReservationBytes));
+  Reservation = static_cast<char *>(Mapped);
+  Arenas.resize(TotalArenas);
+  for (unsigned I = 0; I != TotalArenas; ++I) {
+    Arenas[I].Base = Reservation + static_cast<size_t>(I) * ArenaBytes;
+    Arenas[I].FreeLists.assign(NumClasses, nullptr);
+  }
+}
+
+AlterAllocator::~AlterAllocator() {
+  if (Reservation)
+    ::munmap(Reservation, ReservationBytes);
+}
+
+AlterAllocator::Arena &AlterAllocator::arena(unsigned Worker) {
+  assert(Worker < Arenas.size() && "worker index out of range");
+  return Arenas[Worker];
+}
+
+const AlterAllocator::Arena &AlterAllocator::arena(unsigned Worker) const {
+  assert(Worker < Arenas.size() && "worker index out of range");
+  return Arenas[Worker];
+}
+
+void *AlterAllocator::allocate(unsigned Worker, size_t Size) {
+  if (Size == 0)
+    Size = 1;
+  Arena &A = arena(Worker);
+  if (Size <= MaxClassBytes) {
+    const unsigned Class = sizeClassFor(Size);
+    if (void *Reused = A.FreeLists[Class]) {
+      std::memcpy(&A.FreeLists[Class], Reused, sizeof(void *));
+      ++FreeListHits;
+      return Reused;
+    }
+    const size_t Bytes = sizeClassBytes(Class);
+    const size_t Offset = alignUp(A.Bump, MinClassBytes);
+    if (Offset + Bytes > ArenaBytes)
+      fatalError(strprintf("AlterAllocator: arena %u exhausted", Worker));
+    A.Bump = Offset + Bytes;
+    return A.Base + Offset;
+  }
+  const size_t Offset = alignUp(A.Bump, MinClassBytes);
+  if (Offset + Size > ArenaBytes)
+    fatalError(strprintf("AlterAllocator: arena %u exhausted", Worker));
+  A.Bump = Offset + Size;
+  return A.Base + Offset;
+}
+
+void AlterAllocator::deallocate(unsigned Worker, void *Ptr, size_t Size) {
+  if (!Ptr)
+    return;
+  assert(ownsAddress(Ptr) && "deallocating a pointer the allocator does not own");
+  if (Size > MaxClassBytes)
+    return; // large blocks are bump-only; reclaimed on rollback/teardown
+  Arena &A = arena(Worker);
+  const unsigned Class = sizeClassFor(Size);
+  std::memcpy(Ptr, &A.FreeLists[Class], sizeof(void *));
+  A.FreeLists[Class] = Ptr;
+}
+
+ArenaMark AlterAllocator::mark(unsigned Worker) const {
+  return ArenaMark{arena(Worker).Bump};
+}
+
+void AlterAllocator::rollback(unsigned Worker, const ArenaMark &Mark) {
+  Arena &A = arena(Worker);
+  assert(Mark.BumpOffset <= A.Bump && "rollback target is ahead of cursor");
+  A.Bump = Mark.BumpOffset;
+}
+
+void AlterAllocator::advanceBump(unsigned Worker, size_t Offset) {
+  Arena &A = arena(Worker);
+  if (Offset > ArenaBytes)
+    fatalError("AlterAllocator: advanceBump beyond arena");
+  if (Offset > A.Bump)
+    A.Bump = Offset;
+}
+
+size_t AlterAllocator::bumpOffset(unsigned Worker) const {
+  return arena(Worker).Bump;
+}
+
+bool AlterAllocator::ownsAddress(const void *Ptr) const {
+  const char *P = static_cast<const char *>(Ptr);
+  return P >= Reservation && P < Reservation + ReservationBytes;
+}
+
+unsigned AlterAllocator::addressWorker(const void *Ptr) const {
+  if (!ownsAddress(Ptr))
+    fatalError("AlterAllocator: address not owned by any arena");
+  const size_t Delta =
+      static_cast<size_t>(static_cast<const char *>(Ptr) - Reservation);
+  return static_cast<unsigned>(Delta / ArenaBytes);
+}
+
+size_t AlterAllocator::bytesAllocated(unsigned Worker) const {
+  return arena(Worker).Bump;
+}

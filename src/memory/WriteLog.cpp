@@ -1,0 +1,284 @@
+//===- memory/WriteLog.cpp ------------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/WriteLog.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace alter;
+
+namespace {
+constexpr size_t InitialSlots = 64; // power of two
+} // namespace
+
+WriteLog::WriteLog() : Slots(InitialSlots, -1) { Mask = InitialSlots - 1; }
+
+void WriteLog::growSlots() {
+  const size_t NewCapacity = Slots.size() * 2;
+  std::vector<int32_t> NewSlots(NewCapacity, -1);
+  const size_t NewMask = NewCapacity - 1;
+  // Re-insert newest-first so the first write per address wins the slot.
+  for (size_t I = Entries.size(); I-- != 0;) {
+    size_t Slot = hashAddr(Entries[I].Addr) & NewMask;
+    for (;;) {
+      const int32_t Existing = NewSlots[Slot];
+      if (Existing < 0) {
+        NewSlots[Slot] = static_cast<int32_t>(I);
+        break;
+      }
+      if (Entries[static_cast<size_t>(Existing)].Addr == Entries[I].Addr)
+        break; // a newer entry already owns this address
+      Slot = (Slot + 1) & NewMask;
+    }
+  }
+  Slots = std::move(NewSlots);
+  Mask = NewMask;
+}
+
+void WriteLog::record(void *Addr, const void *Bytes, size_t Size) {
+  assert(Size > 0 && "cannot record an empty store");
+  const uintptr_t Key = reinterpret_cast<uintptr_t>(Addr);
+  if (Size > 64) {
+    LargeEntries = true;
+  } else {
+    if (Size > MaxSmallEntry)
+      MaxSmallEntry = Size;
+    const uintptr_t LastWord = (Key + Size - 1) >> 3;
+    for (uintptr_t Word = Key >> 3; Word <= LastWord; ++Word)
+      bloomSet(Word);
+  }
+  size_t Slot = hashAddr(Key) & Mask;
+  for (;;) {
+    const int32_t Index = Slots[Slot];
+    if (Index < 0)
+      break;
+    Entry &E = Entries[static_cast<size_t>(Index)];
+    if (E.Addr == Key) {
+      if (E.Size == Size) {
+        // Repeated store to the same location: update the value in place.
+        std::memcpy(Data.data() + E.Offset, Bytes, Size);
+        return;
+      }
+      // Same address, different width: append a new entry and point the
+      // slot at it (apply() preserves program order).
+      break;
+    }
+    Slot = (Slot + 1) & Mask;
+  }
+  if (Entries.size() * 4 >= Slots.size() * 3) {
+    growSlots();
+    // Re-find the slot in the grown table.
+    Slot = hashAddr(Key) & Mask;
+    while (Slots[Slot] >= 0 &&
+           Entries[static_cast<size_t>(Slots[Slot])].Addr != Key)
+      Slot = (Slot + 1) & Mask;
+  }
+  Entries.push_back({Key, Size, Data.size()});
+  const uint8_t *Src = static_cast<const uint8_t *>(Bytes);
+  Data.insert(Data.end(), Src, Src + Size);
+  Slots[Slot] = static_cast<int32_t>(Entries.size() - 1);
+}
+
+bool WriteLog::lookupSlow(const void *Addr, void *OutBytes,
+                          size_t Size) const {
+  const uintptr_t Key = reinterpret_cast<uintptr_t>(Addr);
+  size_t Slot = hashAddr(Key) & Mask;
+  for (;;) {
+    const int32_t Index = Slots[Slot];
+    if (Index < 0)
+      break;
+    const Entry &E = Entries[static_cast<size_t>(Index)];
+    if (E.Addr == Key) {
+      if (E.Size == Size) {
+        std::memcpy(OutBytes, Data.data() + E.Offset, Size);
+        return true;
+      }
+      break; // fall through to the containment scan
+    }
+    Slot = (Slot + 1) & Mask;
+  }
+  // Rare path: the read may fall inside a larger buffered object (e.g. a
+  // field read after a whole-object store). An enclosing small entry must
+  // start within MaxSmallEntry bytes below the read, so probing the
+  // candidate start addresses beats scanning the log. Instrumented stores
+  // start at type-aligned addresses, so 4-byte steps cover them.
+  if (!LargeEntries) {
+    if (MaxSmallEntry == 0)
+      return false;
+    for (uintptr_t Back = 4; Back + Size <= MaxSmallEntry; Back += 4) {
+      const uintptr_t Start = Key - Back;
+      size_t Probe = hashAddr(Start) & Mask;
+      for (;;) {
+        const int32_t Index = Slots[Probe];
+        if (Index < 0)
+          break;
+        const Entry &E = Entries[static_cast<size_t>(Index)];
+        if (E.Addr == Start) {
+          if (Key + Size <= E.Addr + E.Size) {
+            std::memcpy(OutBytes, Data.data() + E.Offset + (Key - E.Addr),
+                        Size);
+            return true;
+          }
+          break;
+        }
+        Probe = (Probe + 1) & Mask;
+      }
+    }
+    return false;
+  }
+  // Logs holding large entries (whole-row writeRange) fall back to the
+  // scan; such transactions read their rows back via readRange's overlay,
+  // so this path stays cold.
+  for (size_t I = Entries.size(); I-- != 0;) {
+    const Entry &E = Entries[I];
+    if (Key >= E.Addr && Key + Size <= E.Addr + E.Size) {
+      std::memcpy(OutBytes, Data.data() + E.Offset + (Key - E.Addr), Size);
+      return true;
+    }
+  }
+  return false;
+}
+
+void WriteLog::recordUndo(void *Addr, size_t Size) {
+  assert(Size > 0 && "cannot record an empty store");
+  const uintptr_t Key = reinterpret_cast<uintptr_t>(Addr);
+  // Fast path: the location already has its committed bytes saved.
+  size_t Slot = hashAddr(Key) & Mask;
+  for (;;) {
+    const int32_t Index = Slots[Slot];
+    if (Index < 0)
+      break;
+    const Entry &E = Entries[static_cast<size_t>(Index)];
+    if (E.Addr == Key) {
+      if (E.Size == Size)
+        return; // first write already captured the snapshot
+      break;
+    }
+    Slot = (Slot + 1) & Mask;
+  }
+  record(Addr, Addr, Size);
+}
+
+void WriteLog::swapWithMemory() {
+  // Newest-first: overlapping entries unwind like a stack, leaving memory
+  // exactly at the committed snapshot and each entry holding the value
+  // memory had when the NEXT-newer entry was recorded — which is what a
+  // forward apply() needs to rebuild the final state.
+  uint8_t Scratch[64];
+  for (size_t I = Entries.size(); I-- != 0;) {
+    const Entry &E = Entries[I];
+    uint8_t *Mem = reinterpret_cast<uint8_t *>(E.Addr);
+    uint8_t *Buf = Data.data() + E.Offset;
+    if (E.Size <= sizeof(Scratch)) {
+      std::memcpy(Scratch, Mem, E.Size);
+      std::memcpy(Mem, Buf, E.Size);
+      std::memcpy(Buf, Scratch, E.Size);
+      continue;
+    }
+    for (uint64_t Off = 0; Off < E.Size; Off += sizeof(Scratch)) {
+      const size_t Piece =
+          std::min<uint64_t>(sizeof(Scratch), E.Size - Off);
+      std::memcpy(Scratch, Mem + Off, Piece);
+      std::memcpy(Mem + Off, Buf + Off, Piece);
+      std::memcpy(Buf + Off, Scratch, Piece);
+    }
+  }
+}
+
+void WriteLog::captureRedo() {
+  for (const Entry &E : Entries)
+    std::memcpy(Data.data() + E.Offset, reinterpret_cast<void *>(E.Addr),
+                E.Size);
+}
+
+void WriteLog::apply() const {
+  for (const Entry &E : Entries)
+    std::memcpy(reinterpret_cast<void *>(E.Addr), Data.data() + E.Offset,
+                E.Size);
+}
+
+void WriteLog::overlayRange(const void *Addr, size_t Size, void *Buf) const {
+  const uintptr_t Lo = reinterpret_cast<uintptr_t>(Addr);
+  const uintptr_t Hi = Lo + Size;
+  for (const Entry &E : Entries) {
+    const uintptr_t ELo = E.Addr;
+    const uintptr_t EHi = E.Addr + E.Size;
+    if (EHi <= Lo || ELo >= Hi)
+      continue;
+    const uintptr_t CopyLo = ELo > Lo ? ELo : Lo;
+    const uintptr_t CopyHi = EHi < Hi ? EHi : Hi;
+    std::memcpy(static_cast<char *>(Buf) + (CopyLo - Lo),
+                Data.data() + E.Offset + (CopyLo - ELo), CopyHi - CopyLo);
+  }
+}
+
+void WriteLog::clear() {
+  if (Entries.empty())
+    return;
+  Entries.clear();
+  Data.clear();
+  std::fill(Slots.begin(), Slots.end(), -1);
+  std::fill(std::begin(Bloom), std::end(Bloom), 0);
+  LargeEntries = false;
+  MaxSmallEntry = 0;
+}
+
+size_t WriteLog::serializedSize() const {
+  return sizeof(uint64_t) + Entries.size() * 2 * sizeof(uint64_t) +
+         Data.size();
+}
+
+void WriteLog::serializeTo(uint8_t *Buf) const {
+  uint64_t Count = Entries.size();
+  std::memcpy(Buf, &Count, sizeof(Count));
+  Buf += sizeof(Count);
+  for (const Entry &E : Entries) {
+    const uint64_t Addr = E.Addr;
+    std::memcpy(Buf, &Addr, sizeof(Addr));
+    Buf += sizeof(Addr);
+    std::memcpy(Buf, &E.Size, sizeof(E.Size));
+    Buf += sizeof(E.Size);
+  }
+  if (!Data.empty())
+    std::memcpy(Buf, Data.data(), Data.size());
+}
+
+WriteLog WriteLog::deserialize(const uint8_t *Buf, size_t Len) {
+  WriteLog Log;
+  if (Len < sizeof(uint64_t))
+    fatalError("truncated write log header");
+  uint64_t Count;
+  std::memcpy(&Count, Buf, sizeof(Count));
+  Buf += sizeof(Count);
+  Len -= sizeof(Count);
+  if (Len < Count * 2 * sizeof(uint64_t))
+    fatalError("truncated write log entry table");
+  uint64_t PayloadBytes = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> Raw;
+  Raw.reserve(Count);
+  for (uint64_t I = 0; I != Count; ++I) {
+    uint64_t Addr, Size;
+    std::memcpy(&Addr, Buf, sizeof(Addr));
+    Buf += sizeof(Addr);
+    std::memcpy(&Size, Buf, sizeof(Size));
+    Buf += sizeof(Size);
+    Raw.emplace_back(Addr, Size);
+    PayloadBytes += Size;
+  }
+  Len -= Count * 2 * sizeof(uint64_t);
+  if (Len < PayloadBytes)
+    fatalError("truncated write log payload");
+  for (auto [Addr, Size] : Raw) {
+    Log.record(reinterpret_cast<void *>(static_cast<uintptr_t>(Addr)), Buf,
+               static_cast<size_t>(Size));
+    Buf += Size;
+  }
+  return Log;
+}

@@ -1,0 +1,38 @@
+//===- runtime/ConflictDetector.cpp ---------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ConflictDetector.h"
+
+#include "support/Error.h"
+
+using namespace alter;
+
+bool ConflictDetector::hasConflict(const AccessSet &Reads,
+                                   const AccessSet &Writes) const {
+  switch (Policy) {
+  case ConflictPolicy::NONE:
+    return false;
+  case ConflictPolicy::RAW:
+    WordsChecked += Reads.sizeWords();
+    return Reads.intersects(CommittedWrites);
+  case ConflictPolicy::WAW:
+    WordsChecked += Writes.sizeWords();
+    return Writes.intersects(CommittedWrites);
+  case ConflictPolicy::FULL:
+    WordsChecked += Reads.sizeWords() + Writes.sizeWords();
+    return Reads.intersects(CommittedWrites) ||
+           Writes.intersects(CommittedWrites);
+  }
+  ALTER_UNREACHABLE("covered switch");
+}
+
+void ConflictDetector::recordCommit(const AccessSet &Writes) {
+  if (Policy == ConflictPolicy::NONE)
+    return;
+  CommittedWrites.unionWith(Writes);
+}
+
+void ConflictDetector::resetRound() { CommittedWrites.clear(); }

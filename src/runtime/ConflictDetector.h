@@ -1,0 +1,62 @@
+//===- runtime/ConflictDetector.h - Commit-time validation ------*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Commit-time conflict validation (§4.2). A transaction validating under a
+/// policy is checked against the write sets of the transactions that
+/// *committed before it* within the same lock-step round:
+///
+///   FULL: fail if (reads ∪ writes) ∩ earlier writes ≠ ∅
+///   RAW : fail if reads ∩ earlier writes ≠ ∅  (conflict serializability)
+///   WAW : fail if writes ∩ earlier writes ≠ ∅ (snapshot isolation)
+///   NONE: always commit
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_RUNTIME_CONFLICTDETECTOR_H
+#define ALTER_RUNTIME_CONFLICTDETECTOR_H
+
+#include "memory/AccessSet.h"
+#include "runtime/RuntimeParams.h"
+
+#include <cstdint>
+
+namespace alter {
+
+/// Validation bookkeeping for one lock-step round: accumulates the write
+/// sets of this round's committers and answers conflict queries against
+/// them.
+class ConflictDetector {
+public:
+  explicit ConflictDetector(ConflictPolicy Policy) : Policy(Policy) {}
+
+  /// True if a transaction with \p Reads / \p Writes conflicts with the
+  /// committers recorded so far this round.
+  bool hasConflict(const AccessSet &Reads, const AccessSet &Writes) const;
+
+  /// Records a committer's write set for subsequent queries.
+  void recordCommit(const AccessSet &Writes);
+
+  /// Words compared by conflict checks so far (cost-model input).
+  uint64_t wordsChecked() const { return WordsChecked; }
+
+  /// Forgets this round's committers (call at the round barrier).
+  void resetRound();
+
+  /// Active policy.
+  ConflictPolicy policy() const { return Policy; }
+
+private:
+  ConflictPolicy Policy;
+  /// Union of this round's committed write sets. Using the union is
+  /// equivalent to checking each earlier committer separately and cheaper.
+  AccessSet CommittedWrites;
+  mutable uint64_t WordsChecked = 0;
+};
+
+} // namespace alter
+
+#endif // ALTER_RUNTIME_CONFLICTDETECTOR_H

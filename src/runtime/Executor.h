@@ -1,0 +1,80 @@
+//===- runtime/Executor.h - Loop execution engines --------------*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executor interface and shared configuration. Three engines implement
+/// it:
+///
+///  - SequentialExecutor: reference execution (and dependence probing).
+///  - LockstepExecutor: in-process deterministic engine running ALTER's
+///    full transaction protocol with a modeled parallel clock (DESIGN.md
+///    §2's substitution for multicore hardware).
+///  - ForkJoinExecutor: the paper's process-based fork–join engine using
+///    real fork() isolation and pipe-shipped commits.
+///
+/// All engines are deterministic: output depends only on (program input,
+/// NumWorkers, chunk factor, runtime parameters) — paper §4.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_RUNTIME_EXECUTOR_H
+#define ALTER_RUNTIME_EXECUTOR_H
+
+#include "runtime/CostModel.h"
+#include "runtime/LoopSpec.h"
+#include "runtime/RunResult.h"
+#include "runtime/RuntimeParams.h"
+#include "runtime/TxnContext.h"
+
+#include <cstdint>
+
+namespace alter {
+
+class AlterAllocator;
+
+/// Configuration shared by the parallel executors.
+struct ExecutorConfig {
+  /// Number of worker processes N (paper §4.1's fork–join width).
+  unsigned NumWorkers = 4;
+
+  /// The four runtime parameters of §4.2.
+  RuntimeParams Params;
+
+  /// Resource caps applied to each transaction.
+  TxnLimits Limits;
+
+  /// Deadline handling: a run whose accumulated (modeled) time exceeds
+  /// TimeoutFactor × SeqBaselineNs is flagged Timeout, mirroring the
+  /// paper's 10× rule. SeqBaselineNs == 0 disables the rule.
+  uint64_t SeqBaselineNs = 0;
+  double TimeoutFactor = 10.0;
+
+  /// Cost model for the simulated parallel clock (Lockstep engine).
+  const CostModel *Costs = nullptr;
+
+  /// Allocator used for in-loop allocations; may be null when the loop
+  /// never allocates.
+  AlterAllocator *Allocator = nullptr;
+};
+
+/// Abstract loop execution engine.
+class Executor {
+public:
+  virtual ~Executor();
+
+  /// Executes \p Spec to completion (or failure) and returns the outcome.
+  virtual RunResult run(const LoopSpec &Spec) = 0;
+
+  /// Informs the engine how much modeled time earlier inner-loop
+  /// invocations of the same outer loop have already consumed, so the
+  /// 10x-sequential deadline applies to the whole outer execution. The
+  /// default ignores it; engines with a modeled clock honor it.
+  virtual void setAccumulatedSimNs(uint64_t Ns) { (void)Ns; }
+};
+
+} // namespace alter
+
+#endif // ALTER_RUNTIME_EXECUTOR_H

@@ -1,0 +1,53 @@
+//===- runtime/ForkJoinExecutor.h - Process-based fork-join engine -*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's deterministic process-based fork–join engine (§4.1,
+/// Figure 4), realized with POSIX primitives instead of Win32:
+///
+///  - each round forks N child processes whose address spaces are
+///    copy-on-write snapshots of the committed state (fork() supplies the
+///    paper's COW section mappings);
+///  - each child executes one chunk in full isolation, tracking read/write
+///    sets, then ships its write log, access sets, reduction deltas, and
+///    arena cursor to the parent over a pipe and exits;
+///  - the parent joins all children, validates in deterministic (ascending)
+///    order, applies committed write logs verbatim — sound because the
+///    ALTER allocator guarantees processes never share fresh virtual
+///    addresses — and re-queues failed chunks;
+///  - the next round's fork re-synchronizes every worker with the committed
+///    state (§4.1 step 2d).
+///
+/// A child that dies of a signal or exits abnormally surfaces as
+/// RunStatus::Crash, which is exactly the observable the paper's inference
+/// engine classifies (§5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_RUNTIME_FORKJOINEXECUTOR_H
+#define ALTER_RUNTIME_FORKJOINEXECUTOR_H
+
+#include "runtime/Executor.h"
+
+namespace alter {
+
+/// Process-based implementation of the ALTER protocol.
+class ForkJoinExecutor : public Executor {
+public:
+  explicit ForkJoinExecutor(ExecutorConfig Config);
+
+  RunResult run(const LoopSpec &Spec) override;
+
+  /// The configuration in force.
+  const ExecutorConfig &config() const { return Config; }
+
+private:
+  ExecutorConfig Config;
+};
+
+} // namespace alter
+
+#endif // ALTER_RUNTIME_FORKJOINEXECUTOR_H

@@ -1,0 +1,61 @@
+//===- runtime/LockstepExecutor.h - Deterministic lock-step engine -*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-process deterministic engine. It runs the paper's lock-step
+/// protocol exactly (§4.1, steps 2a–2d):
+///
+///   repeat until no chunks remain:
+///     - each of the N workers picks up the next pending chunk (ascending
+///       program order);
+///     - chunks execute "concurrently" in isolation: every chunk sees only
+///       the committed snapshot (stores buffer in a write log), so the
+///       result is independent of physical execution order and the engine
+///       can run them back-to-back on one core;
+///     - at the barrier, chunks validate one after another in deterministic
+///       (ascending) order against the ConflictPolicy and either commit
+///       (apply write log + reduction merges) or are marked for
+///       re-execution;
+///     - the modeled parallel clock advances by the round's cost
+///       (CostModel).
+///
+/// Under CommitOrderPolicy::InOrder the first failed validation also aborts
+/// all program-order-later chunks of the round, so commits retire in
+/// program order (TLS, Theorem 4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_RUNTIME_LOCKSTEPEXECUTOR_H
+#define ALTER_RUNTIME_LOCKSTEPEXECUTOR_H
+
+#include "runtime/Executor.h"
+
+namespace alter {
+
+/// Deterministic in-process implementation of the ALTER protocol with a
+/// modeled parallel wall clock.
+class LockstepExecutor : public Executor {
+public:
+  explicit LockstepExecutor(ExecutorConfig Config);
+
+  RunResult run(const LoopSpec &Spec) override;
+
+  /// The configuration in force.
+  const ExecutorConfig &config() const { return Config; }
+
+  /// Adjusts the accumulated-time budget shared across run() calls of an
+  /// outer convergence loop (see ExecutorLoopRunner).
+  void setAccumulatedSimNs(uint64_t Ns) override { AccumulatedSimNs = Ns; }
+  uint64_t accumulatedSimNs() const { return AccumulatedSimNs; }
+
+private:
+  ExecutorConfig Config;
+  uint64_t AccumulatedSimNs = 0;
+};
+
+} // namespace alter
+
+#endif // ALTER_RUNTIME_LOCKSTEPEXECUTOR_H

@@ -1,0 +1,46 @@
+//===- runtime/LoopRunner.cpp ---------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/LoopRunner.h"
+
+using namespace alter;
+
+LoopRunner::~LoopRunner() = default;
+
+bool LoopRunner::fold(RunResult R) {
+  Accumulated.Stats.merge(R.Stats);
+  if (R.Status != RunStatus::Success) {
+    Accumulated.Status = R.Status;
+    Accumulated.Detail = std::move(R.Detail);
+    return false;
+  }
+  return true;
+}
+
+bool SequentialLoopRunner::runInner(const LoopSpec &Spec) {
+  return fold(Exec.run(Spec));
+}
+
+bool ProbeLoopRunner::runInner(const LoopSpec &Spec) {
+  return fold(Exec.run(Spec));
+}
+
+bool ExecutorLoopRunner::runInner(const LoopSpec &Spec) {
+  // Let the engine apply the deadline mid-run relative to what earlier
+  // invocations already consumed.
+  Exec.setAccumulatedSimNs(Accumulated.Stats.SimTimeNs);
+  if (!fold(Exec.run(Spec)))
+    return false;
+  if (SeqBaselineNs != 0 &&
+      static_cast<double>(Accumulated.Stats.SimTimeNs) >
+          TimeoutFactor * static_cast<double>(SeqBaselineNs)) {
+    Accumulated.Status = RunStatus::Timeout;
+    Accumulated.Detail =
+        "accumulated modeled time exceeded the 10x-sequential deadline";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,100 @@
+//===- runtime/LoopRunner.h - Driving annotated loops -----------*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LoopRunner is the seam between a workload and an execution engine. A
+/// workload writes its algorithm once — outer convergence loop in plain
+/// C++, annotated inner loop submitted through runInner() — and the same
+/// code runs sequentially (reference), under the dependence probe, or under
+/// any ALTER configuration, exactly as the paper's compiled binary is
+/// "parameterized by some additional inputs that indicate the semantics to
+/// be enforced" (§4).
+///
+/// The ExecutorLoopRunner also owns the outer-execution deadline: the
+/// paper's timeout rule ("more than 10 times the sequential execution
+/// time", §5) applies to the whole algorithm, which matters when a broken
+/// reduction slows *convergence* rather than any single inner loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_RUNTIME_LOOPRUNNER_H
+#define ALTER_RUNTIME_LOOPRUNNER_H
+
+#include "runtime/Executor.h"
+#include "runtime/SequentialExecutor.h"
+
+namespace alter {
+
+/// Abstract driver for one annotated loop inside a (possibly iterated)
+/// algorithm.
+class LoopRunner {
+public:
+  virtual ~LoopRunner();
+
+  /// Executes one invocation of the annotated inner loop. Returns false
+  /// when execution failed (crash / timeout) and the workload should stop.
+  virtual bool runInner(const LoopSpec &Spec) = 0;
+
+  /// Accumulated outcome across all runInner() calls.
+  const RunResult &result() const { return Accumulated; }
+
+protected:
+  /// Folds one inner run into the accumulated result. Returns false when
+  /// the run failed.
+  bool fold(RunResult R);
+
+  RunResult Accumulated;
+};
+
+/// Reference driver: plain sequential execution.
+class SequentialLoopRunner : public LoopRunner {
+public:
+  explicit SequentialLoopRunner(AlterAllocator *Allocator = nullptr)
+      : Exec(Allocator) {}
+
+  bool runInner(const LoopSpec &Spec) override;
+
+private:
+  SequentialExecutor Exec;
+};
+
+/// Dependence-probing driver (Table 3's Dep column).
+class ProbeLoopRunner : public LoopRunner {
+public:
+  explicit ProbeLoopRunner(AlterAllocator *Allocator = nullptr)
+      : Exec(Allocator) {}
+
+  bool runInner(const LoopSpec &Spec) override;
+
+  /// Dependences observed across all invocations.
+  const DependenceReport &report() const { return Exec.report(); }
+
+private:
+  DependenceProbeExecutor Exec;
+};
+
+/// Driver running the inner loop under an ALTER engine (lock-step or
+/// fork-join), enforcing the outer 10x-sequential deadline.
+class ExecutorLoopRunner : public LoopRunner {
+public:
+  /// \p SeqBaselineNs is the measured sequential time of the whole
+  /// algorithm; 0 disables the deadline.
+  ExecutorLoopRunner(Executor &Exec, uint64_t SeqBaselineNs = 0,
+                     double TimeoutFactor = 10.0)
+      : Exec(Exec), SeqBaselineNs(SeqBaselineNs),
+        TimeoutFactor(TimeoutFactor) {}
+
+  bool runInner(const LoopSpec &Spec) override;
+
+private:
+  Executor &Exec;
+  uint64_t SeqBaselineNs;
+  double TimeoutFactor;
+};
+
+} // namespace alter
+
+#endif // ALTER_RUNTIME_LOOPRUNNER_H

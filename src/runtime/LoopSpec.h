@@ -1,0 +1,71 @@
+//===- runtime/LoopSpec.h - Annotated-loop description ----------*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LoopSpec describes one annotatable loop: its iteration space, its body
+/// (written against TxnContext, which plays the role of the instrumentation
+/// the paper's Phoenix phases would have inserted), and the set of scalar
+/// variables that *may* be treated as reductions. Which of those bindings is
+/// actually reduced — and with which operator — is chosen per run by the
+/// RuntimeParams, so the inference engine can evaluate candidate reductions
+/// against the very same loop body.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_RUNTIME_LOOPSPEC_H
+#define ALTER_RUNTIME_LOOPSPEC_H
+
+#include "runtime/ReductionOps.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace alter {
+
+class TxnContext;
+
+/// A scalar variable the loop may reduce over. When the active RuntimeParams
+/// do not enable the binding, its accesses behave as ordinary instrumented
+/// loads/stores — i.e. as the un-annotated source program.
+struct ReductionBinding {
+  /// Annotation-level variable name ("delta", "err", ...).
+  std::string Name;
+  /// Storage of the variable in the enclosing program.
+  void *Addr = nullptr;
+  /// Scalar kind of the storage.
+  ScalarKind Kind = ScalarKind::F64;
+};
+
+/// Description of one annotatable loop.
+struct LoopSpec {
+  /// Diagnostic name ("kmeans.main", "gs.inner", ...).
+  std::string Name;
+
+  /// Number of iterations of the (inner) loop for this invocation.
+  int64_t NumIterations = 0;
+
+  /// The loop body. All accesses to memory shared across iterations must go
+  /// through the TxnContext; iteration-local state may use plain C++.
+  std::function<void(TxnContext &, int64_t)> Body;
+
+  /// Variables eligible for reduction annotations, in binding-slot order.
+  std::vector<ReductionBinding> Reductions;
+
+  /// Names of the reduction bindings, for annotation resolution.
+  std::vector<std::string> reductionNames() const {
+    std::vector<std::string> Names;
+    Names.reserve(Reductions.size());
+    for (const ReductionBinding &B : Reductions)
+      Names.push_back(B.Name);
+    return Names;
+  }
+};
+
+} // namespace alter
+
+#endif // ALTER_RUNTIME_LOOPSPEC_H

@@ -1,0 +1,38 @@
+//===- runtime/RunResult.cpp ----------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RunResult.h"
+
+#include "support/Error.h"
+
+using namespace alter;
+
+const char *alter::runStatusName(RunStatus Status) {
+  switch (Status) {
+  case RunStatus::Success:
+    return "success";
+  case RunStatus::Crash:
+    return "crash";
+  case RunStatus::Timeout:
+    return "timeout";
+  }
+  ALTER_UNREACHABLE("covered switch");
+}
+
+void RunStats::merge(const RunStats &Other) {
+  NumTransactions += Other.NumTransactions;
+  NumCommitted += Other.NumCommitted;
+  NumRetries += Other.NumRetries;
+  NumRounds += Other.NumRounds;
+  ReadSetWords.merge(Other.ReadSetWords);
+  WriteSetWords.merge(Other.WriteSetWords);
+  InstrReadCalls += Other.InstrReadCalls;
+  InstrWriteCalls += Other.InstrWriteCalls;
+  BytesRead += Other.BytesRead;
+  BytesWritten += Other.BytesWritten;
+  SimTimeNs += Other.SimTimeNs;
+  RealTimeNs += Other.RealTimeNs;
+}

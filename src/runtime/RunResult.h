@@ -1,0 +1,97 @@
+//===- runtime/RunResult.h - Execution outcome and statistics ---*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The outcome of executing an annotated loop, plus the per-run statistics
+/// that feed Table 4 (transaction count, read/write-set words per
+/// transaction, retry rate) and the speedup figures (simulated and real
+/// wall-clock time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_RUNTIME_RUNRESULT_H
+#define ALTER_RUNTIME_RUNRESULT_H
+
+#include "support/Stats.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alter {
+
+/// How a loop execution ended. Crash/Timeout are detected by the executors
+/// themselves (resource caps, 10x-sequential deadline) so that the inference
+/// engine can classify candidates exactly as §5 describes.
+enum class RunStatus {
+  Success, ///< ran to completion
+  Crash,   ///< resource exhaustion or abnormal termination
+  Timeout, ///< exceeded the configured deadline (10x sequential by default)
+};
+
+/// Returns "success", "crash", or "timeout".
+const char *runStatusName(RunStatus Status);
+
+/// Statistics accumulated over one or more loop executions.
+struct RunStats {
+  /// Transactions that attempted to commit (including retries of the same
+  /// chunk; a chunk retried twice counts three attempts).
+  uint64_t NumTransactions = 0;
+  /// Attempts that validated and committed.
+  uint64_t NumCommitted = 0;
+  /// Attempts that failed validation and were re-executed.
+  uint64_t NumRetries = 0;
+  /// Lock-step rounds executed.
+  uint64_t NumRounds = 0;
+  /// Distribution of read-set sizes (words) per transaction.
+  RunningStat ReadSetWords;
+  /// Distribution of write-set sizes (words) per transaction.
+  RunningStat WriteSetWords;
+  /// Instrumentation calls executed (after the §4.1 optimizations; a range
+  /// instrumentation counts once).
+  uint64_t InstrReadCalls = 0;
+  uint64_t InstrWriteCalls = 0;
+  /// Data movement performed by the loop bodies, for the bandwidth model.
+  uint64_t BytesRead = 0;
+  uint64_t BytesWritten = 0;
+  /// Modeled parallel wall-clock (lock-step cost model), and the modeled
+  /// single-worker wall-clock of the same execution for self-relative
+  /// comparisons.
+  uint64_t SimTimeNs = 0;
+  /// Real host time spent executing.
+  uint64_t RealTimeNs = 0;
+
+  /// Fraction of commit attempts that failed (the paper flags > 50% as
+  /// "high conflicts").
+  double retryRate() const {
+    if (NumTransactions == 0)
+      return 0.0;
+    return static_cast<double>(NumRetries) /
+           static_cast<double>(NumTransactions);
+  }
+
+  /// Accumulates \p Other into this (used across outer-loop invocations).
+  void merge(const RunStats &Other);
+};
+
+/// Outcome of one loop execution (or of an outer loop's worth of them).
+struct RunResult {
+  RunStatus Status = RunStatus::Success;
+  RunStats Stats;
+  /// Optional human-readable detail for failures.
+  std::string Detail;
+  /// Chunk indices in the order they committed. Under OutOfOrder policies a
+  /// parallel execution is equivalent to replaying chunks serially in this
+  /// order (conflict serializability); tests exploit that. Only the most
+  /// recent inner-loop invocation's order is kept when results accumulate.
+  std::vector<int64_t> CommitOrder;
+
+  bool succeeded() const { return Status == RunStatus::Success; }
+};
+
+} // namespace alter
+
+#endif // ALTER_RUNTIME_RUNRESULT_H

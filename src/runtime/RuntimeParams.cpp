@@ -1,0 +1,113 @@
+//===- runtime/RuntimeParams.cpp ------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RuntimeParams.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+using namespace alter;
+
+const char *alter::conflictPolicyName(ConflictPolicy Policy) {
+  switch (Policy) {
+  case ConflictPolicy::FULL:
+    return "FULL";
+  case ConflictPolicy::WAW:
+    return "WAW";
+  case ConflictPolicy::RAW:
+    return "RAW";
+  case ConflictPolicy::NONE:
+    return "NONE";
+  }
+  ALTER_UNREACHABLE("covered switch");
+}
+
+const char *alter::commitOrderPolicyName(CommitOrderPolicy Policy) {
+  switch (Policy) {
+  case CommitOrderPolicy::InOrder:
+    return "InOrder";
+  case CommitOrderPolicy::OutOfOrder:
+    return "OutOfOrder";
+  }
+  ALTER_UNREACHABLE("covered switch");
+}
+
+std::string RuntimeParams::str() const {
+  std::string Reds;
+  for (const EnabledReduction &R : Reductions) {
+    if (!Reds.empty())
+      Reds += ",";
+    Reds += strprintf("#%u %s", R.BindingIndex, reduceOpName(R.Op));
+  }
+  return strprintf("{Conflict=%s, CommitOrder=%s, Reductions=[%s], cf=%d}",
+                   conflictPolicyName(Conflict),
+                   commitOrderPolicyName(CommitOrder), Reds.c_str(),
+                   ChunkFactor);
+}
+
+RuntimeParams
+alter::paramsForAnnotation(const Annotation &A,
+                           const std::vector<std::string> &BindingNames) {
+  RuntimeParams Params;
+  switch (A.Policy) {
+  case ParallelPolicy::OutOfOrder:
+    // Theorem 4.1: conflict serializability via RAW conflicts.
+    Params.Conflict = ConflictPolicy::RAW;
+    break;
+  case ParallelPolicy::StaleReads:
+    // Theorem 4.2: snapshot isolation via WAW conflicts.
+    Params.Conflict = ConflictPolicy::WAW;
+    break;
+  }
+  Params.CommitOrder = CommitOrderPolicy::OutOfOrder;
+  for (const ReductionClause &Clause : A.Reductions) {
+    bool Found = false;
+    for (unsigned I = 0; I != BindingNames.size(); ++I) {
+      if (BindingNames[I] != Clause.Var)
+        continue;
+      Params.Reductions.push_back(EnabledReduction{I, Clause.Op});
+      Found = true;
+      break;
+    }
+    if (!Found)
+      fatalError("annotation names unknown reduction variable '" + Clause.Var +
+                 "'");
+  }
+  if (A.ChunkFactor > 0)
+    Params.ChunkFactor = A.ChunkFactor;
+  return Params;
+}
+
+RuntimeParams alter::paramsForSequentialSpeculation(int ChunkFactor) {
+  RuntimeParams Params;
+  Params.Conflict = ConflictPolicy::RAW;
+  Params.CommitOrder = CommitOrderPolicy::InOrder;
+  Params.ChunkFactor = ChunkFactor;
+  return Params;
+}
+
+namespace {
+/// Process-wide default chunk factor (§3's global designation).
+int GlobalChunkFactor = 16;
+} // namespace
+
+int alter::globalChunkFactor() { return GlobalChunkFactor; }
+
+void alter::setGlobalChunkFactor(int Cf) {
+  if (Cf <= 0)
+    fatalError("the global chunk factor must be positive");
+  GlobalChunkFactor = Cf;
+}
+
+RuntimeParams alter::paramsForDoall(std::vector<EnabledReduction> Reductions,
+                                    int ChunkFactor) {
+  RuntimeParams Params;
+  Params.Conflict = ConflictPolicy::NONE;
+  Params.CommitOrder = CommitOrderPolicy::OutOfOrder;
+  Params.Reductions = std::move(Reductions);
+  Params.ChunkFactor = ChunkFactor;
+  return Params;
+}

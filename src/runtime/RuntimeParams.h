@@ -1,0 +1,136 @@
+//===- runtime/RuntimeParams.h - Runtime configuration ---------*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four runtime parameters of paper §4.2 — ConflictPolicy,
+/// CommitOrderPolicy, ReductionPolicy, ChunkFactor — plus the theorem
+/// mappings that realize annotations (and classical execution models) as
+/// parameter assignments:
+///
+///   Thm 4.1  (OutOfOrder, R) = { RAW,  OutOfOrder, R }
+///   Thm 4.2  (StaleReads, R) = { WAW,  OutOfOrder, R }
+///   Thm 4.3  TLS/sequential  = { RAW,  InOrder,    ∅ }
+///   Thm 4.4  DOALL + R       = { NONE, any,        R }
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_RUNTIME_RUNTIMEPARAMS_H
+#define ALTER_RUNTIME_RUNTIMEPARAMS_H
+
+#include "runtime/Annotation.h"
+#include "runtime/ReductionOps.h"
+
+#include <string>
+#include <vector>
+
+namespace alter {
+
+/// The four conflict definitions of §4.2. They form a partial order by
+/// permissiveness: NONE is most permissive, FULL least.
+enum class ConflictPolicy {
+  FULL, ///< fail if (reads ∪ writes) ∩ earlier committer's writes ≠ ∅
+  WAW,  ///< fail if writes ∩ earlier committer's writes ≠ ∅
+  RAW,  ///< fail if reads ∩ earlier committer's writes ≠ ∅
+  NONE, ///< always commit
+};
+
+/// Whether commits must retire in program order.
+enum class CommitOrderPolicy {
+  InOrder,    ///< program order (TLS-style)
+  OutOfOrder, ///< any order; reordering happens only on conflicts
+};
+
+/// A programmer-defined reduction operator: a commutative/associative
+/// combine function plus its identity element. The paper's runtime had
+/// "partial support for programmer-defined reduction operations" behind a
+/// flag (§4.2); this reproduction exposes them at the API level only — the
+/// annotation *language* still names just the six built-ins. The function
+/// must be a plain function (not a capturing lambda): the fork-join engine
+/// relies on the pointer being valid in every forked child, which fork()'s
+/// identical address space guarantees.
+struct CustomReduceOp {
+  RedValue (*Combine)(const RedValue &A, const RedValue &B) = nullptr;
+  RedValue Identity;
+
+  bool operator==(const CustomReduceOp &Other) const {
+    return Combine == Other.Combine && Identity.equals(Other.Identity);
+  }
+};
+
+/// One enabled reduction: which binding slot of the loop it applies to and
+/// the operator used to merge private values at commit. When Custom.Combine
+/// is non-null it overrides Op.
+struct EnabledReduction {
+  unsigned BindingIndex = 0;
+  ReduceOp Op = ReduceOp::Plus;
+  CustomReduceOp Custom;
+
+  EnabledReduction() = default;
+  EnabledReduction(unsigned BindingIndex, ReduceOp Op,
+                   CustomReduceOp Custom = CustomReduceOp())
+      : BindingIndex(BindingIndex), Op(Op), Custom(Custom) {}
+
+  bool operator==(const EnabledReduction &Other) const = default;
+};
+
+/// Complete runtime configuration for one annotated loop.
+struct RuntimeParams {
+  ConflictPolicy Conflict = ConflictPolicy::RAW;
+  CommitOrderPolicy CommitOrder = CommitOrderPolicy::OutOfOrder;
+  std::vector<EnabledReduction> Reductions;
+  /// Iterations per transaction. The paper fixes 16 during inference and
+  /// tunes per loop by iterative doubling afterwards.
+  int ChunkFactor = 16;
+
+  bool operator==(const RuntimeParams &Other) const = default;
+
+  /// True when the configuration tracks read sets (FULL or RAW). StaleReads
+  /// owes its performance edge to this being false (§7.2).
+  bool tracksReads() const {
+    return Conflict == ConflictPolicy::FULL || Conflict == ConflictPolicy::RAW;
+  }
+
+  /// True when the configuration tracks write sets (everything but NONE).
+  bool tracksWrites() const { return Conflict != ConflictPolicy::NONE; }
+
+  /// Human-readable one-line summary.
+  std::string str() const;
+};
+
+/// Returns the parameter name ("FULL", "WAW", ...).
+const char *conflictPolicyName(ConflictPolicy Policy);
+
+/// Returns the parameter name ("InOrder" / "OutOfOrder").
+const char *commitOrderPolicyName(CommitOrderPolicy Policy);
+
+/// Theorem 4.1 / 4.2: realizes annotation \p A on a loop whose reduction
+/// binding slots are named \p BindingNames (slot i is named
+/// BindingNames[i]); each (var, op) clause must match a binding name.
+/// Aborts on an unknown variable — annotations are validated against the
+/// loop's declared reducible variables before execution.
+RuntimeParams paramsForAnnotation(const Annotation &A,
+                                  const std::vector<std::string> &BindingNames);
+
+/// Theorem 4.3: safe speculative parallelism, equivalent to sequential
+/// semantics (thread-level speculation).
+RuntimeParams paramsForSequentialSpeculation(int ChunkFactor);
+
+/// Theorem 4.4: DOALL parallelism with reductions \p Reductions.
+RuntimeParams paramsForDoall(std::vector<EnabledReduction> Reductions,
+                             int ChunkFactor);
+
+/// The global chunk factor (§3: "the chunk factor can be designated on a
+/// per-loop basis, or globally for the entire program"). Executors fall
+/// back to it when a loop's RuntimeParams leave ChunkFactor unset (<= 0).
+/// Defaults to 16, the paper's inference-time value.
+int globalChunkFactor();
+
+/// Sets the global chunk factor; \p Cf must be positive.
+void setGlobalChunkFactor(int Cf);
+
+} // namespace alter
+
+#endif // ALTER_RUNTIME_RUNTIMEPARAMS_H

@@ -1,0 +1,49 @@
+//===- runtime/SequentialExecutor.cpp -------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SequentialExecutor.h"
+
+#include "support/Timer.h"
+
+#include <cassert>
+
+using namespace alter;
+
+Executor::~Executor() = default;
+
+RunResult SequentialExecutor::run(const LoopSpec &Spec) {
+  assert(Spec.Body && "loop has no body");
+  RunResult Result;
+  TxnContext Ctx(ContextMode::Passthrough, /*Params=*/nullptr, &Spec,
+                 Allocator, /*Worker=*/0);
+  const uint64_t Start = nowNs();
+  for (int64_t I = 0; I != Spec.NumIterations; ++I)
+    Spec.Body(Ctx, I);
+  Result.Stats.RealTimeNs = nowNs() - Start;
+  Result.Stats.SimTimeNs = Result.Stats.RealTimeNs;
+  Result.Stats.BytesRead = Ctx.bytesRead();
+  Result.Stats.BytesWritten = Ctx.bytesWritten();
+  return Result;
+}
+
+RunResult DependenceProbeExecutor::run(const LoopSpec &Spec) {
+  assert(Spec.Body && "loop has no body");
+  RunResult Result;
+  TxnContext Ctx(ContextMode::DepProbe, /*Params=*/nullptr, &Spec, Allocator,
+                 /*Worker=*/0);
+  const uint64_t Start = nowNs();
+  for (int64_t I = 0; I != Spec.NumIterations; ++I) {
+    Spec.Body(Ctx, I);
+    Ctx.finishProbeIteration();
+  }
+  Result.Stats.RealTimeNs = nowNs() - Start;
+  Result.Stats.SimTimeNs = Result.Stats.RealTimeNs;
+  Report.AnyLoopCarried |= Ctx.sawLoopCarriedDependence();
+  Report.Raw |= Ctx.sawLoopCarriedRaw();
+  Report.Waw |= Ctx.sawLoopCarriedWaw();
+  Report.War |= Ctx.sawLoopCarriedWar();
+  return Result;
+}

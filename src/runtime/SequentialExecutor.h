@@ -1,0 +1,64 @@
+//===- runtime/SequentialExecutor.h - Reference execution -------*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sequential engines: the plain reference execution used for baselines and
+/// output validation, and the dependence probe that implements the paper's
+/// "check in join() to see if the loop has any loop-carried dependences"
+/// (Table 3's Dep column).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_RUNTIME_SEQUENTIALEXECUTOR_H
+#define ALTER_RUNTIME_SEQUENTIALEXECUTOR_H
+
+#include "runtime/Executor.h"
+
+namespace alter {
+
+/// Runs iterations in program order against live memory (Passthrough
+/// contexts). RealTimeNs in the result is the sequential baseline.
+class SequentialExecutor : public Executor {
+public:
+  /// \p Allocator may be null when the loop does not allocate.
+  explicit SequentialExecutor(AlterAllocator *Allocator = nullptr)
+      : Allocator(Allocator) {}
+
+  RunResult run(const LoopSpec &Spec) override;
+
+private:
+  AlterAllocator *Allocator;
+};
+
+/// Loop-carried dependence flags produced by DependenceProbeExecutor.
+struct DependenceReport {
+  bool AnyLoopCarried = false;
+  bool Raw = false;
+  bool Waw = false;
+  bool War = false;
+};
+
+/// Runs iterations in order while recording per-iteration access sets, then
+/// reports whether the loop carries dependences across iterations.
+class DependenceProbeExecutor : public Executor {
+public:
+  explicit DependenceProbeExecutor(AlterAllocator *Allocator = nullptr)
+      : Allocator(Allocator) {}
+
+  RunResult run(const LoopSpec &Spec) override;
+
+  /// Dependence flags accumulated over all run() calls so far (a
+  /// convergence loop probes the inner loop once per outer iteration).
+  const DependenceReport &report() const { return Report; }
+
+private:
+  AlterAllocator *Allocator;
+  DependenceReport Report;
+};
+
+} // namespace alter
+
+#endif // ALTER_RUNTIME_SEQUENTIALEXECUTOR_H

@@ -1,0 +1,355 @@
+//===- runtime/TxnContext.h - Per-transaction instrumentation ---*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TxnContext is the interface loop bodies use for every access to memory
+/// that is shared across iterations. It stands in for the read/write
+/// instrumentation the paper's Phoenix compiler phases insert (§4.1),
+/// including the documented optimizations:
+///
+///  - allocation-granularity tracking (ranges insert whole word spans);
+///  - range instrumentation of arrays indexed by an induction variable
+///    (readRange/writeRange count as ONE instrumentation call);
+///  - fresh (defined-before-use) data skips instrumentation (storeInit);
+///  - iteration-local variables bypass the context entirely.
+///
+/// One concrete class serves three execution modes:
+///
+///  - Passthrough: loads/stores hit memory directly (sequential reference
+///    execution).
+///  - Transactional: stores buffer into a WriteLog; loads consult the log
+///    then committed memory; read/write sets accumulate per the active
+///    ConflictPolicy (StaleReads configurations skip read tracking — the
+///    source of their §7.2 performance edge).
+///  - DepProbe: direct execution that records per-iteration access sets to
+///    detect loop-carried dependences (the paper's "check in join()" used
+///    for Table 3's Dep column).
+///
+/// Reduction variables are accessed through slot handles (redUpdateF/I):
+/// the body reports each update's operand and source operator. When the
+/// active RuntimeParams enable a binding, operands fold into a
+/// transaction-private accumulator merged at commit with the ANNOTATED
+/// operator; when disabled, the original read-modify-write executes as
+/// ordinary instrumented accesses — i.e. the un-annotated program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_RUNTIME_TXNCONTEXT_H
+#define ALTER_RUNTIME_TXNCONTEXT_H
+
+#include "memory/AccessSet.h"
+#include "memory/AlterAllocator.h"
+#include "memory/WriteLog.h"
+#include "runtime/LoopSpec.h"
+#include "runtime/ReductionOps.h"
+#include "runtime/RuntimeParams.h"
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace alter {
+
+/// Execution mode of a context (see file comment).
+enum class ContextMode { Passthrough, Transactional, DepProbe };
+
+/// Resource limits enforced during transactional execution.
+struct TxnLimits {
+  /// Cap on the combined memory footprint of one transaction's access sets.
+  /// Exceeding it marks the transaction as crashed, modeling the paper's
+  /// observation that AggloClust exhausts memory under read-set-tracking
+  /// policies. Zero means unlimited.
+  size_t MaxAccessSetBytes = 0;
+};
+
+/// Per-transaction instrumentation and isolation state.
+class TxnContext {
+public:
+  /// Creates a context. \p Params may be null for Passthrough/DepProbe.
+  /// \p Allocator may be null when the loop performs no allocation.
+  TxnContext(ContextMode Mode, const RuntimeParams *Params,
+             const LoopSpec *Spec, AlterAllocator *Allocator, unsigned Worker,
+             TxnLimits Limits = TxnLimits());
+
+  TxnContext(const TxnContext &) = delete;
+  TxnContext &operator=(const TxnContext &) = delete;
+
+  //===--------------------------------------------------------------------===
+  // Scalar and range access
+  //===--------------------------------------------------------------------===
+
+  /// Instrumented load of a shared location. A raw memory read: the
+  /// transaction writes directly to its (logically private) view and its
+  /// own stores are therefore visible — the in-process analog of a child
+  /// process reading its COW pages in the paper's runtime. Cost matches
+  /// the real system: untracked reads (StaleReads) are free.
+  template <typename T> T load(const T *Addr) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "instrumented accesses require trivially copyable types");
+    T Value;
+    if (Mode == ContextMode::Transactional) {
+      BytesRead += sizeof(T);
+      if (TrackReads) {
+        ++InstrReadCalls;
+        Reads.insertRange(Addr, sizeof(T));
+        checkSetLimits();
+      }
+      std::memcpy(&Value, Addr, sizeof(T));
+      return Value;
+    }
+    if (Mode == ContextMode::Passthrough) {
+      std::memcpy(&Value, Addr, sizeof(T));
+      return Value;
+    }
+    loadBytes(Addr, &Value, sizeof(T)); // DepProbe
+    return Value;
+  }
+
+  /// Instrumented store to a shared location: the overwritten bytes are
+  /// saved to the undo log, then memory is written in place. suspendTxn()
+  /// restores the snapshot at transaction end.
+  template <typename T> void store(T *Addr, const T &Value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "instrumented accesses require trivially copyable types");
+    if (Mode == ContextMode::Transactional) {
+      BytesWritten += sizeof(T);
+      if (TrackWrites) {
+        ++InstrWriteCalls;
+        Writes.insertRange(Addr, sizeof(T));
+        checkSetLimits();
+      }
+      Log.recordUndo(Addr, sizeof(T));
+      std::memcpy(Addr, &Value, sizeof(T));
+      return;
+    }
+    if (Mode == ContextMode::Passthrough) {
+      std::memcpy(Addr, &Value, sizeof(T));
+      return;
+    }
+    storeBytes(Addr, &Value, sizeof(T)); // DepProbe
+  }
+
+  /// Uninstrumented store used to initialize freshly allocated
+  /// (defined-before-use) memory: undo-logged for isolation but exempt
+  /// from conflict tracking (§4.1's fresh-definition optimization).
+  template <typename T> void storeInit(T *Addr, const T &Value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "instrumented accesses require trivially copyable types");
+    if (Mode == ContextMode::Transactional) {
+      BytesWritten += sizeof(T);
+      Log.recordUndo(Addr, sizeof(T));
+      std::memcpy(Addr, &Value, sizeof(T));
+      return;
+    }
+    storeInitBytes(Addr, &Value, sizeof(T));
+  }
+
+  /// Range load of \p Count elements (one instrumentation call), with
+  /// read-your-own-writes overlay.
+  template <typename T> void readRange(const T *Addr, size_t Count, T *Out) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "instrumented accesses require trivially copyable types");
+    readRangeBytes(Addr, Out, Count * sizeof(T));
+  }
+
+  /// Range store of \p Count elements (one instrumentation call).
+  template <typename T>
+  void writeRange(T *Addr, const T *Src, size_t Count) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "instrumented accesses require trivially copyable types");
+    writeRangeBytes(Addr, Src, Count * sizeof(T));
+  }
+
+  /// Adds [Addr, Addr+Size) to the read set without moving data. Exposed
+  /// for collection classes that manage their own storage.
+  void instrumentRead(const void *Addr, size_t Size);
+
+  /// Adds [Addr, Addr+Size) to the write set without moving data.
+  void instrumentWrite(void *Addr, size_t Size);
+
+  /// Allocation-granularity access (§4.1): instruments the whole object
+  /// [Addr, Addr+Size) as read AND written, and undo-logs it so the
+  /// transaction may subsequently access the object through raw pointers —
+  /// one instrumentation for any number of accesses, the exact cost profile
+  /// of the paper's object-level instrumentation. Only sound when the
+  /// object belongs to this iteration (e.g. a row transform): the whole
+  /// range joins the write set.
+  void acquireObject(void *Addr, size_t Size);
+
+  /// Reports \p Bytes of genuine DRAM traffic for this iteration (data the
+  /// body streams without reuse: a dense matrix row, a CSR row, a stencil
+  /// neighborhood). The cost model charges the shared-bandwidth ceiling on
+  /// this figure — cache-resident traffic (re-read snapshot rows, cluster
+  /// centers) should NOT be reported. This plays the role of the memory
+  /// system in the paper's testbed, where GSdense/GSsparse plateau beyond
+  /// 4 cores (§7.2).
+  void noteMemoryTraffic(uint64_t Bytes) { MemTrafficBytes += Bytes; }
+
+  /// Total genuine DRAM traffic reported this transaction.
+  uint64_t memTrafficBytes() const { return MemTrafficBytes; }
+
+  //===--------------------------------------------------------------------===
+  // Reduction slots
+  //===--------------------------------------------------------------------===
+
+  /// Reports one reduction update whose source form is
+  /// `x = x <SourceOp> Operand` (the annotation language requires every
+  /// access to a reduction variable to be such an update, §3). When the
+  /// binding is enabled by the runtime parameters, only the operand is
+  /// accumulated — with the ANNOTATED operator, which is how a mismatched
+  /// annotation (e.g. + on SG3D's max updates) turns the committed value
+  /// into Σ of the operands, exactly the paper's Σᵢ(errorᵢ) observation.
+  /// When the binding is disabled, the original read-modify-write executes
+  /// through the instrumented access path, preserving the un-annotated
+  /// program's dependences.
+  void redUpdateF(unsigned Slot, ReduceOp SourceOp, double Operand);
+
+  /// Integer variant of redUpdateF.
+  void redUpdateI(unsigned Slot, ReduceOp SourceOp, int64_t Operand);
+
+  //===--------------------------------------------------------------------===
+  // Memory management (the ALTER allocator, §4.1)
+  //===--------------------------------------------------------------------===
+
+  /// Allocates \p Size bytes from this worker's arena. In transactional
+  /// mode the allocation is rolled back if the transaction aborts.
+  void *allocate(size_t Size);
+
+  /// Frees \p Ptr. In transactional mode the free is deferred to commit so
+  /// an abort cannot free live data.
+  void deallocate(void *Ptr, size_t Size);
+
+  //===--------------------------------------------------------------------===
+  // Identity
+  //===--------------------------------------------------------------------===
+
+  /// Worker (arena) index executing this transaction; 0 in sequential mode.
+  unsigned workerId() const { return Worker; }
+
+  /// Execution mode.
+  ContextMode mode() const { return Mode; }
+
+  //===--------------------------------------------------------------------===
+  // Executor-facing protocol (not for loop bodies)
+  //===--------------------------------------------------------------------===
+
+  /// Resets all transactional state for a fresh transaction.
+  void beginTxn();
+
+  /// Ends the execution phase: restores memory to the committed snapshot
+  /// (the transaction's writes unwind) while the log flips to redo data.
+  /// The lock-step executor calls this after the body finishes so the next
+  /// round-mate executes against clean state.
+  void suspendTxn();
+
+  /// Fork-join child variant of suspendTxn: the log captures the final
+  /// values but memory is left dirty (the child process exits anyway).
+  void captureRedo();
+
+  /// Applies the write log, reduction merges, and deferred frees to the
+  /// committed memory. Only meaningful in Transactional mode. The
+  /// transaction must have been suspended (or redo-captured) first.
+  void commitTxn();
+
+  /// Discards buffered state after a failed validation.
+  void abortTxn();
+
+  /// DepProbe: marks the end of iteration processing, folding the current
+  /// iteration's sets into the cross-iteration history.
+  void finishProbeIteration();
+
+  /// DepProbe: true if any loop-carried RAW/WAW/WAR dependence was seen.
+  bool sawLoopCarriedDependence() const {
+    return SawRaw || SawWaw || SawWar;
+  }
+  bool sawLoopCarriedRaw() const { return SawRaw; }
+  bool sawLoopCarriedWaw() const { return SawWaw; }
+  bool sawLoopCarriedWar() const { return SawWar; }
+
+  /// True if a resource limit tripped during this transaction.
+  bool limitExceeded() const { return LimitExceeded; }
+
+  /// Read/write sets of the current transaction.
+  const AccessSet &readSet() const { return Reads; }
+  const AccessSet &writeSet() const { return Writes; }
+
+  /// Buffered writes of the current transaction.
+  const WriteLog &writeLog() const { return Log; }
+  WriteLog &writeLog() { return Log; }
+
+  /// Per-reduction-slot private state, exposed for cross-process commits.
+  struct RedSlotState {
+    bool Active = false;  ///< enabled by the RuntimeParams
+    bool Touched = false; ///< accessed during this transaction
+    ReduceOp Op = ReduceOp::Plus; ///< the ANNOTATED operator
+    CustomReduceOp Custom;        ///< programmer-defined override, if any
+    RedValue Acc; ///< operands folded with Op, from Op's identity
+
+    /// Folds \p Operand into Acc with the effective operator.
+    RedValue combine(const RedValue &A, const RedValue &B) const {
+      return Custom.Combine ? Custom.Combine(A, B) : applyReduceOp(Op, A, B);
+    }
+  };
+  const std::vector<RedSlotState> &reductionSlots() const { return RedSlots; }
+
+  /// Merges one shipped reduction slot into committed memory (used by the
+  /// fork executor's parent on behalf of a committing child).
+  static void commitReductionSlot(const ReductionBinding &Binding,
+                                  const RedSlotState &Slot);
+
+  /// Instrumentation counters for this transaction.
+  uint64_t instrReadCalls() const { return InstrReadCalls; }
+  uint64_t instrWriteCalls() const { return InstrWriteCalls; }
+  uint64_t bytesRead() const { return BytesRead; }
+  uint64_t bytesWritten() const { return BytesWritten; }
+
+private:
+  void loadBytes(const void *Addr, void *Out, size_t Size);
+  void storeBytes(void *Addr, const void *Src, size_t Size);
+  void storeInitBytes(void *Addr, const void *Src, size_t Size);
+  void readRangeBytes(const void *Addr, void *Out, size_t Size);
+  void writeRangeBytes(void *Addr, const void *Src, size_t Size);
+  void checkSetLimits();
+  void redUpdate(unsigned Slot, ReduceOp SourceOp, const RedValue &Operand);
+
+  ContextMode Mode;
+  const RuntimeParams *Params;
+  const LoopSpec *Spec;
+  AlterAllocator *Allocator;
+  unsigned Worker;
+  TxnLimits Limits;
+
+  bool TrackReads = false;
+  bool TrackWrites = false;
+
+  WriteLog Log;
+  AccessSet Reads;
+  AccessSet Writes;
+  std::vector<RedSlotState> RedSlots;
+  std::vector<std::pair<void *, size_t>> DeferredFrees;
+  ArenaMark TxnArenaMark;
+
+  // DepProbe state.
+  AccessSet PriorReads;
+  AccessSet PriorWrites;
+  AccessSet CurReads;
+  AccessSet CurWrites;
+  bool SawRaw = false;
+  bool SawWaw = false;
+  bool SawWar = false;
+
+  bool LimitExceeded = false;
+  uint64_t MemTrafficBytes = 0;
+  uint64_t InstrReadCalls = 0;
+  uint64_t InstrWriteCalls = 0;
+  uint64_t BytesRead = 0;
+  uint64_t BytesWritten = 0;
+};
+
+} // namespace alter
+
+#endif // ALTER_RUNTIME_TXNCONTEXT_H

@@ -1,0 +1,24 @@
+//===- support/Error.cpp --------------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace alter;
+
+void alter::fatalError(const std::string &Message) {
+  std::fprintf(stderr, "alter fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void alter::alterUnreachableImpl(const char *Message, const char *File,
+                                 unsigned Line) {
+  std::fprintf(stderr, "alter unreachable at %s:%u: %s\n", File, Line,
+               Message ? Message : "<no message>");
+  std::abort();
+}

@@ -1,0 +1,37 @@
+//===- support/Error.h - Fatal errors and assertion helpers ----*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting and assertion macros used across the ALTER
+/// libraries. Library code never throws; invariant violations abort with a
+/// diagnostic, mirroring LLVM's programmatic-error conventions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_SUPPORT_ERROR_H
+#define ALTER_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace alter {
+
+/// Prints \p Message to stderr with an "alter fatal error:" banner and
+/// aborts. Used for unrecoverable environment failures (failed mmap, failed
+/// fork, ...), never for conditions a caller could handle.
+[[noreturn]] void fatalError(const std::string &Message);
+
+/// Marks a point in the code that must never be reached; aborts with
+/// \p Message if it is.
+[[noreturn]] void alterUnreachableImpl(const char *Message, const char *File,
+                                       unsigned Line);
+
+} // namespace alter
+
+/// Aborts with a diagnostic identifying the unreachable location.
+#define ALTER_UNREACHABLE(MSG)                                                 \
+  ::alter::alterUnreachableImpl(MSG, __FILE__, __LINE__)
+
+#endif // ALTER_SUPPORT_ERROR_H

@@ -1,0 +1,52 @@
+//===- support/Format.cpp -------------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+using namespace alter;
+
+std::string alter::strprintf(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  const int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::vector<char> Buffer(static_cast<size_t>(Needed) + 1);
+  std::vsnprintf(Buffer.data(), Buffer.size(), Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return std::string(Buffer.data(), static_cast<size_t>(Needed));
+}
+
+std::string alter::formatDurationNs(uint64_t Ns) {
+  if (Ns < 1000)
+    return strprintf("%llu ns", static_cast<unsigned long long>(Ns));
+  if (Ns < 1000 * 1000)
+    return strprintf("%.2f us", static_cast<double>(Ns) / 1e3);
+  if (Ns < 1000ULL * 1000 * 1000)
+    return strprintf("%.2f ms", static_cast<double>(Ns) / 1e6);
+  return strprintf("%.2f s", static_cast<double>(Ns) / 1e9);
+}
+
+std::string alter::formatDouble(double Value, int Decimals) {
+  return strprintf("%.*f", Decimals, Value);
+}
+
+std::string alter::formatSpeedup(double Speedup) {
+  return strprintf("%.2fx", Speedup);
+}
+
+std::string alter::formatPercent(double Fraction, int Decimals) {
+  return strprintf("%.*f%%", Decimals, Fraction * 100.0);
+}

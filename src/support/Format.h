@@ -1,0 +1,39 @@
+//===- support/Format.h - printf-style string formatting -------*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small printf-style formatting helpers that return std::string, so library
+/// code can build diagnostics and table cells without <iostream>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_SUPPORT_FORMAT_H
+#define ALTER_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace alter {
+
+/// Formats like printf and returns the result as a std::string.
+std::string strprintf(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders \p Ns as a human-friendly duration ("12.3 ms", "4.56 s").
+std::string formatDurationNs(uint64_t Ns);
+
+/// Renders \p Value with \p Decimals digits after the point ("2.04").
+std::string formatDouble(double Value, int Decimals = 2);
+
+/// Renders a ratio as a speedup string ("2.04x").
+std::string formatSpeedup(double Speedup);
+
+/// Renders \p Value as a percentage string ("3.5%").
+std::string formatPercent(double Fraction, int Decimals = 1);
+
+} // namespace alter
+
+#endif // ALTER_SUPPORT_FORMAT_H

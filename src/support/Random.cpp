@@ -1,0 +1,10 @@
+//===- support/Random.cpp -------------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+// The generators are header-only; this file anchors the translation unit so
+// the library has a stable archive member for the component.

@@ -1,0 +1,93 @@
+//===- support/Random.h - Deterministic PRNGs ------------------*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generators used to synthesize
+/// workload inputs. Every workload derives its input from a fixed seed so
+/// that sequential and parallel executions (and repeated runs) observe
+/// bit-identical inputs — a prerequisite for ALTER's single-run test-driven
+/// inference (paper §4.3, §5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_SUPPORT_RANDOM_H
+#define ALTER_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace alter {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit generator. Primarily used to
+/// seed Xoshiro256StarStar but also fine as a standalone stream.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value in the stream.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256**: the generator used for all synthetic workload inputs.
+class Xoshiro256StarStar {
+public:
+  explicit Xoshiro256StarStar(uint64_t Seed) {
+    SplitMix64 Seeder(Seed);
+    for (uint64_t &Word : State)
+      Word = Seeder.next();
+  }
+
+  /// Returns the next 64-bit value in the stream.
+  uint64_t next() {
+    const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    const uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be non-zero.
+  uint64_t nextBounded(uint64_t Bound) {
+    assert(Bound != 0 && "nextBounded requires a non-zero bound");
+    // Lemire-style rejection-free-enough reduction; bias is negligible for
+    // the bounds used by the workloads, and determinism is what matters.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns a uniform double in [Lo, Hi).
+  double nextDoubleIn(double Lo, double Hi) {
+    return Lo + (Hi - Lo) * nextDouble();
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace alter
+
+#endif // ALTER_SUPPORT_RANDOM_H

@@ -1,0 +1,73 @@
+//===- support/Stats.cpp --------------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace alter;
+
+void RunningStat::add(double Sample) {
+  ++N;
+  Total += Sample;
+  if (N == 1) {
+    Mean = Sample;
+    M2 = 0.0;
+    Min = Sample;
+    Max = Sample;
+    return;
+  }
+  const double Delta = Sample - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (Sample - Mean);
+  if (Sample < Min)
+    Min = Sample;
+  if (Sample > Max)
+    Max = Sample;
+}
+
+double RunningStat::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat &Other) {
+  if (Other.N == 0)
+    return;
+  if (N == 0) {
+    *this = Other;
+    return;
+  }
+  const double CombinedN = static_cast<double>(N + Other.N);
+  const double Delta = Other.Mean - Mean;
+  const double CombinedMean =
+      Mean + Delta * static_cast<double>(Other.N) / CombinedN;
+  M2 += Other.M2 + Delta * Delta * static_cast<double>(N) *
+                       static_cast<double>(Other.N) / CombinedN;
+  Mean = CombinedMean;
+  if (Other.Min < Min)
+    Min = Other.Min;
+  if (Other.Max > Max)
+    Max = Other.Max;
+  Total += Other.Total;
+  N += Other.N;
+}
+
+void GeometricMean::add(double Sample) {
+  assert(Sample > 0.0 && "geometric mean requires positive samples");
+  ++N;
+  LogSum += std::log(Sample);
+}
+
+double GeometricMean::value() const {
+  if (N == 0)
+    return 1.0;
+  return std::exp(LogSum / static_cast<double>(N));
+}

@@ -1,0 +1,83 @@
+//===- support/Stats.h - Streaming summary statistics ----------*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm) used
+/// for per-transaction statistics (Table 4) and benchmark aggregation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_SUPPORT_STATS_H
+#define ALTER_SUPPORT_STATS_H
+
+#include <cstdint>
+
+namespace alter {
+
+/// Accumulates count/mean/variance/min/max of a stream of samples without
+/// storing them.
+class RunningStat {
+public:
+  /// Adds one sample.
+  void add(double Sample);
+
+  /// Number of samples observed so far.
+  uint64_t count() const { return N; }
+
+  /// Mean of the samples; 0 when empty.
+  double mean() const { return N == 0 ? 0.0 : Mean; }
+
+  /// Population variance; 0 with fewer than two samples.
+  double variance() const;
+
+  /// Population standard deviation.
+  double stddev() const;
+
+  /// Smallest sample; 0 when empty.
+  double min() const { return N == 0 ? 0.0 : Min; }
+
+  /// Largest sample; 0 when empty.
+  double max() const { return N == 0 ? 0.0 : Max; }
+
+  /// Sum of all samples.
+  double sum() const { return Total; }
+
+  /// Merges another accumulator into this one.
+  void merge(const RunningStat &Other);
+
+  /// Clears all state.
+  void reset() { *this = RunningStat(); }
+
+private:
+  uint64_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+  double Total = 0.0;
+};
+
+/// Computes the geometric mean of the samples added. Used for the paper's
+/// "average speedup of 2.0x" headline aggregation.
+class GeometricMean {
+public:
+  /// Adds one strictly-positive sample.
+  void add(double Sample);
+
+  /// Geometric mean; 1.0 when empty.
+  double value() const;
+
+  /// Number of samples observed.
+  uint64_t count() const { return N; }
+
+private:
+  uint64_t N = 0;
+  double LogSum = 0.0;
+};
+
+} // namespace alter
+
+#endif // ALTER_SUPPORT_STATS_H

@@ -1,0 +1,76 @@
+//===- support/Subprocess.cpp ---------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include "support/Error.h"
+
+#include <cerrno>
+#include <csignal>
+#include <unistd.h>
+#include <sys/wait.h>
+
+using namespace alter;
+
+void alter::writeAllOrDie(int Fd, const void *Data, size_t Size) {
+  const char *P = static_cast<const char *>(Data);
+  while (Size != 0) {
+    const ssize_t N = ::write(Fd, P, Size);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      _exit(112);
+    }
+    P += N;
+    Size -= static_cast<size_t>(N);
+  }
+}
+
+SubprocessResult
+alter::runInSandbox(const std::function<void(int WriteFd)> &Child,
+                    unsigned TimeoutSec) {
+  int Fds[2];
+  if (::pipe(Fds) != 0)
+    fatalError("pipe() failed in sandbox");
+  const pid_t Pid = ::fork();
+  if (Pid < 0)
+    fatalError("fork() failed in sandbox");
+  if (Pid == 0) {
+    ::close(Fds[0]);
+    if (TimeoutSec != 0)
+      ::alarm(TimeoutSec); // SIGALRM's default action kills the child
+    Child(Fds[1]);
+    _exit(111); // the child callback must _exit itself; flag if it returns
+  }
+  ::close(Fds[1]);
+
+  SubprocessResult Result;
+  uint8_t Buf[1 << 16];
+  for (;;) {
+    const ssize_t N = ::read(Fds[0], Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (N == 0)
+      break;
+    Result.Output.insert(Result.Output.end(), Buf, Buf + N);
+  }
+  ::close(Fds[0]);
+
+  int Status = 0;
+  if (::waitpid(Pid, &Status, 0) < 0)
+    fatalError("waitpid() failed in sandbox");
+  if (WIFEXITED(Status)) {
+    Result.Exited = true;
+    Result.ExitCode = WEXITSTATUS(Status);
+  } else if (WIFSIGNALED(Status)) {
+    Result.Signal = WTERMSIG(Status);
+    Result.TimedOut = Result.Signal == SIGALRM;
+  }
+  return Result;
+}

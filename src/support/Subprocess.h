@@ -1,0 +1,52 @@
+//===- support/Subprocess.h - Sandboxed child execution ---------*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forked-child sandboxing for the inference engine: candidate annotations
+/// can crash, corrupt state, or spin, so each evaluation runs in its own
+/// process with a wall-clock limit. The child writes an arbitrary byte
+/// payload to a pipe; the parent collects it together with how the child
+/// died.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_SUPPORT_SUBPROCESS_H
+#define ALTER_SUPPORT_SUBPROCESS_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace alter {
+
+/// How a sandboxed child terminated, plus whatever it wrote to its pipe.
+struct SubprocessResult {
+  /// True when the child exited normally (any exit code).
+  bool Exited = false;
+  /// Exit code when Exited.
+  int ExitCode = -1;
+  /// Terminating signal when !Exited (0 if unknown).
+  int Signal = 0;
+  /// True when the wall-clock limit killed the child.
+  bool TimedOut = false;
+  /// Bytes the child wrote before terminating.
+  std::vector<uint8_t> Output;
+};
+
+/// Forks, runs \p Child(WriteFd) in the child process (the child must
+/// _exit and never return), and collects the result. \p TimeoutSec bounds
+/// the child's wall-clock time (0 = unlimited); a timed-out child is
+/// killed and reported with TimedOut set.
+SubprocessResult runInSandbox(const std::function<void(int WriteFd)> &Child,
+                              unsigned TimeoutSec);
+
+/// write() helper that retries on EINTR and loops until all bytes are
+/// written; exits the process on hard errors (child-side use only).
+void writeAllOrDie(int Fd, const void *Data, size_t Size);
+
+} // namespace alter
+
+#endif // ALTER_SUPPORT_SUBPROCESS_H

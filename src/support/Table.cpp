@@ -1,0 +1,104 @@
+//===- support/Table.cpp --------------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace alter;
+
+TextTable::TextTable(std::vector<std::string> Header)
+    : Header(std::move(Header)) {
+  assert(!this->Header.empty() && "table needs at least one column");
+}
+
+void TextTable::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row width must match header");
+  Rows.push_back(std::move(Row));
+}
+
+const std::string &TextTable::cell(size_t Row, size_t Col) const {
+  assert(Row < Rows.size() && Col < Header.size() && "cell out of range");
+  return Rows[Row][Col];
+}
+
+std::string TextTable::renderText() const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t Col = 0; Col != Header.size(); ++Col)
+    Widths[Col] = Header[Col].size();
+  for (const auto &Row : Rows)
+    for (size_t Col = 0; Col != Row.size(); ++Col)
+      Widths[Col] = std::max(Widths[Col], Row[Col].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t Col = 0; Col != Row.size(); ++Col) {
+      Line += Row[Col];
+      if (Col + 1 == Row.size())
+        break;
+      Line.append(Widths[Col] - Row[Col].size() + 2, ' ');
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = RenderRow(Header);
+  size_t TotalWidth = 0;
+  for (size_t Col = 0; Col != Widths.size(); ++Col)
+    TotalWidth += Widths[Col] + (Col + 1 == Widths.size() ? 0 : 2);
+  Out.append(TotalWidth, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}
+
+static std::string csvEscape(const std::string &Cell) {
+  if (Cell.find_first_of(",\"\n") == std::string::npos)
+    return Cell;
+  std::string Escaped = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Escaped += '"';
+    Escaped += C;
+  }
+  Escaped += '"';
+  return Escaped;
+}
+
+std::string TextTable::renderCsv() const {
+  auto RenderRow = [](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t Col = 0; Col != Row.size(); ++Col) {
+      if (Col)
+        Line += ',';
+      Line += csvEscape(Row[Col]);
+    }
+    Line += '\n';
+    return Line;
+  };
+  std::string Out = RenderRow(Header);
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}
+
+void TextTable::printText(std::FILE *Out) const {
+  const std::string Text = renderText();
+  std::fwrite(Text.data(), 1, Text.size(), Out);
+}
+
+void TextTable::writeCsv(const std::string &Path) const {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    fatalError("cannot open CSV output file: " + Path);
+  const std::string Text = renderCsv();
+  std::fwrite(Text.data(), 1, Text.size(), Out);
+  std::fclose(Out);
+}

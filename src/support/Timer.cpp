@@ -1,0 +1,33 @@
+//===- support/Timer.cpp --------------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace alter;
+
+uint64_t alter::nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Timer::start() {
+  assert(!Running && "Timer::start called while already running");
+  Running = true;
+  StartNs = nowNs();
+}
+
+uint64_t Timer::stop() {
+  assert(Running && "Timer::stop called while not running");
+  const uint64_t Interval = nowNs() - StartNs;
+  TotalNs += Interval;
+  Running = false;
+  return Interval;
+}

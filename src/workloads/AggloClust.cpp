@@ -1,0 +1,211 @@
+//===- workloads/AggloClust.cpp -------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/AggloClust.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace alter;
+
+//===----------------------------------------------------------------------===
+// KdTree
+//===----------------------------------------------------------------------===
+
+void AggloClustWorkload::KdTree::build(std::vector<Item> &&Points) {
+  Items = std::move(Points);
+  if (!Items.empty())
+    buildRange(0, Items.size(), 0);
+}
+
+void AggloClustWorkload::KdTree::buildRange(size_t Begin, size_t End,
+                                            int Depth) {
+  if (End - Begin <= 1)
+    return;
+  const size_t Mid = Begin + (End - Begin) / 2;
+  const bool SplitX = (Depth & 1) == 0;
+  std::nth_element(Items.begin() + static_cast<ptrdiff_t>(Begin),
+                   Items.begin() + static_cast<ptrdiff_t>(Mid),
+                   Items.begin() + static_cast<ptrdiff_t>(End),
+                   [SplitX](const Item &A, const Item &B) {
+                     return SplitX ? A.X < B.X : A.Y < B.Y;
+                   });
+  buildRange(Begin, Mid, Depth + 1);
+  buildRange(Mid + 1, End, Depth + 1);
+}
+
+template <typename AliveFn>
+int32_t AggloClustWorkload::KdTree::nearest(double X, double Y, int32_t Self,
+                                            const AliveFn &IsAlive) const {
+  double BestDist = 1e300;
+  int32_t Best = -1;
+  if (!Items.empty())
+    nearestRange(0, Items.size(), 0, X, Y, Self, IsAlive, BestDist, Best);
+  return Best;
+}
+
+template <typename AliveFn>
+void AggloClustWorkload::KdTree::nearestRange(size_t Begin, size_t End,
+                                              int Depth, double X, double Y,
+                                              int32_t Self,
+                                              const AliveFn &IsAlive,
+                                              double &BestDist,
+                                              int32_t &Best) const {
+  if (Begin >= End)
+    return;
+  const size_t Mid = Begin + (End - Begin) / 2;
+  const Item &Pivot = Items[Mid];
+  if (Pivot.Order != Self && IsAlive(Pivot.Order)) {
+    const double DX = Pivot.X - X;
+    const double DY = Pivot.Y - Y;
+    const double Dist = DX * DX + DY * DY;
+    if (Dist < BestDist) {
+      BestDist = Dist;
+      Best = Pivot.Order;
+    }
+  }
+  const bool SplitX = (Depth & 1) == 0;
+  const double AxisDelta = SplitX ? X - Pivot.X : Y - Pivot.Y;
+  const bool GoLowFirst = AxisDelta < 0;
+  const auto VisitLow = [&] {
+    nearestRange(Begin, Mid, Depth + 1, X, Y, Self, IsAlive, BestDist, Best);
+  };
+  const auto VisitHigh = [&] {
+    nearestRange(Mid + 1, End, Depth + 1, X, Y, Self, IsAlive, BestDist,
+                 Best);
+  };
+  if (GoLowFirst)
+    VisitLow();
+  else
+    VisitHigh();
+  // Branch-and-bound: only cross the splitting plane when the best
+  // distance ball still straddles it.
+  if (AxisDelta * AxisDelta < BestDist) {
+    if (GoLowFirst)
+      VisitHigh();
+    else
+      VisitLow();
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Workload
+//===----------------------------------------------------------------------===
+
+void AggloClustWorkload::setUp(size_t Index) {
+  assert(Index < numInputs() && "input index out of range");
+  NumPoints = Index == 0 ? 3000 : 8000;
+  Alloc = std::make_unique<AlterAllocator>(
+      /*NumWorkers=*/8, /*BytesPerWorker=*/size_t(32) << 20);
+  List = std::make_unique<ListT>(*Alloc);
+  Xoshiro256StarStar Rng(0xA6610 + static_cast<uint64_t>(NumPoints));
+  for (int64_t I = 0; I != NumPoints; ++I)
+    List->pushFront(Cluster{Rng.nextDoubleIn(0.0, 1000.0),
+                            Rng.nextDoubleIn(0.0, 1000.0), /*Size=*/1,
+                            /*Id=*/I});
+  MergeCount = 0;
+}
+
+void AggloClustWorkload::run(LoopRunner &Runner) {
+  MergeCount = 0;
+  for (;;) {
+    const size_t AliveBefore = List->countAlive();
+    if (AliveBefore <= 1)
+      return;
+
+    // Loop entry (sequential): materialize the iteration order and build
+    // the kd-tree over the committed snapshot.
+    std::vector<ListT::Node *> Order = List->materialize();
+    std::vector<KdTree::Item> Items;
+    Items.reserve(Order.size());
+    for (size_t I = 0; I != Order.size(); ++I)
+      Items.push_back({Order[I]->Value.X, Order[I]->Value.Y,
+                       static_cast<int32_t>(I)});
+    KdTree Tree;
+    Tree.build(std::move(Items));
+    const void *TreeBlock = Tree.Items.data();
+    const size_t TreeBytes = Tree.Items.size() * sizeof(KdTree::Item);
+
+    LoopSpec Spec;
+    Spec.Name = "aggloclust.merge";
+    Spec.NumIterations = static_cast<int64_t>(Order.size());
+    Spec.Body = [this, &Order, &Tree, TreeBlock,
+                 TreeBytes](TxnContext &Ctx, int64_t I) {
+      ListT::Node *Self = Order[static_cast<size_t>(I)];
+      if (!ListT::isAlive(Ctx, Self))
+        return;
+      const Cluster C = ListT::value(Ctx, Self);
+      // The bounded search reads the kd-tree block: instrumented at
+      // allocation granularity (§4.1). Under read-tracking policies this
+      // is what blows read sets up to machine limits.
+      Ctx.instrumentRead(TreeBlock, TreeBytes);
+      Ctx.noteMemoryTraffic(512);
+      const auto IsAlive = [&](int32_t Ord) {
+        return ListT::isAlive(Ctx, Order[static_cast<size_t>(Ord)]);
+      };
+      const int32_t NN =
+          Tree.nearest(C.X, C.Y, static_cast<int32_t>(I), IsAlive);
+      if (NN < 0)
+        return;
+      ListT::Node *Partner = Order[static_cast<size_t>(NN)];
+      const Cluster PC = ListT::value(Ctx, Partner);
+      // Mutual-nearest-neighbor check; the smaller id performs the merge.
+      const int32_t Back = Tree.nearest(PC.X, PC.Y, NN, IsAlive);
+      if (Back != static_cast<int32_t>(I) || C.Id > PC.Id)
+        return;
+      const int64_t Total = C.Size + PC.Size;
+      const Cluster Merged{
+          (C.X * static_cast<double>(C.Size) +
+           PC.X * static_cast<double>(PC.Size)) /
+              static_cast<double>(Total),
+          (C.Y * static_cast<double>(C.Size) +
+           PC.Y * static_cast<double>(PC.Size)) /
+              static_cast<double>(Total),
+          Total, C.Id};
+      ListT::setValue(Ctx, Self, Merged);
+      ListT::kill(Ctx, Partner);
+    };
+
+    if (!Runner.runInner(Spec))
+      return;
+    const size_t Removed = List->compact();
+    MergeCount += static_cast<int64_t>(Removed);
+    if (Removed == 0)
+      return; // no mutual pair merged; avoid spinning (defensive)
+  }
+}
+
+std::vector<double> AggloClustWorkload::outputSignature() const {
+  double TotalSize = 0.0;
+  double WeightedX = 0.0;
+  double WeightedY = 0.0;
+  for (const ListT::Node *N = List->head(); N; N = N->Next) {
+    if (N->Alive == 0)
+      continue;
+    TotalSize += static_cast<double>(N->Value.Size);
+    WeightedX += N->Value.X * static_cast<double>(N->Value.Size);
+    WeightedY += N->Value.Y * static_cast<double>(N->Value.Size);
+  }
+  return {static_cast<double>(List->countAlive()), TotalSize,
+          TotalSize > 0 ? WeightedX / TotalSize : 0.0,
+          TotalSize > 0 ? WeightedY / TotalSize : 0.0};
+}
+
+bool AggloClustWorkload::validate(const std::vector<double> &Reference) const {
+  // The dendrogram may legally differ under reordering; what must hold:
+  // full agglomeration (one cluster), conservation of mass, and the final
+  // centroid (the mean of all input points, whatever the merge order).
+  const std::vector<double> Mine = outputSignature();
+  if (Mine.size() != Reference.size())
+    return false;
+  if (Mine[0] != 1.0 || Mine[1] != Reference[1])
+    return false;
+  return std::fabs(Mine[2] - Reference[2]) < 1e-6 &&
+         std::fabs(Mine[3] - Reference[3]) < 1e-6;
+}

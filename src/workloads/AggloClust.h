@@ -1,0 +1,109 @@
+//===- workloads/AggloClust.h - Agglomerative clustering ---------*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Agglomerative clustering (branch-and-bound dwarf), adapted from
+/// Lonestar as in the paper: a kd-tree bounds nearest-neighbor searches and
+/// the main loop iterates over an AlterList of active clusters, merging
+/// mutual nearest neighbors. Merges write the surviving cluster's value and
+/// the partner's tombstone, so disjoint merges commit concurrently while
+/// double-merges of the same cluster conflict and retry.
+///
+/// The nearest-neighbor query's reads cover the kd-tree snapshot
+/// (allocation-granularity instrumentation of the tree block), so
+/// read-tracking policies (TLS, OutOfOrder) accumulate read sets that
+/// exhaust memory — the paper's AggloClust crash — while StaleReads runs
+/// them untracked and succeeds (Table 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_WORKLOADS_AGGLOCLUST_H
+#define ALTER_WORKLOADS_AGGLOCLUST_H
+
+#include "collections/AlterList.h"
+#include "workloads/Workload.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace alter {
+
+/// Mutual-nearest-neighbor agglomerative clustering over an AlterList.
+class AggloClustWorkload : public Workload {
+public:
+  /// One active cluster (trivially copyable for AlterList).
+  struct Cluster {
+    double X;
+    double Y;
+    int64_t Size;
+    int64_t Id;
+  };
+
+  std::string name() const override { return "aggloclust"; }
+  std::string description() const override {
+    return "Agglomerative clustering with kd-tree-bounded nearest-neighbor "
+           "merges (uses AlterList)";
+  }
+  std::string suite() const override { return "Branch and bound"; }
+
+  size_t numInputs() const override { return 2; }
+  std::string inputName(size_t Index) const override {
+    return Index == 0 ? "2k pts" : "6k pts";
+  }
+  void setUp(size_t Index) override;
+
+  void run(LoopRunner &Runner) override;
+
+  std::vector<double> outputSignature() const override;
+  bool validate(const std::vector<double> &Reference) const override;
+
+  std::optional<Annotation> paperAnnotation() const override {
+    return parseAnnotation("[StaleReads]");
+  }
+  int defaultChunkFactor() const override { return 64; } // Table 4
+
+  AlterAllocator *allocator() override { return Alloc.get(); }
+
+  /// Alive clusters remaining after the last run (1 when fully merged).
+  size_t aliveClusters() const { return List ? List->countAlive() : 0; }
+
+private:
+  using ListT = AlterList<Cluster>;
+
+  /// Flat kd-tree over the snapshot of alive clusters, rebuilt per outer
+  /// pass (sequentially, between loop invocations).
+  struct KdTree {
+    struct Item {
+      double X, Y;
+      int32_t Order; ///< index into the materialized node order
+    };
+    std::vector<Item> Items; ///< kd-layout (median split by depth parity)
+
+    void build(std::vector<Item> &&Points);
+    /// Returns the Order of the nearest item to (X, Y) excluding \p Self,
+    /// considering only items whose IsAlive(order) holds; -1 if none.
+    template <typename AliveFn>
+    int32_t nearest(double X, double Y, int32_t Self,
+                    const AliveFn &IsAlive) const;
+
+  private:
+    void buildRange(size_t Begin, size_t End, int Depth);
+    template <typename AliveFn>
+    void nearestRange(size_t Begin, size_t End, int Depth, double X,
+                      double Y, int32_t Self, const AliveFn &IsAlive,
+                      double &BestDist, int32_t &Best) const;
+  };
+
+  int64_t NumPoints = 0;
+  std::unique_ptr<AlterAllocator> Alloc;
+  std::unique_ptr<ListT> List;
+  int64_t MergeCount = 0;
+};
+
+} // namespace alter
+
+#endif // ALTER_WORKLOADS_AGGLOCLUST_H

@@ -1,0 +1,168 @@
+//===- workloads/BarnesHut.cpp --------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/BarnesHut.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace alter;
+
+namespace {
+constexpr double Theta = 0.5;    // opening angle
+constexpr double Dt = 0.05;      // integration step
+constexpr double Soften = 1e-2;  // softening to avoid singularities
+constexpr int MaxDepth = 32;
+} // namespace
+
+void BarnesHutWorkload::setUp(size_t Index) {
+  assert(Index < numInputs() && "input index out of range");
+  NumBodies = Index == 0 ? 1024 : 3072;
+  Timesteps = 4;
+  Alloc = std::make_unique<AlterAllocator>(
+      /*NumWorkers=*/8, /*BytesPerWorker=*/size_t(16) << 20);
+  Bodies = std::make_unique<AlterList<Body>>(*Alloc);
+  Xoshiro256StarStar Rng(0xBA27E5 + static_cast<uint64_t>(NumBodies));
+  for (int64_t I = 0; I != NumBodies; ++I) {
+    Body B;
+    B.X = Rng.nextDoubleIn(0.0, 100.0);
+    B.Y = Rng.nextDoubleIn(0.0, 100.0);
+    B.VX = Rng.nextDoubleIn(-1.0, 1.0);
+    B.VY = Rng.nextDoubleIn(-1.0, 1.0);
+    B.Mass = Rng.nextDoubleIn(0.5, 2.0);
+    Bodies->pushFront(B);
+  }
+  Tree.clear();
+}
+
+void BarnesHutWorkload::buildTree(const std::vector<Body> &Snapshot) {
+  Tree.clear();
+  if (Snapshot.empty())
+    return;
+  double MinX = Snapshot[0].X, MaxX = Snapshot[0].X;
+  double MinY = Snapshot[0].Y, MaxY = Snapshot[0].Y;
+  for (const Body &B : Snapshot) {
+    MinX = std::min(MinX, B.X);
+    MaxX = std::max(MaxX, B.X);
+    MinY = std::min(MinY, B.Y);
+    MaxY = std::max(MaxY, B.Y);
+  }
+  const double Size = std::max(MaxX - MinX, MaxY - MinY) + 1e-9;
+  Tree.push_back({0, 0, 0, MinX, MinY, Size, {-1, -1, -1, -1}, 0});
+  for (const Body &B : Snapshot)
+    insertBody(0, B, 0);
+  // Finalize centroids.
+  for (QuadNode &Node : Tree)
+    if (Node.Mass > 0) {
+      Node.CenterX /= Node.Mass;
+      Node.CenterY /= Node.Mass;
+    }
+}
+
+void BarnesHutWorkload::insertBody(int32_t NodeIndex, const Body &B,
+                                   int Depth) {
+  for (;;) {
+    QuadNode &Node = Tree[static_cast<size_t>(NodeIndex)];
+    Node.CenterX += B.X * B.Mass;
+    Node.CenterY += B.Y * B.Mass;
+    Node.Mass += B.Mass;
+    ++Node.BodyCount;
+    if (Node.BodyCount == 1 || Depth >= MaxDepth)
+      return; // leaf holds aggregated mass only; a lone body terminates
+    // Descend into the child quadrant (splitting lazily).
+    const double Half = Node.Size / 2.0;
+    const int XBit = B.X >= Node.MinX + Half ? 1 : 0;
+    const int YBit = B.Y >= Node.MinY + Half ? 1 : 0;
+    const int Quadrant = YBit * 2 + XBit;
+    int32_t Child = Node.Children[Quadrant];
+    if (Child < 0) {
+      Child = static_cast<int32_t>(Tree.size());
+      // Note: push_back may invalidate Node; recompute bounds first.
+      const double ChildMinX = Node.MinX + (XBit ? Half : 0.0);
+      const double ChildMinY = Node.MinY + (YBit ? Half : 0.0);
+      Tree[static_cast<size_t>(NodeIndex)].Children[Quadrant] = Child;
+      Tree.push_back(
+          {0, 0, 0, ChildMinX, ChildMinY, Half, {-1, -1, -1, -1}, 0});
+    }
+    NodeIndex = Child;
+    ++Depth;
+  }
+}
+
+void BarnesHutWorkload::accumulateForce(int32_t NodeIndex, const Body &B,
+                                        double &FX, double &FY) const {
+  const QuadNode &Node = Tree[static_cast<size_t>(NodeIndex)];
+  if (Node.Mass <= 0)
+    return;
+  const double DX = Node.CenterX - B.X;
+  const double DY = Node.CenterY - B.Y;
+  const double Dist2 = DX * DX + DY * DY + Soften;
+  const bool HasChildren = Node.Children[0] >= 0 || Node.Children[1] >= 0 ||
+                           Node.Children[2] >= 0 || Node.Children[3] >= 0;
+  // θ-criterion: treat the cell as a point mass when far enough.
+  if (!HasChildren || Node.Size * Node.Size < Theta * Theta * Dist2) {
+    const double InvDist = 1.0 / std::sqrt(Dist2);
+    const double Force = Node.Mass * InvDist * InvDist * InvDist;
+    FX += Force * DX;
+    FY += Force * DY;
+    return;
+  }
+  for (int32_t Child : Node.Children)
+    if (Child >= 0)
+      accumulateForce(Child, B, FX, FY);
+}
+
+void BarnesHutWorkload::run(LoopRunner &Runner) {
+  for (int Step = 0; Step != Timesteps; ++Step) {
+    // Sequential per-timestep phase: snapshot bodies and build the tree.
+    std::vector<AlterList<Body>::Node *> Order = Bodies->materialize();
+    std::vector<Body> Snapshot;
+    Snapshot.reserve(Order.size());
+    for (const auto *N : Order)
+      Snapshot.push_back(N->Value);
+    buildTree(Snapshot);
+
+    LoopSpec Spec;
+    Spec.Name = "barneshut.advance";
+    Spec.NumIterations = static_cast<int64_t>(Order.size());
+    Spec.Body = [this, &Order](TxnContext &Ctx, int64_t I) {
+      auto *Node = Order[static_cast<size_t>(I)];
+      Body B = AlterList<Body>::value(Ctx, Node);
+      Ctx.noteMemoryTraffic(512);
+      double FX = 0.0, FY = 0.0;
+      if (!Tree.empty())
+        accumulateForce(0, B, FX, FY);
+      B.VX += FX * Dt / B.Mass;
+      B.VY += FY * Dt / B.Mass;
+      B.X += B.VX * Dt;
+      B.Y += B.VY * Dt;
+      AlterList<Body>::setValue(Ctx, Node, B);
+    };
+    if (!Runner.runInner(Spec))
+      return;
+  }
+}
+
+std::vector<double> BarnesHutWorkload::outputSignature() const {
+  double SumX = 0.0, SumY = 0.0, SumV = 0.0, Weighted = 0.0;
+  int64_t Index = 0;
+  for (const auto *N = Bodies->head(); N; N = N->Next, ++Index) {
+    SumX += N->Value.X;
+    SumY += N->Value.Y;
+    SumV += N->Value.VX * N->Value.VX + N->Value.VY * N->Value.VY;
+    Weighted += N->Value.X * static_cast<double>(Index % 13 + 1);
+  }
+  return {SumX, SumY, SumV, Weighted};
+}
+
+bool BarnesHutWorkload::validate(const std::vector<double> &Reference) const {
+  // No dependence is ever broken (writes are body-local and forces read
+  // the pre-built tree), so the output must match exactly.
+  return outputSignature() == Reference;
+}

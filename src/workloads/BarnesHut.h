@@ -1,0 +1,89 @@
+//===- workloads/BarnesHut.h - Olden Barnes-Hut N-body -----------*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The N-body dwarf (Olden's Barnes-Hut, as in Table 2): per timestep, a
+/// quadtree is built sequentially from the committed body positions, then
+/// the main loop — iterating over an AlterList of bodies — computes each
+/// body's force by θ-approximate tree traversal and integrates its own
+/// position/velocity. Every write is to the body itself, so the loop has
+/// NO loop-carried dependence (Table 3: Dep = No) and parallelizes under
+/// every policy; the paper reports good speedups (Figure 13).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_WORKLOADS_BARNESHUT_H
+#define ALTER_WORKLOADS_BARNESHUT_H
+
+#include "collections/AlterList.h"
+#include "workloads/Workload.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace alter {
+
+/// Barnes-Hut 2D N-body simulation over an AlterList of bodies.
+class BarnesHutWorkload : public Workload {
+public:
+  /// One body (trivially copyable for AlterList).
+  struct Body {
+    double X, Y;
+    double VX, VY;
+    double Mass;
+  };
+
+  std::string name() const override { return "barneshut"; }
+  std::string description() const override {
+    return "Barnes-Hut N-body: quadtree force approximation per timestep "
+           "(uses AlterList)";
+  }
+  std::string suite() const override { return "N-body methods"; }
+
+  size_t numInputs() const override { return 2; }
+  std::string inputName(size_t Index) const override {
+    return Index == 0 ? "1024 bodies" : "3072 bodies";
+  }
+  void setUp(size_t Index) override;
+
+  void run(LoopRunner &Runner) override;
+
+  std::vector<double> outputSignature() const override;
+  bool validate(const std::vector<double> &Reference) const override;
+
+  std::optional<Annotation> paperAnnotation() const override {
+    return parseAnnotation("[StaleReads]");
+  }
+  int defaultChunkFactor() const override { return 16; }
+
+  AlterAllocator *allocator() override { return Alloc.get(); }
+
+private:
+  /// Flat quadtree node (children index into the node pool; -1 = none).
+  struct QuadNode {
+    double CenterX, CenterY; ///< mass-weighted centroid
+    double Mass;
+    double MinX, MinY, Size; ///< square cell
+    int32_t Children[4];
+    int32_t BodyCount;
+  };
+
+  void buildTree(const std::vector<Body> &Snapshot);
+  void insertBody(int32_t NodeIndex, const Body &B, int Depth);
+  void accumulateForce(int32_t NodeIndex, const Body &B, double &FX,
+                       double &FY) const;
+
+  int64_t NumBodies = 0;
+  int Timesteps = 0;
+  std::unique_ptr<AlterAllocator> Alloc;
+  std::unique_ptr<AlterList<Body>> Bodies;
+  std::vector<QuadNode> Tree;
+};
+
+} // namespace alter
+
+#endif // ALTER_WORKLOADS_BARNESHUT_H

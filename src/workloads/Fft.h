@@ -1,0 +1,75 @@
+//===- workloads/Fft.h - 2D iterative FFT ------------------------*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The spectral-methods dwarf: a two-dimensional FFT computed as two
+/// identical annotated loops — 1D transforms over the rows, then over the
+/// columns (each carries ~50% of the runtime, as the paper notes). Rows
+/// and columns are disjoint per iteration, so there is no loop-carried
+/// dependence (Table 3: Dep = No).
+///
+/// The interesting result is negative: the complex element type means
+/// every butterfly's loads and stores are instrumented ("many copy
+/// constructors that are instrumented by ALTER"), and that overhead makes
+/// FFT the one no-dependence benchmark that SLOWS DOWN under ALTER
+/// (Figure 13). The body deliberately instruments element-wise to
+/// reproduce this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_WORKLOADS_FFT_H
+#define ALTER_WORKLOADS_FFT_H
+
+#include "workloads/Workload.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace alter {
+
+/// 2D radix-2 FFT with element-wise instrumented butterflies.
+class FftWorkload : public Workload {
+public:
+  /// Complex value; trivially copyable for instrumented access.
+  struct Complex {
+    double Re;
+    double Im;
+  };
+
+  std::string name() const override { return "fft"; }
+  std::string description() const override {
+    return "2D iterative FFT: row transforms then column transforms (two "
+           "identical loops)";
+  }
+  std::string suite() const override { return "Spectral methods"; }
+
+  size_t numInputs() const override { return 2; }
+  std::string inputName(size_t Index) const override {
+    return Index == 0 ? "64x64" : "128x128";
+  }
+  void setUp(size_t Index) override;
+
+  void run(LoopRunner &Runner) override;
+
+  std::vector<double> outputSignature() const override;
+  bool validate(const std::vector<double> &Reference) const override;
+
+  std::optional<Annotation> paperAnnotation() const override {
+    return parseAnnotation("[StaleReads]");
+  }
+  int defaultChunkFactor() const override { return 4; }
+
+private:
+  void transformLine(TxnContext &Ctx, Complex *Base, int64_t Stride);
+
+  int64_t Dim = 0;
+  std::vector<Complex> Matrix;
+  std::vector<Complex> Twiddle; // precomputed roots of unity
+};
+
+} // namespace alter
+
+#endif // ALTER_WORKLOADS_FFT_H

@@ -1,0 +1,89 @@
+//===- workloads/Kmeans.h - STAMP K-means clustering ------------*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The STAMP K-means benchmark (paper Figure 2): the main loop reassigns
+/// each point to its nearest cluster and accumulates the new cluster sums.
+/// membership[i] writes are disjoint; the new_centers/new_centers_len
+/// updates conflict when concurrent iterations touch the same cluster (so
+/// speedup grows with the cluster count — Figure 8); and delta requires an
+/// additive reduction (without it, every iteration writes delta and the
+/// execution degenerates to high conflicts, Table 3).
+///
+/// Because every shared read is followed by a write to the same location,
+/// StaleReads and OutOfOrder produce identical executions here, but
+/// StaleReads is faster — no read instrumentation (§2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_WORKLOADS_KMEANS_H
+#define ALTER_WORKLOADS_KMEANS_H
+
+#include "workloads/Workload.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace alter {
+
+/// K-means clustering with convergence on the fraction of membership
+/// changes.
+class KmeansWorkload : public Workload {
+public:
+  std::string name() const override { return "kmeans"; }
+  std::string description() const override {
+    return "K-means clustering; main loop recomputes memberships until "
+           "convergence (Fig. 2)";
+  }
+  std::string suite() const override { return "STAMP"; }
+
+  /// Inputs mirror Figure 5's four configurations (scaled): points x
+  /// clusters in {4k, 8k} x {64, 128}.
+  size_t numInputs() const override { return 4; }
+  std::string inputName(size_t Index) const override;
+  void setUp(size_t Index) override;
+
+  void run(LoopRunner &Runner) override;
+
+  std::vector<double> outputSignature() const override;
+  bool validate(const std::vector<double> &Reference) const override;
+
+  std::vector<std::string> reductionCandidates() const override {
+    return {"delta"};
+  }
+  std::optional<Annotation> paperAnnotation() const override {
+    return parseAnnotation("[StaleReads + Reduction(delta, +)]");
+  }
+  int defaultChunkFactor() const override { return 4; } // Table 4
+
+  int tripCount() const { return TripCount; }
+  int64_t numClusters() const { return NumClusters; }
+
+  /// Input access for the §7.3 manual-parallelization baseline, which
+  /// clusters the same points with threads and fine-grained locks.
+  const std::vector<float> &features() const { return Features; }
+  int64_t numPoints() const { return NumPoints; }
+  int64_t numFeatures() const { return NumFeatures; }
+
+private:
+  int64_t NumPoints = 0;
+  int64_t NumClusters = 0;
+  int64_t NumFeatures = 0;
+
+  std::vector<float> Features;      // NumPoints x NumFeatures (read-only)
+  std::vector<double> Clusters;     // NumClusters x NumFeatures
+  std::vector<int32_t> Membership;  // per point
+  std::vector<double> NewCenters;   // NumClusters x NumFeatures (accums)
+  std::vector<int64_t> NewCentersLen;
+  double Delta = 0.0; ///< the reduction variable of Figure 2
+
+  int TripCount = 0;
+  int MaxTrips = 60;
+};
+
+} // namespace alter
+
+#endif // ALTER_WORKLOADS_KMEANS_H

@@ -1,0 +1,217 @@
+//===- workloads/ManualBaselines.cpp --------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ManualBaselines.h"
+
+#include "support/Timer.h"
+#include "workloads/GaussSeidel.h"
+#include "workloads/Kmeans.h"
+
+#include <atomic>
+#include <barrier>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+using namespace alter;
+
+//===----------------------------------------------------------------------===
+// K-means with threads and fine-grained locking (§7.3)
+//===----------------------------------------------------------------------===
+
+ManualKmeansResult alter::runManualKmeans(const KmeansWorkload &Reference,
+                                          unsigned NumThreads) {
+  const int64_t NumPoints = Reference.numPoints();
+  const int64_t NumClusters = Reference.numClusters();
+  const int64_t NumFeatures = Reference.numFeatures();
+  const std::vector<float> &Features = Reference.features();
+
+  ManualKmeansResult Result;
+  Result.Clusters.assign(
+      static_cast<size_t>(NumClusters * NumFeatures), 0.0);
+  Result.Membership.assign(static_cast<size_t>(NumPoints), -1);
+  // STAMP's initialization: the first NumClusters points seed the centers.
+  for (int64_t C = 0; C != NumClusters; ++C)
+    for (int64_t F = 0; F != NumFeatures; ++F)
+      Result.Clusters[static_cast<size_t>(C * NumFeatures + F)] =
+          Features[static_cast<size_t>(C * NumFeatures + F)];
+
+  std::vector<double> NewCenters(
+      static_cast<size_t>(NumClusters * NumFeatures), 0.0);
+  std::vector<int64_t> NewCentersLen(static_cast<size_t>(NumClusters), 0);
+  // One mutex per cluster accumulator: the fine-grained locking that makes
+  // the manual version pessimistic where ALTER is optimistic.
+  std::vector<std::mutex> ClusterLocks(static_cast<size_t>(NumClusters));
+  std::atomic<int64_t> Delta{0};
+
+  const uint64_t Start = nowNs();
+  const double ConvergenceFraction = 0.01;
+  const int MaxSweeps = 60;
+  for (Result.Sweeps = 0; Result.Sweeps != MaxSweeps;) {
+    ++Result.Sweeps;
+    Delta.store(0, std::memory_order_relaxed);
+    std::fill(NewCenters.begin(), NewCenters.end(), 0.0);
+    std::fill(NewCentersLen.begin(), NewCentersLen.end(), 0);
+
+    auto Work = [&](int64_t First, int64_t Last) {
+      for (int64_t P = First; P != Last; ++P) {
+        const float *Point =
+            &Features[static_cast<size_t>(P * NumFeatures)];
+        int32_t Best = 0;
+        double BestDist = 1e300;
+        for (int64_t C = 0; C != NumClusters; ++C) {
+          const double *Center =
+              &Result.Clusters[static_cast<size_t>(C * NumFeatures)];
+          double Dist = 0.0;
+          for (int64_t F = 0; F != NumFeatures; ++F) {
+            const double D = static_cast<double>(Point[F]) - Center[F];
+            Dist += D * D;
+          }
+          if (Dist < BestDist) {
+            BestDist = Dist;
+            Best = static_cast<int32_t>(C);
+          }
+        }
+        if (Result.Membership[static_cast<size_t>(P)] != Best)
+          Delta.fetch_add(1, std::memory_order_relaxed);
+        Result.Membership[static_cast<size_t>(P)] = Best;
+        {
+          // The critical section the paper's version guards per cluster.
+          std::lock_guard<std::mutex> Guard(
+              ClusterLocks[static_cast<size_t>(Best)]);
+          ++NewCentersLen[static_cast<size_t>(Best)];
+          for (int64_t F = 0; F != NumFeatures; ++F)
+            NewCenters[static_cast<size_t>(Best * NumFeatures + F)] +=
+                static_cast<double>(Point[F]);
+        }
+      }
+    };
+
+    std::vector<std::thread> Threads;
+    const int64_t PerThread =
+        (NumPoints + NumThreads - 1) / static_cast<int64_t>(NumThreads);
+    for (unsigned T = 0; T != NumThreads; ++T) {
+      const int64_t First = static_cast<int64_t>(T) * PerThread;
+      const int64_t Last = std::min<int64_t>(First + PerThread, NumPoints);
+      if (First < Last)
+        Threads.emplace_back(Work, First, Last);
+    }
+    for (std::thread &T : Threads)
+      T.join();
+
+    // Recompute centers (main thread, as in STAMP).
+    for (int64_t C = 0; C != NumClusters; ++C) {
+      const int64_t Len = NewCentersLen[static_cast<size_t>(C)];
+      if (Len == 0)
+        continue;
+      for (int64_t F = 0; F != NumFeatures; ++F)
+        Result.Clusters[static_cast<size_t>(C * NumFeatures + F)] =
+            NewCenters[static_cast<size_t>(C * NumFeatures + F)] /
+            static_cast<double>(Len);
+    }
+    if (static_cast<double>(Delta.load()) /
+            static_cast<double>(NumPoints) <=
+        ConvergenceFraction)
+      break;
+  }
+  Result.WallNs = nowNs() - Start;
+
+  for (int64_t P = 0; P != NumPoints; ++P) {
+    const int64_t C = Result.Membership[static_cast<size_t>(P)];
+    for (int64_t F = 0; F != NumFeatures; ++F) {
+      const double D =
+          static_cast<double>(
+              Features[static_cast<size_t>(P * NumFeatures + F)]) -
+          Result.Clusters[static_cast<size_t>(C * NumFeatures + F)];
+      Result.Sse += D * D;
+    }
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===
+// Multi-copy Gauss-Seidel (§7.3)
+//===----------------------------------------------------------------------===
+
+ManualGaussSeidelResult
+alter::runManualGaussSeidel(const GaussSeidelWorkload &Reference,
+                            unsigned NumThreads, int ChunkFactor,
+                            int MaxSweeps) {
+  const int64_t N = Reference.dimension();
+  const std::vector<double> &A = Reference.denseMatrix();
+  const std::vector<double> &B = Reference.rhs();
+  const double Eps = Reference.tolerance();
+
+  ManualGaussSeidelResult Result;
+  Result.X.assign(static_cast<size_t>(N), 0.0);
+
+  // Each thread owns a private copy of x — the paper's "multiple copies of
+  // XVector" — refreshed from the shared copy at every round barrier,
+  // exactly like ALTER's chunked StaleReads resynchronization.
+  std::vector<std::vector<double>> Copies(
+      NumThreads, std::vector<double>(static_cast<size_t>(N), 0.0));
+
+  auto ResidualInf = [&]() {
+    double Max = 0.0;
+    for (int64_t I = 0; I != N; ++I) {
+      double Ax = 0.0;
+      for (int64_t J = 0; J != N; ++J)
+        Ax += A[static_cast<size_t>(I * N + J)] *
+              Result.X[static_cast<size_t>(J)];
+      Max = std::max(Max, std::fabs(B[static_cast<size_t>(I)] - Ax));
+    }
+    return Max;
+  };
+
+  const uint64_t Start = nowNs();
+  const int64_t NumChunks = (N + ChunkFactor - 1) / ChunkFactor;
+  while (Result.Sweeps != MaxSweeps) {
+    ++Result.Sweeps;
+    // One sweep = ceil(chunks / threads) rounds of chunk-parallel updates
+    // with a barrier (and copy resync) between rounds.
+    for (int64_t RoundBase = 0; RoundBase < NumChunks;
+         RoundBase += static_cast<int64_t>(NumThreads)) {
+      const unsigned RoundThreads = static_cast<unsigned>(std::min<int64_t>(
+          NumThreads, NumChunks - RoundBase));
+      std::barrier Sync(RoundThreads);
+      auto Work = [&](unsigned T) {
+        // Resync the private copy with the shared (committed) state.
+        Copies[T] = Result.X;
+        Sync.arrive_and_wait();
+        const int64_t Chunk = RoundBase + static_cast<int64_t>(T);
+        const int64_t First = Chunk * ChunkFactor;
+        const int64_t Last = std::min<int64_t>(First + ChunkFactor, N);
+        std::vector<double> &Mine = Copies[T];
+        for (int64_t I = First; I != Last; ++I) {
+          const double *Row = &A[static_cast<size_t>(I * N)];
+          double Sum = 0.0;
+          for (int64_t J = 0; J != N; ++J)
+            Sum += Row[J] * Mine[static_cast<size_t>(J)];
+          Sum -= Row[I] * Mine[static_cast<size_t>(I)];
+          Mine[static_cast<size_t>(I)] =
+              (B[static_cast<size_t>(I)] - Sum) / Row[I];
+        }
+        Sync.arrive_and_wait();
+        // Publish this thread's rows (disjoint across threads, so no
+        // locking is needed — the analog of WAW-disjoint commits).
+        for (int64_t I = First; I != Last; ++I)
+          Result.X[static_cast<size_t>(I)] = Mine[static_cast<size_t>(I)];
+      };
+      std::vector<std::thread> Threads;
+      for (unsigned T = 0; T != RoundThreads; ++T)
+        Threads.emplace_back(Work, T);
+      for (std::thread &T : Threads)
+        T.join();
+    }
+    if (ResidualInf() <= Eps) {
+      Result.Converged = true;
+      break;
+    }
+  }
+  Result.WallNs = nowNs() - Start;
+  Result.ResidualInf = ResidualInf();
+  return Result;
+}

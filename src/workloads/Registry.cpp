@@ -1,0 +1,78 @@
+//===- workloads/Registry.cpp - Workload factory and paper data ----------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/AggloClust.h"
+#include "workloads/BarnesHut.h"
+#include "workloads/Fft.h"
+#include "workloads/Floyd.h"
+#include "workloads/GaussSeidel.h"
+#include "workloads/Genome.h"
+#include "workloads/Hmm.h"
+#include "workloads/Kmeans.h"
+#include "workloads/Labyrinth.h"
+#include "workloads/Sg3d.h"
+#include "workloads/Ssca2.h"
+#include "workloads/Workload.h"
+
+#include "support/Error.h"
+
+using namespace alter;
+
+const std::vector<std::string> &alter::allWorkloadNames() {
+  static const std::vector<std::string> Names = {
+      "genome",   "ssca2",      "kmeans",  "labyrinth",
+      "aggloclust", "gsdense",  "gssparse", "floyd",
+      "sg3d",     "barneshut",  "fft",     "hmm",
+  };
+  return Names;
+}
+
+std::unique_ptr<Workload> alter::makeWorkload(const std::string &Name) {
+  if (Name == "genome")
+    return std::make_unique<GenomeWorkload>();
+  if (Name == "ssca2")
+    return std::make_unique<Ssca2Workload>();
+  if (Name == "kmeans")
+    return std::make_unique<KmeansWorkload>();
+  if (Name == "labyrinth")
+    return std::make_unique<LabyrinthWorkload>();
+  if (Name == "aggloclust")
+    return std::make_unique<AggloClustWorkload>();
+  if (Name == "gsdense")
+    return std::make_unique<GaussSeidelWorkload>(/*Sparse=*/false);
+  if (Name == "gssparse")
+    return std::make_unique<GaussSeidelWorkload>(/*Sparse=*/true);
+  if (Name == "floyd")
+    return std::make_unique<FloydWorkload>();
+  if (Name == "sg3d")
+    return std::make_unique<Sg3dWorkload>();
+  if (Name == "barneshut")
+    return std::make_unique<BarnesHutWorkload>();
+  if (Name == "fft")
+    return std::make_unique<FftWorkload>();
+  if (Name == "hmm")
+    return std::make_unique<HmmWorkload>();
+  fatalError("unknown workload '" + Name + "'");
+}
+
+const std::vector<PaperTable3Row> &alter::paperTable3() {
+  // Paper Table 3 ("Results of annotation inference"), PLDI 2011.
+  static const std::vector<PaperTable3Row> Rows = {
+      {"genome", "Yes", "success", "success", "success", "N/A"},
+      {"ssca2", "Yes", "timeout", "success", "success", "N/A"},
+      {"kmeans", "Yes", "h.c.", "h.c.", "h.c.", "+"},
+      {"labyrinth", "Yes", "h.c.", "h.c.", "h.c.", "N/A"},
+      {"aggloclust", "Yes", "crash", "crash", "success", "N/A"},
+      {"gsdense", "Yes", "timeout", "timeout", "success", "N/A"},
+      {"gssparse", "Yes", "timeout", "timeout", "success", "N/A"},
+      {"floyd", "Yes", "timeout", "timeout", "success", "N/A"},
+      {"sg3d", "Yes", "h.c.", "h.c.", "h.c.", "max/+"},
+      {"barneshut", "No", "success", "success", "success", "N/A"},
+      {"fft", "No", "success", "success", "success", "N/A"},
+      {"hmm", "No", "success", "success", "success", "N/A"},
+  };
+  return Rows;
+}

@@ -1,0 +1,67 @@
+//===- workloads/Workload.cpp ---------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "runtime/ForkJoinExecutor.h"
+#include "runtime/LockstepExecutor.h"
+#include "support/Timer.h"
+
+using namespace alter;
+
+Workload::~Workload() = default;
+
+RunResult Workload::runSequential(uint64_t *TotalNs) {
+  SequentialLoopRunner Runner(allocator());
+  const uint64_t Start = nowNs();
+  run(Runner);
+  if (TotalNs)
+    *TotalNs = nowNs() - Start;
+  return Runner.result();
+}
+
+DependenceReport Workload::probeDependences() {
+  ProbeLoopRunner Runner(allocator());
+  run(Runner);
+  return Runner.report();
+}
+
+RunResult Workload::runLockstep(const RuntimeParams &Params,
+                                unsigned NumWorkers, uint64_t SeqBaselineNs,
+                                TxnLimits Limits) {
+  ExecutorConfig Config;
+  Config.NumWorkers = NumWorkers;
+  Config.Params = Params;
+  Config.Limits = Limits;
+  Config.SeqBaselineNs = SeqBaselineNs;
+  Config.Allocator = allocator();
+  LockstepExecutor Exec(Config);
+  ExecutorLoopRunner Runner(Exec, SeqBaselineNs);
+  run(Runner);
+  return Runner.result();
+}
+
+RunResult Workload::runForkJoin(const RuntimeParams &Params,
+                                unsigned NumWorkers, uint64_t SeqBaselineNs,
+                                TxnLimits Limits) {
+  ExecutorConfig Config;
+  Config.NumWorkers = NumWorkers;
+  Config.Params = Params;
+  Config.Limits = Limits;
+  Config.SeqBaselineNs = SeqBaselineNs;
+  Config.Allocator = allocator();
+  ForkJoinExecutor Exec(Config);
+  ExecutorLoopRunner Runner(Exec, SeqBaselineNs);
+  run(Runner);
+  return Runner.result();
+}
+
+RuntimeParams Workload::resolveAnnotation(const Annotation &A) const {
+  RuntimeParams Params = paramsForAnnotation(A, reductionCandidates());
+  if (A.ChunkFactor <= 0)
+    Params.ChunkFactor = defaultChunkFactor();
+  return Params;
+}

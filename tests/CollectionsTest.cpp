@@ -1,0 +1,222 @@
+//===- tests/CollectionsTest.cpp - Tests for src/collections --------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AlterVector and AlterList: sequential structure management, the
+/// induction-variable view (materialize), transactional access semantics
+/// under the lock-step engine, tombstoning + compaction, and concurrent
+/// insert conflicts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "collections/AlterList.h"
+#include "collections/AlterVector.h"
+#include "runtime/LockstepExecutor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace alter;
+
+namespace {
+
+ExecutorConfig wawConfig(unsigned Workers, int Cf) {
+  ExecutorConfig Config;
+  Config.NumWorkers = Workers;
+  Config.Params.Conflict = ConflictPolicy::WAW;
+  Config.Params.CommitOrder = CommitOrderPolicy::OutOfOrder;
+  Config.Params.ChunkFactor = Cf;
+  return Config;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// AlterVector
+//===----------------------------------------------------------------------===
+
+TEST(AlterVectorTest, SequentialAccess) {
+  AlterVector<int64_t> V(8, 3);
+  EXPECT_EQ(V.size(), 8u);
+  V[2] = 9;
+  EXPECT_EQ(V[2], 9);
+  V.push_back(4);
+  EXPECT_EQ(V.size(), 9u);
+  EXPECT_EQ(V[8], 4);
+  int64_t Sum = 0;
+  for (int64_t X : V)
+    Sum += X;
+  EXPECT_EQ(Sum, 7 * 3 + 9 + 4);
+}
+
+TEST(AlterVectorTest, InstrumentedGetSet) {
+  AlterVector<double> V(4, 1.0);
+  LoopSpec Spec;
+  RuntimeParams Params;
+  Params.Conflict = ConflictPolicy::WAW;
+  TxnContext Ctx(ContextMode::Transactional, &Params, &Spec, nullptr, 1);
+  Ctx.beginTxn();
+  V.set(Ctx, 1, 5.0);
+  EXPECT_EQ(V.get(Ctx, 1), 5.0) << "transaction sees its own write";
+  EXPECT_EQ(Ctx.writeSet().sizeWords(), 1u);
+  Ctx.suspendTxn();
+  EXPECT_EQ(V[1], 1.0) << "snapshot restored at the barrier";
+  Ctx.commitTxn();
+  EXPECT_EQ(V[1], 5.0);
+}
+
+TEST(AlterVectorTest, ReadAllTakesOneInstrumentationCall) {
+  AlterVector<double> V(64, 2.0);
+  LoopSpec Spec;
+  RuntimeParams Params;
+  Params.Conflict = ConflictPolicy::RAW;
+  TxnContext Ctx(ContextMode::Transactional, &Params, &Spec, nullptr, 1);
+  Ctx.beginTxn();
+  std::vector<double> Out(64);
+  V.readAll(Ctx, Out.data());
+  EXPECT_EQ(Ctx.instrReadCalls(), 1u);
+  EXPECT_GE(Ctx.readSet().sizeWords(), 64u);
+  EXPECT_EQ(Out[63], 2.0);
+}
+
+TEST(AlterVectorTest, ParallelElementUpdatesAreExact) {
+  AlterVector<int64_t> V(1000, 0);
+  LoopSpec Spec;
+  Spec.NumIterations = 1000;
+  Spec.Body = [&V](TxnContext &Ctx, int64_t I) {
+    V.set(Ctx, static_cast<size_t>(I), I * I);
+  };
+  LockstepExecutor Exec(wawConfig(4, 16));
+  ASSERT_TRUE(Exec.run(Spec).succeeded());
+  for (int64_t I = 0; I != 1000; ++I)
+    EXPECT_EQ(V[static_cast<size_t>(I)], I * I);
+}
+
+//===----------------------------------------------------------------------===
+// AlterList: sequential structure management
+//===----------------------------------------------------------------------===
+
+TEST(AlterListTest, PushFrontAndTraverse) {
+  AlterAllocator Alloc(2, 1 << 20);
+  AlterList<int64_t> List(Alloc);
+  for (int64_t I = 0; I != 5; ++I)
+    List.pushFront(I);
+  EXPECT_EQ(List.sizeLinked(), 5u);
+  EXPECT_EQ(List.countAlive(), 5u);
+  // Prepend order: newest first.
+  std::vector<int64_t> Values;
+  for (const auto *N = List.head(); N; N = N->Next)
+    Values.push_back(N->Value);
+  EXPECT_EQ(Values, (std::vector<int64_t>{4, 3, 2, 1, 0}));
+}
+
+TEST(AlterListTest, MaterializeSkipsDeadNodes) {
+  AlterAllocator Alloc(2, 1 << 20);
+  AlterList<int64_t> List(Alloc);
+  std::vector<AlterList<int64_t>::Node *> Nodes;
+  for (int64_t I = 0; I != 6; ++I)
+    Nodes.push_back(List.pushFront(I));
+  Nodes[1]->Alive = 0; // tombstone directly (sequential context)
+  Nodes[4]->Alive = 0;
+  const auto Order = List.materialize();
+  EXPECT_EQ(Order.size(), 4u);
+  for (const auto *N : Order)
+    EXPECT_NE(N->Alive, 0u);
+}
+
+TEST(AlterListTest, CompactUnlinksAndRecyclesDeadNodes) {
+  AlterAllocator Alloc(2, 1 << 20);
+  AlterList<int64_t> List(Alloc);
+  auto *A = List.pushFront(1);
+  List.pushFront(2);
+  auto *C = List.pushFront(3);
+  A->Alive = 0;
+  C->Alive = 0;
+  EXPECT_EQ(List.compact(), 2u);
+  EXPECT_EQ(List.sizeLinked(), 1u);
+  EXPECT_EQ(List.countAlive(), 1u);
+  EXPECT_EQ(List.head()->Value, 2);
+  // The freed nodes recycle through the allocator's free lists.
+  auto *Recycled = List.pushFront(9);
+  EXPECT_TRUE(Recycled == A || Recycled == C);
+}
+
+//===----------------------------------------------------------------------===
+// AlterList: transactional semantics
+//===----------------------------------------------------------------------===
+
+TEST(AlterListTest, ConcurrentKillsOfSameNodeConflict) {
+  AlterAllocator Alloc(4, 1 << 20);
+  AlterList<int64_t> List(Alloc);
+  auto *Victim = List.pushFront(7);
+
+  // Every iteration tombstones the same node: under WAW only one commit
+  // per round can succeed.
+  LoopSpec Spec;
+  Spec.NumIterations = 8;
+  Spec.Body = [&](TxnContext &Ctx, int64_t) {
+    AlterList<int64_t>::kill(Ctx, Victim);
+  };
+  ExecutorConfig Config = wawConfig(4, 1);
+  Config.Allocator = &Alloc;
+  LockstepExecutor Exec(Config);
+  const RunResult R = Exec.run(Spec);
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_GT(R.Stats.NumRetries, 0u);
+  EXPECT_EQ(Victim->Alive, 0u);
+}
+
+TEST(AlterListTest, TransactionalInsertsSerializeOnHead) {
+  AlterAllocator Alloc(4, 1 << 20);
+  AlterList<int64_t> List(Alloc);
+
+  LoopSpec Spec;
+  Spec.NumIterations = 32;
+  Spec.Body = [&](TxnContext &Ctx, int64_t I) {
+    List.pushFront(Ctx, I * 10);
+  };
+  ExecutorConfig Config = wawConfig(4, 1);
+  Config.Allocator = &Alloc;
+  LockstepExecutor Exec(Config);
+  const RunResult R = Exec.run(Spec);
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_GT(R.Stats.NumRetries, 0u)
+      << "concurrent head insertions must conflict";
+  EXPECT_EQ(List.countAlive(), 32u) << "no insert may be lost";
+  std::set<int64_t> Seen;
+  for (const auto *N = List.head(); N; N = N->Next)
+    Seen.insert(N->Value);
+  EXPECT_EQ(Seen.size(), 32u);
+  for (int64_t I = 0; I != 32; ++I)
+    EXPECT_TRUE(Seen.count(I * 10)) << "missing value " << I * 10;
+}
+
+TEST(AlterListTest, LoopOverMaterializedOrderUpdatesValues) {
+  AlterAllocator Alloc(4, 1 << 20);
+  AlterList<int64_t> List(Alloc);
+  for (int64_t I = 0; I != 100; ++I)
+    List.pushFront(I);
+  auto Order = List.materialize();
+
+  LoopSpec Spec;
+  Spec.NumIterations = static_cast<int64_t>(Order.size());
+  Spec.Body = [&Order](TxnContext &Ctx, int64_t I) {
+    auto *N = Order[static_cast<size_t>(I)];
+    const int64_t V = AlterList<int64_t>::value(Ctx, N);
+    AlterList<int64_t>::setValue(Ctx, N, V * 2);
+  };
+  ExecutorConfig Config = wawConfig(4, 8);
+  Config.Allocator = &Alloc;
+  LockstepExecutor Exec(Config);
+  const RunResult R = Exec.run(Spec);
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_EQ(R.Stats.NumRetries, 0u) << "disjoint node writes cannot conflict";
+  int64_t Index = 99;
+  for (const auto *N = List.head(); N; N = N->Next, --Index)
+    EXPECT_EQ(N->Value, Index * 2);
+}

@@ -1,0 +1,187 @@
+//===- tests/RobustnessTest.cpp - Failure injection and edge cases --------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Edge cases and failure injection: registry coherence, programmatic
+/// aborts surfacing as sandbox crashes (allocator exhaustion, unknown
+/// workloads), degenerate loop shapes, and the documented semantics that
+/// StaleReads output is a function of (input, workers, chunk factor) —
+/// deterministic per configuration, legitimately different across
+/// configurations (§4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "memory/AlterAllocator.h"
+#include "runtime/LockstepExecutor.h"
+#include "support/Subprocess.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+using namespace alter;
+
+//===----------------------------------------------------------------------===
+// Registry coherence
+//===----------------------------------------------------------------------===
+
+TEST(RegistryTest, TwelveWorkloadsMatchingTable3) {
+  EXPECT_EQ(allWorkloadNames().size(), 12u);
+  EXPECT_EQ(paperTable3().size(), 12u);
+  for (size_t I = 0; I != allWorkloadNames().size(); ++I)
+    EXPECT_EQ(allWorkloadNames()[I], paperTable3()[I].Name)
+        << "registry order must match the paper table";
+  for (const std::string &Name : allWorkloadNames()) {
+    std::unique_ptr<Workload> W = makeWorkload(Name);
+    ASSERT_NE(W, nullptr);
+    EXPECT_EQ(W->name(), Name);
+  }
+}
+
+TEST(RegistryTest, UnknownWorkloadAbortsInSandbox) {
+  // fatalError aborts the process; the sandbox surfaces it as a crash —
+  // the same mechanism the inference engine relies on for candidate
+  // failures.
+  const SubprocessResult R = runInSandbox(
+      [](int) {
+        (void)makeWorkload("no-such-benchmark");
+        _exit(0); // unreachable
+      },
+      /*TimeoutSec=*/30);
+  EXPECT_FALSE(R.Exited);
+  EXPECT_NE(R.Signal, 0);
+}
+
+//===----------------------------------------------------------------------===
+// Failure injection
+//===----------------------------------------------------------------------===
+
+TEST(FailureInjectionTest, ArenaExhaustionAborts) {
+  const SubprocessResult R = runInSandbox(
+      [](int) {
+        AlterAllocator Alloc(1, /*BytesPerWorker=*/1 << 12);
+        for (int I = 0; I != 1000; ++I)
+          (void)Alloc.allocate(0, 64); // exhausts the 4 KiB arena
+        _exit(0);
+      },
+      /*TimeoutSec=*/30);
+  EXPECT_FALSE(R.Exited) << "exhaustion must abort, not corrupt";
+}
+
+TEST(FailureInjectionTest, BodyCrashSurfacesThroughTheSandbox) {
+  // A candidate whose body dereferences garbage must classify as a crash,
+  // not poison the parent (the §5 crash outcome).
+  const SubprocessResult R = runInSandbox(
+      [](int) {
+        LoopSpec Spec;
+        Spec.NumIterations = 4;
+        Spec.Body = [](TxnContext &, int64_t I) {
+          if (I == 3) {
+            volatile int *Bad = reinterpret_cast<int *>(0x40);
+            *Bad = 1;
+          }
+        };
+        ExecutorConfig Config;
+        Config.NumWorkers = 2;
+        Config.Params.ChunkFactor = 1;
+        LockstepExecutor Exec(Config);
+        (void)Exec.run(Spec);
+        _exit(0);
+      },
+      /*TimeoutSec=*/30);
+  EXPECT_FALSE(R.Exited);
+  EXPECT_NE(R.Signal, 0);
+}
+
+//===----------------------------------------------------------------------===
+// Degenerate loop shapes
+//===----------------------------------------------------------------------===
+
+TEST(DegenerateLoopTest, EmptyLoopSucceedsEverywhere) {
+  for (unsigned Workers : {1u, 4u}) {
+    LoopSpec Spec;
+    Spec.NumIterations = 0;
+    Spec.Body = [](TxnContext &, int64_t) { FAIL() << "must not run"; };
+    ExecutorConfig Config;
+    Config.NumWorkers = Workers;
+    LockstepExecutor Exec(Config);
+    const RunResult R = Exec.run(Spec);
+    EXPECT_TRUE(R.succeeded());
+    EXPECT_EQ(R.Stats.NumTransactions, 0u);
+    EXPECT_EQ(R.Stats.NumRounds, 0u);
+  }
+}
+
+TEST(DegenerateLoopTest, SingleIterationLoop) {
+  double X = 1.0;
+  LoopSpec Spec;
+  Spec.NumIterations = 1;
+  Spec.Body = [&X](TxnContext &Ctx, int64_t) { Ctx.store(&X, 2.0); };
+  ExecutorConfig Config;
+  Config.NumWorkers = 8; // more workers than chunks
+  Config.Params.ChunkFactor = 64;
+  LockstepExecutor Exec(Config);
+  const RunResult R = Exec.run(Spec);
+  EXPECT_TRUE(R.succeeded());
+  EXPECT_EQ(R.Stats.NumTransactions, 1u);
+  EXPECT_EQ(X, 2.0);
+}
+
+TEST(DegenerateLoopTest, ChunkLargerThanLoop) {
+  std::vector<int64_t> Data(10, 0);
+  LoopSpec Spec;
+  Spec.NumIterations = 10;
+  Spec.Body = [&Data](TxnContext &Ctx, int64_t I) {
+    Ctx.store(&Data[static_cast<size_t>(I)], I);
+  };
+  ExecutorConfig Config;
+  Config.NumWorkers = 4;
+  Config.Params.ChunkFactor = 1000;
+  LockstepExecutor Exec(Config);
+  const RunResult R = Exec.run(Spec);
+  EXPECT_TRUE(R.succeeded());
+  EXPECT_EQ(R.Stats.NumTransactions, 1u) << "one chunk covers everything";
+  for (int64_t I = 0; I != 10; ++I)
+    EXPECT_EQ(Data[static_cast<size_t>(I)], I);
+}
+
+//===----------------------------------------------------------------------===
+// Cross-configuration semantics (§4.3)
+//===----------------------------------------------------------------------===
+
+TEST(ConfigurationSemanticsTest, StaleReadsOutputDependsOnWorkersAndCf) {
+  // "every time the generated executable is run with the same program
+  // input and the same values for number of processes N, the chunk factor
+  // cf and configuration parameters ... it produces the same output" —
+  // and, implicitly, different N or cf may legally produce different
+  // (still valid) outputs under StaleReads. Demonstrate both halves on
+  // the chain loop, whose snapshot pattern shifts with the round shape.
+  auto RunChain = [](unsigned Workers, int Cf) {
+    std::vector<double> X(65, 0.0);
+    LoopSpec Spec;
+    Spec.NumIterations = 64;
+    Spec.Body = [&X](TxnContext &Ctx, int64_t I) {
+      const double V = Ctx.load(&X[static_cast<size_t>(I)]);
+      Ctx.store(&X[static_cast<size_t>(I) + 1], V + 1.0);
+    };
+    ExecutorConfig Config;
+    Config.NumWorkers = Workers;
+    Config.Params.Conflict = ConflictPolicy::WAW;
+    Config.Params.ChunkFactor = Cf;
+    LockstepExecutor Exec(Config);
+    EXPECT_TRUE(Exec.run(Spec).succeeded());
+    return X;
+  };
+  // Same configuration twice: identical.
+  EXPECT_EQ(RunChain(3, 2), RunChain(3, 2));
+  // Different worker counts: legitimately different snapshots.
+  EXPECT_NE(RunChain(2, 2), RunChain(4, 2));
+  // Different chunk factors: likewise.
+  EXPECT_NE(RunChain(3, 1), RunChain(3, 4));
+  // P = 1 degenerates to sequential regardless of cf.
+  EXPECT_EQ(RunChain(1, 4), RunChain(1, 16));
+}

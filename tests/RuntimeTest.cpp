@@ -1,0 +1,993 @@
+//===- tests/RuntimeTest.cpp - Unit tests for src/runtime -----------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Covers the annotation language, the theorem parameter mappings, the
+/// reduction merge formulas, TxnContext isolation, conflict detection, and
+/// the execution semantics of the sequential, lock-step, and fork-join
+/// engines — including the observable semantic difference between
+/// StaleReads (snapshot isolation) and OutOfOrder (conflict
+/// serializability) that the paper's §2 examples hinge on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Annotation.h"
+#include "runtime/ConflictDetector.h"
+#include "runtime/ForkJoinExecutor.h"
+#include "runtime/LockstepExecutor.h"
+#include "runtime/LoopRunner.h"
+#include "runtime/ReductionOps.h"
+#include "runtime/RuntimeParams.h"
+#include "runtime/SequentialExecutor.h"
+#include "runtime/TxnContext.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+using namespace alter;
+
+//===----------------------------------------------------------------------===
+// Annotation language
+//===----------------------------------------------------------------------===
+
+TEST(AnnotationTest, ParseBarePolicies) {
+  auto A = parseAnnotation("[StaleReads]");
+  ASSERT_TRUE(A.has_value());
+  EXPECT_EQ(A->Policy, ParallelPolicy::StaleReads);
+  EXPECT_TRUE(A->Reductions.empty());
+
+  auto B = parseAnnotation("[OutOfOrder]");
+  ASSERT_TRUE(B.has_value());
+  EXPECT_EQ(B->Policy, ParallelPolicy::OutOfOrder);
+}
+
+TEST(AnnotationTest, ParseWithReduction) {
+  auto A = parseAnnotation("[OutOfOrder + Reduction(delta, +)]");
+  ASSERT_TRUE(A.has_value());
+  ASSERT_EQ(A->Reductions.size(), 1u);
+  EXPECT_EQ(A->Reductions[0].Var, "delta");
+  EXPECT_EQ(A->Reductions[0].Op, ReduceOp::Plus);
+}
+
+TEST(AnnotationTest, ParseMultipleReductions) {
+  auto A = parseAnnotation(
+      "[StaleReads + Reduction(err, max); Reduction(n, +)]");
+  ASSERT_TRUE(A.has_value());
+  ASSERT_EQ(A->Reductions.size(), 2u);
+  EXPECT_EQ(A->Reductions[0].Op, ReduceOp::Max);
+  EXPECT_EQ(A->Reductions[1].Op, ReduceOp::Plus);
+}
+
+TEST(AnnotationTest, ParseWhitespaceInsensitive) {
+  auto A = parseAnnotation("  [ StaleReads+Reduction( x ,min) ]  ");
+  ASSERT_TRUE(A.has_value());
+  EXPECT_EQ(A->Reductions[0].Var, "x");
+  EXPECT_EQ(A->Reductions[0].Op, ReduceOp::Min);
+}
+
+TEST(AnnotationTest, ParseErrors) {
+  std::string Err;
+  EXPECT_FALSE(parseAnnotation("StaleReads", &Err).has_value());
+  EXPECT_FALSE(parseAnnotation("[Bogus]", &Err).has_value());
+  EXPECT_FALSE(parseAnnotation("[OutOfOrder + Reduction(x)]", &Err));
+  EXPECT_FALSE(parseAnnotation("[OutOfOrder + Reduction(x, %)]", &Err));
+  EXPECT_FALSE(parseAnnotation("[StaleReads] trailing", &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(AnnotationTest, RoundTrip) {
+  const char *Texts[] = {
+      "[StaleReads]",
+      "[OutOfOrder + Reduction(delta, +)]",
+      "[StaleReads + Reduction(err, max); Reduction(n, *)]",
+  };
+  for (const char *Text : Texts) {
+    auto A = parseAnnotation(Text);
+    ASSERT_TRUE(A.has_value()) << Text;
+    auto B = parseAnnotation(A->str());
+    ASSERT_TRUE(B.has_value()) << A->str();
+    EXPECT_EQ(*A, *B);
+  }
+}
+
+TEST(AnnotationTest, ReduceOpNames) {
+  for (ReduceOp Op : {ReduceOp::Plus, ReduceOp::Mul, ReduceOp::Max,
+                      ReduceOp::Min, ReduceOp::And, ReduceOp::Or}) {
+    auto Parsed = parseReduceOp(reduceOpName(Op));
+    ASSERT_TRUE(Parsed.has_value());
+    EXPECT_EQ(*Parsed, Op);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Theorem mappings (§4.2)
+//===----------------------------------------------------------------------===
+
+TEST(RuntimeParamsTest, Theorem41OutOfOrder) {
+  Annotation A;
+  A.Policy = ParallelPolicy::OutOfOrder;
+  const RuntimeParams P = paramsForAnnotation(A, {});
+  EXPECT_EQ(P.Conflict, ConflictPolicy::RAW);
+  EXPECT_EQ(P.CommitOrder, CommitOrderPolicy::OutOfOrder);
+  EXPECT_TRUE(P.tracksReads());
+  EXPECT_TRUE(P.tracksWrites());
+}
+
+TEST(RuntimeParamsTest, Theorem42StaleReads) {
+  Annotation A;
+  A.Policy = ParallelPolicy::StaleReads;
+  const RuntimeParams P = paramsForAnnotation(A, {});
+  EXPECT_EQ(P.Conflict, ConflictPolicy::WAW);
+  EXPECT_EQ(P.CommitOrder, CommitOrderPolicy::OutOfOrder);
+  EXPECT_FALSE(P.tracksReads()) << "StaleReads needs no read instrumentation";
+  EXPECT_TRUE(P.tracksWrites());
+}
+
+TEST(RuntimeParamsTest, Theorem43Tls) {
+  const RuntimeParams P = paramsForSequentialSpeculation(8);
+  EXPECT_EQ(P.Conflict, ConflictPolicy::RAW);
+  EXPECT_EQ(P.CommitOrder, CommitOrderPolicy::InOrder);
+  EXPECT_TRUE(P.Reductions.empty());
+  EXPECT_EQ(P.ChunkFactor, 8);
+}
+
+TEST(RuntimeParamsTest, Theorem44Doall) {
+  const RuntimeParams P = paramsForDoall({{0, ReduceOp::Plus}}, 4);
+  EXPECT_EQ(P.Conflict, ConflictPolicy::NONE);
+  EXPECT_FALSE(P.tracksReads());
+  EXPECT_FALSE(P.tracksWrites());
+  ASSERT_EQ(P.Reductions.size(), 1u);
+}
+
+TEST(RuntimeParamsTest, ReductionBindingResolution) {
+  Annotation A;
+  A.Policy = ParallelPolicy::StaleReads;
+  A.Reductions.push_back({"delta", ReduceOp::Plus});
+  const RuntimeParams P = paramsForAnnotation(A, {"err", "delta"});
+  ASSERT_EQ(P.Reductions.size(), 1u);
+  EXPECT_EQ(P.Reductions[0].BindingIndex, 1u);
+}
+
+//===----------------------------------------------------------------------===
+// Reduction merge formulas
+//===----------------------------------------------------------------------===
+
+TEST(ReductionOpsTest, PlusMergesAccumulatedDelta) {
+  // A transaction accumulated +3 worth of operands; another committer
+  // already moved the committed value to 14. Merge applies the delta.
+  const RedValue R = mergeReduction(ReduceOp::Plus, RedValue::ofF64(14),
+                                    RedValue::ofF64(3));
+  EXPECT_DOUBLE_EQ(R.F, 17.0);
+}
+
+TEST(ReductionOpsTest, MulMergesAccumulatedFactor) {
+  const RedValue R =
+      mergeReduction(ReduceOp::Mul, RedValue::ofF64(6), RedValue::ofF64(5));
+  EXPECT_DOUBLE_EQ(R.F, 30.0);
+}
+
+TEST(ReductionOpsTest, MaxIsIdempotent) {
+  EXPECT_DOUBLE_EQ(
+      mergeReduction(ReduceOp::Max, RedValue::ofF64(5), RedValue::ofF64(3)).F,
+      5.0);
+  EXPECT_DOUBLE_EQ(
+      mergeReduction(ReduceOp::Max, RedValue::ofF64(5), RedValue::ofF64(9)).F,
+      9.0);
+}
+
+TEST(ReductionOpsTest, IdentityElements) {
+  for (ReduceOp Op : {ReduceOp::Plus, ReduceOp::Mul, ReduceOp::Max,
+                      ReduceOp::Min, ReduceOp::And, ReduceOp::Or}) {
+    // Integer ops are exactly neutral.
+    const RedValue IdI = reduceIdentity(Op, ScalarKind::I64);
+    EXPECT_TRUE(applyReduceOp(Op, IdI, RedValue::ofI64(7))
+                    .equals(RedValue::ofI64(7)))
+        << reduceOpName(Op) << " I64 identity must be neutral";
+    // F64 ∧/∨ collapse to boolean truth values, so neutrality holds up to
+    // truthiness; the arithmetic/ordering ops are exactly neutral.
+    const RedValue IdF = reduceIdentity(Op, ScalarKind::F64);
+    const RedValue RF = applyReduceOp(Op, IdF, RedValue::ofF64(7));
+    if (Op == ReduceOp::And || Op == ReduceOp::Or)
+      EXPECT_NE(RF.F, 0.0) << reduceOpName(Op)
+                           << " F64 identity must preserve truthiness";
+    else
+      EXPECT_TRUE(RF.equals(RedValue::ofF64(7)))
+          << reduceOpName(Op) << " F64 identity must be neutral";
+  }
+}
+
+TEST(ReductionOpsTest, IntegerOps) {
+  EXPECT_EQ(applyReduceOp(ReduceOp::And, RedValue::ofI64(0b1100),
+                          RedValue::ofI64(0b1010))
+                .I,
+            0b1000);
+  EXPECT_EQ(applyReduceOp(ReduceOp::Or, RedValue::ofI64(0b1100),
+                          RedValue::ofI64(0b1010))
+                .I,
+            0b1110);
+  EXPECT_EQ(applyReduceOp(ReduceOp::Min, RedValue::ofI64(-3),
+                          RedValue::ofI64(4))
+                .I,
+            -3);
+}
+
+TEST(ReductionOpsTest, ScalarLoadStore) {
+  double D = 0;
+  storeScalar(ScalarKind::F64, &D, RedValue::ofF64(2.5));
+  EXPECT_EQ(loadScalar(ScalarKind::F64, &D).F, 2.5);
+  int64_t I = 0;
+  storeScalar(ScalarKind::I64, &I, RedValue::ofI64(-9));
+  EXPECT_EQ(loadScalar(ScalarKind::I64, &I).I, -9);
+}
+
+//===----------------------------------------------------------------------===
+// ConflictDetector
+//===----------------------------------------------------------------------===
+
+namespace {
+
+AccessSet setOf(std::initializer_list<const void *> Addrs) {
+  AccessSet S;
+  for (const void *A : Addrs)
+    S.insert(A);
+  return S;
+}
+
+} // namespace
+
+TEST(ConflictDetectorTest, Policies) {
+  double X = 0, Y = 0;
+  const AccessSet ReadsX = setOf({&X});
+  const AccessSet WritesY = setOf({&Y});
+  const AccessSet WritesX = setOf({&X});
+  const AccessSet Empty;
+
+  for (auto [Policy, ReadConflicts, WriteConflicts] :
+       {std::tuple{ConflictPolicy::FULL, true, true},
+        std::tuple{ConflictPolicy::RAW, true, false},
+        std::tuple{ConflictPolicy::WAW, false, true},
+        std::tuple{ConflictPolicy::NONE, false, false}}) {
+    ConflictDetector D(Policy);
+    D.recordCommit(WritesX); // earlier committer wrote X
+    EXPECT_EQ(D.hasConflict(ReadsX, WritesY), ReadConflicts)
+        << conflictPolicyName(Policy) << " read-vs-write";
+    EXPECT_EQ(D.hasConflict(Empty, WritesX), WriteConflicts)
+        << conflictPolicyName(Policy) << " write-vs-write";
+    EXPECT_FALSE(D.hasConflict(setOf({&Y}), WritesY))
+        << conflictPolicyName(Policy) << " disjoint";
+  }
+}
+
+TEST(ConflictDetectorTest, ResetRoundForgetsCommitters) {
+  double X = 0;
+  ConflictDetector D(ConflictPolicy::WAW);
+  D.recordCommit(setOf({&X}));
+  EXPECT_TRUE(D.hasConflict(AccessSet(), setOf({&X})));
+  D.resetRound();
+  EXPECT_FALSE(D.hasConflict(AccessSet(), setOf({&X})));
+}
+
+//===----------------------------------------------------------------------===
+// TxnContext
+//===----------------------------------------------------------------------===
+
+TEST(TxnContextTest, PassthroughWritesDirectly) {
+  LoopSpec Spec;
+  TxnContext Ctx(ContextMode::Passthrough, nullptr, &Spec, nullptr, 0);
+  double X = 1.0;
+  Ctx.store(&X, 2.0);
+  EXPECT_EQ(X, 2.0);
+  EXPECT_EQ(Ctx.load(&X), 2.0);
+}
+
+TEST(TxnContextTest, WritesUnwindOnSuspendAndReplayOnCommit) {
+  LoopSpec Spec;
+  RuntimeParams Params;
+  Params.Conflict = ConflictPolicy::WAW;
+  TxnContext Ctx(ContextMode::Transactional, &Params, &Spec, nullptr, 1);
+  Ctx.beginTxn();
+  double X = 1.0;
+  Ctx.store(&X, 2.0);
+  EXPECT_EQ(X, 2.0) << "direct write during execution (COW-style)";
+  EXPECT_EQ(Ctx.load(&X), 2.0) << "read-your-own-writes";
+  Ctx.suspendTxn();
+  EXPECT_EQ(X, 1.0) << "snapshot restored at the execution barrier";
+  Ctx.commitTxn();
+  EXPECT_EQ(X, 2.0) << "redo replays the final value";
+}
+
+TEST(TxnContextTest, OverlappingWritesUnwindCorrectly) {
+  LoopSpec Spec;
+  RuntimeParams Params;
+  Params.Conflict = ConflictPolicy::WAW;
+  TxnContext Ctx(ContextMode::Transactional, &Params, &Spec, nullptr, 1);
+  Ctx.beginTxn();
+  struct Pair {
+    double A;
+    double B;
+  };
+  Pair P = {1.0, 2.0};
+  Ctx.store(&P.A, 10.0);             // narrow write first
+  Ctx.store(&P, Pair{20.0, 30.0});   // enclosing write second
+  Ctx.store(&P.B, 40.0);             // narrow write inside the wide one
+  EXPECT_EQ(P.A, 20.0);
+  EXPECT_EQ(P.B, 40.0);
+  Ctx.suspendTxn();
+  EXPECT_EQ(P.A, 1.0) << "reverse-order unwind restores the snapshot";
+  EXPECT_EQ(P.B, 2.0);
+  Ctx.commitTxn();
+  EXPECT_EQ(P.A, 20.0) << "forward replay rebuilds the final state";
+  EXPECT_EQ(P.B, 40.0);
+}
+
+TEST(TxnContextTest, AbortAfterSuspendLeavesSnapshot) {
+  LoopSpec Spec;
+  RuntimeParams Params;
+  TxnContext Ctx(ContextMode::Transactional, &Params, &Spec, nullptr, 1);
+  Ctx.beginTxn();
+  double X = 1.0;
+  Ctx.store(&X, 2.0);
+  Ctx.suspendTxn();
+  Ctx.abortTxn();
+  EXPECT_EQ(X, 1.0);
+}
+
+TEST(TxnContextTest, ReadTrackingFollowsPolicy) {
+  LoopSpec Spec;
+  double X = 0;
+
+  RuntimeParams Raw;
+  Raw.Conflict = ConflictPolicy::RAW;
+  TxnContext CtxRaw(ContextMode::Transactional, &Raw, &Spec, nullptr, 1);
+  CtxRaw.beginTxn();
+  (void)CtxRaw.load(&X);
+  EXPECT_EQ(CtxRaw.readSet().sizeWords(), 1u);
+  EXPECT_EQ(CtxRaw.instrReadCalls(), 1u);
+
+  RuntimeParams Waw;
+  Waw.Conflict = ConflictPolicy::WAW;
+  TxnContext CtxWaw(ContextMode::Transactional, &Waw, &Spec, nullptr, 1);
+  CtxWaw.beginTxn();
+  (void)CtxWaw.load(&X);
+  EXPECT_EQ(CtxWaw.readSet().sizeWords(), 0u)
+      << "StaleReads configurations skip read instrumentation";
+  EXPECT_EQ(CtxWaw.instrReadCalls(), 0u);
+}
+
+TEST(TxnContextTest, StoreInitIsUntrackedButIsolated) {
+  LoopSpec Spec;
+  RuntimeParams Params;
+  Params.Conflict = ConflictPolicy::FULL;
+  TxnContext Ctx(ContextMode::Transactional, &Params, &Spec, nullptr, 1);
+  Ctx.beginTxn();
+  double X = 1.0;
+  Ctx.storeInit(&X, 5.0);
+  EXPECT_EQ(Ctx.writeSet().sizeWords(), 0u)
+      << "fresh data is exempt from conflict tracking";
+  EXPECT_EQ(X, 5.0);
+  Ctx.suspendTxn();
+  EXPECT_EQ(X, 1.0);
+  Ctx.commitTxn();
+  EXPECT_EQ(X, 5.0);
+}
+
+TEST(TxnContextTest, ReadRangeOverlaysOwnWrites) {
+  LoopSpec Spec;
+  RuntimeParams Params;
+  Params.Conflict = ConflictPolicy::WAW;
+  TxnContext Ctx(ContextMode::Transactional, &Params, &Spec, nullptr, 1);
+  Ctx.beginTxn();
+  std::vector<double> V(4, 1.0);
+  Ctx.store(&V[2], 9.0);
+  std::vector<double> Out(4);
+  Ctx.readRange(V.data(), 4, Out.data());
+  EXPECT_EQ(Out[0], 1.0);
+  EXPECT_EQ(Out[2], 9.0);
+}
+
+TEST(TxnContextTest, RangeCallsCountOnce) {
+  LoopSpec Spec;
+  RuntimeParams Params;
+  Params.Conflict = ConflictPolicy::FULL;
+  TxnContext Ctx(ContextMode::Transactional, &Params, &Spec, nullptr, 1);
+  Ctx.beginTxn();
+  std::vector<double> V(100, 0.0);
+  std::vector<double> Out(100);
+  Ctx.readRange(V.data(), 100, Out.data());
+  EXPECT_EQ(Ctx.instrReadCalls(), 1u)
+      << "range instrumentation is a single call (§4.1)";
+  EXPECT_GE(Ctx.readSet().sizeWords(), 100u);
+}
+
+TEST(TxnContextTest, ReductionSlotMergesAtCommit) {
+  double Delta = 10.0;
+  LoopSpec Spec;
+  Spec.Reductions.push_back({"delta", &Delta, ScalarKind::F64});
+  RuntimeParams Params;
+  Params.Conflict = ConflictPolicy::WAW;
+  Params.Reductions.push_back({0, ReduceOp::Plus});
+  TxnContext Ctx(ContextMode::Transactional, &Params, &Spec, nullptr, 1);
+  Ctx.beginTxn();
+  Ctx.redUpdateF(0, ReduceOp::Plus, 5.0);
+  EXPECT_EQ(Delta, 10.0) << "private until commit";
+  EXPECT_EQ(Ctx.writeSet().sizeWords(), 0u)
+      << "reduction variables are excluded from conflict sets";
+  Ctx.suspendTxn();
+  Ctx.commitTxn();
+  EXPECT_EQ(Delta, 15.0);
+}
+
+TEST(TxnContextTest, InactiveReductionFallsBackToInstrumentedAccess) {
+  double Delta = 10.0;
+  LoopSpec Spec;
+  Spec.Reductions.push_back({"delta", &Delta, ScalarKind::F64});
+  RuntimeParams Params;
+  Params.Conflict = ConflictPolicy::FULL; // no enabled reductions
+  TxnContext Ctx(ContextMode::Transactional, &Params, &Spec, nullptr, 1);
+  Ctx.beginTxn();
+  Ctx.redUpdateF(0, ReduceOp::Plus, 5.0);
+  EXPECT_EQ(Ctx.readSet().sizeWords(), 1u);
+  EXPECT_EQ(Ctx.writeSet().sizeWords(), 1u);
+  Ctx.suspendTxn();
+  EXPECT_EQ(Delta, 10.0);
+  Ctx.commitTxn();
+  EXPECT_EQ(Delta, 15.0);
+}
+
+TEST(TxnContextTest, DeferredFreesApplyOnCommitOnly) {
+  AlterAllocator Alloc(2, 1 << 20);
+  LoopSpec Spec;
+  RuntimeParams Params;
+
+  // Abort: the free must NOT reach the allocator.
+  void *P = Alloc.allocate(0, 64);
+  {
+    TxnContext Ctx(ContextMode::Transactional, &Params, &Spec, &Alloc, 1);
+    Ctx.beginTxn();
+    Ctx.deallocate(P, 64);
+    Ctx.abortTxn();
+  }
+  // P is still considered live; a worker-1 allocation must not reuse it
+  // (worker arenas are disjoint anyway) and a worker-0 allocation of the
+  // same class must not reuse it either because the free was dropped.
+  void *Q = Alloc.allocate(0, 64);
+  EXPECT_NE(Q, P);
+
+  // Commit: the free is applied and the block recycles.
+  {
+    TxnContext Ctx(ContextMode::Transactional, &Params, &Spec, &Alloc, 0);
+    Ctx.beginTxn();
+    Ctx.deallocate(P, 64);
+    Ctx.commitTxn();
+  }
+  void *R = Alloc.allocate(0, 64);
+  EXPECT_EQ(R, P);
+}
+
+TEST(TxnContextTest, AccessSetLimitTrips) {
+  LoopSpec Spec;
+  RuntimeParams Params;
+  Params.Conflict = ConflictPolicy::RAW;
+  TxnLimits Limits;
+  Limits.MaxAccessSetBytes = 4096;
+  TxnContext Ctx(ContextMode::Transactional, &Params, &Spec, nullptr, 1,
+                 Limits);
+  Ctx.beginTxn();
+  std::vector<double> Big(100000);
+  std::vector<double> Out(100000);
+  Ctx.readRange(Big.data(), Big.size(), Out.data());
+  EXPECT_TRUE(Ctx.limitExceeded());
+}
+
+TEST(TxnContextTest, DepProbeDetectsLoopCarriedRaw) {
+  LoopSpec Spec;
+  TxnContext Ctx(ContextMode::DepProbe, nullptr, &Spec, nullptr, 0);
+  std::vector<double> X(4, 0.0);
+  // Iteration 0 writes X[1]; iteration 1 reads X[1]: loop-carried RAW.
+  Ctx.store(&X[1], 1.0);
+  Ctx.finishProbeIteration();
+  (void)Ctx.load(&X[1]);
+  Ctx.finishProbeIteration();
+  EXPECT_TRUE(Ctx.sawLoopCarriedRaw());
+  EXPECT_TRUE(Ctx.sawLoopCarriedDependence());
+}
+
+TEST(TxnContextTest, DepProbeIgnoresIntraIterationReuse) {
+  LoopSpec Spec;
+  TxnContext Ctx(ContextMode::DepProbe, nullptr, &Spec, nullptr, 0);
+  double X = 0;
+  // Same iteration writes then reads X: not loop-carried.
+  Ctx.store(&X, 1.0);
+  (void)Ctx.load(&X);
+  Ctx.finishProbeIteration();
+  (void)X;
+  EXPECT_FALSE(Ctx.sawLoopCarriedDependence());
+}
+
+TEST(TxnContextTest, DepProbeDisjointIterationsReportNoDep) {
+  LoopSpec Spec;
+  TxnContext Ctx(ContextMode::DepProbe, nullptr, &Spec, nullptr, 0);
+  std::vector<double> X(4, 0.0);
+  for (int I = 0; I != 4; ++I) {
+    (void)Ctx.load(&X[I]);
+    Ctx.store(&X[I], 1.0);
+    Ctx.finishProbeIteration();
+  }
+  EXPECT_FALSE(Ctx.sawLoopCarriedDependence());
+}
+
+//===----------------------------------------------------------------------===
+// Executors: shared fixtures
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Chain loop X[i+1] = X[i] + 1: a tight loop-carried RAW chain whose
+/// behavior differs observably across execution models.
+struct ChainLoop {
+  std::vector<double> X;
+
+  explicit ChainLoop(int64_t N) : X(static_cast<size_t>(N) + 1, 0.0) {}
+
+  LoopSpec spec() {
+    LoopSpec S;
+    S.Name = "chain";
+    S.NumIterations = static_cast<int64_t>(X.size()) - 1;
+    S.Body = [this](TxnContext &Ctx, int64_t I) {
+      const double V = Ctx.load(&X[static_cast<size_t>(I)]);
+      Ctx.store(&X[static_cast<size_t>(I) + 1], V + 1.0);
+    };
+    return S;
+  }
+
+  std::vector<double> sequentialResult() const {
+    std::vector<double> R(X.size(), 0.0);
+    for (size_t I = 0; I + 1 != R.size(); ++I)
+      R[I + 1] = R[I] + 1.0;
+    return R;
+  }
+};
+
+/// Sum loop: Sum += A[i] through a reduction binding.
+struct SumLoop {
+  std::vector<double> A;
+  double Sum = 0.0;
+
+  explicit SumLoop(int64_t N) : A(static_cast<size_t>(N)) {
+    for (size_t I = 0; I != A.size(); ++I)
+      A[I] = static_cast<double>(I % 7) + 0.5;
+  }
+
+  LoopSpec spec() {
+    LoopSpec S;
+    S.Name = "sum";
+    S.NumIterations = static_cast<int64_t>(A.size());
+    S.Reductions.push_back({"sum", &Sum, ScalarKind::F64});
+    S.Body = [this](TxnContext &Ctx, int64_t I) {
+      const double V = Ctx.load(&A[static_cast<size_t>(I)]);
+      Ctx.redUpdateF(0, ReduceOp::Plus, V); // source form: sum += V
+    };
+    return S;
+  }
+
+  double expected() const {
+    return std::accumulate(A.begin(), A.end(), 0.0);
+  }
+};
+
+ExecutorConfig makeConfig(ConflictPolicy Conflict, CommitOrderPolicy Order,
+                          unsigned Workers, int Cf) {
+  ExecutorConfig C;
+  C.NumWorkers = Workers;
+  C.Params.Conflict = Conflict;
+  C.Params.CommitOrder = Order;
+  C.Params.ChunkFactor = Cf;
+  return C;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// SequentialExecutor / DependenceProbeExecutor
+//===----------------------------------------------------------------------===
+
+TEST(SequentialExecutorTest, MatchesDirectExecution) {
+  ChainLoop Loop(100);
+  SequentialExecutor Exec;
+  const RunResult R = Exec.run(Loop.spec());
+  EXPECT_TRUE(R.succeeded());
+  EXPECT_EQ(Loop.X, Loop.sequentialResult());
+}
+
+TEST(DependenceProbeTest, FlagsChainLoop) {
+  ChainLoop Loop(50);
+  DependenceProbeExecutor Probe;
+  Probe.run(Loop.spec());
+  EXPECT_TRUE(Probe.report().AnyLoopCarried);
+  EXPECT_TRUE(Probe.report().Raw);
+  EXPECT_EQ(Loop.X, Loop.sequentialResult()) << "probe must not perturb";
+}
+
+TEST(DependenceProbeTest, CleanDoallLoopHasNoDep) {
+  std::vector<double> A(64, 1.0);
+  LoopSpec S;
+  S.NumIterations = 64;
+  S.Body = [&A](TxnContext &Ctx, int64_t I) {
+    const double V = Ctx.load(&A[static_cast<size_t>(I)]);
+    Ctx.store(&A[static_cast<size_t>(I)], V * 2.0);
+  };
+  DependenceProbeExecutor Probe;
+  Probe.run(S);
+  EXPECT_FALSE(Probe.report().AnyLoopCarried);
+}
+
+//===----------------------------------------------------------------------===
+// LockstepExecutor semantics
+//===----------------------------------------------------------------------===
+
+TEST(LockstepTest, DoallLoopIsExact) {
+  std::vector<double> A(257, 3.0);
+  LoopSpec S;
+  S.NumIterations = 257;
+  S.Body = [&A](TxnContext &Ctx, int64_t I) {
+    const double V = Ctx.load(&A[static_cast<size_t>(I)]);
+    Ctx.store(&A[static_cast<size_t>(I)], V + 1.0);
+  };
+  LockstepExecutor Exec(makeConfig(ConflictPolicy::NONE,
+                                   CommitOrderPolicy::OutOfOrder, 4, 16));
+  const RunResult R = Exec.run(S);
+  EXPECT_TRUE(R.succeeded());
+  for (double V : A)
+    EXPECT_EQ(V, 4.0);
+  EXPECT_EQ(R.Stats.NumRetries, 0u);
+  EXPECT_EQ(R.Stats.NumCommitted, (257 + 15) / 16u);
+}
+
+TEST(LockstepTest, TlsPreservesSequentialSemantics) {
+  ChainLoop Loop(64);
+  ExecutorConfig C =
+      makeConfig(ConflictPolicy::RAW, CommitOrderPolicy::InOrder, 4, 1);
+  LockstepExecutor Exec(C);
+  const RunResult R = Exec.run(Loop.spec());
+  EXPECT_TRUE(R.succeeded());
+  EXPECT_EQ(Loop.X, Loop.sequentialResult())
+      << "Theorem 4.3: TLS must equal sequential semantics";
+  EXPECT_GT(R.Stats.NumRetries, 0u) << "the chain must conflict";
+}
+
+TEST(LockstepTest, OutOfOrderRawIsConflictSerializable) {
+  // RAW + OutOfOrder does not promise the sequential result — it promises
+  // equivalence to SOME serial order of the chunks, namely the commit
+  // order. Replay the chunks serially in that order and compare.
+  ChainLoop Parallel(64);
+  const int Cf = 1;
+  LockstepExecutor Exec(makeConfig(ConflictPolicy::RAW,
+                                   CommitOrderPolicy::OutOfOrder, 4, Cf));
+  const RunResult R = Exec.run(Parallel.spec());
+  EXPECT_TRUE(R.succeeded());
+  ASSERT_EQ(R.CommitOrder.size(), 64u);
+
+  ChainLoop Replay(64);
+  LoopSpec ReplaySpec = Replay.spec();
+  TxnContext Ctx(ContextMode::Passthrough, nullptr, &ReplaySpec, nullptr, 0);
+  for (int64_t Chunk : R.CommitOrder) {
+    const int64_t First = Chunk * Cf;
+    const int64_t Last =
+        std::min<int64_t>(First + Cf, ReplaySpec.NumIterations);
+    for (int64_t I = First; I != Last; ++I)
+      ReplaySpec.Body(Ctx, I);
+  }
+  EXPECT_EQ(Parallel.X, Replay.X)
+      << "parallel execution must equal the commit-order serial replay";
+  EXPECT_GT(R.Stats.NumRetries, 0u) << "the chain must conflict under RAW";
+}
+
+TEST(LockstepTest, StaleReadsAdmitsSnapshotValues) {
+  ChainLoop Loop(8);
+  LockstepExecutor Exec(makeConfig(ConflictPolicy::WAW,
+                                   CommitOrderPolicy::OutOfOrder, 2, 1));
+  const RunResult R = Exec.run(Loop.spec());
+  EXPECT_TRUE(R.succeeded());
+  EXPECT_EQ(R.Stats.NumRetries, 0u) << "writes are disjoint under WAW";
+  // Round k executes chunks 2k and 2k+1 against the same snapshot: the
+  // second chunk reads a stale zero-initialized (or older) value.
+  const std::vector<double> Expected = {0, 1, 1, 2, 1, 2, 1, 2, 1};
+  EXPECT_EQ(Loop.X, Expected);
+}
+
+TEST(LockstepTest, StaleReadsIsDeterministic) {
+  std::vector<double> FirstRun;
+  RunStats FirstStats;
+  for (int Trial = 0; Trial != 3; ++Trial) {
+    ChainLoop Loop(200);
+    LockstepExecutor Exec(makeConfig(ConflictPolicy::WAW,
+                                     CommitOrderPolicy::OutOfOrder, 4, 4));
+    const RunResult R = Exec.run(Loop.spec());
+    EXPECT_TRUE(R.succeeded());
+    if (Trial == 0) {
+      FirstRun = Loop.X;
+      FirstStats = R.Stats;
+      continue;
+    }
+    EXPECT_EQ(Loop.X, FirstRun) << "determinism (§4.3)";
+    EXPECT_EQ(R.Stats.NumRetries, FirstStats.NumRetries);
+    EXPECT_EQ(R.Stats.NumRounds, FirstStats.NumRounds);
+  }
+}
+
+TEST(LockstepTest, PlusReductionMatchesSequential) {
+  SumLoop Loop(1000);
+  ExecutorConfig C =
+      makeConfig(ConflictPolicy::WAW, CommitOrderPolicy::OutOfOrder, 4, 16);
+  C.Params.Reductions.push_back({0, ReduceOp::Plus});
+  LockstepExecutor Exec(C);
+  const RunResult R = Exec.run(Loop.spec());
+  EXPECT_TRUE(R.succeeded());
+  EXPECT_DOUBLE_EQ(Loop.Sum, Loop.expected());
+  EXPECT_EQ(R.Stats.NumRetries, 0u)
+      << "reduction variables must not conflict";
+}
+
+TEST(LockstepTest, UnannotatedReductionSerializesButStaysCorrect) {
+  SumLoop Loop(200);
+  // No enabled reduction: the updates are ordinary conflicting accesses.
+  LockstepExecutor Exec(makeConfig(ConflictPolicy::RAW,
+                                   CommitOrderPolicy::OutOfOrder, 4, 4));
+  const RunResult R = Exec.run(Loop.spec());
+  EXPECT_TRUE(R.succeeded());
+  EXPECT_DOUBLE_EQ(Loop.Sum, Loop.expected());
+  EXPECT_GT(R.Stats.NumRetries, 0u);
+}
+
+TEST(LockstepTest, UnannotatedReductionUnderNoneLosesUpdates) {
+  SumLoop Loop(256);
+  LockstepExecutor Exec(makeConfig(ConflictPolicy::NONE,
+                                   CommitOrderPolicy::OutOfOrder, 4, 16));
+  const RunResult R = Exec.run(Loop.spec());
+  EXPECT_TRUE(R.succeeded());
+  EXPECT_LT(Loop.Sum, Loop.expected())
+      << "NONE must exhibit lost updates on a shared accumulator";
+}
+
+TEST(LockstepTest, MaxReduction) {
+  std::vector<double> A(500);
+  for (size_t I = 0; I != A.size(); ++I)
+    A[I] = static_cast<double>((I * 37) % 499);
+  double Max = -1.0;
+  LoopSpec S;
+  S.NumIterations = 500;
+  S.Reductions.push_back({"max", &Max, ScalarKind::F64});
+  S.Body = [&](TxnContext &Ctx, int64_t I) {
+    const double V = Ctx.load(&A[static_cast<size_t>(I)]);
+    Ctx.redUpdateF(0, ReduceOp::Max, V); // source form: max = max(max, V)
+  };
+  ExecutorConfig C =
+      makeConfig(ConflictPolicy::WAW, CommitOrderPolicy::OutOfOrder, 4, 8);
+  C.Params.Reductions.push_back({0, ReduceOp::Max});
+  LockstepExecutor Exec(C);
+  EXPECT_TRUE(Exec.run(S).succeeded());
+  EXPECT_DOUBLE_EQ(Max, *std::max_element(A.begin(), A.end()));
+}
+
+TEST(LockstepTest, MulReduction) {
+  std::vector<double> A = {1.5, 2.0, 0.5, 4.0, 1.25, 2.0, 1.0, 0.25};
+  double Product = 1.0;
+  LoopSpec S;
+  S.NumIterations = static_cast<int64_t>(A.size());
+  S.Reductions.push_back({"prod", &Product, ScalarKind::F64});
+  S.Body = [&](TxnContext &Ctx, int64_t I) {
+    Ctx.redUpdateF(0, ReduceOp::Mul, A[static_cast<size_t>(I)]);
+  };
+  ExecutorConfig C =
+      makeConfig(ConflictPolicy::WAW, CommitOrderPolicy::OutOfOrder, 4, 1);
+  C.Params.Reductions.push_back({0, ReduceOp::Mul});
+  LockstepExecutor Exec(C);
+  EXPECT_TRUE(Exec.run(S).succeeded());
+  double Expected = 1.0;
+  for (double V : A)
+    Expected *= V;
+  EXPECT_DOUBLE_EQ(Product, Expected);
+}
+
+TEST(LockstepTest, CrashOnAccessSetCap) {
+  std::vector<double> Big(200000, 1.0);
+  LoopSpec S;
+  S.NumIterations = 8;
+  S.Body = [&](TxnContext &Ctx, int64_t) {
+    std::vector<double> Out(Big.size());
+    Ctx.readRange(Big.data(), Big.size(), Out.data());
+  };
+  ExecutorConfig C =
+      makeConfig(ConflictPolicy::RAW, CommitOrderPolicy::OutOfOrder, 2, 1);
+  C.Limits.MaxAccessSetBytes = 64 * 1024;
+  LockstepExecutor Exec(C);
+  const RunResult R = Exec.run(S);
+  EXPECT_EQ(R.Status, RunStatus::Crash);
+}
+
+TEST(LockstepTest, TimeoutAgainstBaseline) {
+  ChainLoop Loop(512);
+  ExecutorConfig C =
+      makeConfig(ConflictPolicy::RAW, CommitOrderPolicy::InOrder, 4, 1);
+  C.SeqBaselineNs = 1; // absurdly small baseline: everything times out
+  LockstepExecutor Exec(C);
+  const RunResult R = Exec.run(Loop.spec());
+  EXPECT_EQ(R.Status, RunStatus::Timeout);
+}
+
+TEST(LockstepTest, SingleWorkerEqualsSequentialForAnyPolicy) {
+  for (ConflictPolicy Policy :
+       {ConflictPolicy::FULL, ConflictPolicy::RAW, ConflictPolicy::WAW,
+        ConflictPolicy::NONE}) {
+    ChainLoop Loop(64);
+    LockstepExecutor Exec(
+        makeConfig(Policy, CommitOrderPolicy::OutOfOrder, 1, 4));
+    EXPECT_TRUE(Exec.run(Loop.spec()).succeeded());
+    EXPECT_EQ(Loop.X, Loop.sequentialResult())
+        << "P=1 must be sequential under " << conflictPolicyName(Policy);
+  }
+}
+
+TEST(LockstepTest, StatsAccounting) {
+  std::vector<double> A(64, 0.0);
+  LoopSpec S;
+  S.NumIterations = 64;
+  S.Body = [&A](TxnContext &Ctx, int64_t I) {
+    Ctx.store(&A[static_cast<size_t>(I)], 1.0);
+  };
+  LockstepExecutor Exec(makeConfig(ConflictPolicy::WAW,
+                                   CommitOrderPolicy::OutOfOrder, 4, 8));
+  const RunResult R = Exec.run(S);
+  EXPECT_EQ(R.Stats.NumTransactions, 8u);
+  EXPECT_EQ(R.Stats.NumCommitted, 8u);
+  EXPECT_EQ(R.Stats.NumRetries, 0u);
+  EXPECT_EQ(R.Stats.NumRounds, 2u);
+  EXPECT_DOUBLE_EQ(R.Stats.WriteSetWords.mean(), 8.0);
+  EXPECT_GT(R.Stats.SimTimeNs, 0u);
+}
+
+//===----------------------------------------------------------------------===
+// ForkJoinExecutor
+//===----------------------------------------------------------------------===
+
+TEST(ForkJoinTest, DoallLoopIsExact) {
+  std::vector<double> A(100, 3.0);
+  LoopSpec S;
+  S.NumIterations = 100;
+  S.Body = [&A](TxnContext &Ctx, int64_t I) {
+    const double V = Ctx.load(&A[static_cast<size_t>(I)]);
+    Ctx.store(&A[static_cast<size_t>(I)], V + 1.0);
+  };
+  ForkJoinExecutor Exec(makeConfig(ConflictPolicy::NONE,
+                                   CommitOrderPolicy::OutOfOrder, 4, 8));
+  const RunResult R = Exec.run(S);
+  EXPECT_TRUE(R.succeeded());
+  for (double V : A)
+    EXPECT_EQ(V, 4.0);
+}
+
+TEST(ForkJoinTest, MatchesLockstepOnStaleReadsChain) {
+  ChainLoop ForkLoop(60), LockLoop(60);
+  const ExecutorConfig C =
+      makeConfig(ConflictPolicy::WAW, CommitOrderPolicy::OutOfOrder, 3, 2);
+  ForkJoinExecutor Fork(C);
+  LockstepExecutor Lock(C);
+  const RunResult RF = Fork.run(ForkLoop.spec());
+  const RunResult RL = Lock.run(LockLoop.spec());
+  EXPECT_TRUE(RF.succeeded());
+  EXPECT_TRUE(RL.succeeded());
+  EXPECT_EQ(ForkLoop.X, LockLoop.X)
+      << "both engines implement the same deterministic protocol";
+  EXPECT_EQ(RF.Stats.NumRetries, RL.Stats.NumRetries);
+  EXPECT_EQ(RF.Stats.NumCommitted, RL.Stats.NumCommitted);
+}
+
+TEST(ForkJoinTest, MatchesLockstepOnRawChain) {
+  ChainLoop ForkLoop(40), LockLoop(40);
+  const ExecutorConfig C =
+      makeConfig(ConflictPolicy::RAW, CommitOrderPolicy::OutOfOrder, 2, 1);
+  ForkJoinExecutor Fork(C);
+  LockstepExecutor Lock(C);
+  EXPECT_TRUE(Fork.run(ForkLoop.spec()).succeeded());
+  EXPECT_TRUE(Lock.run(LockLoop.spec()).succeeded());
+  EXPECT_EQ(ForkLoop.X, LockLoop.X);
+  EXPECT_EQ(ForkLoop.X, ForkLoop.sequentialResult());
+}
+
+TEST(ForkJoinTest, ReductionsShipAcrossProcesses) {
+  SumLoop Loop(300);
+  ExecutorConfig C =
+      makeConfig(ConflictPolicy::WAW, CommitOrderPolicy::OutOfOrder, 4, 16);
+  C.Params.Reductions.push_back({0, ReduceOp::Plus});
+  ForkJoinExecutor Exec(C);
+  EXPECT_TRUE(Exec.run(Loop.spec()).succeeded());
+  EXPECT_DOUBLE_EQ(Loop.Sum, Loop.expected());
+}
+
+TEST(ForkJoinTest, AllocationsShipAcrossProcesses) {
+  AlterAllocator Alloc(4, 1 << 20);
+  std::vector<int64_t *> Slots(32, nullptr);
+  LoopSpec S;
+  S.NumIterations = 32;
+  S.Body = [&Slots](TxnContext &Ctx, int64_t I) {
+    auto *Cell = static_cast<int64_t *>(Ctx.allocate(sizeof(int64_t)));
+    Ctx.storeInit(Cell, I * 10);
+    Ctx.store(&Slots[static_cast<size_t>(I)], Cell);
+  };
+  ExecutorConfig C =
+      makeConfig(ConflictPolicy::WAW, CommitOrderPolicy::OutOfOrder, 4, 4);
+  C.Allocator = &Alloc;
+  ForkJoinExecutor Exec(C);
+  EXPECT_TRUE(Exec.run(S).succeeded());
+  for (size_t I = 0; I != Slots.size(); ++I) {
+    ASSERT_NE(Slots[I], nullptr);
+    EXPECT_EQ(*Slots[I], static_cast<int64_t>(I) * 10)
+        << "child-allocated object must be visible in the parent";
+  }
+}
+
+TEST(ForkJoinTest, ChildCrashIsReported) {
+  LoopSpec S;
+  S.NumIterations = 4;
+  S.Body = [](TxnContext &, int64_t I) {
+    if (I == 2)
+      _exit(42); // simulate an abnormal child death
+  };
+  ForkJoinExecutor Exec(makeConfig(ConflictPolicy::NONE,
+                                   CommitOrderPolicy::OutOfOrder, 4, 1));
+  const RunResult R = Exec.run(S);
+  EXPECT_EQ(R.Status, RunStatus::Crash);
+  EXPECT_FALSE(R.Detail.empty());
+}
+
+//===----------------------------------------------------------------------===
+// LoopRunner
+//===----------------------------------------------------------------------===
+
+TEST(LoopRunnerTest, SequentialRunnerAccumulates) {
+  SequentialLoopRunner Runner;
+  for (int Outer = 0; Outer != 3; ++Outer) {
+    std::vector<double> A(16, 0.0);
+    LoopSpec S;
+    S.NumIterations = 16;
+    S.Body = [&A](TxnContext &Ctx, int64_t I) {
+      Ctx.store(&A[static_cast<size_t>(I)], 1.0);
+    };
+    EXPECT_TRUE(Runner.runInner(S));
+  }
+  EXPECT_TRUE(Runner.result().succeeded());
+}
+
+TEST(LoopRunnerTest, DeadlineAcrossInvocations) {
+  LockstepExecutor Exec(makeConfig(ConflictPolicy::RAW,
+                                   CommitOrderPolicy::InOrder, 4, 1));
+  ExecutorLoopRunner Runner(Exec, /*SeqBaselineNs=*/1);
+  ChainLoop Loop(256);
+  EXPECT_FALSE(Runner.runInner(Loop.spec()));
+  EXPECT_EQ(Runner.result().Status, RunStatus::Timeout);
+}
+
+TEST(LoopRunnerTest, ProbeRunnerReportsAcrossInvocations) {
+  ProbeLoopRunner Runner;
+  {
+    std::vector<double> A(8, 0.0);
+    LoopSpec S;
+    S.NumIterations = 8;
+    S.Body = [&A](TxnContext &Ctx, int64_t I) {
+      Ctx.store(&A[static_cast<size_t>(I)], 1.0);
+    };
+    EXPECT_TRUE(Runner.runInner(S));
+    EXPECT_FALSE(Runner.report().AnyLoopCarried);
+  }
+  {
+    ChainLoop Loop(8);
+    EXPECT_TRUE(Runner.runInner(Loop.spec()));
+    EXPECT_TRUE(Runner.report().AnyLoopCarried);
+  }
+}
