@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alter_bench_util.dir/BenchUtil.cpp.o"
+  "CMakeFiles/alter_bench_util.dir/BenchUtil.cpp.o.d"
+  "libalter_bench_util.a"
+  "libalter_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alter_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

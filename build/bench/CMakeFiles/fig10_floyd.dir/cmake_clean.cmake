@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_floyd.dir/fig10_floyd.cpp.o"
+  "CMakeFiles/fig10_floyd.dir/fig10_floyd.cpp.o.d"
+  "fig10_floyd"
+  "fig10_floyd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_floyd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_aggloclust.dir/fig12_aggloclust.cpp.o"
+  "CMakeFiles/fig12_aggloclust.dir/fig12_aggloclust.cpp.o.d"
+  "fig12_aggloclust"
+  "fig12_aggloclust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_aggloclust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_nodep.dir/fig13_nodep.cpp.o"
+  "CMakeFiles/fig13_nodep.dir/fig13_nodep.cpp.o.d"
+  "fig13_nodep"
+  "fig13_nodep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_nodep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

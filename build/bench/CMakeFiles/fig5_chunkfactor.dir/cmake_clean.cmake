@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_chunkfactor.dir/fig5_chunkfactor.cpp.o"
+  "CMakeFiles/fig5_chunkfactor.dir/fig5_chunkfactor.cpp.o.d"
+  "fig5_chunkfactor"
+  "fig5_chunkfactor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_chunkfactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

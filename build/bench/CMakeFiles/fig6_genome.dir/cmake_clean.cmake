@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_genome.dir/fig6_genome.cpp.o"
+  "CMakeFiles/fig6_genome.dir/fig6_genome.cpp.o.d"
+  "fig6_genome"
+  "fig6_genome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_genome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ssca2.dir/fig7_ssca2.cpp.o"
+  "CMakeFiles/fig7_ssca2.dir/fig7_ssca2.cpp.o.d"
+  "fig7_ssca2"
+  "fig7_ssca2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ssca2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_kmeans.dir/fig8_kmeans.cpp.o"
+  "CMakeFiles/fig8_kmeans.dir/fig8_kmeans.cpp.o.d"
+  "fig8_kmeans"
+  "fig8_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_gauss_seidel.dir/fig9_gauss_seidel.cpp.o"
+  "CMakeFiles/fig9_gauss_seidel.dir/fig9_gauss_seidel.cpp.o.d"
+  "fig9_gauss_seidel"
+  "fig9_gauss_seidel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_gauss_seidel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_loop_weights.dir/table2_loop_weights.cpp.o"
+  "CMakeFiles/table2_loop_weights.dir/table2_loop_weights.cpp.o.d"
+  "table2_loop_weights"
+  "table2_loop_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_loop_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

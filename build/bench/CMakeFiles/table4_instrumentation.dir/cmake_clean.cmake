@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_instrumentation.dir/table4_instrumentation.cpp.o"
+  "CMakeFiles/table4_instrumentation.dir/table4_instrumentation.cpp.o.d"
+  "table4_instrumentation"
+  "table4_instrumentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

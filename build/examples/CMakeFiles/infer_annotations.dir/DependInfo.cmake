@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/infer_annotations.cpp" "examples/CMakeFiles/infer_annotations.dir/infer_annotations.cpp.o" "gcc" "examples/CMakeFiles/infer_annotations.dir/infer_annotations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/inference/CMakeFiles/alter_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/alter_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/collections/CMakeFiles/alter_collections.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/alter_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/alter_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/alter_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

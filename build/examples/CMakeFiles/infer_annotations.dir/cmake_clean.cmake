@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infer_annotations.dir/infer_annotations.cpp.o"
+  "CMakeFiles/infer_annotations.dir/infer_annotations.cpp.o.d"
+  "infer_annotations"
+  "infer_annotations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infer_annotations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

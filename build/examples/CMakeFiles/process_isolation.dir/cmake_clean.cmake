@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_isolation.dir/process_isolation.cpp.o"
+  "CMakeFiles/process_isolation.dir/process_isolation.cpp.o.d"
+  "process_isolation"
+  "process_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/collections/CMakeFiles/alter_collections.dir/Anchor.cpp.o: \
+ /root/repo/src/collections/Anchor.cpp /usr/include/stdc-predef.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alter_collections.dir/Anchor.cpp.o"
+  "CMakeFiles/alter_collections.dir/Anchor.cpp.o.d"
+  "libalter_collections.a"
+  "libalter_collections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alter_collections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

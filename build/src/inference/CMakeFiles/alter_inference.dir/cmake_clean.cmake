@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alter_inference.dir/InferenceEngine.cpp.o"
+  "CMakeFiles/alter_inference.dir/InferenceEngine.cpp.o.d"
+  "CMakeFiles/alter_inference.dir/Outcome.cpp.o"
+  "CMakeFiles/alter_inference.dir/Outcome.cpp.o.d"
+  "libalter_inference.a"
+  "libalter_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alter_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/AccessSet.cpp" "src/memory/CMakeFiles/alter_memory.dir/AccessSet.cpp.o" "gcc" "src/memory/CMakeFiles/alter_memory.dir/AccessSet.cpp.o.d"
+  "/root/repo/src/memory/AlterAllocator.cpp" "src/memory/CMakeFiles/alter_memory.dir/AlterAllocator.cpp.o" "gcc" "src/memory/CMakeFiles/alter_memory.dir/AlterAllocator.cpp.o.d"
+  "/root/repo/src/memory/WriteLog.cpp" "src/memory/CMakeFiles/alter_memory.dir/WriteLog.cpp.o" "gcc" "src/memory/CMakeFiles/alter_memory.dir/WriteLog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/alter_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alter_memory.dir/AccessSet.cpp.o"
+  "CMakeFiles/alter_memory.dir/AccessSet.cpp.o.d"
+  "CMakeFiles/alter_memory.dir/AlterAllocator.cpp.o"
+  "CMakeFiles/alter_memory.dir/AlterAllocator.cpp.o.d"
+  "CMakeFiles/alter_memory.dir/WriteLog.cpp.o"
+  "CMakeFiles/alter_memory.dir/WriteLog.cpp.o.d"
+  "libalter_memory.a"
+  "libalter_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alter_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

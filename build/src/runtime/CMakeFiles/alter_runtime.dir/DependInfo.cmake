@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/Annotation.cpp" "src/runtime/CMakeFiles/alter_runtime.dir/Annotation.cpp.o" "gcc" "src/runtime/CMakeFiles/alter_runtime.dir/Annotation.cpp.o.d"
+  "/root/repo/src/runtime/ConflictDetector.cpp" "src/runtime/CMakeFiles/alter_runtime.dir/ConflictDetector.cpp.o" "gcc" "src/runtime/CMakeFiles/alter_runtime.dir/ConflictDetector.cpp.o.d"
+  "/root/repo/src/runtime/CostModel.cpp" "src/runtime/CMakeFiles/alter_runtime.dir/CostModel.cpp.o" "gcc" "src/runtime/CMakeFiles/alter_runtime.dir/CostModel.cpp.o.d"
+  "/root/repo/src/runtime/ForkJoinExecutor.cpp" "src/runtime/CMakeFiles/alter_runtime.dir/ForkJoinExecutor.cpp.o" "gcc" "src/runtime/CMakeFiles/alter_runtime.dir/ForkJoinExecutor.cpp.o.d"
+  "/root/repo/src/runtime/LockstepExecutor.cpp" "src/runtime/CMakeFiles/alter_runtime.dir/LockstepExecutor.cpp.o" "gcc" "src/runtime/CMakeFiles/alter_runtime.dir/LockstepExecutor.cpp.o.d"
+  "/root/repo/src/runtime/LoopRunner.cpp" "src/runtime/CMakeFiles/alter_runtime.dir/LoopRunner.cpp.o" "gcc" "src/runtime/CMakeFiles/alter_runtime.dir/LoopRunner.cpp.o.d"
+  "/root/repo/src/runtime/ReductionOps.cpp" "src/runtime/CMakeFiles/alter_runtime.dir/ReductionOps.cpp.o" "gcc" "src/runtime/CMakeFiles/alter_runtime.dir/ReductionOps.cpp.o.d"
+  "/root/repo/src/runtime/RunResult.cpp" "src/runtime/CMakeFiles/alter_runtime.dir/RunResult.cpp.o" "gcc" "src/runtime/CMakeFiles/alter_runtime.dir/RunResult.cpp.o.d"
+  "/root/repo/src/runtime/RuntimeParams.cpp" "src/runtime/CMakeFiles/alter_runtime.dir/RuntimeParams.cpp.o" "gcc" "src/runtime/CMakeFiles/alter_runtime.dir/RuntimeParams.cpp.o.d"
+  "/root/repo/src/runtime/SequentialExecutor.cpp" "src/runtime/CMakeFiles/alter_runtime.dir/SequentialExecutor.cpp.o" "gcc" "src/runtime/CMakeFiles/alter_runtime.dir/SequentialExecutor.cpp.o.d"
+  "/root/repo/src/runtime/TxnContext.cpp" "src/runtime/CMakeFiles/alter_runtime.dir/TxnContext.cpp.o" "gcc" "src/runtime/CMakeFiles/alter_runtime.dir/TxnContext.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memory/CMakeFiles/alter_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/alter_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

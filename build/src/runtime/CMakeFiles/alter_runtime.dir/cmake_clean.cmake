@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alter_runtime.dir/Annotation.cpp.o"
+  "CMakeFiles/alter_runtime.dir/Annotation.cpp.o.d"
+  "CMakeFiles/alter_runtime.dir/ConflictDetector.cpp.o"
+  "CMakeFiles/alter_runtime.dir/ConflictDetector.cpp.o.d"
+  "CMakeFiles/alter_runtime.dir/CostModel.cpp.o"
+  "CMakeFiles/alter_runtime.dir/CostModel.cpp.o.d"
+  "CMakeFiles/alter_runtime.dir/ForkJoinExecutor.cpp.o"
+  "CMakeFiles/alter_runtime.dir/ForkJoinExecutor.cpp.o.d"
+  "CMakeFiles/alter_runtime.dir/LockstepExecutor.cpp.o"
+  "CMakeFiles/alter_runtime.dir/LockstepExecutor.cpp.o.d"
+  "CMakeFiles/alter_runtime.dir/LoopRunner.cpp.o"
+  "CMakeFiles/alter_runtime.dir/LoopRunner.cpp.o.d"
+  "CMakeFiles/alter_runtime.dir/ReductionOps.cpp.o"
+  "CMakeFiles/alter_runtime.dir/ReductionOps.cpp.o.d"
+  "CMakeFiles/alter_runtime.dir/RunResult.cpp.o"
+  "CMakeFiles/alter_runtime.dir/RunResult.cpp.o.d"
+  "CMakeFiles/alter_runtime.dir/RuntimeParams.cpp.o"
+  "CMakeFiles/alter_runtime.dir/RuntimeParams.cpp.o.d"
+  "CMakeFiles/alter_runtime.dir/SequentialExecutor.cpp.o"
+  "CMakeFiles/alter_runtime.dir/SequentialExecutor.cpp.o.d"
+  "CMakeFiles/alter_runtime.dir/TxnContext.cpp.o"
+  "CMakeFiles/alter_runtime.dir/TxnContext.cpp.o.d"
+  "libalter_runtime.a"
+  "libalter_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alter_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

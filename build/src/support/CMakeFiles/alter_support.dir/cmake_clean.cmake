@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alter_support.dir/Error.cpp.o"
+  "CMakeFiles/alter_support.dir/Error.cpp.o.d"
+  "CMakeFiles/alter_support.dir/Format.cpp.o"
+  "CMakeFiles/alter_support.dir/Format.cpp.o.d"
+  "CMakeFiles/alter_support.dir/Random.cpp.o"
+  "CMakeFiles/alter_support.dir/Random.cpp.o.d"
+  "CMakeFiles/alter_support.dir/Stats.cpp.o"
+  "CMakeFiles/alter_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/alter_support.dir/Subprocess.cpp.o"
+  "CMakeFiles/alter_support.dir/Subprocess.cpp.o.d"
+  "CMakeFiles/alter_support.dir/Table.cpp.o"
+  "CMakeFiles/alter_support.dir/Table.cpp.o.d"
+  "CMakeFiles/alter_support.dir/Timer.cpp.o"
+  "CMakeFiles/alter_support.dir/Timer.cpp.o.d"
+  "libalter_support.a"
+  "libalter_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alter_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/AggloClust.cpp" "src/workloads/CMakeFiles/alter_workloads.dir/AggloClust.cpp.o" "gcc" "src/workloads/CMakeFiles/alter_workloads.dir/AggloClust.cpp.o.d"
+  "/root/repo/src/workloads/BarnesHut.cpp" "src/workloads/CMakeFiles/alter_workloads.dir/BarnesHut.cpp.o" "gcc" "src/workloads/CMakeFiles/alter_workloads.dir/BarnesHut.cpp.o.d"
+  "/root/repo/src/workloads/Fft.cpp" "src/workloads/CMakeFiles/alter_workloads.dir/Fft.cpp.o" "gcc" "src/workloads/CMakeFiles/alter_workloads.dir/Fft.cpp.o.d"
+  "/root/repo/src/workloads/Floyd.cpp" "src/workloads/CMakeFiles/alter_workloads.dir/Floyd.cpp.o" "gcc" "src/workloads/CMakeFiles/alter_workloads.dir/Floyd.cpp.o.d"
+  "/root/repo/src/workloads/GaussSeidel.cpp" "src/workloads/CMakeFiles/alter_workloads.dir/GaussSeidel.cpp.o" "gcc" "src/workloads/CMakeFiles/alter_workloads.dir/GaussSeidel.cpp.o.d"
+  "/root/repo/src/workloads/Genome.cpp" "src/workloads/CMakeFiles/alter_workloads.dir/Genome.cpp.o" "gcc" "src/workloads/CMakeFiles/alter_workloads.dir/Genome.cpp.o.d"
+  "/root/repo/src/workloads/Hmm.cpp" "src/workloads/CMakeFiles/alter_workloads.dir/Hmm.cpp.o" "gcc" "src/workloads/CMakeFiles/alter_workloads.dir/Hmm.cpp.o.d"
+  "/root/repo/src/workloads/Kmeans.cpp" "src/workloads/CMakeFiles/alter_workloads.dir/Kmeans.cpp.o" "gcc" "src/workloads/CMakeFiles/alter_workloads.dir/Kmeans.cpp.o.d"
+  "/root/repo/src/workloads/Labyrinth.cpp" "src/workloads/CMakeFiles/alter_workloads.dir/Labyrinth.cpp.o" "gcc" "src/workloads/CMakeFiles/alter_workloads.dir/Labyrinth.cpp.o.d"
+  "/root/repo/src/workloads/ManualBaselines.cpp" "src/workloads/CMakeFiles/alter_workloads.dir/ManualBaselines.cpp.o" "gcc" "src/workloads/CMakeFiles/alter_workloads.dir/ManualBaselines.cpp.o.d"
+  "/root/repo/src/workloads/Registry.cpp" "src/workloads/CMakeFiles/alter_workloads.dir/Registry.cpp.o" "gcc" "src/workloads/CMakeFiles/alter_workloads.dir/Registry.cpp.o.d"
+  "/root/repo/src/workloads/Sg3d.cpp" "src/workloads/CMakeFiles/alter_workloads.dir/Sg3d.cpp.o" "gcc" "src/workloads/CMakeFiles/alter_workloads.dir/Sg3d.cpp.o.d"
+  "/root/repo/src/workloads/Ssca2.cpp" "src/workloads/CMakeFiles/alter_workloads.dir/Ssca2.cpp.o" "gcc" "src/workloads/CMakeFiles/alter_workloads.dir/Ssca2.cpp.o.d"
+  "/root/repo/src/workloads/Workload.cpp" "src/workloads/CMakeFiles/alter_workloads.dir/Workload.cpp.o" "gcc" "src/workloads/CMakeFiles/alter_workloads.dir/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collections/CMakeFiles/alter_collections.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/alter_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/alter_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/alter_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

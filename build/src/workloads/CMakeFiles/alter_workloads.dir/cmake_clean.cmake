@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alter_workloads.dir/AggloClust.cpp.o"
+  "CMakeFiles/alter_workloads.dir/AggloClust.cpp.o.d"
+  "CMakeFiles/alter_workloads.dir/BarnesHut.cpp.o"
+  "CMakeFiles/alter_workloads.dir/BarnesHut.cpp.o.d"
+  "CMakeFiles/alter_workloads.dir/Fft.cpp.o"
+  "CMakeFiles/alter_workloads.dir/Fft.cpp.o.d"
+  "CMakeFiles/alter_workloads.dir/Floyd.cpp.o"
+  "CMakeFiles/alter_workloads.dir/Floyd.cpp.o.d"
+  "CMakeFiles/alter_workloads.dir/GaussSeidel.cpp.o"
+  "CMakeFiles/alter_workloads.dir/GaussSeidel.cpp.o.d"
+  "CMakeFiles/alter_workloads.dir/Genome.cpp.o"
+  "CMakeFiles/alter_workloads.dir/Genome.cpp.o.d"
+  "CMakeFiles/alter_workloads.dir/Hmm.cpp.o"
+  "CMakeFiles/alter_workloads.dir/Hmm.cpp.o.d"
+  "CMakeFiles/alter_workloads.dir/Kmeans.cpp.o"
+  "CMakeFiles/alter_workloads.dir/Kmeans.cpp.o.d"
+  "CMakeFiles/alter_workloads.dir/Labyrinth.cpp.o"
+  "CMakeFiles/alter_workloads.dir/Labyrinth.cpp.o.d"
+  "CMakeFiles/alter_workloads.dir/ManualBaselines.cpp.o"
+  "CMakeFiles/alter_workloads.dir/ManualBaselines.cpp.o.d"
+  "CMakeFiles/alter_workloads.dir/Registry.cpp.o"
+  "CMakeFiles/alter_workloads.dir/Registry.cpp.o.d"
+  "CMakeFiles/alter_workloads.dir/Sg3d.cpp.o"
+  "CMakeFiles/alter_workloads.dir/Sg3d.cpp.o.d"
+  "CMakeFiles/alter_workloads.dir/Ssca2.cpp.o"
+  "CMakeFiles/alter_workloads.dir/Ssca2.cpp.o.d"
+  "CMakeFiles/alter_workloads.dir/Workload.cpp.o"
+  "CMakeFiles/alter_workloads.dir/Workload.cpp.o.d"
+  "libalter_workloads.a"
+  "libalter_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alter_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

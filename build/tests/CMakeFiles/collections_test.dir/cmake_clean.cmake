@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collections_test.dir/CollectionsTest.cpp.o"
+  "CMakeFiles/collections_test.dir/CollectionsTest.cpp.o.d"
+  "collections_test"
+  "collections_test.pdb"
+  "collections_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collections_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

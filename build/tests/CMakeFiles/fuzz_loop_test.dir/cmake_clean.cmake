@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_loop_test.dir/FuzzLoopTest.cpp.o"
+  "CMakeFiles/fuzz_loop_test.dir/FuzzLoopTest.cpp.o.d"
+  "fuzz_loop_test"
+  "fuzz_loop_test.pdb"
+  "fuzz_loop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manual_baseline_test.dir/ManualBaselineTest.cpp.o"
+  "CMakeFiles/manual_baseline_test.dir/ManualBaselineTest.cpp.o.d"
+  "manual_baseline_test"
+  "manual_baseline_test.pdb"
+  "manual_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manual_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

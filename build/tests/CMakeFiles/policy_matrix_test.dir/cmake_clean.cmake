@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_matrix_test.dir/PolicyMatrixTest.cpp.o"
+  "CMakeFiles/policy_matrix_test.dir/PolicyMatrixTest.cpp.o.d"
+  "policy_matrix_test"
+  "policy_matrix_test.pdb"
+  "policy_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
