@@ -6,6 +6,7 @@
 
 #include "bench/BenchUtil.h"
 
+#include "support/Error.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -48,6 +49,7 @@ SweepSeries alter::bench::runSweep(const std::string &Name, size_t InputIndex,
     Point.Status = R.Status;
     Point.SimTimeNs = R.Stats.SimTimeNs;
     Point.RetryRate = R.Stats.retryRate();
+    Point.Stats = R.Stats;
     Point.Speedup = R.Stats.SimTimeNs == 0
                         ? 0.0
                         : static_cast<double>(SeqNs) /
@@ -85,6 +87,9 @@ void alter::bench::printFigure(const std::string &Title,
   for (char C : Title)
     Id += (std::isalnum(static_cast<unsigned char>(C)) ? C : '_');
   maybeWriteCsv(Id, Table);
+  for (const SweepSeries &S : Series)
+    for (const SweepPoint &P : S.Points)
+      jsonAddPoint(Title, S.Label, P);
   if (!PaperNote.empty())
     std::printf("paper: %s\n", PaperNote.c_str());
 }
@@ -97,6 +102,100 @@ void alter::bench::maybeWriteCsv(const std::string &Id,
   const std::string Path = std::string(Dir) + "/" + Id + ".csv";
   Table.writeCsv(Path);
   std::printf("(csv written to %s)\n", Path.c_str());
+}
+
+namespace {
+
+/// One --json record; flattened from (figure, series, point) at append time
+/// so finalize only has to render.
+struct JsonRecord {
+  std::string Figure;
+  std::string Series;
+  SweepPoint Point;
+};
+
+std::string JsonPath;
+std::vector<JsonRecord> JsonRecords;
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20) {
+      Out += strprintf("\\u%04x", C);
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+void alter::bench::initBenchArgs(int argc, char **argv) {
+  for (int I = 1; I != argc; ++I) {
+    const std::string Arg = argv[I];
+    if (Arg == "--json") {
+      if (I + 1 == argc)
+        fatalError("--json requires a path argument");
+      JsonPath = argv[++I];
+    } else if (Arg.rfind("--json=", 0) == 0) {
+      JsonPath = Arg.substr(7);
+    }
+  }
+}
+
+void alter::bench::jsonAddPoint(const std::string &Figure,
+                                const std::string &Series,
+                                const SweepPoint &Point) {
+  if (JsonPath.empty())
+    return;
+  JsonRecords.push_back({Figure, Series, Point});
+}
+
+void alter::bench::finalizeBenchJson() {
+  if (JsonPath.empty())
+    return;
+  std::FILE *F = std::fopen(JsonPath.c_str(), "w");
+  if (!F)
+    fatalError("cannot open --json path " + JsonPath);
+  std::fprintf(F, "{\n  \"records\": [");
+  for (size_t I = 0; I != JsonRecords.size(); ++I) {
+    const JsonRecord &R = JsonRecords[I];
+    const RunStats &S = R.Point.Stats;
+    std::fprintf(
+        F,
+        "%s\n    {\"figure\": \"%s\", \"series\": \"%s\", \"procs\": %u, "
+        "\"status\": \"%s\", \"speedup\": %.6g, \"retry_rate\": %.6g, "
+        "\"sim_time_ns\": %llu, \"real_time_ns\": %llu, "
+        "\"transactions\": %llu, \"committed\": %llu, \"retries\": %llu, "
+        "\"occupancy\": %.6g, \"straggler_stall_ns\": %llu, "
+        "\"wire_bytes\": %llu, \"wire_bytes_raw\": %llu, "
+        "\"wire_compression\": %.6g, \"bloom_checks\": %llu, "
+        "\"bloom_skips\": %llu, \"bloom_false_positives\": %llu, "
+        "\"bloom_fp_rate\": %.6g}",
+        I == 0 ? "" : ",", jsonEscape(R.Figure).c_str(),
+        jsonEscape(R.Series).c_str(), R.Point.NumWorkers,
+        runStatusName(R.Point.Status), R.Point.Speedup, R.Point.RetryRate,
+        static_cast<unsigned long long>(R.Point.SimTimeNs),
+        static_cast<unsigned long long>(S.RealTimeNs),
+        static_cast<unsigned long long>(S.NumTransactions),
+        static_cast<unsigned long long>(S.NumCommitted),
+        static_cast<unsigned long long>(S.NumRetries), S.occupancy(),
+        static_cast<unsigned long long>(S.stragglerStallNs()),
+        static_cast<unsigned long long>(S.WireBytes),
+        static_cast<unsigned long long>(S.WireBytesRaw),
+        S.wireCompressionRatio(),
+        static_cast<unsigned long long>(S.BloomChecks),
+        static_cast<unsigned long long>(S.BloomSkips),
+        static_cast<unsigned long long>(S.BloomFalsePositives),
+        S.bloomFalsePositiveRate());
+  }
+  std::fprintf(F, "\n  ]\n}\n");
+  if (std::fclose(F) != 0)
+    fatalError("write to --json path " + JsonPath + " failed");
+  std::printf("(json written to %s)\n", JsonPath.c_str());
 }
 
 void alter::bench::printHeader(const std::string &Id,

@@ -37,6 +37,9 @@ struct SweepPoint {
   double RetryRate = 0.0;
   uint64_t SimTimeNs = 0;
   RunStatus Status = RunStatus::Success;
+  /// Full per-run statistics, carried into the --json report (transaction
+  /// counts, wire bytes, Bloom prefilter hits, worker occupancy).
+  RunStats Stats;
 };
 
 /// A named speedup series (one line of a paper figure).
@@ -77,6 +80,28 @@ std::string speedupCell(const SweepPoint &Point);
 /// writes \p Table there as <Id>.csv (creating nothing on failure is not
 /// an option: aborts on I/O errors). No-op when the variable is unset.
 void maybeWriteCsv(const std::string &Id, const TextTable &Table);
+
+//===----------------------------------------------------------------------===
+// Machine-readable results (--json)
+//===----------------------------------------------------------------------===
+
+/// Parses the shared harness flags out of \p argv. Currently understood:
+/// `--json <path>` (or `--json=<path>`) arms the JSON report written by
+/// finalizeBenchJson(). Unrecognized arguments are left for the driver.
+/// Call once at the top of main().
+void initBenchArgs(int argc, char **argv);
+
+/// Appends one measured point to the JSON report (no-op unless --json was
+/// given). printFigure() calls this for every point it prints; drivers with
+/// bespoke output call it directly.
+void jsonAddPoint(const std::string &Figure, const std::string &Series,
+                  const SweepPoint &Point);
+
+/// Writes the accumulated report to the --json path as a flat record array
+/// (figure, series, procs, status, speedup, txn stats, wire bytes, Bloom
+/// counters, occupancy). No-op when --json was not given. Call once at the
+/// bottom of main().
+void finalizeBenchJson();
 
 } // namespace bench
 } // namespace alter

@@ -96,7 +96,8 @@ void ablate(const std::string &Name, size_t Input) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchArgs(argc, argv);
   printHeader("Ablation",
               "All eight ConflictPolicy x CommitOrderPolicy combinations "
               "(§4.2's unexplored corners included)");
@@ -110,5 +111,6 @@ int main() {
       "loop) and K-means' tolerance absorbs the lost accumulator updates. "
       "On loops with real write-write races NONE corrupts the output "
       "(Ssca2Test.NonePolicyLosesUpdates proves it).\n");
+  finalizeBenchJson();
   return 0;
 }

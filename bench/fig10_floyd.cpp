@@ -20,7 +20,8 @@
 using namespace alter;
 using namespace alter::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchArgs(argc, argv);
   printHeader("Figure 10", "Floyd-Warshall speedup vs processors");
   const size_t Input = 1;
   const uint64_t SeqNs = measureSequentialNs("floyd", Input);
@@ -32,5 +33,6 @@ int main() {
               "scales to ~2.5x; zero conflicts; exact output");
   std::printf("\nretry rate at 4 workers: %s (paper: 0%%)\n",
               formatPercent(Alter.Points[2].RetryRate).c_str());
+  finalizeBenchJson();
   return 0;
 }

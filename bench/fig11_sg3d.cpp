@@ -22,7 +22,8 @@
 using namespace alter;
 using namespace alter::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchArgs(argc, argv);
   printHeader("Figure 11",
               "SG3D speedup vs processors, max vs + reduction on err");
   const size_t Input = 1;
@@ -51,5 +52,6 @@ int main() {
     std::printf("  %-36s %d sweeps\n", Ann, S.tripCount());
   }
   std::printf("paper: 1670 sweeps (max) -> 2752 sweeps (+)\n");
+  finalizeBenchJson();
   return 0;
 }

@@ -20,7 +20,8 @@
 using namespace alter;
 using namespace alter::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchArgs(argc, argv);
   printHeader("Figure 12", "Agglomerative clustering speedup vs processors");
   const size_t Input = 1;
   const uint64_t SeqNs = measureSequentialNs("aggloclust", Input);
@@ -32,5 +33,6 @@ int main() {
               "modest scaling; StaleReads is the only viable model");
   std::printf("\nretry rate at 4 workers: %s (paper: 3.6%%)\n",
               formatPercent(Alter.Points[2].RetryRate).c_str());
+  finalizeBenchJson();
   return 0;
 }

@@ -21,7 +21,8 @@
 using namespace alter;
 using namespace alter::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchArgs(argc, argv);
   printHeader("Figure 13", "BarnesHut / FFT / HMM speedup vs processors");
   std::vector<SweepSeries> Series;
   for (const char *Name : {"barneshut", "fft", "hmm"}) {
@@ -49,5 +50,6 @@ int main() {
                   ? static_cast<double>(R.Stats.InstrWriteCalls) /
                         static_cast<double>(R.Stats.NumTransactions)
                   : 0.0);
+  finalizeBenchJson();
   return 0;
 }

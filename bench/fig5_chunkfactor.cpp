@@ -22,7 +22,8 @@
 using namespace alter;
 using namespace alter::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchArgs(argc, argv);
   printHeader("Figure 5",
               "K-means time vs chunk factor, four inputs (modeled time at "
               "4 workers)");
@@ -78,5 +79,6 @@ int main() {
     std::printf("doubling search on %s: cf %d\n",
                 W->inputName(Input).c_str(), Found);
   }
+  finalizeBenchJson();
   return 0;
 }

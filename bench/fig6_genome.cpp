@@ -17,7 +17,8 @@
 using namespace alter;
 using namespace alter::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchArgs(argc, argv);
   printHeader("Figure 6", "Genome speedup vs processors (bench input)");
   const size_t Input = 1;
   const uint64_t SeqNs = measureSequentialNs("genome", Input);
@@ -37,5 +38,6 @@ int main() {
   printFigure("Genome (duplicate-segment removal)", Series,
               "StaleReads > OutOfOrder >= TLS; StaleReads reaches ~4.5x at "
               "8 cores; TLS nearly matches OutOfOrder");
+  finalizeBenchJson();
   return 0;
 }

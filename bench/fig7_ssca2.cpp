@@ -17,7 +17,8 @@
 using namespace alter;
 using namespace alter::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchArgs(argc, argv);
   printHeader("Figure 7", "SSCA2 speedup vs processors (bench input)");
   const size_t Input = 1;
   const uint64_t SeqNs = measureSequentialNs("ssca2", Input);
@@ -34,5 +35,6 @@ int main() {
   printFigure("SSCA2 (kernel 1, adjacency scatter)", Series,
               "both models scale; StaleReads > OutOfOrder (read sets of "
               "6340 vs 277 words/txn in the paper's Table 4)");
+  finalizeBenchJson();
   return 0;
 }

@@ -55,7 +55,8 @@ SweepSeries manualSeries(const std::string &Label, uint64_t SeqNs) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchArgs(argc, argv);
   printHeader("Figure 8",
               "K-means speedup vs processors, two cluster counts, vs "
               "manual parallelization");
@@ -104,5 +105,6 @@ int main() {
     std::printf("  %-8s retry %s\n", Probe->inputName(Input).c_str(),
                 formatPercent(R.Stats.retryRate()).c_str());
   }
+  finalizeBenchJson();
   return 0;
 }

@@ -40,7 +40,8 @@ SweepSeries manualFrom(const SweepSeries &Alter, const std::string &Label) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchArgs(argc, argv);
   printHeader("Figure 9",
               "Gauss-Seidel speedup vs processors (dense and sparse), vs "
               "manual multi-copy parallelization");
@@ -91,5 +92,6 @@ int main() {
                 Sparse ? "gssparse" : "gsdense", SeqTrips, W.tripCount(),
                 Sparse ? "20 -> 21" : "16 -> 17");
   }
+  finalizeBenchJson();
   return 0;
 }

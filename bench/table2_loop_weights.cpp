@@ -53,7 +53,8 @@ const char *paperLoopWeight(const std::string &Name) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchArgs(argc, argv);
   printHeader("Table 2", "Benchmark inventory and loop weights");
   TextTable Table({"benchmark", "suite", "inputs", "loop wgt", "paper wgt",
                    "description"});
@@ -78,5 +79,6 @@ int main() {
   Table.printText();
   std::printf("\nLoop weight = sequential time inside the annotated loop / "
               "whole-algorithm time, measured on the test input.\n");
+  finalizeBenchJson();
   return 0;
 }

@@ -21,7 +21,8 @@
 using namespace alter;
 using namespace alter::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchArgs(argc, argv);
   printHeader("Table 3",
               "Annotation inference outcomes (measured vs paper, format "
               "measured[paper])");
@@ -61,5 +62,6 @@ int main() {
   std::printf("Note: the paper's 'timeout' and 'h.c.' are both failure "
               "classifications; which one fires first depends on machine "
               "constants (see EXPERIMENTS.md).\n");
+  finalizeBenchJson();
   return 0;
 }

@@ -56,7 +56,8 @@ const ConfigRow Rows[] = {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  initBenchArgs(argc, argv);
   printHeader("Table 4",
               "Instrumentation details for representative configurations");
   TextTable Table({"configuration", "cf", "txn count", "RW set/txn (words)",
@@ -85,5 +86,6 @@ int main() {
   std::printf("\nShapes to check: StaleReads << OutOfOrder on Genome/SSCA2 "
               "read+write words; zero retries on GSdense/GSsparse/Floyd/"
               "SG3D; K-means retries fall as clusters double.\n");
+  finalizeBenchJson();
   return 0;
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a quick benchmark smoke run.
+#
+# Usage: scripts/check.sh [build-dir]
+#
+# Configures, builds, runs the full ctest suite, then smoke-runs the
+# straggler micro-benchmark (--quick) with a JSON report so the pipelined
+# engine's occupancy/wire stats stay eyeballable on every change.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j
+
+echo "== tier-1 tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== bench smoke (pipeline vs rounds, quick) =="
+JSON_OUT="$BUILD_DIR/pipeline_vs_rounds.quick.json"
+"$BUILD_DIR/bench/pipeline_vs_rounds" --quick --json "$JSON_OUT"
+
+echo "== check.sh: all green =="

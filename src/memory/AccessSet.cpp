@@ -41,6 +41,7 @@ bool AccessSet::insertKey(uintptr_t Key) {
   }
   Table[Slot] = Key;
   Words.push_back(Key);
+  Summary.add(hashKey(Key >> BloomSummary::GranuleShift));
   return true;
 }
 
@@ -91,6 +92,7 @@ size_t AccessSet::memoryFootprintBytes() const {
 void AccessSet::clear() {
   std::fill(Table.begin(), Table.end(), EmptyKey);
   Words.clear();
+  Summary.clear();
 }
 
 void AccessSet::insertWords(const uintptr_t *Keys, size_t Count) {

@@ -7,6 +7,7 @@
 #include "memory/WriteLog.h"
 
 #include "support/Error.h"
+#include "support/Varint.h"
 
 #include <algorithm>
 #include <cassert>
@@ -248,6 +249,49 @@ void WriteLog::serializeTo(uint8_t *Buf) const {
   }
   if (!Data.empty())
     std::memcpy(Buf, Data.data(), Data.size());
+}
+
+void WriteLog::serializeCompact(std::vector<uint8_t> &Out) const {
+  appendVarint(Out, Entries.size());
+  uintptr_t PrevAddr = 0;
+  for (const Entry &E : Entries) {
+    appendVarint(Out, zigzagEncode(static_cast<int64_t>(E.Addr) -
+                                   static_cast<int64_t>(PrevAddr)));
+    appendVarint(Out, E.Size);
+    PrevAddr = E.Addr;
+  }
+  Out.insert(Out.end(), Data.begin(), Data.end());
+}
+
+WriteLog WriteLog::deserializeCompact(const uint8_t *Buf, size_t Len) {
+  WriteLog Log;
+  const uint8_t *P = Buf;
+  const uint8_t *End = Buf + Len;
+  uint64_t Count;
+  if (!readVarint(P, End, Count))
+    fatalError("truncated compact write log header");
+  std::vector<std::pair<uint64_t, uint64_t>> Raw;
+  Raw.reserve(static_cast<size_t>(Count));
+  uint64_t PayloadBytes = 0;
+  int64_t PrevAddr = 0;
+  for (uint64_t I = 0; I != Count; ++I) {
+    uint64_t Delta, Size;
+    if (!readVarint(P, End, Delta) || !readVarint(P, End, Size))
+      fatalError("truncated compact write log entry table");
+    if (Size == 0)
+      fatalError("corrupt compact write log entry size");
+    PrevAddr += zigzagDecode(Delta);
+    Raw.emplace_back(static_cast<uint64_t>(PrevAddr), Size);
+    PayloadBytes += Size;
+  }
+  if (static_cast<uint64_t>(End - P) < PayloadBytes)
+    fatalError("truncated compact write log payload");
+  for (auto [Addr, Size] : Raw) {
+    Log.record(reinterpret_cast<void *>(static_cast<uintptr_t>(Addr)), P,
+               static_cast<size_t>(Size));
+    P += Size;
+  }
+  return Log;
 }
 
 WriteLog WriteLog::deserialize(const uint8_t *Buf, size_t Len) {

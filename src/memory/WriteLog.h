@@ -99,6 +99,18 @@ public:
   /// Reconstructs a log from the flat form produced by serializeTo.
   static WriteLog deserialize(const uint8_t *Buf, size_t Len);
 
+  /// Appends the compressed wire form to \p Out: varint entry count, then
+  /// per entry (in program order, which record() replay requires) the
+  /// zigzag-varint delta of its start address from the previous entry's
+  /// start plus its varint size, then the concatenated payload bytes.
+  /// Sequential stores — the dominant pattern in range-heavy loops like
+  /// Floyd and GaussSeidel — encode in ~2 table bytes per entry instead of
+  /// the raw form's 16.
+  void serializeCompact(std::vector<uint8_t> &Out) const;
+
+  /// Reconstructs a log from serializeCompact's form.
+  static WriteLog deserializeCompact(const uint8_t *Buf, size_t Len);
+
   //===--------------------------------------------------------------------===
   // Undo/redo protocol
   //

@@ -10,23 +10,44 @@
 
 using namespace alter;
 
-bool ConflictDetector::hasConflict(const AccessSet &Reads,
-                                   const AccessSet &Writes) const {
+bool ConflictDetector::setsConflict(const AccessSet &A,
+                                    const AccessSet &B) const {
+  if (A.empty() || B.empty())
+    return false;
+  ++BloomChecks;
+  if (A.summary().disjointWith(B.summary())) {
+    ++BloomSkips;
+    return false;
+  }
+  // The exact check probes the smaller array against the larger table.
+  WordsChecked += A.sizeWords() <= B.sizeWords() ? A.sizeWords()
+                                                 : B.sizeWords();
+  if (A.intersects(B))
+    return true;
+  ++BloomFalsePositives;
+  return false;
+}
+
+bool ConflictDetector::conflictsWith(const AccessSet &Reads,
+                                     const AccessSet &Writes,
+                                     const AccessSet &CommittedSet) const {
   switch (Policy) {
   case ConflictPolicy::NONE:
     return false;
   case ConflictPolicy::RAW:
-    WordsChecked += Reads.sizeWords();
-    return Reads.intersects(CommittedWrites);
+    return setsConflict(Reads, CommittedSet);
   case ConflictPolicy::WAW:
-    WordsChecked += Writes.sizeWords();
-    return Writes.intersects(CommittedWrites);
+    return setsConflict(Writes, CommittedSet);
   case ConflictPolicy::FULL:
-    WordsChecked += Reads.sizeWords() + Writes.sizeWords();
-    return Reads.intersects(CommittedWrites) ||
-           Writes.intersects(CommittedWrites);
+    return setsConflict(Reads, CommittedSet) ||
+           setsConflict(Writes, CommittedSet);
   }
   ALTER_UNREACHABLE("covered switch");
+}
+
+bool ConflictDetector::hasConflict(const AccessSet &Reads,
+                                   const AccessSet &Writes) const {
+  return conflictsWith(Reads, Writes, CommittedWrites);
 }
 
 void ConflictDetector::recordCommit(const AccessSet &Writes) {
@@ -36,3 +57,32 @@ void ConflictDetector::recordCommit(const AccessSet &Writes) {
 }
 
 void ConflictDetector::resetRound() { CommittedWrites.clear(); }
+
+uint64_t ConflictDetector::recordCommitEpoch(const AccessSet &Writes) {
+  ++CommitSeqCounter;
+  // NONE never validates, so storing epochs would only burn memory.
+  if (Policy != ConflictPolicy::NONE && !Writes.empty())
+    Epochs.push_back({CommitSeqCounter, Writes});
+  return CommitSeqCounter;
+}
+
+bool ConflictDetector::hasConflictSince(uint64_t SnapshotSeq,
+                                        const AccessSet &Reads,
+                                        const AccessSet &Writes) const {
+  if (Policy == ConflictPolicy::NONE)
+    return false;
+  // Epochs is ordered by sequence; only commits the transaction missed
+  // (retired after its fork snapshot) can conflict with it.
+  for (const Epoch &E : Epochs) {
+    if (E.Seq <= SnapshotSeq)
+      continue;
+    if (conflictsWith(Reads, Writes, E.Writes))
+      return true;
+  }
+  return false;
+}
+
+void ConflictDetector::pruneEpochsThrough(uint64_t Seq) {
+  while (!Epochs.empty() && Epochs.front().Seq <= Seq)
+    Epochs.pop_front();
+}

@@ -7,226 +7,19 @@
 #include "runtime/ForkJoinExecutor.h"
 
 #include "runtime/ConflictDetector.h"
+#include "runtime/TxnWire.h"
 #include "support/Error.h"
 #include "support/Format.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <cassert>
-#include <cerrno>
-#include <cstring>
 #include <deque>
 #include <sys/wait.h>
 #include <unistd.h>
 #include <vector>
 
 using namespace alter;
-
-namespace {
-
-/// Growable little-endian byte sink for the child→parent commit message.
-class ByteWriter {
-public:
-  void u64(uint64_t V) {
-    const uint8_t *P = reinterpret_cast<const uint8_t *>(&V);
-    Bytes.insert(Bytes.end(), P, P + sizeof(V));
-  }
-
-  void raw(const void *Data, size_t Size) {
-    const uint8_t *P = static_cast<const uint8_t *>(Data);
-    Bytes.insert(Bytes.end(), P, P + Size);
-  }
-
-  const std::vector<uint8_t> &bytes() const { return Bytes; }
-
-private:
-  std::vector<uint8_t> Bytes;
-};
-
-/// Bounds-checked reader for the same message.
-class ByteReader {
-public:
-  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
-
-  uint64_t u64() {
-    uint64_t V;
-    need(sizeof(V));
-    std::memcpy(&V, Data + Pos, sizeof(V));
-    Pos += sizeof(V);
-    return V;
-  }
-
-  const uint8_t *raw(size_t Bytes) {
-    need(Bytes);
-    const uint8_t *P = Data + Pos;
-    Pos += Bytes;
-    return P;
-  }
-
-  bool exhausted() const { return Pos == Size; }
-
-private:
-  void need(size_t Bytes) const {
-    if (Pos + Bytes > Size)
-      fatalError("truncated fork-join commit message");
-  }
-
-  const uint8_t *Data;
-  size_t Size;
-  size_t Pos = 0;
-};
-
-constexpr uint64_t MessageMagic = 0x414c544552ULL; // "ALTER"
-
-/// Everything the parent needs to validate and commit one child's chunk.
-struct ChildReport {
-  bool LimitExceeded = false;
-  uint64_t WorkNs = 0;
-  uint64_t InstrReadCalls = 0;
-  uint64_t InstrWriteCalls = 0;
-  uint64_t BytesRead = 0;
-  uint64_t BytesWritten = 0;
-  uint64_t MemTrafficBytes = 0;
-  uint64_t BumpOffset = 0;
-  AccessSet Reads;
-  AccessSet Writes;
-  WriteLog Log;
-  std::vector<TxnContext::RedSlotState> Slots;
-};
-
-void writeAll(int Fd, const void *Data, size_t Size) {
-  const char *P = static_cast<const char *>(Data);
-  while (Size != 0) {
-    const ssize_t N = ::write(Fd, P, Size);
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      _exit(11); // cannot report further; parent sees an abnormal exit
-    }
-    P += N;
-    Size -= static_cast<size_t>(N);
-  }
-}
-
-std::vector<uint8_t> readAll(int Fd) {
-  std::vector<uint8_t> Out;
-  uint8_t Buf[1 << 16];
-  for (;;) {
-    const ssize_t N = ::read(Fd, Buf, sizeof(Buf));
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      fatalError("read from child pipe failed");
-    }
-    if (N == 0)
-      return Out;
-    Out.insert(Out.end(), Buf, Buf + N);
-  }
-}
-
-void serializeAccessSet(ByteWriter &W, const AccessSet &Set) {
-  W.u64(Set.sizeWords());
-  if (!Set.words().empty())
-    W.raw(Set.words().data(), Set.words().size() * sizeof(uintptr_t));
-}
-
-void deserializeAccessSet(ByteReader &R, AccessSet &Set) {
-  const uint64_t Count = R.u64();
-  if (Count == 0)
-    return;
-  const uint8_t *P = R.raw(Count * sizeof(uintptr_t));
-  Set.insertWords(reinterpret_cast<const uintptr_t *>(P),
-                  static_cast<size_t>(Count));
-}
-
-/// Child side: execute the chunk and emit the commit message on \p Fd.
-void runChild(const LoopSpec &Spec, const ExecutorConfig &Config,
-              unsigned Worker, int64_t FirstIter, int64_t LastIter, int Fd) {
-  TxnContext Ctx(ContextMode::Transactional, &Config.Params, &Spec,
-                 Config.Allocator, Worker, Config.Limits);
-  Ctx.beginTxn();
-  const uint64_t T0 = nowNs();
-  for (int64_t I = FirstIter; I != LastIter; ++I)
-    Spec.Body(Ctx, I);
-  // The serialized log must carry the new values; this address space is
-  // discarded on exit, so no restore is needed.
-  Ctx.captureRedo();
-  const uint64_t WorkNs = nowNs() - T0;
-
-  ByteWriter W;
-  W.u64(MessageMagic);
-  W.u64(Ctx.limitExceeded() ? 1 : 0);
-  W.u64(WorkNs);
-  W.u64(Ctx.instrReadCalls());
-  W.u64(Ctx.instrWriteCalls());
-  W.u64(Ctx.bytesRead());
-  W.u64(Ctx.bytesWritten());
-  W.u64(Ctx.memTrafficBytes());
-  W.u64(Config.Allocator ? Config.Allocator->bumpOffset(Worker) : 0);
-  serializeAccessSet(W, Ctx.readSet());
-  serializeAccessSet(W, Ctx.writeSet());
-  const size_t LogBytes = Ctx.writeLog().serializedSize();
-  W.u64(LogBytes);
-  {
-    std::vector<uint8_t> LogBuf(LogBytes);
-    Ctx.writeLog().serializeTo(LogBuf.data());
-    W.raw(LogBuf.data(), LogBuf.size());
-  }
-  const auto &Slots = Ctx.reductionSlots();
-  W.u64(Slots.size());
-  for (const TxnContext::RedSlotState &S : Slots) {
-    W.u64(S.Touched ? 1 : 0);
-    uint64_t AccBits;
-    std::memcpy(&AccBits, &S.Acc.F, sizeof(AccBits));
-    W.u64(AccBits);
-  }
-  writeAll(Fd, W.bytes().data(), W.bytes().size());
-  ::close(Fd);
-  _exit(0);
-}
-
-/// Parent side: decode one child's message.
-ChildReport decodeReport(const std::vector<uint8_t> &Bytes,
-                         const LoopSpec &Spec, const RuntimeParams &Params) {
-  ByteReader R(Bytes.data(), Bytes.size());
-  if (R.u64() != MessageMagic)
-    fatalError("corrupt fork-join commit message");
-  ChildReport Rep;
-  Rep.LimitExceeded = R.u64() != 0;
-  Rep.WorkNs = R.u64();
-  Rep.InstrReadCalls = R.u64();
-  Rep.InstrWriteCalls = R.u64();
-  Rep.BytesRead = R.u64();
-  Rep.BytesWritten = R.u64();
-  Rep.MemTrafficBytes = R.u64();
-  Rep.BumpOffset = R.u64();
-  deserializeAccessSet(R, Rep.Reads);
-  deserializeAccessSet(R, Rep.Writes);
-  const uint64_t LogBytes = R.u64();
-  const uint8_t *LogData = R.raw(static_cast<size_t>(LogBytes));
-  Rep.Log = WriteLog::deserialize(LogData, static_cast<size_t>(LogBytes));
-  const uint64_t NumSlots = R.u64();
-  if (NumSlots != Spec.Reductions.size())
-    fatalError("fork-join reduction slot count mismatch");
-  Rep.Slots.resize(NumSlots);
-  for (uint64_t I = 0; I != NumSlots; ++I) {
-    TxnContext::RedSlotState &S = Rep.Slots[I];
-    S.Touched = R.u64() != 0;
-    uint64_t AccBits = R.u64();
-    S.Acc.Kind = Spec.Reductions[I].Kind;
-    std::memcpy(&S.Acc.F, &AccBits, sizeof(AccBits));
-    for (const EnabledReduction &E : Params.Reductions) {
-      if (E.BindingIndex == I) {
-        S.Active = true;
-        S.Op = E.Op;
-        S.Custom = E.Custom;
-      }
-    }
-  }
-  return Rep;
-}
-
-} // namespace
 
 ForkJoinExecutor::ForkJoinExecutor(ExecutorConfig Config)
     : Config(std::move(Config)) {
@@ -278,8 +71,8 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
         const int64_t First = RoundChunks[W] * Cf;
         const int64_t Last =
             std::min<int64_t>(First + Cf, Spec.NumIterations);
-        runChild(Spec, Config, /*Worker=*/W + 1, First, Last, Fds[1]);
-        // runChild never returns.
+        runWireChild(Spec, Config, /*Worker=*/W + 1, First, Last, Fds[1]);
+        // runWireChild never returns.
       }
       ::close(Fds[1]);
       Pids[W] = Pid;
@@ -292,7 +85,7 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
     bool ChildCrashed = false;
     std::string CrashDetail;
     for (unsigned W = 0; W != RoundSize; ++W) {
-      std::vector<uint8_t> Bytes = readAll(ReadFds[W]);
+      std::vector<uint8_t> Bytes = readAllFromPipe(ReadFds[W]);
       ::close(ReadFds[W]);
       int Status = 0;
       if (::waitpid(Pids[W], &Status, 0) < 0)
@@ -305,7 +98,7 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
         Reports.emplace_back();
         continue;
       }
-      Reports.push_back(decodeReport(Bytes, Spec, Config.Params));
+      Reports.push_back(decodeChildReport(Bytes, Spec, Config.Params));
       if (Reports.back().LimitExceeded) {
         ChildCrashed = true;
         CrashDetail = strprintf(
@@ -336,6 +129,9 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
       Result.Stats.InstrWriteCalls += Rep.InstrWriteCalls;
       Result.Stats.BytesRead += Rep.BytesRead;
       Result.Stats.BytesWritten += Rep.BytesWritten;
+      Result.Stats.WireBytes += Rep.WireBytes;
+      Result.Stats.WireBytesRaw += Rep.RawWireBytes;
+      Result.Stats.WorkerBusyNs += Rep.WorkNs;
       Costs[W].WorkNs = Rep.WorkNs;
       Costs[W].BytesTouched = Rep.MemTrafficBytes;
 
@@ -372,5 +168,9 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
   }
 
   Result.Stats.RealTimeNs = nowNs() - RealStart;
+  Result.Stats.WorkerSlotNs = Result.Stats.RealTimeNs * P;
+  Result.Stats.BloomChecks = Detector.bloomChecks();
+  Result.Stats.BloomSkips = Detector.bloomSkips();
+  Result.Stats.BloomFalsePositives = Detector.bloomFalsePositives();
   return Result;
 }

@@ -1,0 +1,379 @@
+//===- runtime/PipelineExecutor.cpp ---------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/PipelineExecutor.h"
+
+#include "runtime/ConflictDetector.h"
+#include "runtime/TxnWire.h"
+#include "support/Error.h"
+#include "support/Format.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <deque>
+#include <map>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace alter;
+
+namespace {
+
+/// One worker slot of the pipeline. A slot owns one arena index (slot i
+/// runs children as Worker i+1), so its lifecycle must serialize every use
+/// of that arena:
+///
+///   Free -> Running (child forked) -> Free           (report consumed), or
+///        -> Running -> Reserved (report buffered for in-order retirement,
+///           arena cursor still unadvanced) -> Free    (retired or retried)
+///
+/// Reserved exists only under CommitOrderPolicy::InOrder: a buffered
+/// chunk's allocations live in the slot's arena beyond the child's exit,
+/// and forking another child into the same arena before the buffered chunk
+/// retires would hand out overlapping addresses.
+struct Slot {
+  enum class State { Free, Running, Reserved };
+  State St = State::Free;
+  pid_t Pid = -1;
+  int Fd = -1;
+  int64_t Chunk = -1;
+  uint64_t SnapshotSeq = 0;
+  std::vector<uint8_t> Buf;
+};
+
+/// A decoded report waiting for in-order retirement.
+struct BufferedReport {
+  ChildReport Rep;
+  uint64_t SnapshotSeq = 0;
+  unsigned SlotIdx = 0;
+};
+
+} // namespace
+
+PipelineExecutor::PipelineExecutor(ExecutorConfig Config)
+    : Config(std::move(Config)) {
+  assert(this->Config.NumWorkers >= 1 && "need at least one worker");
+  if (!this->Config.Costs)
+    this->Config.Costs = &CostModel::calibrated();
+}
+
+RunResult PipelineExecutor::run(const LoopSpec &Spec) {
+  assert(Spec.Body && "loop has no body");
+  RunResult Result;
+  const int64_t Cf = Config.Params.ChunkFactor > 0
+                         ? Config.Params.ChunkFactor
+                         : globalChunkFactor();
+  const int64_t NumChunks = (Spec.NumIterations + Cf - 1) / Cf;
+  const unsigned P = Config.NumWorkers;
+  const bool InOrder =
+      Config.Params.CommitOrder == CommitOrderPolicy::InOrder;
+  const uint64_t DeadlineNs =
+      Config.SeqBaselineNs == 0
+          ? 0
+          : static_cast<uint64_t>(Config.TimeoutFactor *
+                                  static_cast<double>(Config.SeqBaselineNs));
+
+  // Pending chunks, kept sorted ascending at all times: initial chunks are
+  // created in order and retried chunks re-enter by sorted insertion, so
+  // the front is always the oldest runnable chunk.
+  std::deque<int64_t> Pending;
+  for (int64_t C = 0; C != NumChunks; ++C)
+    Pending.push_back(C);
+
+  std::vector<Slot> Slots(P);
+  std::map<int64_t, BufferedReport> Arrived; // InOrder retirement buffer
+  std::map<int64_t, unsigned> RetryCount;
+  int64_t NextToRetire = 0; // InOrder: the only chunk allowed to commit
+  int64_t Committed = 0;
+  int64_t DrainChunk = -1; // starvation guard target, -1 when inactive
+
+  ConflictDetector Detector(Config.Params.Conflict);
+  const uint64_t RealStart = nowNs();
+
+  auto finishStats = [&] {
+    Result.Stats.RealTimeNs = nowNs() - RealStart;
+    // Real parallel engine: the modeled clock is the real clock.
+    Result.Stats.SimTimeNs = Result.Stats.RealTimeNs;
+    Result.Stats.WorkerSlotNs = Result.Stats.RealTimeNs * P;
+    Result.Stats.BloomChecks = Detector.bloomChecks();
+    Result.Stats.BloomSkips = Detector.bloomSkips();
+    Result.Stats.BloomFalsePositives = Detector.bloomFalsePositives();
+  };
+
+  auto killInFlight = [&] {
+    for (Slot &S : Slots) {
+      if (S.St != Slot::State::Running)
+        continue;
+      ::kill(S.Pid, SIGKILL);
+      ::close(S.Fd);
+      int Status = 0;
+      ::waitpid(S.Pid, &Status, 0);
+      S.St = Slot::State::Free;
+    }
+  };
+
+  auto insertPending = [&](int64_t Chunk) {
+    Pending.insert(std::lower_bound(Pending.begin(), Pending.end(), Chunk),
+                   Chunk);
+  };
+
+  auto anyRunning = [&] {
+    for (const Slot &S : Slots)
+      if (S.St == Slot::State::Running)
+        return true;
+    return false;
+  };
+
+  auto forkChunk = [&](unsigned SlotIdx, int64_t Chunk) {
+    Slot &S = Slots[SlotIdx];
+    int Fds[2];
+    if (::pipe(Fds) != 0)
+      fatalError("pipe() failed in pipeline executor");
+    const pid_t Pid = ::fork();
+    if (Pid < 0)
+      fatalError("fork() failed in pipeline executor");
+    if (Pid == 0) {
+      ::close(Fds[0]);
+      // Close every other in-flight parent-side read end inherited by this
+      // child so their EOF semantics stay clean.
+      for (const Slot &Other : Slots)
+        if (Other.St == Slot::State::Running)
+          ::close(Other.Fd);
+      const int64_t First = Chunk * Cf;
+      const int64_t Last = std::min<int64_t>(First + Cf, Spec.NumIterations);
+      runWireChild(Spec, Config, /*Worker=*/SlotIdx + 1, First, Last,
+                   Fds[1]);
+      // runWireChild never returns.
+    }
+    ::close(Fds[1]);
+    S.St = Slot::State::Running;
+    S.Pid = Pid;
+    S.Fd = Fds[0];
+    S.Chunk = Chunk;
+    // The child's COW snapshot reflects every commit applied so far; it
+    // must validate against everything that commits after this point.
+    S.SnapshotSeq = Detector.commitSeq();
+    S.Buf.clear();
+  };
+
+  // Keep every slot busy: the continuous feed that replaces the round
+  // barrier. Under the starvation guard only the starving chunk may fork,
+  // and only once the pipeline has drained, which guarantees it validates
+  // against zero concurrent commits and therefore commits.
+  auto fillSlots = [&] {
+    if (DrainChunk >= 0) {
+      if (anyRunning())
+        return;
+      for (unsigned I = 0; I != P; ++I) {
+        if (Slots[I].St != Slot::State::Free)
+          continue;
+        const auto It =
+            std::lower_bound(Pending.begin(), Pending.end(), DrainChunk);
+        assert(It != Pending.end() && *It == DrainChunk &&
+               "drain target must be pending");
+        Pending.erase(It);
+        forkChunk(I, DrainChunk);
+        return;
+      }
+      return;
+    }
+    for (unsigned I = 0; I != P && !Pending.empty(); ++I) {
+      if (Slots[I].St != Slot::State::Free)
+        continue;
+      const int64_t Chunk = Pending.front();
+      Pending.pop_front();
+      forkChunk(I, Chunk);
+    }
+  };
+
+  auto pruneEpochs = [&] {
+    uint64_t MinSnapshot = Detector.commitSeq();
+    for (const Slot &S : Slots)
+      if (S.St == Slot::State::Running)
+        MinSnapshot = std::min(MinSnapshot, S.SnapshotSeq);
+    for (const auto &[Chunk, B] : Arrived)
+      MinSnapshot = std::min(MinSnapshot, B.SnapshotSeq);
+    Detector.pruneEpochsThrough(MinSnapshot);
+  };
+
+  auto commitReport = [&](ChildReport &Rep, int64_t Chunk,
+                          unsigned SlotIdx) {
+    ++Result.Stats.NumCommitted;
+    Detector.recordCommitEpoch(Rep.Writes);
+    // Apply the child's writes verbatim: the ALTER allocator guarantees
+    // address disjointness, so this cannot clobber live parent data.
+    Rep.Log.apply();
+    for (unsigned I = 0; I != Rep.Slots.size(); ++I)
+      if (Rep.Slots[I].Active && Rep.Slots[I].Touched)
+        TxnContext::commitReductionSlot(Spec.Reductions[I], Rep.Slots[I]);
+    if (Config.Allocator)
+      Config.Allocator->advanceBump(SlotIdx + 1, Rep.BumpOffset);
+    Result.CommitOrder.push_back(Chunk);
+    ++Committed;
+    if (Chunk == DrainChunk)
+      DrainChunk = -1;
+    RetryCount.erase(Chunk);
+  };
+
+  auto failReport = [&](int64_t Chunk) {
+    ++Result.Stats.NumRetries;
+    insertPending(Chunk);
+    const unsigned Count = ++RetryCount[Chunk];
+    // InOrder needs no guard: only the oldest unretired chunk validates,
+    // and its solo retry cannot conflict. OutOfOrder chunks can starve
+    // behind a stream of committers, so drain the pipe and run them alone.
+    if (!InOrder && Count >= StarvationRetryLimit && DrainChunk < 0)
+      DrainChunk = Chunk;
+  };
+
+  // Retire buffered reports in ascending chunk order (InOrder only).
+  auto drainArrived = [&] {
+    for (auto It = Arrived.find(NextToRetire); It != Arrived.end();
+         It = Arrived.find(NextToRetire)) {
+      BufferedReport B = std::move(It->second);
+      Arrived.erase(It);
+      Slots[B.SlotIdx].St = Slot::State::Free;
+      if (Detector.hasConflictSince(B.SnapshotSeq, B.Rep.Reads,
+                                    B.Rep.Writes)) {
+        failReport(NextToRetire);
+        break;
+      }
+      commitReport(B.Rep, NextToRetire, B.SlotIdx);
+      ++NextToRetire;
+    }
+  };
+
+  bool Crashed = false;
+  std::string CrashDetail;
+
+  // Parent side of one completed child: reap it, decode its message, and
+  // validate/commit/requeue per the commit-order policy.
+  auto completeSlot = [&](unsigned SlotIdx) {
+    Slot &S = Slots[SlotIdx];
+    ::close(S.Fd);
+    int Status = 0;
+    if (::waitpid(S.Pid, &Status, 0) < 0)
+      fatalError("waitpid() failed in pipeline executor");
+    if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0) {
+      Crashed = true;
+      CrashDetail = strprintf(
+          "worker %u (chunk %lld) terminated abnormally (status 0x%x)",
+          SlotIdx, static_cast<long long>(S.Chunk), Status);
+      S.St = Slot::State::Free;
+      return;
+    }
+    ChildReport Rep = decodeChildReport(S.Buf, Spec, Config.Params);
+    S.Buf.clear();
+    if (Rep.LimitExceeded) {
+      Crashed = true;
+      CrashDetail = strprintf(
+          "worker %u (chunk %lld) exceeded the access-set memory cap",
+          SlotIdx, static_cast<long long>(S.Chunk));
+      S.St = Slot::State::Free;
+      return;
+    }
+    ++Result.Stats.NumTransactions;
+    Result.Stats.ReadSetWords.add(static_cast<double>(Rep.Reads.sizeWords()));
+    Result.Stats.WriteSetWords.add(
+        static_cast<double>(Rep.Writes.sizeWords()));
+    Result.Stats.InstrReadCalls += Rep.InstrReadCalls;
+    Result.Stats.InstrWriteCalls += Rep.InstrWriteCalls;
+    Result.Stats.BytesRead += Rep.BytesRead;
+    Result.Stats.BytesWritten += Rep.BytesWritten;
+    Result.Stats.WireBytes += Rep.WireBytes;
+    Result.Stats.WireBytesRaw += Rep.RawWireBytes;
+    Result.Stats.WorkerBusyNs += Rep.WorkNs;
+
+    if (InOrder && S.Chunk != NextToRetire) {
+      // Too early to retire: park the report, keep the slot's arena
+      // reserved for its allocations, and free the worker for other work.
+      Arrived.emplace(S.Chunk,
+                      BufferedReport{std::move(Rep), S.SnapshotSeq, SlotIdx});
+      S.St = Slot::State::Reserved;
+      return;
+    }
+    S.St = Slot::State::Free;
+    if (Detector.hasConflictSince(S.SnapshotSeq, Rep.Reads, Rep.Writes)) {
+      failReport(S.Chunk);
+      return;
+    }
+    commitReport(Rep, S.Chunk, SlotIdx);
+    if (InOrder) {
+      ++NextToRetire;
+      drainArrived();
+    }
+    pruneEpochs();
+  };
+
+  while (Committed != NumChunks) {
+    fillSlots();
+
+    std::vector<pollfd> Fds;
+    std::vector<unsigned> FdSlots;
+    for (unsigned I = 0; I != P; ++I) {
+      if (Slots[I].St != Slot::State::Running)
+        continue;
+      Fds.push_back({Slots[I].Fd, POLLIN, 0});
+      FdSlots.push_back(I);
+    }
+    assert(!Fds.empty() && "pipeline stalled with work outstanding");
+
+    // With a deadline armed, wake periodically even if no child reports,
+    // so a runaway chunk cannot postpone the timeout check indefinitely.
+    const int PollTimeoutMs = DeadlineNs == 0 ? -1 : 100;
+    int Ready;
+    do {
+      Ready = ::poll(Fds.data(), Fds.size(), PollTimeoutMs);
+    } while (Ready < 0 && errno == EINTR);
+    if (Ready < 0)
+      fatalError("poll() failed in pipeline executor");
+
+    for (size_t F = 0; F != Fds.size(); ++F) {
+      if (!(Fds[F].revents & (POLLIN | POLLHUP | POLLERR)))
+        continue;
+      Slot &S = Slots[FdSlots[F]];
+      uint8_t Buf[1 << 16];
+      const ssize_t N = ::read(S.Fd, Buf, sizeof(Buf));
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        fatalError("read from child pipe failed");
+      }
+      if (N > 0) {
+        S.Buf.insert(S.Buf.end(), Buf, Buf + N);
+        continue;
+      }
+      // EOF: the whole commit message has arrived.
+      completeSlot(FdSlots[F]);
+      if (Crashed) {
+        killInFlight();
+        Result.Status = RunStatus::Crash;
+        Result.Detail = CrashDetail;
+        finishStats();
+        return Result;
+      }
+    }
+
+    if (DeadlineNs != 0 &&
+        AccumulatedSimNs + (nowNs() - RealStart) > DeadlineNs) {
+      killInFlight();
+      Result.Status = RunStatus::Timeout;
+      Result.Detail =
+          "pipelined execution time exceeded the 10x-sequential deadline";
+      finishStats();
+      return Result;
+    }
+  }
+
+  assert(Arrived.empty() && "buffered reports outlived the run");
+  finishStats();
+  return Result;
+}

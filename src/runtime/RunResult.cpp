@@ -35,4 +35,11 @@ void RunStats::merge(const RunStats &Other) {
   BytesWritten += Other.BytesWritten;
   SimTimeNs += Other.SimTimeNs;
   RealTimeNs += Other.RealTimeNs;
+  BloomChecks += Other.BloomChecks;
+  BloomSkips += Other.BloomSkips;
+  BloomFalsePositives += Other.BloomFalsePositives;
+  WireBytes += Other.WireBytes;
+  WireBytesRaw += Other.WireBytesRaw;
+  WorkerBusyNs += Other.WorkerBusyNs;
+  WorkerSlotNs += Other.WorkerSlotNs;
 }

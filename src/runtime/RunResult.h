@@ -64,6 +64,68 @@ struct RunStats {
   /// Real host time spent executing.
   uint64_t RealTimeNs = 0;
 
+  //===--------------------------------------------------------------------===
+  // Commit-path instrumentation (Bloom prefilter + compressed wire format)
+  //===--------------------------------------------------------------------===
+
+  /// Set-pair conflict checks submitted to the Bloom prefilter.
+  uint64_t BloomChecks = 0;
+  /// Checks the prefilter resolved as provably disjoint, skipping the
+  /// word-by-word intersection entirely.
+  uint64_t BloomSkips = 0;
+  /// Checks the prefilter could not resolve but the exact intersection
+  /// found empty (false positives of the filter).
+  uint64_t BloomFalsePositives = 0;
+  /// Bytes actually shipped child -> parent over the commit pipes
+  /// (compressed access sets + write logs).
+  uint64_t WireBytes = 0;
+  /// Bytes the uncompressed wire format would have shipped for the same
+  /// messages; WireBytes / WireBytesRaw is the compression ratio.
+  uint64_t WireBytesRaw = 0;
+
+  //===--------------------------------------------------------------------===
+  // Worker occupancy (straggler accounting)
+  //===--------------------------------------------------------------------===
+
+  /// Worker-ns spent executing chunk bodies (summed across workers).
+  uint64_t WorkerBusyNs = 0;
+  /// Worker-ns of capacity the run had available: NumWorkers x executor
+  /// wall-clock, summed across inner-loop invocations.
+  uint64_t WorkerSlotNs = 0;
+
+  /// Fraction of worker capacity spent executing bodies. The round-barrier
+  /// engine loses occupancy to stragglers (every slot idles until the
+  /// slowest chunk of the round finishes); the pipelined engine refills
+  /// slots the moment they free.
+  double occupancy() const {
+    if (WorkerSlotNs == 0)
+      return 0.0;
+    return static_cast<double>(WorkerBusyNs) /
+           static_cast<double>(WorkerSlotNs);
+  }
+
+  /// Worker-ns of idle capacity (slots waiting on stragglers, forks, and
+  /// commits) while the executor ran.
+  uint64_t stragglerStallNs() const {
+    return WorkerSlotNs > WorkerBusyNs ? WorkerSlotNs - WorkerBusyNs : 0;
+  }
+
+  /// Fraction of Bloom-prefiltered checks that were false positives.
+  double bloomFalsePositiveRate() const {
+    if (BloomChecks == 0)
+      return 0.0;
+    return static_cast<double>(BloomFalsePositives) /
+           static_cast<double>(BloomChecks);
+  }
+
+  /// Wire compression ratio (compressed / raw); 1.0 when nothing shipped.
+  double wireCompressionRatio() const {
+    if (WireBytesRaw == 0)
+      return 1.0;
+    return static_cast<double>(WireBytes) /
+           static_cast<double>(WireBytesRaw);
+  }
+
   /// Fraction of commit attempts that failed (the paper flags > 50% as
   /// "high conflicts").
   double retryRate() const {

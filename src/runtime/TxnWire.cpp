@@ -1,0 +1,294 @@
+//===- runtime/TxnWire.cpp ------------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TxnWire.h"
+
+#include "support/Error.h"
+#include "support/Timer.h"
+#include "support/Varint.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+using namespace alter;
+
+namespace {
+
+/// Growable little-endian byte sink for the child->parent commit message.
+class ByteWriter {
+public:
+  void u64(uint64_t V) {
+    const uint8_t *P = reinterpret_cast<const uint8_t *>(&V);
+    Bytes.insert(Bytes.end(), P, P + sizeof(V));
+  }
+
+  void raw(const void *Data, size_t Size) {
+    const uint8_t *P = static_cast<const uint8_t *>(Data);
+    Bytes.insert(Bytes.end(), P, P + Size);
+  }
+
+  std::vector<uint8_t> &bytes() { return Bytes; }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+/// Bounds-checked reader for the same message.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+
+  uint64_t u64() {
+    uint64_t V;
+    need(sizeof(V));
+    std::memcpy(&V, Data + Pos, sizeof(V));
+    Pos += sizeof(V);
+    return V;
+  }
+
+  uint64_t varint() {
+    const uint8_t *P = Data + Pos;
+    uint64_t V;
+    if (!readVarint(P, Data + Size, V))
+      fatalError("truncated fork-join commit message");
+    Pos = static_cast<size_t>(P - Data);
+    return V;
+  }
+
+  const uint8_t *raw(size_t Bytes) {
+    need(Bytes);
+    const uint8_t *P = Data + Pos;
+    Pos += Bytes;
+    return P;
+  }
+
+  size_t position() const { return Pos; }
+  size_t remaining() const { return Size - Pos; }
+  bool exhausted() const { return Pos == Size; }
+
+private:
+  void need(size_t Bytes) const {
+    // Guard with subtraction: `Pos + Bytes > Size` can wrap to a small
+    // value when a corrupt length field makes Bytes enormous.
+    if (Bytes > Size - Pos)
+      fatalError("truncated fork-join commit message");
+  }
+
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+};
+
+constexpr uint64_t MessageMagic = 0x32414c544552ULL; // "ALTER2"
+
+void writeAllToPipe(int Fd, const void *Data, size_t Size) {
+  const char *P = static_cast<const char *>(Data);
+  while (Size != 0) {
+    const ssize_t N = ::write(Fd, P, Size);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      _exit(11); // cannot report further; parent sees an abnormal exit
+    }
+    P += N;
+    Size -= static_cast<size_t>(N);
+  }
+}
+
+} // namespace
+
+std::vector<uint8_t> alter::readAllFromPipe(int Fd) {
+  std::vector<uint8_t> Out;
+  uint8_t Buf[1 << 16];
+  for (;;) {
+    const ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      fatalError("read from child pipe failed");
+    }
+    if (N == 0)
+      return Out;
+    Out.insert(Out.end(), Buf, Buf + N);
+  }
+}
+
+size_t alter::rawAccessSetBytes(const AccessSet &Set) {
+  return sizeof(uint64_t) + Set.sizeWords() * sizeof(uintptr_t);
+}
+
+void alter::serializeAccessSet(std::vector<uint8_t> &Out,
+                               const AccessSet &Set) {
+  // Bloom summary first, so a future lazy parent could prefilter without
+  // expanding the word list.
+  const BloomSummary &Summary = Set.summary();
+  const uint8_t *SummaryBytes =
+      reinterpret_cast<const uint8_t *>(Summary.Bits);
+  Out.insert(Out.end(), SummaryBytes, SummaryBytes + sizeof(Summary.Bits));
+
+  std::vector<uintptr_t> Sorted(Set.words());
+  std::sort(Sorted.begin(), Sorted.end());
+  appendVarint(Out, Sorted.size());
+
+  // Collapse sorted keys into (gap, length) runs. Gap is measured from the
+  // previous run's end, so contiguous ranges cost a few bytes per run while
+  // scattered keys degrade gracefully to one varint delta each.
+  size_t NumRuns = 0;
+  for (size_t J = 0; J != Sorted.size();) {
+    size_t K = J + 1;
+    while (K != Sorted.size() && Sorted[K] == Sorted[K - 1] + 1)
+      ++K;
+    ++NumRuns;
+    J = K;
+  }
+  appendVarint(Out, NumRuns);
+  uint64_t PrevEnd = 0;
+  size_t I = 0;
+  while (I != Sorted.size()) {
+    size_t K = I + 1;
+    while (K != Sorted.size() && Sorted[K] == Sorted[K - 1] + 1)
+      ++K;
+    const uint64_t Base = static_cast<uint64_t>(Sorted[I]);
+    const uint64_t Len = static_cast<uint64_t>(K - I);
+    appendVarint(Out, Base - PrevEnd);
+    appendVarint(Out, Len - 1);
+    PrevEnd = Base + Len;
+    I = K;
+  }
+}
+
+void alter::deserializeAccessSet(const uint8_t *Data, size_t Size,
+                                 AccessSet &Set, size_t &Consumed) {
+  ByteReader R(Data, Size);
+  // The summary is recomputed from the keys below (bit-identical, since it
+  // depends only on the key set); read past it.
+  R.raw(sizeof(BloomSummary().Bits));
+  const uint64_t Count = R.varint();
+  const uint64_t NumRuns = R.varint();
+  uint64_t Decoded = 0;
+  uint64_t PrevEnd = 0;
+  for (uint64_t Run = 0; Run != NumRuns; ++Run) {
+    const uint64_t Gap = R.varint();
+    const uint64_t Len = R.varint() + 1;
+    const uint64_t Base = PrevEnd + Gap;
+    if (Decoded + Len > Count)
+      fatalError("corrupt access-set run encoding");
+    for (uint64_t K = 0; K != Len; ++K) {
+      const uintptr_t Key = static_cast<uintptr_t>(Base + K);
+      Set.insertWords(&Key, 1);
+    }
+    Decoded += Len;
+    PrevEnd = Base + Len;
+  }
+  if (Decoded != Count)
+    fatalError("access-set word count mismatch");
+  Consumed = R.position();
+}
+
+void alter::runWireChild(const LoopSpec &Spec, const ExecutorConfig &Config,
+                         unsigned Worker, int64_t FirstIter, int64_t LastIter,
+                         int Fd) {
+  TxnContext Ctx(ContextMode::Transactional, &Config.Params, &Spec,
+                 Config.Allocator, Worker, Config.Limits);
+  Ctx.beginTxn();
+  const uint64_t T0 = nowNs();
+  for (int64_t I = FirstIter; I != LastIter; ++I)
+    Spec.Body(Ctx, I);
+  // The serialized log must carry the new values; this address space is
+  // discarded on exit, so no restore is needed.
+  Ctx.captureRedo();
+  const uint64_t WorkNs = nowNs() - T0;
+
+  const auto &Slots = Ctx.reductionSlots();
+  // What the uncompressed format (raw 8-byte word keys, 16-byte write-log
+  // entry table) would have shipped for this same message.
+  const uint64_t RawBytes =
+      9 * sizeof(uint64_t) + rawAccessSetBytes(Ctx.readSet()) +
+      rawAccessSetBytes(Ctx.writeSet()) + sizeof(uint64_t) +
+      Ctx.writeLog().serializedSize() + sizeof(uint64_t) +
+      Slots.size() * 2 * sizeof(uint64_t);
+
+  ByteWriter W;
+  W.u64(MessageMagic);
+  W.u64(Ctx.limitExceeded() ? 1 : 0);
+  W.u64(WorkNs);
+  W.u64(Ctx.instrReadCalls());
+  W.u64(Ctx.instrWriteCalls());
+  W.u64(Ctx.bytesRead());
+  W.u64(Ctx.bytesWritten());
+  W.u64(Ctx.memTrafficBytes());
+  W.u64(Config.Allocator ? Config.Allocator->bumpOffset(Worker) : 0);
+  W.u64(RawBytes);
+  serializeAccessSet(W.bytes(), Ctx.readSet());
+  serializeAccessSet(W.bytes(), Ctx.writeSet());
+  {
+    std::vector<uint8_t> LogBuf;
+    Ctx.writeLog().serializeCompact(LogBuf);
+    W.u64(LogBuf.size());
+    W.raw(LogBuf.data(), LogBuf.size());
+  }
+  W.u64(Slots.size());
+  for (const TxnContext::RedSlotState &S : Slots) {
+    W.u64(S.Touched ? 1 : 0);
+    uint64_t AccBits;
+    std::memcpy(&AccBits, &S.Acc.F, sizeof(AccBits));
+    W.u64(AccBits);
+  }
+  writeAllToPipe(Fd, W.bytes().data(), W.bytes().size());
+  ::close(Fd);
+  _exit(0);
+}
+
+ChildReport alter::decodeChildReport(const std::vector<uint8_t> &Bytes,
+                                     const LoopSpec &Spec,
+                                     const RuntimeParams &Params) {
+  ByteReader R(Bytes.data(), Bytes.size());
+  if (R.u64() != MessageMagic)
+    fatalError("corrupt fork-join commit message");
+  ChildReport Rep;
+  Rep.LimitExceeded = R.u64() != 0;
+  Rep.WorkNs = R.u64();
+  Rep.InstrReadCalls = R.u64();
+  Rep.InstrWriteCalls = R.u64();
+  Rep.BytesRead = R.u64();
+  Rep.BytesWritten = R.u64();
+  Rep.MemTrafficBytes = R.u64();
+  Rep.BumpOffset = R.u64();
+  Rep.RawWireBytes = R.u64();
+  Rep.WireBytes = Bytes.size();
+  size_t Consumed = 0;
+  deserializeAccessSet(Bytes.data() + R.position(), R.remaining(), Rep.Reads,
+                       Consumed);
+  R.raw(Consumed);
+  deserializeAccessSet(Bytes.data() + R.position(), R.remaining(),
+                       Rep.Writes, Consumed);
+  R.raw(Consumed);
+  const uint64_t LogBytes = R.u64();
+  const uint8_t *LogData = R.raw(static_cast<size_t>(LogBytes));
+  Rep.Log =
+      WriteLog::deserializeCompact(LogData, static_cast<size_t>(LogBytes));
+  const uint64_t NumSlots = R.u64();
+  if (NumSlots != Spec.Reductions.size())
+    fatalError("fork-join reduction slot count mismatch");
+  Rep.Slots.resize(NumSlots);
+  for (uint64_t I = 0; I != NumSlots; ++I) {
+    TxnContext::RedSlotState &S = Rep.Slots[I];
+    S.Touched = R.u64() != 0;
+    uint64_t AccBits = R.u64();
+    S.Acc.Kind = Spec.Reductions[I].Kind;
+    std::memcpy(&S.Acc.F, &AccBits, sizeof(AccBits));
+    for (const EnabledReduction &E : Params.Reductions) {
+      if (E.BindingIndex == I) {
+        S.Active = true;
+        S.Op = E.Op;
+        S.Custom = E.Custom;
+      }
+    }
+  }
+  return Rep;
+}

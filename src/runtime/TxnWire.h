@@ -1,0 +1,89 @@
+//===- runtime/TxnWire.h - Child->parent commit wire format -----*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The commit message a forked child ships to its parent, shared by the
+/// round-barrier ForkJoinExecutor and the pipelined PipelineExecutor: the
+/// chunk's access sets, write log, reduction deltas, arena cursor, and
+/// instrumentation counters.
+///
+/// The format is compressed (§4.1 ships these over every commit, so pipe
+/// traffic is a first-order cost):
+///
+///  - access sets carry their Bloom summary followed by the sorted word
+///    keys run-length-encoded as varint (gap, length) pairs — array ranges
+///    instrumented by induction variables collapse to a handful of runs;
+///  - the write log's entry table is delta + varint encoded
+///    (WriteLog::serializeCompact);
+///  - each message reports the byte count the uncompressed format would
+///    have used, so RunStats can expose the compression ratio.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_RUNTIME_TXNWIRE_H
+#define ALTER_RUNTIME_TXNWIRE_H
+
+#include "memory/AccessSet.h"
+#include "memory/WriteLog.h"
+#include "runtime/Executor.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace alter {
+
+/// Everything the parent needs to validate and commit one child's chunk.
+struct ChildReport {
+  bool LimitExceeded = false;
+  uint64_t WorkNs = 0;
+  uint64_t InstrReadCalls = 0;
+  uint64_t InstrWriteCalls = 0;
+  uint64_t BytesRead = 0;
+  uint64_t BytesWritten = 0;
+  uint64_t MemTrafficBytes = 0;
+  uint64_t BumpOffset = 0;
+  /// Bytes the uncompressed wire format would have occupied (child-side
+  /// computation, shipped in the message).
+  uint64_t RawWireBytes = 0;
+  /// Bytes the message actually occupied (parent-side, from the pipe).
+  uint64_t WireBytes = 0;
+  AccessSet Reads;
+  AccessSet Writes;
+  WriteLog Log;
+  std::vector<TxnContext::RedSlotState> Slots;
+};
+
+/// Child side: executes iterations [\p FirstIter, \p LastIter) of \p Spec
+/// transactionally as \p Worker, writes the commit message to \p Fd, and
+/// _exit()s. Never returns.
+[[noreturn]] void runWireChild(const LoopSpec &Spec,
+                               const ExecutorConfig &Config, unsigned Worker,
+                               int64_t FirstIter, int64_t LastIter, int Fd);
+
+/// Parent side: decodes one child's message. Aborts on corrupt input.
+/// Fills every ChildReport field including WireBytes.
+ChildReport decodeChildReport(const std::vector<uint8_t> &Bytes,
+                              const LoopSpec &Spec,
+                              const RuntimeParams &Params);
+
+/// Serializes \p Set in the compressed form (Bloom summary + RLE word
+/// runs). Exposed for tests and size accounting.
+void serializeAccessSet(std::vector<uint8_t> &Out, const AccessSet &Set);
+
+/// Inverse of serializeAccessSet; \p Consumed receives the encoded length.
+/// Aborts on corrupt input.
+void deserializeAccessSet(const uint8_t *Data, size_t Size, AccessSet &Set,
+                          size_t &Consumed);
+
+/// Bytes the uncompressed (8 bytes per word key) access-set format uses.
+size_t rawAccessSetBytes(const AccessSet &Set);
+
+/// Blocking full read of \p Fd until EOF.
+std::vector<uint8_t> readAllFromPipe(int Fd);
+
+} // namespace alter
+
+#endif // ALTER_RUNTIME_TXNWIRE_H

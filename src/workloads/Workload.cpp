@@ -8,6 +8,7 @@
 
 #include "runtime/ForkJoinExecutor.h"
 #include "runtime/LockstepExecutor.h"
+#include "runtime/PipelineExecutor.h"
 #include "support/Timer.h"
 
 using namespace alter;
@@ -54,6 +55,21 @@ RunResult Workload::runForkJoin(const RuntimeParams &Params,
   Config.SeqBaselineNs = SeqBaselineNs;
   Config.Allocator = allocator();
   ForkJoinExecutor Exec(Config);
+  ExecutorLoopRunner Runner(Exec, SeqBaselineNs);
+  run(Runner);
+  return Runner.result();
+}
+
+RunResult Workload::runPipeline(const RuntimeParams &Params,
+                                unsigned NumWorkers, uint64_t SeqBaselineNs,
+                                TxnLimits Limits) {
+  ExecutorConfig Config;
+  Config.NumWorkers = NumWorkers;
+  Config.Params = Params;
+  Config.Limits = Limits;
+  Config.SeqBaselineNs = SeqBaselineNs;
+  Config.Allocator = allocator();
+  PipelineExecutor Exec(Config);
   ExecutorLoopRunner Runner(Exec, SeqBaselineNs);
   run(Runner);
   return Runner.result();

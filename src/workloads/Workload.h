@@ -114,6 +114,11 @@ public:
                         uint64_t SeqBaselineNs = 0,
                         TxnLimits Limits = TxnLimits());
 
+  /// Same, under the pipelined (continuous chunk feed) process engine.
+  RunResult runPipeline(const RuntimeParams &Params, unsigned NumWorkers,
+                        uint64_t SeqBaselineNs = 0,
+                        TxnLimits Limits = TxnLimits());
+
   /// Resolves \p A against this workload's reduction-candidate names and
   /// applies the paper's chunk-factor default when the annotation leaves
   /// it unset.

@@ -1,0 +1,488 @@
+//===- tests/PipelineExecutorTest.cpp - Pipelined engine properties -------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Properties of the pipelined process engine and the compressed wire
+/// format it shares with the round-barrier engine.
+///
+/// The pipeline retires OutOfOrder chunks in arrival order, which is
+/// timing-dependent — so unlike the barriered engines these tests assert
+/// the THEOREM-level guarantees (final-state equivalence, commit-order
+/// serializability, in-order retirement, snapshot-isolation exactness)
+/// rather than bit-identical schedules across engines:
+///
+///  Q1. Conflict-free loops match the sequential result under every
+///      (ConflictPolicy x CommitOrderPolicy) combination, with reductions
+///      enabled, and commit every chunk exactly once.
+///  Q2. RAW/FULL runs equal the serial replay of their own commit order
+///      (Theorems 4.1/4.2), and with InOrder equal sequential semantics
+///      (Theorem 4.3).
+///  Q3. InOrder retires in ascending chunk order regardless of conflicts.
+///  Q4. Forced overlap produces retries, never lost updates.
+///  Q5. A crashing or cap-tripping child surfaces as RunStatus::Crash.
+///  Q6. Real workloads validate() under their paper annotation.
+///
+/// Plus round-trip and compression checks for the RLE access-set and
+/// compact write-log encodings.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/PipelineExecutor.h"
+#include "runtime/TxnWire.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <numeric>
+#include <set>
+#include <unistd.h>
+#include <vector>
+
+using namespace alter;
+
+namespace {
+
+void sleepMs(long Ms) {
+  timespec Ts{0, Ms * 1000000L};
+  while (::nanosleep(&Ts, &Ts) != 0 && errno == EINTR)
+    ;
+}
+
+//===----------------------------------------------------------------------===
+// Wire format round trips
+//===----------------------------------------------------------------------===
+
+std::vector<uintptr_t> sortedWords(const AccessSet &Set) {
+  std::vector<uintptr_t> W = Set.words();
+  std::sort(W.begin(), W.end());
+  return W;
+}
+
+TEST(AccessSetWireTest, ScatteredKeysRoundTrip) {
+  std::vector<double> Pool(4096);
+  AccessSet Set;
+  // Scattered picks with varied strides, plus one contiguous run.
+  for (size_t I = 0; I < Pool.size(); I += 1 + (I * 7) % 61)
+    Set.insert(&Pool[I]);
+  Set.insertRange(&Pool[100], 64 * sizeof(double));
+
+  std::vector<uint8_t> Wire;
+  serializeAccessSet(Wire, Set);
+  AccessSet Back;
+  size_t Consumed = 0;
+  deserializeAccessSet(Wire.data(), Wire.size(), Back, Consumed);
+  EXPECT_EQ(Consumed, Wire.size());
+  EXPECT_EQ(sortedWords(Back), sortedWords(Set));
+  EXPECT_EQ(std::memcmp(Back.summary().Bits, Set.summary().Bits,
+                        sizeof(Set.summary().Bits)),
+            0)
+      << "summary must be reconstructible from the keys alone";
+}
+
+TEST(AccessSetWireTest, EmptySetRoundTrips) {
+  AccessSet Set;
+  std::vector<uint8_t> Wire;
+  serializeAccessSet(Wire, Set);
+  AccessSet Back;
+  size_t Consumed = 0;
+  deserializeAccessSet(Wire.data(), Wire.size(), Back, Consumed);
+  EXPECT_EQ(Consumed, Wire.size());
+  EXPECT_TRUE(Back.empty());
+}
+
+TEST(AccessSetWireTest, ContiguousRangesCompressBelowRaw) {
+  // An induction-variable range: 4096 words in a handful of runs must
+  // serialize far below the 8-bytes-per-word raw form.
+  std::vector<double> Data(4096);
+  AccessSet Set;
+  Set.insertRange(Data.data(), Data.size() * sizeof(double));
+  std::vector<uint8_t> Wire;
+  serializeAccessSet(Wire, Set);
+  EXPECT_LT(Wire.size(), rawAccessSetBytes(Set) / 10)
+      << "range-heavy sets must collapse to a few RLE runs";
+}
+
+TEST(WriteLogCompactTest, RoundTripAppliesIdentically) {
+  std::vector<uint64_t> Target(64, 0);
+  WriteLog Log;
+  // Sequential stores, a stride pattern, a rewrite, and an odd size.
+  for (size_t I = 0; I != 16; ++I) {
+    const uint64_t V = 100 + I;
+    Log.record(&Target[I], &V, sizeof(V));
+  }
+  for (size_t I = 20; I < 40; I += 3) {
+    const uint32_t V = static_cast<uint32_t>(7 * I);
+    Log.record(reinterpret_cast<uint32_t *>(&Target[I]), &V, sizeof(V));
+  }
+  const uint64_t Rewrite = 999;
+  Log.record(&Target[3], &Rewrite, sizeof(Rewrite));
+
+  std::vector<uint8_t> Wire;
+  Log.serializeCompact(Wire);
+  const WriteLog Back = WriteLog::deserializeCompact(Wire.data(), Wire.size());
+  ASSERT_EQ(Back.numEntries(), Log.numEntries());
+
+  std::vector<uint64_t> FromOriginal(64, 0), FromCopy(64, 0);
+  Target = FromOriginal;
+  Log.apply();
+  FromOriginal.assign(Target.begin(), Target.end());
+  std::fill(Target.begin(), Target.end(), 0);
+  Back.apply();
+  FromCopy.assign(Target.begin(), Target.end());
+  EXPECT_EQ(FromCopy, FromOriginal);
+  EXPECT_EQ(FromOriginal[3], 999u) << "program order must be preserved";
+}
+
+TEST(WriteLogCompactTest, SequentialStoresCompressBelowRaw) {
+  std::vector<double> Target(1024);
+  WriteLog Log;
+  for (double &D : Target)
+    Log.record(&D, &D, sizeof(D));
+  std::vector<uint8_t> Wire;
+  Log.serializeCompact(Wire);
+  // Raw form: 16 table bytes/entry + payload. Compact: ~2 + payload.
+  EXPECT_LT(Wire.size(), Log.serializedSize() * 2 / 3);
+}
+
+//===----------------------------------------------------------------------===
+// Policy-matrix properties (Q1-Q3)
+//===----------------------------------------------------------------------===
+
+struct MatrixParam {
+  ConflictPolicy Conflict;
+  CommitOrderPolicy CommitOrder;
+  unsigned Workers;
+  int Cf;
+
+  std::string name() const {
+    std::string Name = conflictPolicyName(Conflict);
+    Name += commitOrderPolicyName(CommitOrder);
+    Name += "W" + std::to_string(Workers) + "Cf" + std::to_string(Cf);
+    return Name;
+  }
+};
+
+std::vector<MatrixParam> allConfigurations() {
+  std::vector<MatrixParam> Params;
+  for (ConflictPolicy Conflict :
+       {ConflictPolicy::FULL, ConflictPolicy::RAW, ConflictPolicy::WAW,
+        ConflictPolicy::NONE})
+    for (CommitOrderPolicy Order :
+         {CommitOrderPolicy::InOrder, CommitOrderPolicy::OutOfOrder})
+      for (unsigned Workers : {2u, 4u})
+        for (int Cf : {1, 5})
+          Params.push_back({Conflict, Order, Workers, Cf});
+  return Params;
+}
+
+/// Same contended shape as PolicyMatrixTest's MixedLoop: neighbor reads,
+/// own writes, a hot shared cell.
+struct MixedLoop {
+  static constexpr int64_t N = 40;
+  std::vector<int64_t> Data;
+  int64_t Hot = 0;
+
+  MixedLoop() : Data(N + 1, 1) {}
+
+  LoopSpec spec() {
+    LoopSpec S;
+    S.Name = "pipeline.mixed";
+    S.NumIterations = N;
+    S.Body = [this](TxnContext &Ctx, int64_t I) {
+      const int64_t Left = Ctx.load(&Data[static_cast<size_t>(I)]);
+      const int64_t Right = Ctx.load(&Data[static_cast<size_t>(I) + 1]);
+      Ctx.store(&Data[static_cast<size_t>(I)], Left + Right + I);
+      if (I % 7 == 0) {
+        const int64_t H = Ctx.load(&Hot);
+        Ctx.store(&Hot, H + I);
+      }
+    };
+    return S;
+  }
+
+  std::vector<int64_t> state() const {
+    std::vector<int64_t> S = Data;
+    S.push_back(Hot);
+    return S;
+  }
+};
+
+class PipelineMatrix : public ::testing::TestWithParam<MatrixParam> {
+protected:
+  ExecutorConfig config() const {
+    ExecutorConfig Config;
+    Config.NumWorkers = GetParam().Workers;
+    Config.Params.Conflict = GetParam().Conflict;
+    Config.Params.CommitOrder = GetParam().CommitOrder;
+    Config.Params.ChunkFactor = GetParam().Cf;
+    return Config;
+  }
+};
+
+// Q1: disjoint writes + an exact reduction match sequential under every
+// combination, and every chunk commits exactly once.
+TEST_P(PipelineMatrix, DisjointLoopWithReductionMatchesSequential) {
+  constexpr int64_t N = 48;
+  std::vector<int64_t> Cells(N, 0);
+  double Sum = 0.0;
+
+  LoopSpec Spec;
+  Spec.NumIterations = N;
+  Spec.Reductions.push_back({"sum", &Sum, ScalarKind::F64});
+  Spec.Body = [&Cells](TxnContext &Ctx, int64_t I) {
+    Ctx.store(&Cells[static_cast<size_t>(I)], I * 3 + 1);
+    // Quarter values are exactly representable: the sum is independent of
+    // commit order, so OutOfOrder arrival timing cannot perturb it.
+    Ctx.redUpdateF(0, ReduceOp::Plus,
+                   static_cast<double>((I * 31) % 97) + 0.25);
+  };
+  ExecutorConfig Config = config();
+  Config.Params.Reductions.push_back({0, ReduceOp::Plus});
+  PipelineExecutor Exec(Config);
+  const RunResult R = Exec.run(Spec);
+  ASSERT_TRUE(R.succeeded()) << R.Detail;
+
+  for (int64_t I = 0; I != N; ++I)
+    EXPECT_EQ(Cells[static_cast<size_t>(I)], I * 3 + 1);
+  double Expected = 0.0;
+  for (int64_t I = 0; I != N; ++I)
+    Expected += static_cast<double>((I * 31) % 97) + 0.25;
+  EXPECT_DOUBLE_EQ(Sum, Expected);
+
+  const int64_t NumChunks = (N + GetParam().Cf - 1) / GetParam().Cf;
+  ASSERT_EQ(R.CommitOrder.size(), static_cast<size_t>(NumChunks));
+  std::set<int64_t> Unique(R.CommitOrder.begin(), R.CommitOrder.end());
+  EXPECT_EQ(Unique.size(), R.CommitOrder.size())
+      << "every chunk commits exactly once";
+  EXPECT_EQ(R.Stats.NumCommitted, static_cast<uint64_t>(NumChunks));
+  EXPECT_GT(R.Stats.WireBytes, 0u);
+  EXPECT_GT(R.Stats.WorkerBusyNs, 0u);
+}
+
+// Q2: commit-order serializability under read-tracking policies.
+TEST_P(PipelineMatrix, ReadTrackingPoliciesAreCommitOrderSerializable) {
+  if (GetParam().Conflict != ConflictPolicy::RAW &&
+      GetParam().Conflict != ConflictPolicy::FULL)
+    GTEST_SKIP() << "serializability is only promised with read tracking";
+
+  MixedLoop Parallel;
+  PipelineExecutor Exec(config());
+  const RunResult R = Exec.run(Parallel.spec());
+  ASSERT_TRUE(R.succeeded()) << R.Detail;
+
+  MixedLoop Replay;
+  LoopSpec Spec = Replay.spec();
+  TxnContext Ctx(ContextMode::Passthrough, nullptr, &Spec, nullptr, 0);
+  for (int64_t Chunk : R.CommitOrder) {
+    const int64_t First = Chunk * GetParam().Cf;
+    const int64_t Last =
+        std::min<int64_t>(First + GetParam().Cf, MixedLoop::N);
+    for (int64_t I = First; I != Last; ++I)
+      Spec.Body(Ctx, I);
+  }
+  EXPECT_EQ(Parallel.state(), Replay.state())
+      << "execution must equal its commit-order serialization";
+}
+
+// Q3: in-order retirement.
+TEST_P(PipelineMatrix, InOrderRetiresInProgramOrder) {
+  if (GetParam().CommitOrder != CommitOrderPolicy::InOrder)
+    GTEST_SKIP() << "property specific to InOrder";
+  MixedLoop Loop;
+  PipelineExecutor Exec(config());
+  const RunResult R = Exec.run(Loop.spec());
+  ASSERT_TRUE(R.succeeded()) << R.Detail;
+  EXPECT_TRUE(std::is_sorted(R.CommitOrder.begin(), R.CommitOrder.end()))
+      << "InOrder must retire chunks in ascending program order";
+}
+
+// Q2b: InOrder + read tracking is Theorem 4.3 — sequential semantics.
+TEST_P(PipelineMatrix, TlsPointMatchesSequential) {
+  if (GetParam().CommitOrder != CommitOrderPolicy::InOrder ||
+      (GetParam().Conflict != ConflictPolicy::RAW &&
+       GetParam().Conflict != ConflictPolicy::FULL))
+    GTEST_SKIP() << "property specific to the Theorem 4.3 corner";
+  MixedLoop Parallel;
+  PipelineExecutor Exec(config());
+  ASSERT_TRUE(Exec.run(Parallel.spec()).succeeded());
+
+  MixedLoop Seq;
+  LoopSpec Spec = Seq.spec();
+  TxnContext Ctx(ContextMode::Passthrough, nullptr, &Spec, nullptr, 0);
+  for (int64_t I = 0; I != MixedLoop::N; ++I)
+    Spec.Body(Ctx, I);
+  EXPECT_EQ(Parallel.state(), Seq.state())
+      << "Theorem 4.3: RAW + InOrder equals sequential semantics";
+}
+
+INSTANTIATE_TEST_SUITE_P(Lattice, PipelineMatrix,
+                         ::testing::ValuesIn(allConfigurations()),
+                         [](const auto &Info) { return Info.param.name(); });
+
+//===----------------------------------------------------------------------===
+// Q4: forced overlap — retries happen and updates are never lost
+//===----------------------------------------------------------------------===
+
+class PipelineForcedRetry
+    : public ::testing::TestWithParam<
+          std::tuple<ConflictPolicy, CommitOrderPolicy>> {};
+
+TEST_P(PipelineForcedRetry, OverlappingIncrementsRetryWithoutLostUpdates) {
+  // Two chunks, two workers, chunk factor 1: both fork before either
+  // commits (each sleeps well past the fork skew), so the second validator
+  // must observe the first's commit and retry. The shared counter stays
+  // exact through the retry.
+  int64_t Shared = 0;
+  LoopSpec Spec;
+  Spec.NumIterations = 2;
+  Spec.Body = [&Shared](TxnContext &Ctx, int64_t) {
+    const int64_t V = Ctx.load(&Shared);
+    sleepMs(30);
+    Ctx.store(&Shared, V + 1);
+  };
+  ExecutorConfig Config;
+  Config.NumWorkers = 2;
+  Config.Params.Conflict = std::get<0>(GetParam());
+  Config.Params.CommitOrder = std::get<1>(GetParam());
+  Config.Params.ChunkFactor = 1;
+  PipelineExecutor Exec(Config);
+  const RunResult R = Exec.run(Spec);
+  ASSERT_TRUE(R.succeeded()) << R.Detail;
+  EXPECT_EQ(Shared, 2) << "no lost update";
+  EXPECT_GE(R.Stats.NumRetries, 1u) << "the overlap must conflict";
+  EXPECT_EQ(R.Stats.NumCommitted, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Overlap, PipelineForcedRetry,
+    ::testing::Combine(::testing::Values(ConflictPolicy::RAW,
+                                         ConflictPolicy::WAW),
+                       ::testing::Values(CommitOrderPolicy::InOrder,
+                                         CommitOrderPolicy::OutOfOrder)),
+    [](const auto &Info) {
+      return std::string(conflictPolicyName(std::get<0>(Info.param))) +
+             commitOrderPolicyName(std::get<1>(Info.param));
+    });
+
+// Livelock guard: a chunk that keeps conflicting under OutOfOrder is
+// eventually drained and run solo, so heavy contention still terminates.
+TEST(PipelineStarvationTest, HeavyContentionTerminatesExactly) {
+  std::vector<int64_t> Cells(2, 0);
+  LoopSpec Spec;
+  Spec.NumIterations = 32;
+  Spec.Body = [&Cells](TxnContext &Ctx, int64_t I) {
+    int64_t *Cell = &Cells[static_cast<size_t>(I % 2)];
+    Ctx.store(Cell, Ctx.load(Cell) + 1);
+  };
+  ExecutorConfig Config;
+  Config.NumWorkers = 4;
+  Config.Params.Conflict = ConflictPolicy::RAW;
+  Config.Params.CommitOrder = CommitOrderPolicy::OutOfOrder;
+  Config.Params.ChunkFactor = 1;
+  PipelineExecutor Exec(Config);
+  const RunResult R = Exec.run(Spec);
+  ASSERT_TRUE(R.succeeded()) << R.Detail;
+  EXPECT_EQ(Cells[0], 16);
+  EXPECT_EQ(Cells[1], 16);
+  EXPECT_EQ(R.Stats.NumCommitted, 32u);
+}
+
+//===----------------------------------------------------------------------===
+// Q5: crash surfacing
+//===----------------------------------------------------------------------===
+
+TEST(PipelineCrashTest, AbnormalChildExitSurfacesAsCrash) {
+  std::vector<int64_t> Cells(8, 0);
+  LoopSpec Spec;
+  Spec.NumIterations = 8;
+  Spec.Body = [&Cells](TxnContext &Ctx, int64_t I) {
+    if (I == 3)
+      ::_exit(7); // only ever runs in a forked child
+    Ctx.store(&Cells[static_cast<size_t>(I)], I);
+  };
+  ExecutorConfig Config;
+  Config.NumWorkers = 4;
+  Config.Params.Conflict = ConflictPolicy::NONE;
+  Config.Params.CommitOrder = CommitOrderPolicy::OutOfOrder;
+  Config.Params.ChunkFactor = 1;
+  PipelineExecutor Exec(Config);
+  const RunResult R = Exec.run(Spec);
+  EXPECT_EQ(R.Status, RunStatus::Crash);
+  EXPECT_FALSE(R.Detail.empty());
+}
+
+TEST(PipelineCrashTest, AccessSetCapSurfacesAsCrash) {
+  std::vector<double> Data(4096);
+  double Sink = 0;
+  LoopSpec Spec;
+  Spec.NumIterations = 4;
+  Spec.Body = [&Data, &Sink](TxnContext &Ctx, int64_t) {
+    double Acc = 0;
+    for (double &D : Data)
+      Acc += Ctx.load(&D);
+    Ctx.store(&Sink, Acc);
+  };
+  ExecutorConfig Config;
+  Config.NumWorkers = 2;
+  Config.Params.Conflict = ConflictPolicy::RAW; // track the huge read set
+  Config.Params.CommitOrder = CommitOrderPolicy::OutOfOrder;
+  Config.Params.ChunkFactor = 1;
+  Config.Limits.MaxAccessSetBytes = 1024;
+  PipelineExecutor Exec(Config);
+  const RunResult R = Exec.run(Spec);
+  EXPECT_EQ(R.Status, RunStatus::Crash);
+}
+
+//===----------------------------------------------------------------------===
+// Q6: real workloads under their paper annotation
+//===----------------------------------------------------------------------===
+
+class PipelineWorkload : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PipelineWorkload, ValidatesUnderPaperAnnotation) {
+  auto Ref = makeWorkload(GetParam());
+  Ref->setUp(0);
+  Ref->runSequential();
+  const std::vector<double> RefSig = Ref->outputSignature();
+
+  auto W = makeWorkload(GetParam());
+  W->setUp(0);
+  const RuntimeParams Params = W->resolveAnnotation(*W->paperAnnotation());
+  const RunResult R = W->runPipeline(Params, /*NumWorkers=*/3);
+  ASSERT_TRUE(R.succeeded()) << R.Detail;
+  EXPECT_TRUE(W->validate(RefSig))
+      << "pipelined run must satisfy the workload's own correctness "
+         "criterion";
+  EXPECT_GT(R.Stats.WireBytes, 0u);
+}
+
+TEST_P(PipelineWorkload, ValidatesUnderTls) {
+  // The InOrder + read-tracking corner (Theorem 4.3) through real state.
+  auto Ref = makeWorkload(GetParam());
+  Ref->setUp(0);
+  Ref->runSequential();
+  const std::vector<double> RefSig = Ref->outputSignature();
+
+  auto W = makeWorkload(GetParam());
+  W->setUp(0);
+  const RuntimeParams Params =
+      paramsForSequentialSpeculation(W->defaultChunkFactor());
+  const RunResult R = W->runPipeline(Params, /*NumWorkers=*/2);
+  ASSERT_TRUE(R.succeeded()) << R.Detail;
+  EXPECT_TRUE(W->validate(RefSig));
+}
+
+// Kept to fast loops: one with reductions enabled (kmeans: + reduction),
+// two without (floyd: StaleReads, genome: OutOfOrder).
+INSTANTIATE_TEST_SUITE_P(Paper, PipelineWorkload,
+                         ::testing::Values("floyd", "kmeans", "genome"),
+                         [](const auto &Info) { return Info.param; });
+
+} // namespace
