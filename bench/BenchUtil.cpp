@@ -174,7 +174,9 @@ void alter::bench::finalizeBenchJson() {
         "\"wire_bytes\": %llu, \"wire_bytes_raw\": %llu, "
         "\"wire_compression\": %.6g, \"bloom_checks\": %llu, "
         "\"bloom_skips\": %llu, \"bloom_false_positives\": %llu, "
-        "\"bloom_fp_rate\": %.6g}",
+        "\"bloom_fp_rate\": %.6g, \"fork_failures\": %llu, "
+        "\"child_crashes\": %llu, \"wire_rejects\": %llu, "
+        "\"recovered\": %s, \"recovered_iterations\": %llu}",
         I == 0 ? "" : ",", jsonEscape(R.Figure).c_str(),
         jsonEscape(R.Series).c_str(), R.Point.NumWorkers,
         runStatusName(R.Point.Status), R.Point.Speedup, R.Point.RetryRate,
@@ -190,7 +192,12 @@ void alter::bench::finalizeBenchJson() {
         static_cast<unsigned long long>(S.BloomChecks),
         static_cast<unsigned long long>(S.BloomSkips),
         static_cast<unsigned long long>(S.BloomFalsePositives),
-        S.bloomFalsePositiveRate());
+        S.bloomFalsePositiveRate(),
+        static_cast<unsigned long long>(S.NumForkFailures),
+        static_cast<unsigned long long>(S.NumChildCrashes),
+        static_cast<unsigned long long>(S.NumWireRejects),
+        S.Recovered ? "true" : "false",
+        static_cast<unsigned long long>(S.RecoveredIterations));
   }
   std::fprintf(F, "\n  ]\n}\n");
   if (std::fclose(F) != 0)

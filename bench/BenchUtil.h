@@ -99,8 +99,8 @@ void jsonAddPoint(const std::string &Figure, const std::string &Series,
 
 /// Writes the accumulated report to the --json path as a flat record array
 /// (figure, series, procs, status, speedup, txn stats, wire bytes, Bloom
-/// counters, occupancy). No-op when --json was not given. Call once at the
-/// bottom of main().
+/// counters, occupancy, fault/recovery counters). No-op when --json was not
+/// given. Call once at the bottom of main().
 void finalizeBenchJson();
 
 } // namespace bench

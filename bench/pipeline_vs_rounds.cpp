@@ -20,12 +20,21 @@
 /// to a few RLE runs) and the Bloom prefilter (disjoint sets short-circuit
 /// before any word-by-word intersection).
 ///
+/// With --fault the harness additionally measures each engine through the
+/// sequential-recovery driver with persistent injected faults (a child
+/// SIGKILL, a truncated commit pipe, and a bit-flipped report): the run
+/// still completes with the exact sequential output, and the --json report
+/// records the recovered-run wall clock alongside the clean-run one
+/// ("<engine>-fault" vs "<engine>" series, recovered=true/false).
+///
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
 #include "runtime/ForkJoinExecutor.h"
+#include "runtime/LoopRunner.h"
 #include "runtime/PipelineExecutor.h"
 #include "support/Error.h"
+#include "support/FaultInjection.h"
 #include "support/Format.h"
 
 #include <cerrno>
@@ -115,14 +124,51 @@ SweepPoint measure(StragglerLoop &Loop, Executor &Exec, unsigned P,
   return Point;
 }
 
+/// Measures \p Exec through the sequential-recovery driver with persistent
+/// faults armed at three chunks. Every fault is sticky, so the engine's own
+/// per-chunk retries cannot absorb it: the run is forced through the
+/// sequential fallback and must still reproduce the reference output.
+SweepPoint measureRecovering(StragglerLoop &Loop, Executor &Exec, unsigned P,
+                             const std::vector<double> &Ref) {
+  Loop.reset();
+  FaultPlan::global().clear();
+  FaultPlan::global().arm(FaultKind::ChildKill, 1, /*Sticky=*/true);
+  FaultPlan::global().arm(FaultKind::PipeTruncate, 3, /*Sticky=*/true);
+  FaultPlan::global().arm(FaultKind::BitFlip, 5, /*Sticky=*/true);
+  LoopSpec Spec = Loop.spec();
+  RecoveringLoopRunner Runner(Exec);
+  Runner.runInner(Spec);
+  FaultPlan::global().clear();
+  const RunResult &R = Runner.result();
+  if (R.Status != RunStatus::Success)
+    fatalError(std::string("recovering straggler loop failed: ") +
+               runStatusName(R.Status));
+  if (!R.Stats.Recovered)
+    fatalError("injected faults did not trigger sequential recovery");
+  if (std::memcmp(Loop.Out.data(), Ref.data(),
+                  Ref.size() * sizeof(double)) != 0)
+    fatalError("recovered straggler loop produced wrong output");
+  SweepPoint Point;
+  Point.NumWorkers = P;
+  Point.Status = R.Status;
+  Point.SimTimeNs = R.Stats.SimTimeNs;
+  Point.RetryRate = R.Stats.retryRate();
+  Point.Stats = R.Stats;
+  return Point;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   initBenchArgs(argc, argv);
   bool Quick = false;
-  for (int I = 1; I != argc; ++I)
+  bool Fault = false;
+  for (int I = 1; I != argc; ++I) {
     if (std::string(argv[I]) == "--quick")
       Quick = true;
+    if (std::string(argv[I]) == "--fault")
+      Fault = true;
+  }
 
   printHeader("pipeline vs rounds",
               "round-barrier vs pipelined engine on a straggler-heavy loop");
@@ -141,10 +187,28 @@ int main(int argc, char **argv) {
   Params.ChunkFactor = 1;
 
   TextTable Table({"procs", "engine", "wall ms", "occupancy", "stall ms",
-                   "wire/raw", "bloom skip", "bloom fp"});
+                   "wire/raw", "bloom skip", "bloom fp", "recovered"});
   const std::vector<unsigned> Procs = Quick ? std::vector<unsigned>{4}
                                             : std::vector<unsigned>{2, 4, 8};
   double WallFj4 = 0.0, WallPipe4 = 0.0, Occ4Fj = 0.0, Occ4Pipe = 0.0;
+  double WallFaultFj4 = 0.0, WallFaultPipe4 = 0.0;
+  auto addRow = [&](unsigned P, const char *Series, const SweepPoint &Pt) {
+    const RunStats &S = Pt.Stats;
+    Table.addRow({strprintf("%u", P), Series,
+                  strprintf("%.2f", S.RealTimeNs / 1e6),
+                  strprintf("%.1f%%", 100.0 * S.occupancy()),
+                  strprintf("%.2f", S.stragglerStallNs() / 1e6),
+                  strprintf("%.3f", S.wireCompressionRatio()),
+                  strprintf("%llu / %llu",
+                            static_cast<unsigned long long>(S.BloomSkips),
+                            static_cast<unsigned long long>(S.BloomChecks)),
+                  strprintf("%.1f%%", 100.0 * S.bloomFalsePositiveRate()),
+                  S.Recovered
+                      ? strprintf("%llu iters", static_cast<unsigned long long>(
+                                                    S.RecoveredIterations))
+                      : std::string("-")});
+    jsonAddPoint("pipeline_vs_rounds", Series, Pt);
+  };
   for (unsigned P : Procs) {
     ExecutorConfig Config;
     Config.NumWorkers = P;
@@ -152,28 +216,29 @@ int main(int argc, char **argv) {
 
     ForkJoinExecutor Rounds(Config);
     const SweepPoint Fj = measure(Loop, Rounds, P, Ref);
+    addRow(P, "forkjoin", Fj);
     PipelineExecutor Pipe(Config);
     const SweepPoint Pl = measure(Loop, Pipe, P, Ref);
+    addRow(P, "pipeline", Pl);
 
-    for (const auto &E : {std::make_pair("forkjoin", &Fj),
-                          std::make_pair("pipeline", &Pl)}) {
-      const RunStats &S = E.second->Stats;
-      Table.addRow({strprintf("%u", P), E.first,
-                    strprintf("%.2f", S.RealTimeNs / 1e6),
-                    strprintf("%.1f%%", 100.0 * S.occupancy()),
-                    strprintf("%.2f", S.stragglerStallNs() / 1e6),
-                    strprintf("%.3f", S.wireCompressionRatio()),
-                    strprintf("%llu / %llu",
-                              static_cast<unsigned long long>(S.BloomSkips),
-                              static_cast<unsigned long long>(S.BloomChecks)),
-                    strprintf("%.1f%%", 100.0 * S.bloomFalsePositiveRate())});
-      jsonAddPoint("pipeline_vs_rounds", E.first, *E.second);
-    }
     if (P == 4) {
       WallFj4 = Fj.Stats.RealTimeNs / 1e6;
       WallPipe4 = Pl.Stats.RealTimeNs / 1e6;
       Occ4Fj = Fj.Stats.occupancy();
       Occ4Pipe = Pl.Stats.occupancy();
+    }
+
+    if (Fault) {
+      ForkJoinExecutor FaultRounds(Config);
+      const SweepPoint FFj = measureRecovering(Loop, FaultRounds, P, Ref);
+      addRow(P, "forkjoin-fault", FFj);
+      PipelineExecutor FaultPipe(Config);
+      const SweepPoint FPl = measureRecovering(Loop, FaultPipe, P, Ref);
+      addRow(P, "pipeline-fault", FPl);
+      if (P == 4) {
+        WallFaultFj4 = FFj.Stats.RealTimeNs / 1e6;
+        WallFaultPipe4 = FPl.Stats.RealTimeNs / 1e6;
+      }
     }
   }
   Table.printText();
@@ -182,6 +247,10 @@ int main(int argc, char **argv) {
                 "(%.2fx), occupancy %.1f%% vs %.1f%%\n",
                 WallPipe4, WallFj4, WallFj4 / (WallPipe4 > 0 ? WallPipe4 : 1),
                 100.0 * Occ4Pipe, 100.0 * Occ4Fj);
+  if (Fault && WallFaultFj4 > 0.0)
+    std::printf("with injected faults (recovered runs): rounds %.2fms "
+                "(clean %.2fms), pipeline %.2fms (clean %.2fms)\n",
+                WallFaultFj4, WallFj4, WallFaultPipe4, WallPipe4);
   finalizeBenchJson();
   return 0;
 }

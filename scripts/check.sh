@@ -2,27 +2,64 @@
 # Tier-1 verification plus a quick benchmark smoke run.
 #
 # Usage: scripts/check.sh [build-dir]
+#        scripts/check.sh --sanitize [build-dir]
 #
 # Configures, builds, runs the full ctest suite, then smoke-runs the
-# straggler micro-benchmark (--quick) with a JSON report so the pipelined
-# engine's occupancy/wire stats stay eyeballable on every change.
+# straggler micro-benchmark (--quick, with --fault so the recovery path is
+# exercised too) with a JSON report so the pipelined engine's
+# occupancy/wire stats stay eyeballable on every change.
+#
+# With --sanitize the whole sequence additionally runs in a second build
+# tree compiled with AddressSanitizer + UndefinedBehaviorSanitizer, so
+# memory errors in the fork/pipe/recovery paths surface in CI rather than
+# as flaky wire rejects.
 
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+SANITIZE=0
+if [[ "${1:-}" == "--sanitize" ]]; then
+  SANITIZE=1
+  shift
+fi
+
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 
-echo "== configure =="
-cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+run_stage() { # run_stage <build-dir> <extra cmake args...>
+  local DIR="$1"
+  shift
 
-echo "== build =="
-cmake --build "$BUILD_DIR" -j
+  echo "== configure ($DIR) =="
+  cmake -B "$DIR" -S "$REPO_ROOT" "$@"
 
-echo "== tier-1 tests =="
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+  echo "== build ($DIR) =="
+  cmake --build "$DIR" -j
 
-echo "== bench smoke (pipeline vs rounds, quick) =="
-JSON_OUT="$BUILD_DIR/pipeline_vs_rounds.quick.json"
-"$BUILD_DIR/bench/pipeline_vs_rounds" --quick --json "$JSON_OUT"
+  echo "== tier-1 tests ($DIR) =="
+  ctest --test-dir "$DIR" --output-on-failure -j "$(nproc)"
+
+  echo "== bench smoke (pipeline vs rounds, quick, with faults) ($DIR) =="
+  local JSON_OUT="$DIR/pipeline_vs_rounds.quick.json"
+  "$DIR/bench/pipeline_vs_rounds" --quick --fault --json "$JSON_OUT"
+}
+
+run_stage "$BUILD_DIR"
+
+if [[ "$SANITIZE" == 1 ]]; then
+  SAN_DIR="$BUILD_DIR-asan-ubsan"
+  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer -g"
+  # Children report over pipes and are reaped by waitpid; ASan's leak
+  # checker sees the short-lived forked children as separate processes, and
+  # their intentional _exit() teardown would trip it spuriously.
+  # abort_on_error keeps deliberate child faults dying by signal, which the
+  # sandbox/robustness tests assert on.
+  export ASAN_OPTIONS="detect_leaks=0:abort_on_error=1"
+  export UBSAN_OPTIONS="print_stacktrace=1:abort_on_error=1"
+  run_stage "$SAN_DIR" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+fi
 
 echo "== check.sh: all green =="

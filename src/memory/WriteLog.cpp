@@ -265,11 +265,23 @@ void WriteLog::serializeCompact(std::vector<uint8_t> &Out) const {
 
 WriteLog WriteLog::deserializeCompact(const uint8_t *Buf, size_t Len) {
   WriteLog Log;
+  if (!deserializeCompactChecked(Buf, Len, Log))
+    fatalError("corrupt compact write log");
+  return Log;
+}
+
+bool WriteLog::deserializeCompactChecked(const uint8_t *Buf, size_t Len,
+                                         WriteLog &Out) {
+  WriteLog Log;
   const uint8_t *P = Buf;
   const uint8_t *End = Buf + Len;
   uint64_t Count;
   if (!readVarint(P, End, Count))
-    fatalError("truncated compact write log header");
+    return false;
+  // Every entry needs at least two table bytes plus one payload byte, so a
+  // count beyond Len is corrupt; rejecting it here bounds the reserve().
+  if (Count > Len)
+    return false;
   std::vector<std::pair<uint64_t, uint64_t>> Raw;
   Raw.reserve(static_cast<size_t>(Count));
   uint64_t PayloadBytes = 0;
@@ -277,21 +289,22 @@ WriteLog WriteLog::deserializeCompact(const uint8_t *Buf, size_t Len) {
   for (uint64_t I = 0; I != Count; ++I) {
     uint64_t Delta, Size;
     if (!readVarint(P, End, Delta) || !readVarint(P, End, Size))
-      fatalError("truncated compact write log entry table");
-    if (Size == 0)
-      fatalError("corrupt compact write log entry size");
+      return false;
+    if (Size == 0 || Size > Len || PayloadBytes + Size < PayloadBytes)
+      return false;
     PrevAddr += zigzagDecode(Delta);
     Raw.emplace_back(static_cast<uint64_t>(PrevAddr), Size);
     PayloadBytes += Size;
   }
   if (static_cast<uint64_t>(End - P) < PayloadBytes)
-    fatalError("truncated compact write log payload");
+    return false;
   for (auto [Addr, Size] : Raw) {
     Log.record(reinterpret_cast<void *>(static_cast<uintptr_t>(Addr)), P,
                static_cast<size_t>(Size));
     P += Size;
   }
-  return Log;
+  Out = std::move(Log);
+  return true;
 }
 
 WriteLog WriteLog::deserialize(const uint8_t *Buf, size_t Len) {

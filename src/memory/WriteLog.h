@@ -108,8 +108,17 @@ public:
   /// the raw form's 16.
   void serializeCompact(std::vector<uint8_t> &Out) const;
 
-  /// Reconstructs a log from serializeCompact's form.
+  /// Reconstructs a log from serializeCompact's form. Aborts on corrupt
+  /// input — callers that must survive corruption (the wire decode path)
+  /// use deserializeCompactChecked instead.
   static WriteLog deserializeCompact(const uint8_t *Buf, size_t Len);
+
+  /// Recoverable variant of deserializeCompact: validates the entry table
+  /// (bounded entry count, overflow-checked payload accounting) before
+  /// allocating, and returns false on truncated or corrupt input instead
+  /// of aborting. On success replaces \p Out.
+  static bool deserializeCompactChecked(const uint8_t *Buf, size_t Len,
+                                        WriteLog &Out);
 
   //===--------------------------------------------------------------------===
   // Undo/redo protocol

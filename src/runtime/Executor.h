@@ -52,6 +52,14 @@ struct ExecutorConfig {
   uint64_t SeqBaselineNs = 0;
   double TimeoutFactor = 10.0;
 
+  /// Kernel-enforced caps applied inside each forked chunk via setrlimit:
+  /// CPU seconds (RLIMIT_CPU — a busy-spinning child is killed by SIGXCPU
+  /// without waiting for the parent deadline) and address space bytes
+  /// (RLIMIT_AS — a child with runaway allocation fails its allocations
+  /// instead of triggering the host OOM killer). Zero disables a cap.
+  uint64_t ChildCpuSeconds = 0;
+  uint64_t ChildAddressSpaceBytes = 0;
+
   /// Cost model for the simulated parallel clock (Lockstep engine).
   const CostModel *Costs = nullptr;
 

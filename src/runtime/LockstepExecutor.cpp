@@ -31,6 +31,7 @@ RunResult LockstepExecutor::run(const LoopSpec &Spec) {
   const int64_t Cf = Config.Params.ChunkFactor > 0
                          ? Config.Params.ChunkFactor
                          : globalChunkFactor();
+  Result.ChunkFactorUsed = Cf;
   const int64_t NumChunks = (Spec.NumIterations + Cf - 1) / Cf;
   const unsigned P = Config.NumWorkers;
 

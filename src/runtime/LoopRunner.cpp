@@ -6,6 +6,11 @@
 
 #include "runtime/LoopRunner.h"
 
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <vector>
+
 using namespace alter;
 
 LoopRunner::~LoopRunner() = default;
@@ -43,4 +48,72 @@ bool ExecutorLoopRunner::runInner(const LoopSpec &Spec) {
     return false;
   }
   return true;
+}
+
+bool RecoveringLoopRunner::runInner(const LoopSpec &Spec) {
+  if (SequentialMode) {
+    // Deadline already tripped: no speculation, no committed chunks.
+    recoverSequentially(Spec, RunResult());
+    return true;
+  }
+  Exec.setAccumulatedSimNs(Accumulated.Stats.SimTimeNs);
+  RunResult R = Exec.run(Spec);
+  if (R.Status != RunStatus::Success) {
+    Accumulated.Stats.merge(R.Stats);
+    if (!R.Detail.empty())
+      Accumulated.Detail = "recovered sequentially after: " + R.Detail;
+    recoverSequentially(Spec, R);
+  } else {
+    Accumulated.Stats.merge(R.Stats);
+  }
+  if (SeqBaselineNs != 0 && !SequentialMode &&
+      static_cast<double>(Accumulated.Stats.SimTimeNs) >
+          TimeoutFactor * static_cast<double>(SeqBaselineNs)) {
+    // Completion stays guaranteed, but the time budget is spent: later
+    // invocations go straight to sequential execution.
+    SequentialMode = true;
+    Accumulated.Stats.Recovered = true;
+    Accumulated.Detail = "switched to sequential execution after the "
+                         "accumulated deadline expired";
+  }
+  return true;
+}
+
+void RecoveringLoopRunner::recoverSequentially(const LoopSpec &Spec,
+                                               const RunResult &Failed) {
+  Accumulated.Stats.Recovered = true;
+  const int64_t N = Spec.NumIterations;
+  if (N == 0)
+    return;
+  // Engines that chunk always report ChunkFactorUsed; a result without one
+  // committed nothing, so the whole loop is a single uncommitted chunk.
+  const int64_t Cf = Failed.ChunkFactorUsed > 0 ? Failed.ChunkFactorUsed : N;
+  const int64_t NumChunks = (N + Cf - 1) / Cf;
+  std::vector<bool> Done(static_cast<size_t>(NumChunks), false);
+  for (int64_t C : Failed.CommitOrder)
+    if (C >= 0 && C < NumChunks)
+      Done[static_cast<size_t>(C)] = true;
+
+  // Passthrough context: reads and writes go straight to committed memory,
+  // and with no runtime parameters reduction updates execute as their
+  // direct read-modify-write — sequential semantics.
+  TxnContext Ctx(ContextMode::Passthrough, /*Params=*/nullptr, &Spec,
+                 Allocator, /*Worker=*/0);
+  const uint64_t Start = nowNs();
+  uint64_t Iters = 0;
+  for (int64_t C = 0; C != NumChunks; ++C) {
+    if (Done[static_cast<size_t>(C)])
+      continue;
+    const int64_t First = C * Cf;
+    const int64_t Last = std::min<int64_t>(First + Cf, N);
+    for (int64_t I = First; I != Last; ++I)
+      Spec.Body(Ctx, I);
+    Iters += static_cast<uint64_t>(Last - First);
+  }
+  const uint64_t Elapsed = nowNs() - Start;
+  Accumulated.Stats.RealTimeNs += Elapsed;
+  Accumulated.Stats.SimTimeNs += Elapsed;
+  Accumulated.Stats.BytesRead += Ctx.bytesRead();
+  Accumulated.Stats.BytesWritten += Ctx.bytesWritten();
+  Accumulated.Stats.RecoveredIterations += Iters;
 }

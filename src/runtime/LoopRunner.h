@@ -95,6 +95,49 @@ private:
   double TimeoutFactor;
 };
 
+/// Driver that guarantees completion: the inner loop runs under an ALTER
+/// engine, and when speculation fails unrecoverably — a contained Crash
+/// after the engine's own per-chunk retries, or a mid-run deadline
+/// Timeout — the iterations the engine did NOT commit are re-executed
+/// sequentially from the last committed snapshot (parent memory is exactly
+/// that snapshot, because engines mutate it only by applying validated
+/// write logs). The accumulated result of such a run reports Success with
+/// Stats.Recovered set and the fallback's work in
+/// Stats.RecoveredIterations.
+///
+/// Correctness of the splice: under InOrder policies the committed chunks
+/// form a program-order prefix, so the fallback completes the exact
+/// sequential execution. Under OutOfOrder/StaleReads they form an
+/// arbitrary validated subset, and sequential completion of the remainder
+/// is one of the serializations those annotations already declare
+/// acceptable.
+///
+/// Once the outer 10x deadline trips, later invocations stop speculating
+/// and run sequentially outright — completion guaranteed, time bounded.
+class RecoveringLoopRunner : public LoopRunner {
+public:
+  RecoveringLoopRunner(Executor &Exec, AlterAllocator *Allocator = nullptr,
+                       uint64_t SeqBaselineNs = 0,
+                       double TimeoutFactor = 10.0)
+      : Exec(Exec), Allocator(Allocator), SeqBaselineNs(SeqBaselineNs),
+        TimeoutFactor(TimeoutFactor) {}
+
+  bool runInner(const LoopSpec &Spec) override;
+
+private:
+  /// Sequentially executes every chunk of \p Spec that \p Failed did not
+  /// commit, in ascending order, directly against committed memory.
+  void recoverSequentially(const LoopSpec &Spec, const RunResult &Failed);
+
+  Executor &Exec;
+  AlterAllocator *Allocator;
+  uint64_t SeqBaselineNs;
+  double TimeoutFactor;
+  /// Set once the outer deadline trips; subsequent invocations bypass the
+  /// speculative engine entirely.
+  bool SequentialMode = false;
+};
+
 } // namespace alter
 
 #endif // ALTER_RUNTIME_LOOPRUNNER_H

@@ -8,8 +8,9 @@
 
 #include "runtime/ConflictDetector.h"
 #include "runtime/TxnWire.h"
-#include "support/Error.h"
+#include "support/FaultInjection.h"
 #include "support/Format.h"
+#include "support/Subprocess.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -26,6 +27,13 @@
 using namespace alter;
 
 namespace {
+
+/// Per-chunk infrastructure failures (fork failure, child crash, rejected
+/// commit message) are retried this many times before the run gives up with
+/// a contained Crash — transient faults self-heal on the first clean retry,
+/// persistent ones still surface as the Crash the inference engine
+/// classifies on (§5).
+constexpr unsigned ChunkFaultRetryLimit = 2;
 
 /// One worker slot of the pipeline. A slot owns one arena index (slot i
 /// runs children as Worker i+1), so its lifecycle must serialize every use
@@ -71,6 +79,7 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
   const int64_t Cf = Config.Params.ChunkFactor > 0
                          ? Config.Params.ChunkFactor
                          : globalChunkFactor();
+  Result.ChunkFactorUsed = Cf;
   const int64_t NumChunks = (Spec.NumIterations + Cf - 1) / Cf;
   const unsigned P = Config.NumWorkers;
   const bool InOrder =
@@ -91,12 +100,16 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
   std::vector<Slot> Slots(P);
   std::map<int64_t, BufferedReport> Arrived; // InOrder retirement buffer
   std::map<int64_t, unsigned> RetryCount;
+  std::map<int64_t, unsigned> FaultCounts;
   int64_t NextToRetire = 0; // InOrder: the only chunk allowed to commit
   int64_t Committed = 0;
   int64_t DrainChunk = -1; // starvation guard target, -1 when inactive
 
   ConflictDetector Detector(Config.Params.Conflict);
   const uint64_t RealStart = nowNs();
+
+  bool Crashed = false;
+  std::string CrashDetail;
 
   auto finishStats = [&] {
     Result.Stats.RealTimeNs = nowNs() - RealStart;
@@ -115,7 +128,7 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
       ::kill(S.Pid, SIGKILL);
       ::close(S.Fd);
       int Status = 0;
-      ::waitpid(S.Pid, &Status, 0);
+      waitpidRetry(S.Pid, &Status);
       S.St = Slot::State::Free;
     }
   };
@@ -132,14 +145,48 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
     return false;
   };
 
-  auto forkChunk = [&](unsigned SlotIdx, int64_t Chunk) {
+  // Contained per-chunk failure: requeue for a clean retry, or — once the
+  // chunk has burned its fault budget — flag the whole run as a Crash the
+  // caller can recover from sequentially.
+  auto chunkFault = [&](int64_t Chunk, const std::string &Why) {
+    const unsigned Count = ++FaultCounts[Chunk];
+    if (Count > ChunkFaultRetryLimit) {
+      Crashed = true;
+      CrashDetail =
+          strprintf("chunk %lld failed %u consecutive attempts (%s)",
+                    static_cast<long long>(Chunk), Count, Why.c_str());
+      return;
+    }
+    insertPending(Chunk);
+  };
+
+  // Returns false when the chunk could not be launched (injected ForkFail,
+  // or a real pipe()/fork() failure); the chunk is requeued via chunkFault
+  // and the slot stays Free.
+  auto forkChunk = [&](unsigned SlotIdx, int64_t Chunk) -> bool {
     Slot &S = Slots[SlotIdx];
+    ArmedFault Fault;
+    if (FaultPlan::global().enabled())
+      Fault = FaultPlan::global().take(Chunk);
+    if (Fault.Armed && Fault.Kind == FaultKind::ForkFail) {
+      ++Result.Stats.NumForkFailures;
+      chunkFault(Chunk, "fork/pipe failure");
+      return false;
+    }
     int Fds[2];
-    if (::pipe(Fds) != 0)
-      fatalError("pipe() failed in pipeline executor");
+    if (::pipe(Fds) != 0) {
+      ++Result.Stats.NumForkFailures;
+      chunkFault(Chunk, "fork/pipe failure");
+      return false;
+    }
     const pid_t Pid = ::fork();
-    if (Pid < 0)
-      fatalError("fork() failed in pipeline executor");
+    if (Pid < 0) {
+      ::close(Fds[0]);
+      ::close(Fds[1]);
+      ++Result.Stats.NumForkFailures;
+      chunkFault(Chunk, "fork/pipe failure");
+      return false;
+    }
     if (Pid == 0) {
       ::close(Fds[0]);
       // Close every other in-flight parent-side read end inherited by this
@@ -150,7 +197,7 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
       const int64_t First = Chunk * Cf;
       const int64_t Last = std::min<int64_t>(First + Cf, Spec.NumIterations);
       runWireChild(Spec, Config, /*Worker=*/SlotIdx + 1, First, Last,
-                   Fds[1]);
+                   Fds[1], Fault);
       // runWireChild never returns.
     }
     ::close(Fds[1]);
@@ -162,6 +209,7 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
     // must validate against everything that commits after this point.
     S.SnapshotSeq = Detector.commitSeq();
     S.Buf.clear();
+    return true;
   };
 
   // Keep every slot busy: the continuous feed that replaces the round
@@ -185,7 +233,7 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
       }
       return;
     }
-    for (unsigned I = 0; I != P && !Pending.empty(); ++I) {
+    for (unsigned I = 0; I != P && !Pending.empty() && !Crashed; ++I) {
       if (Slots[I].St != Slot::State::Free)
         continue;
       const int64_t Chunk = Pending.front();
@@ -251,26 +299,39 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
     }
   };
 
-  bool Crashed = false;
-  std::string CrashDetail;
-
   // Parent side of one completed child: reap it, decode its message, and
-  // validate/commit/requeue per the commit-order policy.
+  // validate/commit/requeue per the commit-order policy. A crashed child
+  // or rejected message is contained to the chunk (chunkFault); only the
+  // access-set cap escalates straight to a run-level Crash, because the
+  // same chunk would overflow again on retry.
   auto completeSlot = [&](unsigned SlotIdx) {
     Slot &S = Slots[SlotIdx];
     ::close(S.Fd);
     int Status = 0;
-    if (::waitpid(S.Pid, &Status, 0) < 0)
-      fatalError("waitpid() failed in pipeline executor");
-    if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0) {
-      Crashed = true;
-      CrashDetail = strprintf(
-          "worker %u (chunk %lld) terminated abnormally (status 0x%x)",
-          SlotIdx, static_cast<long long>(S.Chunk), Status);
+    if (waitpidRetry(S.Pid, &Status) < 0) {
+      ++Result.Stats.NumChildCrashes;
       S.St = Slot::State::Free;
+      S.Buf.clear();
+      chunkFault(S.Chunk, "waitpid failure");
       return;
     }
-    ChildReport Rep = decodeChildReport(S.Buf, Spec, Config.Params);
+    if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0) {
+      ++Result.Stats.NumChildCrashes;
+      S.St = Slot::State::Free;
+      S.Buf.clear();
+      chunkFault(S.Chunk, strprintf("terminated abnormally (status 0x%x)",
+                                    Status));
+      return;
+    }
+    ChildReport Rep;
+    std::string Error;
+    if (!decodeChildReport(S.Buf, Spec, Config.Params, Rep, Error)) {
+      ++Result.Stats.NumWireRejects;
+      S.St = Slot::State::Free;
+      S.Buf.clear();
+      chunkFault(S.Chunk, "rejected commit message: " + Error);
+      return;
+    }
     S.Buf.clear();
     if (Rep.LimitExceeded) {
       Crashed = true;
@@ -315,6 +376,13 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
 
   while (Committed != NumChunks) {
     fillSlots();
+    if (Crashed) {
+      killInFlight();
+      Result.Status = RunStatus::Crash;
+      Result.Detail = CrashDetail;
+      finishStats();
+      return Result;
+    }
 
     std::vector<pollfd> Fds;
     std::vector<unsigned> FdSlots;
@@ -324,41 +392,54 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
       Fds.push_back({Slots[I].Fd, POLLIN, 0});
       FdSlots.push_back(I);
     }
-    assert(!Fds.empty() && "pipeline stalled with work outstanding");
 
-    // With a deadline armed, wake periodically even if no child reports,
-    // so a runaway chunk cannot postpone the timeout check indefinitely.
-    const int PollTimeoutMs = DeadlineNs == 0 ? -1 : 100;
-    int Ready;
-    do {
-      Ready = ::poll(Fds.data(), Fds.size(), PollTimeoutMs);
-    } while (Ready < 0 && errno == EINTR);
-    if (Ready < 0)
-      fatalError("poll() failed in pipeline executor");
-
-    for (size_t F = 0; F != Fds.size(); ++F) {
-      if (!(Fds[F].revents & (POLLIN | POLLHUP | POLLERR)))
-        continue;
-      Slot &S = Slots[FdSlots[F]];
-      uint8_t Buf[1 << 16];
-      const ssize_t N = ::read(S.Fd, Buf, sizeof(Buf));
-      if (N < 0) {
-        if (errno == EINTR)
-          continue;
-        fatalError("read from child pipe failed");
-      }
-      if (N > 0) {
-        S.Buf.insert(S.Buf.end(), Buf, Buf + N);
-        continue;
-      }
-      // EOF: the whole commit message has arrived.
-      completeSlot(FdSlots[F]);
-      if (Crashed) {
+    if (Fds.empty()) {
+      // Every launch attempt failed this iteration (transient fork/pipe
+      // exhaustion): back off briefly instead of spinning, then retry.
+      ::poll(nullptr, 0, 1);
+    } else {
+      // With a deadline armed, wake periodically even if no child reports,
+      // so a runaway chunk cannot postpone the timeout check indefinitely.
+      const int PollTimeoutMs = DeadlineNs == 0 ? -1 : 100;
+      int Ready;
+      do {
+        Ready = ::poll(Fds.data(), Fds.size(), PollTimeoutMs);
+      } while (Ready < 0 && errno == EINTR);
+      if (Ready < 0) {
         killInFlight();
         Result.Status = RunStatus::Crash;
-        Result.Detail = CrashDetail;
+        Result.Detail = "poll() failed in pipeline executor";
         finishStats();
         return Result;
+      }
+
+      for (size_t F = 0; F != Fds.size(); ++F) {
+        if (!(Fds[F].revents & (POLLIN | POLLHUP | POLLERR)))
+          continue;
+        Slot &S = Slots[FdSlots[F]];
+        uint8_t Buf[1 << 16];
+        const ssize_t N = ::read(S.Fd, Buf, sizeof(Buf));
+        if (N < 0) {
+          if (errno == EINTR)
+            continue;
+          // Hard read error: whatever arrived is all we get. completeSlot
+          // decodes the truncated buffer and rejects it via the frame
+          // check, containing the failure to this chunk.
+          completeSlot(FdSlots[F]);
+        } else if (N > 0) {
+          S.Buf.insert(S.Buf.end(), Buf, Buf + N);
+          continue;
+        } else {
+          // EOF: the whole commit message has arrived.
+          completeSlot(FdSlots[F]);
+        }
+        if (Crashed) {
+          killInFlight();
+          Result.Status = RunStatus::Crash;
+          Result.Detail = CrashDetail;
+          finishStats();
+          return Result;
+        }
       }
     }
 

@@ -42,4 +42,9 @@ void RunStats::merge(const RunStats &Other) {
   WireBytesRaw += Other.WireBytesRaw;
   WorkerBusyNs += Other.WorkerBusyNs;
   WorkerSlotNs += Other.WorkerSlotNs;
+  NumForkFailures += Other.NumForkFailures;
+  NumChildCrashes += Other.NumChildCrashes;
+  NumWireRejects += Other.NumWireRejects;
+  RecoveredIterations += Other.RecoveredIterations;
+  Recovered |= Other.Recovered;
 }

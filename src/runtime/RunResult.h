@@ -93,6 +93,27 @@ struct RunStats {
   /// wall-clock, summed across inner-loop invocations.
   uint64_t WorkerSlotNs = 0;
 
+  //===--------------------------------------------------------------------===
+  // Fault containment and recovery (speculative failures that did NOT
+  // abort the run: each was contained to its chunk and retried, or the
+  // whole run completed through the sequential fallback)
+  //===--------------------------------------------------------------------===
+
+  /// fork()/pipe() attempts that failed; the chunk was requeued.
+  uint64_t NumForkFailures = 0;
+  /// Children that died abnormally (signal or nonzero exit) before
+  /// reporting; each crash was contained to its chunk.
+  uint64_t NumChildCrashes = 0;
+  /// Commit messages rejected by the wire framing (truncation, length
+  /// mismatch, CRC failure, or structural decode errors).
+  uint64_t NumWireRejects = 0;
+  /// Iterations completed by the sequential fallback after the speculative
+  /// engine gave up (RecoveringLoopRunner).
+  uint64_t RecoveredIterations = 0;
+  /// True when any part of the execution went through the sequential
+  /// fallback — the run completed, but not (entirely) speculatively.
+  bool Recovered = false;
+
   /// Fraction of worker capacity spent executing bodies. The round-barrier
   /// engine loses occupancy to stragglers (every slot idles until the
   /// slowest chunk of the round finishes); the pipelined engine refills
@@ -145,6 +166,10 @@ struct RunResult {
   RunStats Stats;
   /// Optional human-readable detail for failures.
   std::string Detail;
+  /// Chunk factor the engine actually ran with (params or global default).
+  /// The recovery layer needs it to map committed chunk indices back to
+  /// iteration ranges; 0 for engines that do not chunk (sequential).
+  int64_t ChunkFactorUsed = 0;
   /// Chunk indices in the order they committed. Under OutOfOrder policies a
   /// parallel execution is equivalent to replaying chunks serially in this
   /// order (conflict serializability); tests exploit that. Only the most

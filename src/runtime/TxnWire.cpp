@@ -12,7 +12,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstring>
+#include <ctime>
+#include <sys/resource.h>
 #include <unistd.h>
 
 using namespace alter;
@@ -38,14 +41,18 @@ private:
   std::vector<uint8_t> Bytes;
 };
 
-/// Bounds-checked reader for the same message.
+/// Bounds-checked reader for the same message. Corruption is a recoverable
+/// condition: any out-of-bounds access latches the failed() flag and reads
+/// return zeros, so decode loops terminate and the caller rejects the
+/// message as a whole.
 class ByteReader {
 public:
   ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
 
   uint64_t u64() {
-    uint64_t V;
-    need(sizeof(V));
+    uint64_t V = 0;
+    if (!need(sizeof(V)))
+      return 0;
     std::memcpy(&V, Data + Pos, sizeof(V));
     Pos += sizeof(V);
     return V;
@@ -54,14 +61,17 @@ public:
   uint64_t varint() {
     const uint8_t *P = Data + Pos;
     uint64_t V;
-    if (!readVarint(P, Data + Size, V))
-      fatalError("truncated fork-join commit message");
+    if (!readVarint(P, Data + Size, V)) {
+      Failed = true;
+      return 0;
+    }
     Pos = static_cast<size_t>(P - Data);
     return V;
   }
 
   const uint8_t *raw(size_t Bytes) {
-    need(Bytes);
+    if (!need(Bytes))
+      return Data + Size; // zero bytes remain past this pointer
     const uint8_t *P = Data + Pos;
     Pos += Bytes;
     return P;
@@ -70,21 +80,32 @@ public:
   size_t position() const { return Pos; }
   size_t remaining() const { return Size - Pos; }
   bool exhausted() const { return Pos == Size; }
+  bool failed() const { return Failed; }
 
 private:
-  void need(size_t Bytes) const {
+  bool need(size_t Bytes) {
     // Guard with subtraction: `Pos + Bytes > Size` can wrap to a small
     // value when a corrupt length field makes Bytes enormous.
-    if (Bytes > Size - Pos)
-      fatalError("truncated fork-join commit message");
+    if (Bytes > Size - Pos) {
+      Failed = true;
+      return false;
+    }
+    return true;
   }
 
   const uint8_t *Data;
   size_t Size;
   size_t Pos = 0;
+  bool Failed = false;
 };
 
-constexpr uint64_t MessageMagic = 0x32414c544552ULL; // "ALTER2"
+constexpr uint64_t MessageMagic = 0x33414c544552ULL; // "ALTER3"
+constexpr size_t FrameHeaderBytes = 3 * sizeof(uint64_t);
+
+/// Decoded word-key cap: each message describes one chunk's accesses, so a
+/// count beyond this is corruption, not a big loop. It bounds the memory a
+/// corrupt-but-plausible run table can make the parent allocate.
+constexpr uint64_t MaxWireSetWords = 1ULL << 26;
 
 void writeAllToPipe(int Fd, const void *Data, size_t Size) {
   const char *P = static_cast<const char *>(Data);
@@ -100,7 +121,51 @@ void writeAllToPipe(int Fd, const void *Data, size_t Size) {
   }
 }
 
+/// Applies the kernel-enforced per-child caps. Best-effort: lowering a
+/// limit cannot fail for an unprivileged process, and a cap that cannot be
+/// applied leaves the parent deadline as the (slower) backstop.
+void applyChildRlimits(const ExecutorConfig &Config) {
+  if (Config.ChildCpuSeconds != 0) {
+    rlimit R;
+    R.rlim_cur = static_cast<rlim_t>(Config.ChildCpuSeconds);
+    R.rlim_max = static_cast<rlim_t>(Config.ChildCpuSeconds + 1);
+    (void)::setrlimit(RLIMIT_CPU, &R);
+  }
+  if (Config.ChildAddressSpaceBytes != 0) {
+    rlimit R;
+    R.rlim_cur = static_cast<rlim_t>(Config.ChildAddressSpaceBytes);
+    R.rlim_max = static_cast<rlim_t>(Config.ChildAddressSpaceBytes);
+    (void)::setrlimit(RLIMIT_AS, &R);
+  }
+}
+
+void sleepNs(uint64_t Ns) {
+  timespec Ts;
+  Ts.tv_sec = static_cast<time_t>(Ns / 1000000000ULL);
+  Ts.tv_nsec = static_cast<long>(Ns % 1000000000ULL);
+  while (::nanosleep(&Ts, &Ts) != 0 && errno == EINTR)
+    ;
+}
+
 } // namespace
+
+uint32_t alter::wireCrc32(const uint8_t *Data, size_t Size) {
+  static uint32_t Table[256];
+  static bool Initialized = false;
+  if (!Initialized) {
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K != 8; ++K)
+        C = (C & 1) ? 0xedb88320u ^ (C >> 1) : C >> 1;
+      Table[I] = C;
+    }
+    Initialized = true;
+  }
+  uint32_t Crc = 0xffffffffu;
+  for (size_t I = 0; I != Size; ++I)
+    Crc = Table[(Crc ^ Data[I]) & 0xff] ^ (Crc >> 8);
+  return Crc ^ 0xffffffffu;
+}
 
 std::vector<uint8_t> alter::readAllFromPipe(int Fd) {
   std::vector<uint8_t> Out;
@@ -110,7 +175,7 @@ std::vector<uint8_t> alter::readAllFromPipe(int Fd) {
     if (N < 0) {
       if (errno == EINTR)
         continue;
-      fatalError("read from child pipe failed");
+      return Out; // hard error == truncation; the frame check rejects it
     }
     if (N == 0)
       return Out;
@@ -162,7 +227,7 @@ void alter::serializeAccessSet(std::vector<uint8_t> &Out,
   }
 }
 
-void alter::deserializeAccessSet(const uint8_t *Data, size_t Size,
+bool alter::deserializeAccessSet(const uint8_t *Data, size_t Size,
                                  AccessSet &Set, size_t &Consumed) {
   ByteReader R(Data, Size);
   // The summary is recomputed from the keys below (bit-identical, since it
@@ -170,14 +235,22 @@ void alter::deserializeAccessSet(const uint8_t *Data, size_t Size,
   R.raw(sizeof(BloomSummary().Bits));
   const uint64_t Count = R.varint();
   const uint64_t NumRuns = R.varint();
+  if (R.failed())
+    return false;
+  // Bound allocation before decoding: word count against the sanity cap,
+  // run count against the physical encoding size (each run is >= 2 bytes).
+  if (Count > MaxWireSetWords || NumRuns > Size / 2 + 1 || NumRuns > Count)
+    return false;
   uint64_t Decoded = 0;
   uint64_t PrevEnd = 0;
   for (uint64_t Run = 0; Run != NumRuns; ++Run) {
     const uint64_t Gap = R.varint();
     const uint64_t Len = R.varint() + 1;
+    if (R.failed())
+      return false;
     const uint64_t Base = PrevEnd + Gap;
-    if (Decoded + Len > Count)
-      fatalError("corrupt access-set run encoding");
+    if (Decoded + Len < Len || Decoded + Len > Count)
+      return false;
     for (uint64_t K = 0; K != Len; ++K) {
       const uintptr_t Key = static_cast<uintptr_t>(Base + K);
       Set.insertWords(&Key, 1);
@@ -186,13 +259,18 @@ void alter::deserializeAccessSet(const uint8_t *Data, size_t Size,
     PrevEnd = Base + Len;
   }
   if (Decoded != Count)
-    fatalError("access-set word count mismatch");
+    return false;
   Consumed = R.position();
+  return true;
 }
 
 void alter::runWireChild(const LoopSpec &Spec, const ExecutorConfig &Config,
                          unsigned Worker, int64_t FirstIter, int64_t LastIter,
-                         int Fd) {
+                         int Fd, const ArmedFault &Fault) {
+  applyChildRlimits(Config);
+  if (Fault.Armed && Fault.Kind == FaultKind::ChildCrash)
+    ::raise(SIGSEGV); // the injected "buggy chunk" dies before any work
+
   TxnContext Ctx(ContextMode::Transactional, &Config.Params, &Spec,
                  Config.Allocator, Worker, Config.Limits);
   Ctx.beginTxn();
@@ -204,6 +282,9 @@ void alter::runWireChild(const LoopSpec &Spec, const ExecutorConfig &Config,
   Ctx.captureRedo();
   const uint64_t WorkNs = nowNs() - T0;
 
+  if (Fault.Armed && Fault.Kind == FaultKind::ChildKill)
+    ::raise(SIGKILL); // the injected kill lands after the work, pre-report
+
   const auto &Slots = Ctx.reductionSlots();
   // What the uncompressed format (raw 8-byte word keys, 16-byte write-log
   // entry table) would have shipped for this same message.
@@ -214,7 +295,6 @@ void alter::runWireChild(const LoopSpec &Spec, const ExecutorConfig &Config,
       Slots.size() * 2 * sizeof(uint64_t);
 
   ByteWriter W;
-  W.u64(MessageMagic);
   W.u64(Ctx.limitExceeded() ? 1 : 0);
   W.u64(WorkNs);
   W.u64(Ctx.instrReadCalls());
@@ -239,18 +319,62 @@ void alter::runWireChild(const LoopSpec &Spec, const ExecutorConfig &Config,
     std::memcpy(&AccBits, &S.Acc.F, sizeof(AccBits));
     W.u64(AccBits);
   }
-  writeAllToPipe(Fd, W.bytes().data(), W.bytes().size());
+
+  // Frame the payload: magic | payload length | CRC32. The parent verifies
+  // all three before trusting a byte of the payload.
+  ByteWriter Framed;
+  Framed.u64(MessageMagic);
+  Framed.u64(W.bytes().size());
+  Framed.u64(wireCrc32(W.bytes().data(), W.bytes().size()));
+  Framed.raw(W.bytes().data(), W.bytes().size());
+
+  std::vector<uint8_t> &Message = Framed.bytes();
+  if (Fault.Armed) {
+    switch (Fault.Kind) {
+    case FaultKind::PipeTruncate:
+      faultTruncateWire(Message, Fault.Seed, Fault.Chunk);
+      break;
+    case FaultKind::BitFlip:
+      faultBitFlipWire(Message, Fault.Seed, Fault.Chunk);
+      break;
+    case FaultKind::Stall:
+      sleepNs(Fault.StallNs);
+      break;
+    default:
+      break; // parent-side kinds handled before fork
+    }
+  }
+  writeAllToPipe(Fd, Message.data(), Message.size());
   ::close(Fd);
   _exit(0);
 }
 
-ChildReport alter::decodeChildReport(const std::vector<uint8_t> &Bytes,
-                                     const LoopSpec &Spec,
-                                     const RuntimeParams &Params) {
+bool alter::decodeChildReport(const std::vector<uint8_t> &Bytes,
+                              const LoopSpec &Spec,
+                              const RuntimeParams &Params, ChildReport &Rep,
+                              std::string &Error) {
+  if (Bytes.size() < FrameHeaderBytes) {
+    Error = "truncated frame header";
+    return false;
+  }
   ByteReader R(Bytes.data(), Bytes.size());
-  if (R.u64() != MessageMagic)
-    fatalError("corrupt fork-join commit message");
-  ChildReport Rep;
+  if (R.u64() != MessageMagic) {
+    Error = "bad message magic";
+    return false;
+  }
+  const uint64_t PayloadLen = R.u64();
+  const uint64_t Crc = R.u64();
+  if (PayloadLen != Bytes.size() - FrameHeaderBytes) {
+    Error = "frame length mismatch";
+    return false;
+  }
+  if (Crc != wireCrc32(Bytes.data() + FrameHeaderBytes,
+                       static_cast<size_t>(PayloadLen))) {
+    Error = "frame CRC mismatch";
+    return false;
+  }
+
+  Rep = ChildReport();
   Rep.LimitExceeded = R.u64() != 0;
   Rep.WorkNs = R.u64();
   Rep.InstrReadCalls = R.u64();
@@ -262,19 +386,35 @@ ChildReport alter::decodeChildReport(const std::vector<uint8_t> &Bytes,
   Rep.RawWireBytes = R.u64();
   Rep.WireBytes = Bytes.size();
   size_t Consumed = 0;
-  deserializeAccessSet(Bytes.data() + R.position(), R.remaining(), Rep.Reads,
-                       Consumed);
+  if (R.failed() ||
+      !deserializeAccessSet(Bytes.data() + R.position(), R.remaining(),
+                            Rep.Reads, Consumed)) {
+    Error = "corrupt read set";
+    return false;
+  }
   R.raw(Consumed);
-  deserializeAccessSet(Bytes.data() + R.position(), R.remaining(),
-                       Rep.Writes, Consumed);
+  if (!deserializeAccessSet(Bytes.data() + R.position(), R.remaining(),
+                            Rep.Writes, Consumed)) {
+    Error = "corrupt write set";
+    return false;
+  }
   R.raw(Consumed);
   const uint64_t LogBytes = R.u64();
+  if (R.failed() || LogBytes > R.remaining()) {
+    Error = "corrupt write log length";
+    return false;
+  }
   const uint8_t *LogData = R.raw(static_cast<size_t>(LogBytes));
-  Rep.Log =
-      WriteLog::deserializeCompact(LogData, static_cast<size_t>(LogBytes));
+  if (!WriteLog::deserializeCompactChecked(
+          LogData, static_cast<size_t>(LogBytes), Rep.Log)) {
+    Error = "corrupt write log";
+    return false;
+  }
   const uint64_t NumSlots = R.u64();
-  if (NumSlots != Spec.Reductions.size())
-    fatalError("fork-join reduction slot count mismatch");
+  if (R.failed() || NumSlots != Spec.Reductions.size()) {
+    Error = "reduction slot count mismatch";
+    return false;
+  }
   Rep.Slots.resize(NumSlots);
   for (uint64_t I = 0; I != NumSlots; ++I) {
     TxnContext::RedSlotState &S = Rep.Slots[I];
@@ -290,5 +430,9 @@ ChildReport alter::decodeChildReport(const std::vector<uint8_t> &Bytes,
       }
     }
   }
-  return Rep;
+  if (R.failed() || !R.exhausted()) {
+    Error = "message length inconsistent with contents";
+    return false;
+  }
+  return true;
 }

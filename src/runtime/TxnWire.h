@@ -21,6 +21,17 @@
 ///  - each message reports the byte count the uncompressed format would
 ///    have used, so RunStats can expose the compression ratio.
 ///
+/// And hardened — a corrupt or truncated message must be REJECTED, never
+/// trusted and never fatal, so the executors can contain the failure to the
+/// chunk that produced it:
+///
+///  - every message is framed as magic | payload length | CRC32(payload);
+///    the parent verifies all three before decoding a single payload byte;
+///  - decoding is allocation-bounded (entry counts are validated against
+///    the physical message size before any reserve) and returns failure on
+///    structural inconsistencies instead of aborting;
+///  - pipe I/O retries on EINTR and treats hard errors as truncation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALTER_RUNTIME_TXNWIRE_H
@@ -29,8 +40,10 @@
 #include "memory/AccessSet.h"
 #include "memory/WriteLog.h"
 #include "runtime/Executor.h"
+#include "support/FaultInjection.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace alter {
@@ -57,31 +70,42 @@ struct ChildReport {
 };
 
 /// Child side: executes iterations [\p FirstIter, \p LastIter) of \p Spec
-/// transactionally as \p Worker, writes the commit message to \p Fd, and
-/// _exit()s. Never returns.
+/// transactionally as \p Worker, writes the framed commit message to
+/// \p Fd, and _exit()s. Never returns. Applies the per-child setrlimit caps
+/// from \p Config, and \p Fault (taken from the FaultPlan by the parent at
+/// fork time) when armed.
 [[noreturn]] void runWireChild(const LoopSpec &Spec,
                                const ExecutorConfig &Config, unsigned Worker,
-                               int64_t FirstIter, int64_t LastIter, int Fd);
+                               int64_t FirstIter, int64_t LastIter, int Fd,
+                               const ArmedFault &Fault = ArmedFault());
 
-/// Parent side: decodes one child's message. Aborts on corrupt input.
-/// Fills every ChildReport field including WireBytes.
-ChildReport decodeChildReport(const std::vector<uint8_t> &Bytes,
-                              const LoopSpec &Spec,
-                              const RuntimeParams &Params);
+/// Parent side: verifies the frame (magic, length, CRC32) and decodes one
+/// child's message into \p Rep. Returns false — with \p Error describing
+/// the rejection — on any truncation, corruption, or structural
+/// inconsistency. Never aborts and never trusts unverified bytes.
+bool decodeChildReport(const std::vector<uint8_t> &Bytes,
+                       const LoopSpec &Spec, const RuntimeParams &Params,
+                       ChildReport &Rep, std::string &Error);
 
 /// Serializes \p Set in the compressed form (Bloom summary + RLE word
 /// runs). Exposed for tests and size accounting.
 void serializeAccessSet(std::vector<uint8_t> &Out, const AccessSet &Set);
 
 /// Inverse of serializeAccessSet; \p Consumed receives the encoded length.
-/// Aborts on corrupt input.
-void deserializeAccessSet(const uint8_t *Data, size_t Size, AccessSet &Set,
+/// Returns false on corrupt input (the set may be partially filled).
+bool deserializeAccessSet(const uint8_t *Data, size_t Size, AccessSet &Set,
                           size_t &Consumed);
 
 /// Bytes the uncompressed (8 bytes per word key) access-set format uses.
 size_t rawAccessSetBytes(const AccessSet &Set);
 
-/// Blocking full read of \p Fd until EOF.
+/// CRC32 (IEEE 802.3 polynomial) used by the message frame. Exposed for
+/// tests.
+uint32_t wireCrc32(const uint8_t *Data, size_t Size);
+
+/// Blocking full read of \p Fd until EOF. Retries on EINTR; a hard read
+/// error returns the bytes collected so far (the frame check downstream
+/// rejects the truncation).
 std::vector<uint8_t> readAllFromPipe(int Fd);
 
 } // namespace alter

@@ -1,0 +1,186 @@
+//===- support/FaultInjection.cpp -----------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/Error.h"
+#include "support/Random.h"
+
+#include <cstddef>
+#include <cstdlib>
+
+using namespace alter;
+
+namespace {
+
+constexpr uint64_t DefaultSeed = 0x414c544552ULL; // "ALTER"
+constexpr uint64_t DefaultStallNs = 2'000'000'000ULL;
+
+bool parseKind(const std::string &Name, FaultKind &Kind) {
+  if (Name == "forkfail")
+    Kind = FaultKind::ForkFail;
+  else if (Name == "crash")
+    Kind = FaultKind::ChildCrash;
+  else if (Name == "kill")
+    Kind = FaultKind::ChildKill;
+  else if (Name == "truncate")
+    Kind = FaultKind::PipeTruncate;
+  else if (Name == "bitflip")
+    Kind = FaultKind::BitFlip;
+  else if (Name == "stall")
+    Kind = FaultKind::Stall;
+  else
+    return false;
+  return true;
+}
+
+bool parseUint(const std::string &Text, uint64_t &Value) {
+  if (Text.empty())
+    return false;
+  Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    Value = Value * 10 + static_cast<uint64_t>(C - '0');
+  }
+  return true;
+}
+
+} // namespace
+
+const char *alter::faultKindName(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::ForkFail:
+    return "forkfail";
+  case FaultKind::ChildCrash:
+    return "crash";
+  case FaultKind::ChildKill:
+    return "kill";
+  case FaultKind::PipeTruncate:
+    return "truncate";
+  case FaultKind::BitFlip:
+    return "bitflip";
+  case FaultKind::Stall:
+    return "stall";
+  }
+  ALTER_UNREACHABLE("covered switch");
+}
+
+FaultPlan::FaultPlan() : Seed(DefaultSeed), StallNs(DefaultStallNs) {
+  if (const char *Env = std::getenv("ALTER_FAULTS")) {
+    std::string Error;
+    if (!parse(Env, &Error))
+      fatalError("malformed ALTER_FAULTS: " + Error);
+  }
+}
+
+FaultPlan &FaultPlan::global() {
+  static FaultPlan Plan;
+  return Plan;
+}
+
+void FaultPlan::clear() {
+  Points.clear();
+  Seed = DefaultSeed;
+  StallNs = DefaultStallNs;
+}
+
+void FaultPlan::arm(FaultKind Kind, int64_t Chunk, bool Sticky) {
+  Points.push_back({Kind, Chunk, Sticky});
+}
+
+ArmedFault FaultPlan::take(int64_t Chunk) {
+  ArmedFault Fault;
+  for (size_t I = 0; I != Points.size(); ++I) {
+    if (Points[I].Chunk != Chunk)
+      continue;
+    Fault.Armed = true;
+    Fault.Kind = Points[I].Kind;
+    Fault.Chunk = Chunk;
+    Fault.Seed = Seed;
+    Fault.StallNs = StallNs;
+    if (!Points[I].Sticky)
+      Points.erase(Points.begin() + static_cast<ptrdiff_t>(I));
+    return Fault;
+  }
+  return Fault;
+}
+
+bool FaultPlan::parse(const std::string &Text, std::string *Error) {
+  auto Fail = [&](const std::string &Message) {
+    if (Error)
+      *Error = Message;
+    return false;
+  };
+  std::vector<FaultPoint> Parsed;
+  uint64_t NewSeed = Seed;
+  uint64_t NewStallNs = StallNs;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find_first_of(",;", Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Entry = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Entry.empty())
+      continue;
+    const size_t Eq = Entry.find('=');
+    if (Eq != std::string::npos) {
+      const std::string Key = Entry.substr(0, Eq);
+      uint64_t Value;
+      if (!parseUint(Entry.substr(Eq + 1), Value))
+        return Fail("bad number in '" + Entry + "'");
+      if (Key == "seed")
+        NewSeed = Value;
+      else if (Key == "stallms")
+        NewStallNs = Value * 1'000'000ULL;
+      else
+        return Fail("unknown option '" + Key + "'");
+      continue;
+    }
+    const size_t At = Entry.find('@');
+    if (At == std::string::npos)
+      return Fail("missing '@chunk' in '" + Entry + "'");
+    FaultPoint Point;
+    if (!parseKind(Entry.substr(0, At), Point.Kind))
+      return Fail("unknown fault kind '" + Entry.substr(0, At) + "'");
+    std::string ChunkText = Entry.substr(At + 1);
+    if (!ChunkText.empty() && ChunkText.back() == '!') {
+      Point.Sticky = true;
+      ChunkText.pop_back();
+    }
+    uint64_t Chunk;
+    if (!parseUint(ChunkText, Chunk))
+      return Fail("bad chunk index in '" + Entry + "'");
+    Point.Chunk = static_cast<int64_t>(Chunk);
+    Parsed.push_back(Point);
+  }
+  Points.insert(Points.end(), Parsed.begin(), Parsed.end());
+  Seed = NewSeed;
+  StallNs = NewStallNs;
+  return true;
+}
+
+void alter::faultTruncateWire(std::vector<uint8_t> &Bytes, uint64_t Seed,
+                              int64_t Chunk) {
+  if (Bytes.empty())
+    return;
+  // Keep between ~25% and ~75% of the message, deterministic in the chunk.
+  SplitMix64 Rng(Seed ^ static_cast<uint64_t>(Chunk));
+  const size_t Keep =
+      Bytes.size() / 4 + static_cast<size_t>(Rng.next() % (Bytes.size() / 2 + 1));
+  Bytes.resize(Keep);
+}
+
+void alter::faultBitFlipWire(std::vector<uint8_t> &Bytes, uint64_t Seed,
+                             int64_t Chunk) {
+  if (Bytes.empty())
+    return;
+  SplitMix64 Rng(Seed ^ static_cast<uint64_t>(Chunk) ^ 0xb17f11bULL);
+  const uint64_t Bit = Rng.next() % (Bytes.size() * 8);
+  Bytes[static_cast<size_t>(Bit / 8)] ^=
+      static_cast<uint8_t>(1u << (Bit % 8));
+}

@@ -1,0 +1,134 @@
+//===- support/FaultInjection.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic fault-injection harness for the fork-based executors.
+/// Tests, benchmarks, and the ALTER_FAULTS environment variable arm a
+/// process-global FaultPlan with per-chunk faults; the executors consult the
+/// plan at well-defined points (fork, child report) and apply the armed
+/// fault exactly where a real failure would strike:
+///
+///  - ForkFail:     the parent's fork()/pipe() of that chunk reports failure;
+///  - ChildCrash:   the child dies of SIGSEGV before executing its chunk;
+///  - ChildKill:    the child is SIGKILLed after executing its chunk;
+///  - PipeTruncate: the child ships only a prefix of its commit message;
+///  - BitFlip:      one bit of the commit message is flipped in flight;
+///  - Stall:        the child sleeps past the executor deadline before
+///                  reporting (containment requires an armed deadline).
+///
+/// Faults are consumed by the PARENT at fork time (FaultPlan::take), so a
+/// one-shot fault strikes only the first execution attempt of its chunk and
+/// the executor's retry runs clean — modeling a transient failure. A sticky
+/// fault stays armed and strikes every attempt — modeling a persistent
+/// failure that forces the sequential-recovery path.
+///
+/// Everything is deterministic: corruption positions derive from
+/// (seed, chunk) via SplitMix64, never from wall-clock or global entropy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_SUPPORT_FAULTINJECTION_H
+#define ALTER_SUPPORT_FAULTINJECTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alter {
+
+/// The failure modes the harness can force (see file comment).
+enum class FaultKind : uint8_t {
+  ForkFail,
+  ChildCrash,
+  ChildKill,
+  PipeTruncate,
+  BitFlip,
+  Stall,
+};
+
+/// Returns "forkfail", "crash", "kill", "truncate", "bitflip", or "stall".
+const char *faultKindName(FaultKind Kind);
+
+/// One armed fault: strikes execution attempts of chunk \p Chunk.
+struct FaultPoint {
+  FaultKind Kind = FaultKind::ChildCrash;
+  int64_t Chunk = 0;
+  /// Sticky faults strike every attempt; one-shot faults only the first.
+  bool Sticky = false;
+};
+
+/// What FaultPlan::take hands the executor for one fork: the fault to
+/// apply (if any) plus the deterministic context needed to apply it.
+struct ArmedFault {
+  bool Armed = false;
+  FaultKind Kind = FaultKind::ChildCrash;
+  int64_t Chunk = 0;
+  uint64_t Seed = 0;
+  uint64_t StallNs = 0;
+};
+
+/// Process-global fault-injection plan. Not thread-safe (the executors are
+/// single-threaded parents); forked children inherit a copy-on-write copy,
+/// which is why consumption happens parent-side before fork.
+class FaultPlan {
+public:
+  /// The global plan. First access loads ALTER_FAULTS from the environment
+  /// (aborts on a malformed value — an injection typo must not silently
+  /// become a clean run).
+  static FaultPlan &global();
+
+  /// Removes every armed fault and restores default seed/stall values.
+  void clear();
+
+  /// True when at least one fault is armed.
+  bool enabled() const { return !Points.empty(); }
+
+  /// Number of faults still armed.
+  size_t pendingCount() const { return Points.size(); }
+
+  /// Arms \p Kind against chunk \p Chunk.
+  void arm(FaultKind Kind, int64_t Chunk, bool Sticky = false);
+
+  /// Seed for deterministic corruption positions.
+  void setSeed(uint64_t S) { Seed = S; }
+  uint64_t seed() const { return Seed; }
+
+  /// Sleep applied by a Stall fault before the child reports.
+  void setStallNs(uint64_t Ns) { StallNs = Ns; }
+  uint64_t stallNs() const { return StallNs; }
+
+  /// Called by an executor immediately before forking chunk \p Chunk:
+  /// returns the fault armed against it (Armed=false when none) and, unless
+  /// the fault is sticky, disarms it so the retry attempt runs clean.
+  ArmedFault take(int64_t Chunk);
+
+  /// Parses a plan spec: comma/semicolon-separated entries of
+  /// "kind@chunk" (one-shot), "kind@chunk!" (sticky), "seed=N", and
+  /// "stallms=N". Example: "kill@3,truncate@1!,bitflip@2,seed=7".
+  /// On failure returns false, sets \p Error if non-null, and leaves the
+  /// plan unchanged.
+  bool parse(const std::string &Text, std::string *Error = nullptr);
+
+private:
+  FaultPlan();
+
+  std::vector<FaultPoint> Points;
+  uint64_t Seed;
+  uint64_t StallNs;
+};
+
+/// Child-side wire corruption, exposed for tests: truncates \p Bytes to a
+/// deterministic prefix (about half the message).
+void faultTruncateWire(std::vector<uint8_t> &Bytes, uint64_t Seed,
+                       int64_t Chunk);
+
+/// Flips one deterministically chosen bit of \p Bytes.
+void faultBitFlipWire(std::vector<uint8_t> &Bytes, uint64_t Seed,
+                      int64_t Chunk);
+
+} // namespace alter
+
+#endif // ALTER_SUPPORT_FAULTINJECTION_H

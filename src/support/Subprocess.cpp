@@ -29,6 +29,14 @@ void alter::writeAllOrDie(int Fd, const void *Data, size_t Size) {
   }
 }
 
+pid_t alter::waitpidRetry(pid_t Pid, int *Status) {
+  for (;;) {
+    const pid_t R = ::waitpid(Pid, Status, 0);
+    if (R >= 0 || errno != EINTR)
+      return R;
+  }
+}
+
 SubprocessResult
 alter::runInSandbox(const std::function<void(int WriteFd)> &Child,
                     unsigned TimeoutSec) {
@@ -63,7 +71,7 @@ alter::runInSandbox(const std::function<void(int WriteFd)> &Child,
   ::close(Fds[0]);
 
   int Status = 0;
-  if (::waitpid(Pid, &Status, 0) < 0)
+  if (waitpidRetry(Pid, &Status) < 0)
     fatalError("waitpid() failed in sandbox");
   if (WIFEXITED(Status)) {
     Result.Exited = true;

@@ -47,6 +47,11 @@ SubprocessResult runInSandbox(const std::function<void(int WriteFd)> &Child,
 /// written; exits the process on hard errors (child-side use only).
 void writeAllOrDie(int Fd, const void *Data, size_t Size);
 
+/// waitpid() that retries on EINTR. Returns the reaped pid, or -1 on a hard
+/// error (the caller decides whether that is recoverable; a signal landing
+/// mid-reap must never be).
+pid_t waitpidRetry(pid_t Pid, int *Status);
+
 } // namespace alter
 
 #endif // ALTER_SUPPORT_SUBPROCESS_H

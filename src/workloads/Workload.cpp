@@ -75,6 +75,26 @@ RunResult Workload::runPipeline(const RuntimeParams &Params,
   return Runner.result();
 }
 
+RunResult Workload::runRecovering(ParallelEngine Engine,
+                                  const RuntimeParams &Params,
+                                  unsigned NumWorkers, uint64_t SeqBaselineNs,
+                                  TxnLimits Limits) {
+  ExecutorConfig Config;
+  Config.NumWorkers = NumWorkers;
+  Config.Params = Params;
+  Config.Limits = Limits;
+  Config.SeqBaselineNs = SeqBaselineNs;
+  Config.Allocator = allocator();
+  std::unique_ptr<Executor> Exec;
+  if (Engine == ParallelEngine::ForkJoin)
+    Exec = std::make_unique<ForkJoinExecutor>(Config);
+  else
+    Exec = std::make_unique<PipelineExecutor>(Config);
+  RecoveringLoopRunner Runner(*Exec, allocator(), SeqBaselineNs);
+  run(Runner);
+  return Runner.result();
+}
+
 RuntimeParams Workload::resolveAnnotation(const Annotation &A) const {
   RuntimeParams Params = paramsForAnnotation(A, reductionCandidates());
   if (A.ChunkFactor <= 0)

@@ -31,6 +31,12 @@
 
 namespace alter {
 
+/// The fork-based process engines selectable by the recovery driver.
+enum class ParallelEngine {
+  ForkJoin, ///< round-barrier engine (ForkJoinExecutor)
+  Pipeline, ///< continuous-feed engine (PipelineExecutor)
+};
+
 /// Abstract benchmark workload.
 class Workload {
 public:
@@ -118,6 +124,14 @@ public:
   RunResult runPipeline(const RuntimeParams &Params, unsigned NumWorkers,
                         uint64_t SeqBaselineNs = 0,
                         TxnLimits Limits = TxnLimits());
+
+  /// Runs under \p Engine behind the sequential-recovery driver
+  /// (RecoveringLoopRunner): speculative failures fall back to sequential
+  /// re-execution of the uncommitted iterations, so the returned result is
+  /// always Success — Stats.Recovered records whether the fallback ran.
+  RunResult runRecovering(ParallelEngine Engine, const RuntimeParams &Params,
+                          unsigned NumWorkers, uint64_t SeqBaselineNs = 0,
+                          TxnLimits Limits = TxnLimits());
 
   /// Resolves \p A against this workload's reduction-candidate names and
   /// applies the paper's chunk-factor default when the annotation leaves

@@ -77,7 +77,7 @@ TEST(AccessSetWireTest, ScatteredKeysRoundTrip) {
   serializeAccessSet(Wire, Set);
   AccessSet Back;
   size_t Consumed = 0;
-  deserializeAccessSet(Wire.data(), Wire.size(), Back, Consumed);
+  EXPECT_TRUE(deserializeAccessSet(Wire.data(), Wire.size(), Back, Consumed));
   EXPECT_EQ(Consumed, Wire.size());
   EXPECT_EQ(sortedWords(Back), sortedWords(Set));
   EXPECT_EQ(std::memcmp(Back.summary().Bits, Set.summary().Bits,
@@ -92,7 +92,7 @@ TEST(AccessSetWireTest, EmptySetRoundTrips) {
   serializeAccessSet(Wire, Set);
   AccessSet Back;
   size_t Consumed = 0;
-  deserializeAccessSet(Wire.data(), Wire.size(), Back, Consumed);
+  EXPECT_TRUE(deserializeAccessSet(Wire.data(), Wire.size(), Back, Consumed));
   EXPECT_EQ(Consumed, Wire.size());
   EXPECT_TRUE(Back.empty());
 }

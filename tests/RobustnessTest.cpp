@@ -7,20 +7,32 @@
 /// \file
 /// Edge cases and failure injection: registry coherence, programmatic
 /// aborts surfacing as sandbox crashes (allocator exhaustion, unknown
-/// workloads), degenerate loop shapes, and the documented semantics that
+/// workloads), degenerate loop shapes, the documented semantics that
 /// StaleReads output is a function of (input, workers, chunk factor) —
 /// deterministic per configuration, legitimately different across
-/// configurations (§4.3).
+/// configurations (§4.3) — and the misspeculation-recovery guarantees:
+/// every injected fault (fork failure, child crash/kill, truncated or
+/// bit-flipped commit message, stall past the deadline) is contained to
+/// its chunk, transient faults self-heal inside the engine, persistent
+/// faults complete through the sequential fallback, and the final memory
+/// image always matches sequential execution. No injected fault may ever
+/// abort the parent process — these tests run the engines in-process.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "memory/AlterAllocator.h"
+#include "runtime/ForkJoinExecutor.h"
 #include "runtime/LockstepExecutor.h"
+#include "runtime/PipelineExecutor.h"
+#include "runtime/TxnWire.h"
+#include "support/FaultInjection.h"
 #include "support/Subprocess.h"
+#include "support/Varint.h"
 #include "workloads/Workload.h"
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <unistd.h>
 
 using namespace alter;
@@ -152,6 +164,288 @@ TEST(DegenerateLoopTest, ChunkLargerThanLoop) {
 //===----------------------------------------------------------------------===
 // Cross-configuration semantics (§4.3)
 //===----------------------------------------------------------------------===
+
+//===----------------------------------------------------------------------===
+// Wire-protocol hardening
+//===----------------------------------------------------------------------===
+
+TEST(WireProtocolTest, Crc32MatchesIeeeReferenceVector) {
+  const char *Check = "123456789";
+  EXPECT_EQ(wireCrc32(reinterpret_cast<const uint8_t *>(Check), 9),
+            0xCBF43926u);
+  EXPECT_EQ(wireCrc32(nullptr, 0), 0u);
+}
+
+TEST(WireProtocolTest, AccessSetDecodeRejectsEveryTruncation) {
+  std::vector<double> Pool(256);
+  AccessSet Set;
+  Set.insertRange(Pool.data(), Pool.size() * sizeof(double));
+  Set.insert(&Pool[0]); // plus a second run far from the first
+  std::vector<uint8_t> Wire;
+  serializeAccessSet(Wire, Set);
+  {
+    AccessSet Back;
+    size_t Consumed = 0;
+    ASSERT_TRUE(deserializeAccessSet(Wire.data(), Wire.size(), Back,
+                                     Consumed));
+    EXPECT_EQ(Consumed, Wire.size());
+  }
+  for (size_t Len = 0; Len != Wire.size(); ++Len) {
+    AccessSet Back;
+    size_t Consumed = 0;
+    EXPECT_FALSE(deserializeAccessSet(Wire.data(), Len, Back, Consumed))
+        << "prefix of " << Len << " bytes must be rejected";
+  }
+}
+
+TEST(WireProtocolTest, AccessSetDecodeBoundsAllocation) {
+  // A tiny message claiming an enormous word count must be rejected before
+  // anything is allocated or inserted, not trusted and expanded.
+  std::vector<uint8_t> Evil(sizeof(BloomSummary().Bits), 0);
+  appendVarint(Evil, ~uint64_t(0)); // count
+  appendVarint(Evil, 1);            // one run
+  appendVarint(Evil, 0);            // gap
+  appendVarint(Evil, ~uint64_t(0)); // length - 1
+  AccessSet Back;
+  size_t Consumed = 0;
+  EXPECT_FALSE(deserializeAccessSet(Evil.data(), Evil.size(), Back,
+                                    Consumed));
+}
+
+TEST(WireProtocolTest, WriteLogCheckedDecodeRejectsHostileHeaders) {
+  WriteLog Out;
+  // Absurd entry count in a two-byte message.
+  std::vector<uint8_t> Evil;
+  appendVarint(Evil, ~uint64_t(0));
+  EXPECT_FALSE(
+      WriteLog::deserializeCompactChecked(Evil.data(), Evil.size(), Out));
+  // Entry whose payload size exceeds the physical message.
+  Evil.clear();
+  appendVarint(Evil, 1); // one entry
+  appendVarint(Evil, 0); // address delta
+  appendVarint(Evil, 1u << 20); // 1 MiB payload in a 4-byte message
+  EXPECT_FALSE(
+      WriteLog::deserializeCompactChecked(Evil.data(), Evil.size(), Out));
+  // Empty log still round-trips.
+  WriteLog Empty;
+  std::vector<uint8_t> Wire;
+  Empty.serializeCompact(Wire);
+  EXPECT_TRUE(
+      WriteLog::deserializeCompactChecked(Wire.data(), Wire.size(), Out));
+  EXPECT_TRUE(Out.empty());
+}
+
+//===----------------------------------------------------------------------===
+// Fault-injection plan
+//===----------------------------------------------------------------------===
+
+TEST(FaultPlanTest, ParseGrammarAndConsumption) {
+  FaultPlan &Plan = FaultPlan::global();
+  Plan.clear();
+  std::string Error;
+  ASSERT_TRUE(Plan.parse("kill@3,truncate@1!;seed=7,stallms=50", &Error))
+      << Error;
+  EXPECT_EQ(Plan.pendingCount(), 2u);
+  EXPECT_EQ(Plan.seed(), 7u);
+  EXPECT_EQ(Plan.stallNs(), 50u * 1000000u);
+
+  const ArmedFault OneShot = Plan.take(3);
+  EXPECT_TRUE(OneShot.Armed);
+  EXPECT_EQ(OneShot.Kind, FaultKind::ChildKill);
+  EXPECT_EQ(OneShot.Seed, 7u);
+  EXPECT_FALSE(Plan.take(3).Armed) << "one-shot faults are consumed";
+
+  EXPECT_TRUE(Plan.take(1).Armed);
+  EXPECT_TRUE(Plan.take(1).Armed) << "sticky faults stay armed";
+  EXPECT_FALSE(Plan.take(0).Armed);
+
+  EXPECT_FALSE(Plan.parse("explode@1", &Error));
+  EXPECT_FALSE(Plan.parse("kill3", &Error));
+  EXPECT_FALSE(Plan.parse("seed=x", &Error));
+  Plan.clear();
+  EXPECT_FALSE(Plan.enabled());
+}
+
+TEST(FaultPlanTest, WireCorruptionIsDeterministic) {
+  std::vector<uint8_t> A(333, 0xaa), B(333, 0xaa);
+  faultBitFlipWire(A, /*Seed=*/9, /*Chunk=*/4);
+  faultBitFlipWire(B, /*Seed=*/9, /*Chunk=*/4);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, std::vector<uint8_t>(333, 0xaa)) << "exactly one bit flips";
+
+  std::vector<uint8_t> T(333, 0xaa);
+  faultTruncateWire(T, /*Seed=*/9, /*Chunk=*/4);
+  EXPECT_LT(T.size(), 333u);
+  EXPECT_GE(T.size(), 333u / 4);
+}
+
+//===----------------------------------------------------------------------===
+// Misspeculation recovery: the fault matrix
+//===----------------------------------------------------------------------===
+
+namespace {
+
+std::unique_ptr<Executor> makeEngine(ParallelEngine Engine,
+                                     const ExecutorConfig &Config) {
+  if (Engine == ParallelEngine::ForkJoin)
+    return std::make_unique<ForkJoinExecutor>(Config);
+  return std::make_unique<PipelineExecutor>(Config);
+}
+
+const char *engineName(ParallelEngine Engine) {
+  return Engine == ParallelEngine::ForkJoin ? "forkjoin" : "pipeline";
+}
+
+/// Runs a disjoint-writes loop (6 chunks of 4 iterations, 2 workers) under
+/// the recovery driver with whatever the global FaultPlan has armed, and
+/// asserts the final memory image equals sequential execution regardless
+/// of which faults struck.
+RunResult runDisjointLoopRecovering(ParallelEngine Engine,
+                                    CommitOrderPolicy Order,
+                                    uint64_t SeqBaselineNs = 0) {
+  constexpr int64_t N = 24;
+  std::vector<int64_t> Data(N, -1);
+  LoopSpec Spec;
+  Spec.NumIterations = N;
+  Spec.Body = [&Data](TxnContext &Ctx, int64_t I) {
+    Ctx.store(&Data[static_cast<size_t>(I)], I * 3 + 1);
+  };
+  ExecutorConfig Config;
+  Config.NumWorkers = 2;
+  Config.Params.ChunkFactor = 4;
+  Config.Params.CommitOrder = Order;
+  Config.SeqBaselineNs = SeqBaselineNs;
+  std::unique_ptr<Executor> Exec = makeEngine(Engine, Config);
+  RecoveringLoopRunner Runner(*Exec, /*Allocator=*/nullptr, SeqBaselineNs);
+  EXPECT_TRUE(Runner.runInner(Spec));
+  for (int64_t I = 0; I != N; ++I)
+    EXPECT_EQ(Data[static_cast<size_t>(I)], I * 3 + 1)
+        << "memory image must equal sequential execution (iteration " << I
+        << ")";
+  return Runner.result();
+}
+
+} // namespace
+
+TEST(FaultMatrixTest, TransientFaultsSelfHealInsideTheEngine) {
+  // A one-shot fault strikes the chunk's first attempt only; the engine's
+  // own requeue-and-retry absorbs it without the sequential fallback.
+  for (ParallelEngine Engine :
+       {ParallelEngine::ForkJoin, ParallelEngine::Pipeline}) {
+    for (FaultKind Kind : {FaultKind::ForkFail, FaultKind::ChildCrash,
+                           FaultKind::ChildKill, FaultKind::PipeTruncate,
+                           FaultKind::BitFlip}) {
+      SCOPED_TRACE(std::string(engineName(Engine)) + "/" +
+                   faultKindName(Kind));
+      FaultPlan::global().clear();
+      FaultPlan::global().arm(Kind, /*Chunk=*/1, /*Sticky=*/false);
+      const RunResult R =
+          runDisjointLoopRecovering(Engine, CommitOrderPolicy::InOrder);
+      EXPECT_EQ(R.Status, RunStatus::Success);
+      EXPECT_FALSE(R.Stats.Recovered)
+          << "a transient fault must not reach the fallback";
+      EXPECT_EQ(FaultPlan::global().pendingCount(), 0u)
+          << "the fault must actually have struck";
+      switch (Kind) {
+      case FaultKind::ForkFail:
+        EXPECT_EQ(R.Stats.NumForkFailures, 1u);
+        break;
+      case FaultKind::ChildCrash:
+      case FaultKind::ChildKill:
+        EXPECT_EQ(R.Stats.NumChildCrashes, 1u);
+        break;
+      case FaultKind::PipeTruncate:
+      case FaultKind::BitFlip:
+        EXPECT_EQ(R.Stats.NumWireRejects, 1u);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  FaultPlan::global().clear();
+}
+
+TEST(FaultMatrixTest, PersistentFaultsRecoverSequentially) {
+  // A sticky fault strikes every attempt: the engine exhausts its
+  // per-chunk retry budget, reports a contained Crash, and the recovery
+  // driver completes the uncommitted iterations sequentially.
+  for (ParallelEngine Engine :
+       {ParallelEngine::ForkJoin, ParallelEngine::Pipeline}) {
+    for (CommitOrderPolicy Order :
+         {CommitOrderPolicy::InOrder, CommitOrderPolicy::OutOfOrder}) {
+      for (FaultKind Kind : {FaultKind::ForkFail, FaultKind::ChildCrash,
+                             FaultKind::ChildKill, FaultKind::PipeTruncate,
+                             FaultKind::BitFlip}) {
+        SCOPED_TRACE(std::string(engineName(Engine)) + "/" +
+                     (Order == CommitOrderPolicy::InOrder ? "inorder"
+                                                          : "outoforder") +
+                     "/" + faultKindName(Kind));
+        FaultPlan::global().clear();
+        FaultPlan::global().arm(Kind, /*Chunk=*/1, /*Sticky=*/true);
+        const RunResult R = runDisjointLoopRecovering(Engine, Order);
+        EXPECT_EQ(R.Status, RunStatus::Success)
+            << "recovery must downgrade the crash to a completed run";
+        EXPECT_TRUE(R.Stats.Recovered);
+        EXPECT_GT(R.Stats.RecoveredIterations, 0u);
+      }
+    }
+  }
+  FaultPlan::global().clear();
+}
+
+TEST(FaultMatrixTest, StalledChildTimesOutAndRecovers) {
+  // A child sleeping past the deadline: the engine SIGKILLs it, reports
+  // Timeout, and the recovery driver completes the loop.
+  for (ParallelEngine Engine :
+       {ParallelEngine::ForkJoin, ParallelEngine::Pipeline}) {
+    SCOPED_TRACE(engineName(Engine));
+    FaultPlan::global().clear();
+    FaultPlan::global().arm(FaultKind::Stall, /*Chunk=*/1, /*Sticky=*/true);
+    FaultPlan::global().setStallNs(600'000'000); // 600ms, past any deadline
+    const RunResult R = runDisjointLoopRecovering(
+        Engine, CommitOrderPolicy::InOrder, /*SeqBaselineNs=*/1'000'000);
+    EXPECT_EQ(R.Status, RunStatus::Success);
+    EXPECT_TRUE(R.Stats.Recovered);
+    EXPECT_GT(R.Stats.RecoveredIterations, 0u);
+  }
+  FaultPlan::global().clear();
+}
+
+TEST(FaultMatrixTest, AllWorkloadsRecoverToValidOutput) {
+  // The acceptance bar: with persistent kill/truncate/bit-flip faults
+  // armed, every parallelizable workload in the registry still completes
+  // under the recovery driver and its output validates against the
+  // sequential reference.
+  for (const std::string &Name : allWorkloadNames()) {
+    std::unique_ptr<Workload> W = makeWorkload(Name);
+    const std::optional<Annotation> A = W->paperAnnotation();
+    if (!A)
+      continue; // labyrinth: the paper could not parallelize it
+    SCOPED_TRACE(Name);
+
+    W->setUp(0);
+    W->runSequential();
+    const std::vector<double> Reference = W->outputSignature();
+
+    FaultPlan::global().clear();
+    FaultPlan::global().arm(FaultKind::ChildKill, /*Chunk=*/0,
+                            /*Sticky=*/true);
+    FaultPlan::global().arm(FaultKind::PipeTruncate, /*Chunk=*/1,
+                            /*Sticky=*/true);
+    FaultPlan::global().arm(FaultKind::BitFlip, /*Chunk=*/2,
+                            /*Sticky=*/true);
+
+    W->setUp(0);
+    const RunResult R = W->runRecovering(
+        ParallelEngine::ForkJoin, W->resolveAnnotation(*A), /*NumWorkers=*/2);
+    EXPECT_EQ(R.Status, RunStatus::Success);
+    EXPECT_TRUE(R.Stats.Recovered);
+    EXPECT_TRUE(W->validate(Reference))
+        << "recovered output must validate against sequential";
+    FaultPlan::global().clear();
+  }
+}
 
 TEST(ConfigurationSemanticsTest, StaleReadsOutputDependsOnWorkersAndCf) {
   // "every time the generated executable is run with the same program
