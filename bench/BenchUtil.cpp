@@ -8,6 +8,7 @@
 
 #include "support/Error.h"
 #include "support/Format.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cctype>
@@ -49,6 +50,7 @@ SweepSeries alter::bench::runSweep(const std::string &Name, size_t InputIndex,
     Point.Status = R.Status;
     Point.SimTimeNs = R.Stats.SimTimeNs;
     Point.RetryRate = R.Stats.retryRate();
+    Point.ChunkFactorUsed = R.ChunkFactorUsed;
     Point.Stats = R.Stats;
     Point.Speedup = R.Stats.SimTimeNs == 0
                         ? 0.0
@@ -116,6 +118,7 @@ struct JsonRecord {
 
 std::string JsonPath;
 std::vector<JsonRecord> JsonRecords;
+std::string TracePath;
 
 std::string jsonEscape(const std::string &S) {
   std::string Out;
@@ -142,8 +145,30 @@ void alter::bench::initBenchArgs(int argc, char **argv) {
       JsonPath = argv[++I];
     } else if (Arg.rfind("--json=", 0) == 0) {
       JsonPath = Arg.substr(7);
+    } else if (Arg == "--trace") {
+      if (I + 1 == argc)
+        fatalError("--trace requires a path argument");
+      TracePath = argv[++I];
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TracePath = Arg.substr(8);
     }
   }
+  // The flag implies full event recording regardless of ALTER_TRACE.
+  if (!TracePath.empty())
+    setGlobalTraceLevel(TraceLevel::Events);
+}
+
+bool alter::bench::traceRequested() { return !TracePath.empty(); }
+
+void alter::bench::maybeWriteTraceReport(const RunResult &Result) {
+  if (TracePath.empty())
+    return;
+  std::string Error;
+  if (!Result.writeChromeTrace(TracePath, &Error))
+    fatalError("cannot write --trace path " + TracePath + ": " + Error);
+  std::printf("(chrome trace written to %s — load in Perfetto or "
+              "chrome://tracing)\n%s",
+              TracePath.c_str(), Result.traceSummary().c_str());
 }
 
 void alter::bench::jsonAddPoint(const std::string &Figure,
@@ -174,7 +199,8 @@ void alter::bench::finalizeBenchJson() {
         "\"wire_bytes\": %llu, \"wire_bytes_raw\": %llu, "
         "\"wire_compression\": %.6g, \"bloom_checks\": %llu, "
         "\"bloom_skips\": %llu, \"bloom_false_positives\": %llu, "
-        "\"bloom_fp_rate\": %.6g, \"fork_failures\": %llu, "
+        "\"bloom_fp_rate\": %.6g, \"chunk_factor\": %lld, "
+        "\"fork_failures\": %llu, "
         "\"child_crashes\": %llu, \"wire_rejects\": %llu, "
         "\"recovered\": %s, \"recovered_iterations\": %llu}",
         I == 0 ? "" : ",", jsonEscape(R.Figure).c_str(),
@@ -193,6 +219,7 @@ void alter::bench::finalizeBenchJson() {
         static_cast<unsigned long long>(S.BloomSkips),
         static_cast<unsigned long long>(S.BloomFalsePositives),
         S.bloomFalsePositiveRate(),
+        static_cast<long long>(R.Point.ChunkFactorUsed),
         static_cast<unsigned long long>(S.NumForkFailures),
         static_cast<unsigned long long>(S.NumChildCrashes),
         static_cast<unsigned long long>(S.NumWireRejects),

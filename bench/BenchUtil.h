@@ -37,6 +37,9 @@ struct SweepPoint {
   double RetryRate = 0.0;
   uint64_t SimTimeNs = 0;
   RunStatus Status = RunStatus::Success;
+  /// The chunk factor the run actually used (explicit parameter or the
+  /// process-wide default), carried into the --json report.
+  int64_t ChunkFactorUsed = 0;
   /// Full per-run statistics, carried into the --json report (transaction
   /// counts, wire bytes, Bloom prefilter hits, worker occupancy).
   RunStats Stats;
@@ -87,9 +90,20 @@ void maybeWriteCsv(const std::string &Id, const TextTable &Table);
 
 /// Parses the shared harness flags out of \p argv. Currently understood:
 /// `--json <path>` (or `--json=<path>`) arms the JSON report written by
-/// finalizeBenchJson(). Unrecognized arguments are left for the driver.
-/// Call once at the top of main().
+/// finalizeBenchJson(); `--trace <path>` (or `--trace=<path>`) raises the
+/// process-wide trace level to Events and arms the Chrome-trace report
+/// written by maybeWriteTraceReport(). Unrecognized arguments are left for
+/// the driver. Call once at the top of main().
 void initBenchArgs(int argc, char **argv);
+
+/// True when --trace was given: the driver should keep the RunResult of a
+/// representative run and hand it to maybeWriteTraceReport().
+bool traceRequested();
+
+/// Writes \p Result's event timeline to the --trace path as Chrome
+/// trace-event JSON (Perfetto-loadable) and prints the text summary with
+/// conflict attribution to stdout. No-op when --trace was not given.
+void maybeWriteTraceReport(const RunResult &Result);
 
 /// Appends one measured point to the JSON report (no-op unless --json was
 /// given). printFigure() calls this for every point it prints; drivers with

@@ -27,6 +27,13 @@
 /// records the recovered-run wall clock alongside the clean-run one
 /// ("<engine>-fault" vs "<engine>" series, recovered=true/false).
 ///
+/// With --trace <file> the pipelined run at the highest processor count is
+/// traced at TraceLevel::Events and exported as Chrome trace-event JSON
+/// (one track per worker slot), with the conflict-attribution summary on
+/// stdout. The loop is conflict-free by construction, so --contend adds a
+/// shared read-modify-write cell (labeled "straggler.shared") that every
+/// chunk touches, giving the attribution report a real granule to rank.
+///
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
@@ -36,6 +43,7 @@
 #include "support/Error.h"
 #include "support/FaultInjection.h"
 #include "support/Format.h"
+#include "support/Trace.h"
 
 #include <cerrno>
 #include <cmath>
@@ -55,15 +63,26 @@ struct StragglerLoop {
   size_t SliceDoubles;
   int WorkPerElement;
   uint64_t StragglerNs;
+  /// --contend: every chunk read-modify-writes Shared, making it the one
+  /// conflicting granule for the attribution report. It stays out of the
+  /// validated Out array, so the memcmp against the sequential reference is
+  /// unaffected by retry-order nondeterminism.
+  bool Contend = false;
 
   std::vector<double> In;
   std::vector<double> Out;
+  double Shared = 0.0;
 
   void reset() {
     In.assign(static_cast<size_t>(NumChunks) * SliceDoubles, 0.0);
     Out.assign(In.size(), 0.0);
     for (size_t I = 0; I != In.size(); ++I)
       In[I] = 1.0 + static_cast<double>(I % 97);
+    Shared = 0.0;
+    traceLabelRegion(In.data(), In.size() * sizeof(double), "straggler.in");
+    traceLabelRegion(Out.data(), Out.size() * sizeof(double),
+                     "straggler.out");
+    traceLabelRegion(&Shared, sizeof(Shared), "straggler.shared");
   }
 
   static bool isStraggler(int64_t Chunk) { return Chunk % 8 == 0; }
@@ -79,6 +98,8 @@ struct StragglerLoop {
           V = std::sqrt(V * V + 1.0);
         Ctx.store(&Out[Base + I], V);
       }
+      if (Contend)
+        Ctx.store(&Shared, Ctx.load(&Shared) + 1.0);
       if (isStraggler(C)) {
         // The straggler's latency window: blocked, not burning CPU.
         timespec Ts;
@@ -105,7 +126,8 @@ struct StragglerLoop {
 };
 
 SweepPoint measure(StragglerLoop &Loop, Executor &Exec, unsigned P,
-                   const std::vector<double> &Ref) {
+                   const std::vector<double> &Ref,
+                   RunResult *TraceOut = nullptr) {
   Loop.reset();
   LoopSpec Spec = Loop.spec();
   const RunResult R = Exec.run(Spec);
@@ -115,11 +137,14 @@ SweepPoint measure(StragglerLoop &Loop, Executor &Exec, unsigned P,
   if (std::memcmp(Loop.Out.data(), Ref.data(),
                   Ref.size() * sizeof(double)) != 0)
     fatalError("straggler loop produced wrong output");
+  if (TraceOut)
+    *TraceOut = R;
   SweepPoint Point;
   Point.NumWorkers = P;
   Point.Status = R.Status;
   Point.SimTimeNs = R.Stats.SimTimeNs;
   Point.RetryRate = R.Stats.retryRate();
+  Point.ChunkFactorUsed = R.ChunkFactorUsed;
   Point.Stats = R.Stats;
   return Point;
 }
@@ -153,6 +178,7 @@ SweepPoint measureRecovering(StragglerLoop &Loop, Executor &Exec, unsigned P,
   Point.Status = R.Status;
   Point.SimTimeNs = R.Stats.SimTimeNs;
   Point.RetryRate = R.Stats.retryRate();
+  Point.ChunkFactorUsed = R.ChunkFactorUsed;
   Point.Stats = R.Stats;
   return Point;
 }
@@ -163,11 +189,14 @@ int main(int argc, char **argv) {
   initBenchArgs(argc, argv);
   bool Quick = false;
   bool Fault = false;
+  bool Contend = false;
   for (int I = 1; I != argc; ++I) {
     if (std::string(argv[I]) == "--quick")
       Quick = true;
     if (std::string(argv[I]) == "--fault")
       Fault = true;
+    if (std::string(argv[I]) == "--contend")
+      Contend = true;
   }
 
   printHeader("pipeline vs rounds",
@@ -178,6 +207,7 @@ int main(int argc, char **argv) {
   Loop.SliceDoubles = 256;
   Loop.WorkPerElement = 200;
   Loop.StragglerNs = Quick ? 40000000ULL : 150000000ULL; // 40ms / 150ms
+  Loop.Contend = Contend;
   Loop.reset();
   const std::vector<double> Ref = Loop.reference();
 
@@ -209,6 +239,7 @@ int main(int argc, char **argv) {
                       : std::string("-")});
     jsonAddPoint("pipeline_vs_rounds", Series, Pt);
   };
+  RunResult Traced;
   for (unsigned P : Procs) {
     ExecutorConfig Config;
     Config.NumWorkers = P;
@@ -218,7 +249,9 @@ int main(int argc, char **argv) {
     const SweepPoint Fj = measure(Loop, Rounds, P, Ref);
     addRow(P, "forkjoin", Fj);
     PipelineExecutor Pipe(Config);
-    const SweepPoint Pl = measure(Loop, Pipe, P, Ref);
+    // Procs ascends, so the kept trace is the highest-P pipelined run.
+    const SweepPoint Pl = measure(Loop, Pipe, P, Ref,
+                                  traceRequested() ? &Traced : nullptr);
     addRow(P, "pipeline", Pl);
 
     if (P == 4) {
@@ -251,6 +284,7 @@ int main(int argc, char **argv) {
     std::printf("with injected faults (recovered runs): rounds %.2fms "
                 "(clean %.2fms), pipeline %.2fms (clean %.2fms)\n",
                 WallFaultFj4, WallFj4, WallFaultPipe4, WallPipe4);
+  maybeWriteTraceReport(Traced);
   finalizeBenchJson();
   return 0;
 }

@@ -3,6 +3,7 @@
 #
 # Usage: scripts/check.sh [build-dir]
 #        scripts/check.sh --sanitize [build-dir]
+#        scripts/check.sh --trace [build-dir]
 #
 # Configures, builds, runs the full ctest suite, then smoke-runs the
 # straggler micro-benchmark (--quick, with --fault so the recovery path is
@@ -13,16 +14,29 @@
 # tree compiled with AddressSanitizer + UndefinedBehaviorSanitizer, so
 # memory errors in the fork/pipe/recovery paths surface in CI rather than
 # as flaky wire rejects.
+#
+# With --trace the sequence additionally smoke-tests the telemetry layer:
+# one untraced and one ALTER_TRACE=events run of the straggler benchmark,
+# asserting the Chrome trace is well-formed JSON and that full event
+# recording costs less than 2x the untraced wall-clock.
 
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 SANITIZE=0
-if [[ "${1:-}" == "--sanitize" ]]; then
-  SANITIZE=1
+TRACE=0
+while [[ "${1:-}" == --* ]]; do
+  case "$1" in
+  --sanitize) SANITIZE=1 ;;
+  --trace) TRACE=1 ;;
+  *)
+    echo "check.sh: unknown flag $1" >&2
+    exit 2
+    ;;
+  esac
   shift
-fi
+done
 
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 
@@ -44,7 +58,54 @@ run_stage() { # run_stage <build-dir> <extra cmake args...>
   "$DIR/bench/pipeline_vs_rounds" --quick --fault --json "$JSON_OUT"
 }
 
+trace_stage() { # trace_stage <build-dir>
+  local DIR="$1"
+  local BENCH="$DIR/bench/pipeline_vs_rounds"
+  local TRACE_OUT="$DIR/pipeline_vs_rounds.trace.json"
+
+  echo "== trace smoke: untraced baseline ($DIR) =="
+  local T0 T1 PLAIN_NS TRACED_NS
+  T0=$(date +%s%N)
+  ALTER_TRACE=off "$BENCH" --quick --contend >/dev/null
+  T1=$(date +%s%N)
+  PLAIN_NS=$((T1 - T0))
+
+  echo "== trace smoke: ALTER_TRACE=events + --trace ($DIR) =="
+  T0=$(date +%s%N)
+  ALTER_TRACE=events "$BENCH" --quick --contend --trace "$TRACE_OUT" \
+    >/dev/null
+  T1=$(date +%s%N)
+  TRACED_NS=$((T1 - T0))
+
+  echo "== trace smoke: validate $TRACE_OUT =="
+  python3 - "$TRACE_OUT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "trace must contain events"
+assert any(e.get("name") == "chunk_exec" for e in events), \
+    "trace must contain chunk_exec spans"
+slots = {e["tid"] for e in events if e.get("ph") == "X"}
+assert len(slots) >= 2, f"expected parent + worker tracks, got {slots}"
+print(f"trace OK: {len(events)} events across {len(slots)} tracks")
+EOF
+
+  echo "untraced ${PLAIN_NS}ns vs traced ${TRACED_NS}ns"
+  # Same workload either side (--quick --contend); the straggler sleeps
+  # dominate, so a 2x budget catches pathological tracing overhead while
+  # staying robust to scheduler noise on a loaded CI host.
+  if ((TRACED_NS > 2 * PLAIN_NS)); then
+    echo "check.sh: traced run exceeded 2x untraced wall-clock" >&2
+    exit 1
+  fi
+}
+
 run_stage "$BUILD_DIR"
+
+if [[ "$TRACE" == 1 ]]; then
+  trace_stage "$BUILD_DIR"
+fi
 
 if [[ "$SANITIZE" == 1 ]]; then
   SAN_DIR="$BUILD_DIR-asan-ubsan"

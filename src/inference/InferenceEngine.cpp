@@ -72,6 +72,8 @@ struct WireReport {
   double WriteSetWordsMean;
   uint64_t SimTimeNs;
   uint64_t SeqTimeNs;
+  uint64_t EnvFaults;
+  uint64_t Recovered;
 };
 
 /// Runs the candidate end to end inside the child process and emits a
@@ -150,6 +152,9 @@ struct WireReport {
   Wire.WriteSetWordsMean = R.Stats.WriteSetWords.mean();
   Wire.SimTimeNs = R.Stats.SimTimeNs;
   Wire.SeqTimeNs = BaselineNs;
+  Wire.EnvFaults = R.Stats.NumForkFailures + R.Stats.NumChildCrashes +
+                   R.Stats.NumWireRejects;
+  Wire.Recovered = R.Stats.Recovered ? 1 : 0;
   writeAllOrDie(WriteFd, &Wire, sizeof(Wire));
   _exit(0);
 }
@@ -185,6 +190,8 @@ CandidateReport InferenceEngine::evaluateCandidate(const std::string &Name,
   Report.WriteSetWordsMean = Wire.WriteSetWordsMean;
   Report.SimTimeNs = Wire.SimTimeNs;
   Report.SeqTimeNs = Wire.SeqTimeNs;
+  Report.EnvFaults = Wire.EnvFaults;
+  Report.Recovered = Wire.Recovered != 0;
   return Report;
 }
 

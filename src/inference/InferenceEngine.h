@@ -87,6 +87,12 @@ struct CandidateReport {
   double WriteSetWordsMean = 0.0;
   uint64_t SimTimeNs = 0;
   uint64_t SeqTimeNs = 0;
+  /// Infrastructure faults (fork failures + child crashes + wire rejects)
+  /// the runtime observed during the evaluation — nonzero values mean an
+  /// EnvFault classification indicts the environment, not the candidate.
+  uint64_t EnvFaults = 0;
+  /// True when the run only completed via the sequential-recovery path.
+  bool Recovered = false;
 };
 
 /// Complete inference result for one loop (one Table 3 row, plus the

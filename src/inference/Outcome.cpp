@@ -22,20 +22,33 @@ const char *alter::inferenceOutcomeName(InferenceOutcome Outcome) {
     return "h.c.";
   case InferenceOutcome::OutputMismatch:
     return "mismatch";
+  case InferenceOutcome::EnvFault:
+    return "env.fault";
   }
   ALTER_UNREACHABLE("covered switch");
 }
 
 InferenceOutcome alter::classifyRun(const RunResult &Result, bool OutputValid,
                                     double HighConflictRate) {
+  // Infrastructure faults the runtime observed (and contained) this run.
+  // A crash/timeout with these nonzero is not evidence against the
+  // annotation; neither is a "success" that only completed because the
+  // sequential-recovery path took over.
+  const uint64_t EnvFaults = Result.Stats.NumForkFailures +
+                             Result.Stats.NumChildCrashes +
+                             Result.Stats.NumWireRejects;
   switch (Result.Status) {
   case RunStatus::Crash:
-    return InferenceOutcome::Crash;
+    return EnvFaults != 0 ? InferenceOutcome::EnvFault
+                          : InferenceOutcome::Crash;
   case RunStatus::Timeout:
-    return InferenceOutcome::Timeout;
+    return EnvFaults != 0 ? InferenceOutcome::EnvFault
+                          : InferenceOutcome::Timeout;
   case RunStatus::Success:
     break;
   }
+  if (Result.Stats.Recovered && EnvFaults != 0)
+    return InferenceOutcome::EnvFault;
   if (Result.Stats.retryRate() > HighConflictRate)
     return InferenceOutcome::HighConflicts;
   if (!OutputValid)

@@ -12,6 +12,13 @@
 /// flagged as having high conflicts if more than 50% of the attempted
 /// commits fail."
 ///
+/// One extension over the paper's lattice: EnvFault. A run that crashed or
+/// timed out while the runtime was absorbing infrastructure faults (fork
+/// failures, child crashes, rejected commit messages) says nothing about
+/// the ANNOTATION — the same candidate might be perfectly breakable on a
+/// healthy host. Classifying it as an environmental fault keeps the
+/// inference table from rejecting an annotation for the machine's sins.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALTER_INFERENCE_OUTCOME_H
@@ -28,10 +35,14 @@ enum class InferenceOutcome {
   Timeout,
   HighConflicts,
   OutputMismatch,
+  /// The run failed (or only survived via sequential recovery) with
+  /// infrastructure-fault counters nonzero: the evidence indicts the
+  /// environment, not the annotation's semantics.
+  EnvFault,
 };
 
 /// Paper-style short name ("success", "crash", "timeout", "h.c.",
-/// "mismatch").
+/// "mismatch", "env.fault").
 const char *inferenceOutcomeName(InferenceOutcome Outcome);
 
 /// Applies the §5 classification rules to a completed run.

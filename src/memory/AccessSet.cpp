@@ -70,14 +70,18 @@ void AccessSet::grow() {
 }
 
 bool AccessSet::intersects(const AccessSet &Other) const {
+  return firstCommonWord(Other) != EmptyKey;
+}
+
+uintptr_t AccessSet::firstCommonWord(const AccessSet &Other) const {
   // Probe the smaller array against the larger hash table, mirroring the
   // paper's array-vs-set conflict check between processes.
   const AccessSet &Small = sizeWords() <= Other.sizeWords() ? *this : Other;
   const AccessSet &Large = sizeWords() <= Other.sizeWords() ? Other : *this;
   for (uintptr_t Key : Small.Words)
     if (Large.containsKey(Key))
-      return true;
-  return false;
+      return Key;
+  return EmptyKey;
 }
 
 void AccessSet::unionWith(const AccessSet &Other) {

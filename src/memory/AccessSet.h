@@ -96,6 +96,12 @@ public:
   /// True if this set and \p Other share at least one word.
   bool intersects(const AccessSet &Other) const;
 
+  /// A word key shared by this set and \p Other, or 0 when the sets are
+  /// disjoint (word key 0 cannot occur for real data). Same cost as
+  /// intersects(); the conflict detector uses the returned key as the
+  /// abort's attribution witness.
+  uintptr_t firstCommonWord(const AccessSet &Other) const;
+
   /// Inserts every word of \p Other into this set.
   void unionWith(const AccessSet &Other);
 

@@ -22,8 +22,11 @@ bool ConflictDetector::setsConflict(const AccessSet &A,
   // The exact check probes the smaller array against the larger table.
   WordsChecked += A.sizeWords() <= B.sizeWords() ? A.sizeWords()
                                                  : B.sizeWords();
-  if (A.intersects(B))
+  const uintptr_t Witness = A.firstCommonWord(B);
+  if (Witness != 0) {
+    LastConflictWord = Witness;
     return true;
+  }
   ++BloomFalsePositives;
   return false;
 }
@@ -47,6 +50,7 @@ bool ConflictDetector::conflictsWith(const AccessSet &Reads,
 
 bool ConflictDetector::hasConflict(const AccessSet &Reads,
                                    const AccessSet &Writes) const {
+  LastConflictWord = 0;
   return conflictsWith(Reads, Writes, CommittedWrites);
 }
 
@@ -69,6 +73,7 @@ uint64_t ConflictDetector::recordCommitEpoch(const AccessSet &Writes) {
 bool ConflictDetector::hasConflictSince(uint64_t SnapshotSeq,
                                         const AccessSet &Reads,
                                         const AccessSet &Writes) const {
+  LastConflictWord = 0;
   if (Policy == ConflictPolicy::NONE)
     return false;
   // Epochs is ordered by sequence; only commits the transaction missed

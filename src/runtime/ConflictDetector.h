@@ -108,6 +108,13 @@ public:
   /// Active policy.
   ConflictPolicy policy() const { return Policy; }
 
+  /// Witness of the most recent conflicting query: one word key shared by
+  /// the transaction's checked set and the committed writes (0 when the
+  /// last query found no conflict). Conflict attribution resolves it to a
+  /// granule and an allocation-site label. Valid until the next
+  /// hasConflict/hasConflictSince call.
+  uintptr_t lastConflictWord() const { return LastConflictWord; }
+
 private:
   /// One prefiltered exact check, with stats accounting.
   bool setsConflict(const AccessSet &A, const AccessSet &B) const;
@@ -133,6 +140,7 @@ private:
   mutable uint64_t BloomChecks = 0;
   mutable uint64_t BloomSkips = 0;
   mutable uint64_t BloomFalsePositives = 0;
+  mutable uintptr_t LastConflictWord = 0;
 };
 
 } // namespace alter

@@ -28,6 +28,7 @@
 #include "runtime/RunResult.h"
 #include "runtime/RuntimeParams.h"
 #include "runtime/TxnContext.h"
+#include "support/Trace.h"
 
 #include <cstdint>
 
@@ -66,6 +67,12 @@ struct ExecutorConfig {
   /// Allocator used for in-loop allocations; may be null when the loop
   /// never allocates.
   AlterAllocator *Allocator = nullptr;
+
+  /// Telemetry level for this run (defaults to the ALTER_TRACE-derived
+  /// process level at config construction). Forked children inherit it
+  /// through the config and ship their events back in the commit message's
+  /// TRACE section.
+  TraceLevel Trace = globalTraceLevel();
 };
 
 /// Abstract loop execution engine.

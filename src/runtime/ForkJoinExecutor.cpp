@@ -7,6 +7,7 @@
 #include "runtime/ForkJoinExecutor.h"
 
 #include "runtime/ConflictDetector.h"
+#include "runtime/TraceSink.h"
 #include "runtime/TxnWire.h"
 #include "support/FaultInjection.h"
 #include "support/Format.h"
@@ -74,6 +75,7 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
 
   std::unordered_map<int64_t, unsigned> FaultCounts;
   ConflictDetector Detector(Config.Params.Conflict);
+  TraceSink Sink(Config.Trace);
   const uint64_t RealStart = nowNs();
 
   // Real-time stall deadline: children run on real CPUs, so the 10x rule
@@ -96,6 +98,7 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
     Result.Stats.BloomChecks = Detector.bloomChecks();
     Result.Stats.BloomSkips = Detector.bloomSkips();
     Result.Stats.BloomFalsePositives = Detector.bloomFalsePositives();
+    Sink.finish(Result);
     return Result;
   };
 
@@ -142,14 +145,17 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
         const int64_t First = Chunk * Cf;
         const int64_t Last =
             std::min<int64_t>(First + Cf, Spec.NumIterations);
-        runWireChild(Spec, Config, /*Worker=*/W + 1, First, Last, Fds[1],
-                     Fault);
+        runWireChild(Spec, Config, /*Worker=*/W + 1, Chunk, First, Last,
+                     Fds[1], Fault);
         // runWireChild never returns.
       }
       ::close(Fds[1]);
       Slots[W].Pid = Pid;
       Slots[W].Fd = Fds[0];
       Slots[W].Open = true;
+      if (Sink.events())
+        Sink.event(TraceEventKind::Fork, /*Worker=*/0, Chunk, traceNowNs(),
+                   0, /*Arg0=*/W + 1);
     }
 
     // Join: drain every pipe concurrently under the stall deadline. A
@@ -174,8 +180,13 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
                         : static_cast<int>((RealDeadline - Now) / 1000000) +
                               1;
       }
+      const uint64_t PollT0 = Sink.events() ? traceNowNs() : 0;
       const int N =
           ::poll(Pfds.data(), static_cast<nfds_t>(Pfds.size()), TimeoutMs);
+      if (Sink.events() && N >= 0)
+        Sink.event(TraceEventKind::PollWake, /*Worker=*/0, /*Chunk=*/-1,
+                   PollT0, traceNowNs() - PollT0,
+                   /*Arg0=*/static_cast<uint64_t>(N));
       if (N < 0 && errno == EINTR)
         continue;
       if (N < 0 || (RealDeadline != 0 && nowNs() >= RealDeadline)) {
@@ -244,6 +255,7 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
         continue;
       }
       Ok[W] = true;
+      Sink.absorbChild(Reports[W].Trace);
     }
 
     if (TimedOut)
@@ -278,6 +290,9 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
               strprintf("chunk %lld failed %u consecutive attempts (%s)",
                         static_cast<long long>(Chunk), Count,
                         FailWhy[W].c_str()));
+        if (Sink.events())
+          Sink.event(TraceEventKind::FaultContained, /*Worker=*/0, Chunk,
+                     traceNowNs(), 0, /*Arg0=*/Count);
         if (Config.Params.CommitOrder == CommitOrderPolicy::InOrder)
           InOrderBroken = true;
         Retried.push_back(Chunk);
@@ -300,11 +315,26 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
       Costs[W].BytesTouched = Rep.MemTrafficBytes;
 
       const uint64_t WordsBefore = Detector.wordsChecked();
-      const bool Failed =
-          InOrderBroken || Detector.hasConflict(Rep.Reads, Rep.Writes);
+      const uint64_t ValT0 = Sink.events() ? traceNowNs() : 0;
+      // Preserve the short-circuit: a broken in-order prefix fails the
+      // chunk without running (and without charging for) a conflict check.
+      bool Failed = InOrderBroken;
+      if (!Failed)
+        Failed = Detector.hasConflict(Rep.Reads, Rep.Writes);
+      const uintptr_t Witness =
+          InOrderBroken ? 0 : Detector.lastConflictWord();
       Costs[W].CheckWords = Detector.wordsChecked() - WordsBefore;
+      if (Sink.events())
+        Sink.event(TraceEventKind::Validate, /*Worker=*/0, Chunk, ValT0,
+                   traceNowNs() - ValT0, /*Arg0=*/Failed ? 1 : 0,
+                   /*Arg1=*/Witness);
       if (Failed) {
         ++Result.Stats.NumRetries;
+        if (Sink.counters())
+          Sink.conflict(Chunk, Witness);
+        if (Sink.events())
+          Sink.event(TraceEventKind::Retry, /*Worker=*/0, Chunk,
+                     traceNowNs());
         if (Config.Params.CommitOrder == CommitOrderPolicy::InOrder)
           InOrderBroken = true;
         Retried.push_back(Chunk);
@@ -323,12 +353,18 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
       if (Config.Allocator)
         Config.Allocator->advanceBump(W + 1, Rep.BumpOffset);
       Result.CommitOrder.push_back(Chunk);
+      if (Sink.events())
+        Sink.event(TraceEventKind::Commit, /*Worker=*/0, Chunk, traceNowNs(),
+                   0, /*Arg0=*/Rep.Log.dataBytes());
     }
     // Failed chunks retry ahead of younger chunks, preserving program order.
     for (auto It = Retried.rbegin(); It != Retried.rend(); ++It)
       Pending.push_front(*It);
 
     Result.Stats.SimTimeNs += Config.Costs->roundNs(Costs, P);
+    if (Sink.events())
+      Sink.event(TraceEventKind::RoundBarrier, /*Worker=*/0, /*Chunk=*/-1,
+                 traceNowNs(), 0, /*Arg0=*/Result.Stats.NumRounds);
   }
 
   return Finish(RunStatus::Success, std::string());

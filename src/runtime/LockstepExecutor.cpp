@@ -7,6 +7,7 @@
 #include "runtime/LockstepExecutor.h"
 
 #include "runtime/ConflictDetector.h"
+#include "runtime/TraceSink.h"
 #include "support/Format.h"
 #include "support/Timer.h"
 
@@ -51,6 +52,7 @@ RunResult LockstepExecutor::run(const LoopSpec &Spec) {
         /*Worker=*/W + 1, Config.Limits));
 
   ConflictDetector Detector(Config.Params.Conflict);
+  TraceSink Sink(Config.Trace);
   const uint64_t RealStart = nowNs();
   const uint64_t DeadlineSimNs =
       Config.SeqBaselineNs == 0
@@ -75,6 +77,7 @@ RunResult LockstepExecutor::run(const LoopSpec &Spec) {
       const int64_t First = RoundChunks[W] * Cf;
       const int64_t Last =
           std::min<int64_t>(First + Cf, Spec.NumIterations);
+      const uint64_t TraceT0 = Sink.events() ? traceNowNs() : 0;
       const uint64_t T0 = nowNs();
       for (int64_t I = First; I != Last; ++I)
         Spec.Body(Ctx, I);
@@ -83,12 +86,18 @@ RunResult LockstepExecutor::run(const LoopSpec &Spec) {
       Ctx.suspendTxn();
       Costs[W].WorkNs = nowNs() - T0;
       Costs[W].BytesTouched = Ctx.memTrafficBytes();
+      if (Sink.events())
+        Sink.event(TraceEventKind::ChunkExec, /*Worker=*/W + 1,
+                   RoundChunks[W], TraceT0, traceNowNs() - TraceT0,
+                   /*Arg0=*/Ctx.readSet().sizeWords(),
+                   /*Arg1=*/Ctx.writeSet().sizeWords());
       if (Ctx.limitExceeded()) {
         Result.Status = RunStatus::Crash;
         Result.Detail = strprintf(
             "transaction for chunk %lld exceeded the access-set memory cap",
             static_cast<long long>(RoundChunks[W]));
         Result.Stats.RealTimeNs = nowNs() - RealStart;
+        Sink.finish(Result);
         return Result;
       }
     }
@@ -111,11 +120,26 @@ RunResult LockstepExecutor::run(const LoopSpec &Spec) {
       Result.Stats.BytesWritten += Ctx.bytesWritten();
 
       const uint64_t WordsBefore = Detector.wordsChecked();
-      bool Failed =
-          InOrderBroken || Detector.hasConflict(Ctx.readSet(), Ctx.writeSet());
+      const uint64_t ValT0 = Sink.events() ? traceNowNs() : 0;
+      // Preserve the short-circuit: a broken in-order prefix fails the
+      // chunk without running a conflict check.
+      bool Failed = InOrderBroken;
+      if (!Failed)
+        Failed = Detector.hasConflict(Ctx.readSet(), Ctx.writeSet());
+      const uintptr_t Witness =
+          InOrderBroken ? 0 : Detector.lastConflictWord();
       Costs[W].CheckWords = Detector.wordsChecked() - WordsBefore;
+      if (Sink.events())
+        Sink.event(TraceEventKind::Validate, /*Worker=*/0, RoundChunks[W],
+                   ValT0, traceNowNs() - ValT0, /*Arg0=*/Failed ? 1 : 0,
+                   /*Arg1=*/Witness);
       if (Failed) {
         ++Result.Stats.NumRetries;
+        if (Sink.counters())
+          Sink.conflict(RoundChunks[W], Witness);
+        if (Sink.events())
+          Sink.event(TraceEventKind::Retry, /*Worker=*/0, RoundChunks[W],
+                     traceNowNs());
         Ctx.abortTxn();
         if (Config.Params.CommitOrder == CommitOrderPolicy::InOrder)
           InOrderBroken = true;
@@ -129,6 +153,10 @@ RunResult LockstepExecutor::run(const LoopSpec &Spec) {
       Detector.recordCommit(Ctx.writeSet());
       Ctx.commitTxn();
       Result.CommitOrder.push_back(RoundChunks[W]);
+      if (Sink.events())
+        Sink.event(TraceEventKind::Commit, /*Worker=*/0, RoundChunks[W],
+                   traceNowNs(), 0,
+                   /*Arg0=*/Ctx.writeLog().dataBytes());
     }
     (void)CheckWordsBase;
     // Failed chunks were pushed to the front in ascending order of W, which
@@ -144,6 +172,9 @@ RunResult LockstepExecutor::run(const LoopSpec &Spec) {
 
     // Step 2d: advance the modeled parallel clock past the barrier.
     Result.Stats.SimTimeNs += Config.Costs->roundNs(Costs, P);
+    if (Sink.events())
+      Sink.event(TraceEventKind::RoundBarrier, /*Worker=*/0, /*Chunk=*/-1,
+                 traceNowNs(), 0, /*Arg0=*/Result.Stats.NumRounds);
 
     if (DeadlineSimNs != 0 &&
         AccumulatedSimNs + Result.Stats.SimTimeNs > DeadlineSimNs) {
@@ -151,10 +182,12 @@ RunResult LockstepExecutor::run(const LoopSpec &Spec) {
       Result.Detail = "modeled execution time exceeded the 10x-sequential "
                       "deadline";
       Result.Stats.RealTimeNs = nowNs() - RealStart;
+      Sink.finish(Result);
       return Result;
     }
   }
 
   Result.Stats.RealTimeNs = nowNs() - RealStart;
+  Sink.finish(Result);
   return Result;
 }

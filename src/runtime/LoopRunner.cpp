@@ -7,6 +7,7 @@
 #include "runtime/LoopRunner.h"
 
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <vector>
@@ -17,6 +18,7 @@ LoopRunner::~LoopRunner() = default;
 
 bool LoopRunner::fold(RunResult R) {
   Accumulated.Stats.merge(R.Stats);
+  Accumulated.mergeTrace(R);
   if (R.Status != RunStatus::Success) {
     Accumulated.Status = R.Status;
     Accumulated.Detail = std::move(R.Detail);
@@ -58,6 +60,7 @@ bool RecoveringLoopRunner::runInner(const LoopSpec &Spec) {
   }
   Exec.setAccumulatedSimNs(Accumulated.Stats.SimTimeNs);
   RunResult R = Exec.run(Spec);
+  Accumulated.mergeTrace(R);
   if (R.Status != RunStatus::Success) {
     Accumulated.Stats.merge(R.Stats);
     if (!R.Detail.empty())
@@ -99,6 +102,9 @@ void RecoveringLoopRunner::recoverSequentially(const LoopSpec &Spec,
   // direct read-modify-write — sequential semantics.
   TxnContext Ctx(ContextMode::Passthrough, /*Params=*/nullptr, &Spec,
                  Allocator, /*Worker=*/0);
+  // The runner predates ExecutorConfig, so it reads the process-wide level.
+  const bool TraceEvents = globalTraceLevel() >= TraceLevel::Events;
+  const uint64_t TraceT0 = TraceEvents ? traceNowNs() : 0;
   const uint64_t Start = nowNs();
   uint64_t Iters = 0;
   for (int64_t C = 0; C != NumChunks; ++C) {
@@ -111,6 +117,11 @@ void RecoveringLoopRunner::recoverSequentially(const LoopSpec &Spec,
     Iters += static_cast<uint64_t>(Last - First);
   }
   const uint64_t Elapsed = nowNs() - Start;
+  if (TraceEvents)
+    Accumulated.TraceEvents.push_back({TraceT0, Elapsed, /*Chunk=*/-1,
+                                       /*Arg0=*/Iters, /*Arg1=*/0,
+                                       /*Worker=*/0,
+                                       TraceEventKind::Recovery});
   Accumulated.Stats.RealTimeNs += Elapsed;
   Accumulated.Stats.SimTimeNs += Elapsed;
   Accumulated.Stats.BytesRead += Ctx.bytesRead();

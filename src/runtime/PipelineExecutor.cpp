@@ -7,6 +7,7 @@
 #include "runtime/PipelineExecutor.h"
 
 #include "runtime/ConflictDetector.h"
+#include "runtime/TraceSink.h"
 #include "runtime/TxnWire.h"
 #include "support/FaultInjection.h"
 #include "support/Format.h"
@@ -106,11 +107,14 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
   int64_t DrainChunk = -1; // starvation guard target, -1 when inactive
 
   ConflictDetector Detector(Config.Params.Conflict);
+  TraceSink Sink(Config.Trace);
   const uint64_t RealStart = nowNs();
 
   bool Crashed = false;
   std::string CrashDetail;
 
+  // Called on every exit path, so the sink flushes into the result exactly
+  // once regardless of how the run ends.
   auto finishStats = [&] {
     Result.Stats.RealTimeNs = nowNs() - RealStart;
     // Real parallel engine: the modeled clock is the real clock.
@@ -119,6 +123,7 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
     Result.Stats.BloomChecks = Detector.bloomChecks();
     Result.Stats.BloomSkips = Detector.bloomSkips();
     Result.Stats.BloomFalsePositives = Detector.bloomFalsePositives();
+    Sink.finish(Result);
   };
 
   auto killInFlight = [&] {
@@ -157,6 +162,9 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
                     static_cast<long long>(Chunk), Count, Why.c_str());
       return;
     }
+    if (Sink.events())
+      Sink.event(TraceEventKind::FaultContained, /*Worker=*/0, Chunk,
+                 traceNowNs(), 0, /*Arg0=*/Count);
     insertPending(Chunk);
   };
 
@@ -196,11 +204,14 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
           ::close(Other.Fd);
       const int64_t First = Chunk * Cf;
       const int64_t Last = std::min<int64_t>(First + Cf, Spec.NumIterations);
-      runWireChild(Spec, Config, /*Worker=*/SlotIdx + 1, First, Last,
+      runWireChild(Spec, Config, /*Worker=*/SlotIdx + 1, Chunk, First, Last,
                    Fds[1], Fault);
       // runWireChild never returns.
     }
     ::close(Fds[1]);
+    if (Sink.events())
+      Sink.event(TraceEventKind::Fork, /*Worker=*/0, Chunk, traceNowNs(), 0,
+                 /*Arg0=*/SlotIdx + 1);
     S.St = Slot::State::Running;
     S.Pid = Pid;
     S.Fd = Fds[0];
@@ -266,13 +277,22 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
       Config.Allocator->advanceBump(SlotIdx + 1, Rep.BumpOffset);
     Result.CommitOrder.push_back(Chunk);
     ++Committed;
+    if (Sink.events())
+      Sink.event(TraceEventKind::Commit, /*Worker=*/0, Chunk, traceNowNs(),
+                 0, /*Arg0=*/Rep.Log.dataBytes());
     if (Chunk == DrainChunk)
       DrainChunk = -1;
     RetryCount.erase(Chunk);
   };
 
+  // Called immediately after a failed hasConflictSince, while the
+  // detector's conflict witness is still valid.
   auto failReport = [&](int64_t Chunk) {
     ++Result.Stats.NumRetries;
+    if (Sink.counters())
+      Sink.conflict(Chunk, Detector.lastConflictWord());
+    if (Sink.events())
+      Sink.event(TraceEventKind::Retry, /*Worker=*/0, Chunk, traceNowNs());
     insertPending(Chunk);
     const unsigned Count = ++RetryCount[Chunk];
     // InOrder needs no guard: only the oldest unretired chunk validates,
@@ -289,8 +309,14 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
       BufferedReport B = std::move(It->second);
       Arrived.erase(It);
       Slots[B.SlotIdx].St = Slot::State::Free;
-      if (Detector.hasConflictSince(B.SnapshotSeq, B.Rep.Reads,
-                                    B.Rep.Writes)) {
+      const uint64_t ValT0 = Sink.events() ? traceNowNs() : 0;
+      const bool Conflicts = Detector.hasConflictSince(
+          B.SnapshotSeq, B.Rep.Reads, B.Rep.Writes);
+      if (Sink.events())
+        Sink.event(TraceEventKind::Validate, /*Worker=*/0, NextToRetire,
+                   ValT0, traceNowNs() - ValT0, /*Arg0=*/Conflicts ? 1 : 0,
+                   /*Arg1=*/Detector.lastConflictWord());
+      if (Conflicts) {
         failReport(NextToRetire);
         break;
       }
@@ -352,6 +378,7 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
     Result.Stats.WireBytes += Rep.WireBytes;
     Result.Stats.WireBytesRaw += Rep.RawWireBytes;
     Result.Stats.WorkerBusyNs += Rep.WorkNs;
+    Sink.absorbChild(Rep.Trace);
 
     if (InOrder && S.Chunk != NextToRetire) {
       // Too early to retire: park the report, keep the slot's arena
@@ -362,7 +389,14 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
       return;
     }
     S.St = Slot::State::Free;
-    if (Detector.hasConflictSince(S.SnapshotSeq, Rep.Reads, Rep.Writes)) {
+    const uint64_t ValT0 = Sink.events() ? traceNowNs() : 0;
+    const bool Conflicts =
+        Detector.hasConflictSince(S.SnapshotSeq, Rep.Reads, Rep.Writes);
+    if (Sink.events())
+      Sink.event(TraceEventKind::Validate, /*Worker=*/0, S.Chunk, ValT0,
+                 traceNowNs() - ValT0, /*Arg0=*/Conflicts ? 1 : 0,
+                 /*Arg1=*/Detector.lastConflictWord());
+    if (Conflicts) {
       failReport(S.Chunk);
       return;
     }
@@ -401,10 +435,15 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
       // With a deadline armed, wake periodically even if no child reports,
       // so a runaway chunk cannot postpone the timeout check indefinitely.
       const int PollTimeoutMs = DeadlineNs == 0 ? -1 : 100;
+      const uint64_t PollT0 = Sink.events() ? traceNowNs() : 0;
       int Ready;
       do {
         Ready = ::poll(Fds.data(), Fds.size(), PollTimeoutMs);
       } while (Ready < 0 && errno == EINTR);
+      if (Sink.events() && Ready >= 0)
+        Sink.event(TraceEventKind::PollWake, /*Worker=*/0, /*Chunk=*/-1,
+                   PollT0, traceNowNs() - PollT0,
+                   /*Arg0=*/static_cast<uint64_t>(Ready));
       if (Ready < 0) {
         killInFlight();
         Result.Status = RunStatus::Crash;

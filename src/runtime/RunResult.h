@@ -16,6 +16,7 @@
 #define ALTER_RUNTIME_RUNRESULT_H
 
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <cstdint>
 #include <string>
@@ -160,6 +161,17 @@ struct RunStats {
   void merge(const RunStats &Other);
 };
 
+/// Aborts attributed to one 512-byte granule: how many commit attempts a
+/// granule's data made fail validation, plus the first conflicting word the
+/// validator witnessed there (resolvable to an allocation-site label via
+/// traceLabelForWordKey). The direct input the adaptive-chunk-factor work
+/// needs: it names WHICH datum makes an annotation misspeculate.
+struct GranuleAbortStat {
+  uintptr_t GranuleKey = 0;     ///< word key >> BloomSummary::GranuleShift
+  uintptr_t WitnessWordKey = 0; ///< first witness word seen in the granule
+  uint64_t Aborts = 0;
+};
+
 /// Outcome of one loop execution (or of an outer loop's worth of them).
 struct RunResult {
   RunStatus Status = RunStatus::Success;
@@ -175,6 +187,36 @@ struct RunResult {
   /// order (conflict serializability); tests exploit that. Only the most
   /// recent inner-loop invocation's order is kept when results accumulate.
   std::vector<int64_t> CommitOrder;
+
+  //===--------------------------------------------------------------------===
+  // Telemetry (populated by TraceSink when ExecutorConfig::Trace is on)
+  //===--------------------------------------------------------------------===
+
+  /// Merged per-run timeline: parent-side events plus the child-side events
+  /// shipped in each commit message's TRACE section. Empty below
+  /// TraceLevel::Events.
+  std::vector<TraceEvent> TraceEvents;
+  /// Events that hit the bounded buffers and were counted instead of kept.
+  uint64_t TraceEventsDropped = 0;
+  /// Conflict attribution, sorted ascending by GranuleKey. Populated from
+  /// TraceLevel::Counters.
+  std::vector<GranuleAbortStat> GranuleAborts;
+  /// Aborts with no single witness word (e.g. InOrder commit-order breakage
+  /// cascades).
+  uint64_t UnattributedAborts = 0;
+
+  /// Accumulates \p Other's telemetry into this (the trace-side companion
+  /// of Stats.merge, used across outer-loop invocations).
+  void mergeTrace(const RunResult &Other);
+
+  /// Writes the timeline as Chrome trace_event JSON (Perfetto-loadable, one
+  /// track per worker slot). Returns false with \p Error set on I/O errors.
+  bool writeChromeTrace(const std::string &Path,
+                        std::string *Error = nullptr) const;
+
+  /// Human-readable telemetry report: event counts per kind plus the top-N
+  /// granules ranked by aborts caused, with allocation-site labels.
+  std::string traceSummary(size_t TopN = 5) const;
 
   bool succeeded() const { return Status == RunStatus::Success; }
 };

@@ -1,0 +1,91 @@
+//===- runtime/TraceSink.h - Per-run telemetry collection -------*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TraceSink is the parent-side collection point for one executor run: the
+/// executors record their own events (fork, poll wakeups, validation,
+/// retirement, retries, fault containment), absorb the child-side events
+/// shipped in each commit message's TRACE section, and aggregate conflict
+/// attribution — per 512-byte granule, how many aborts it caused and which
+/// word witnessed them. finish() moves everything into the RunResult,
+/// whose exporters (writeChromeTrace / traceSummary, implemented here)
+/// turn the merged timeline into a Perfetto-loadable JSON file or a
+/// human-readable attribution report.
+///
+/// Attribution is active from TraceLevel::Counters; the timeline only at
+/// TraceLevel::Events. At TraceLevel::Off every entry point reduces to a
+/// predictable branch on a member byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_RUNTIME_TRACESINK_H
+#define ALTER_RUNTIME_TRACESINK_H
+
+#include "runtime/RunResult.h"
+#include "support/Trace.h"
+
+#include <map>
+
+namespace alter {
+
+/// Collects one run's events and conflict attribution (see file comment).
+class TraceSink {
+public:
+  explicit TraceSink(TraceLevel Level) : Buf(Level) {}
+
+  /// True when the timeline is being recorded.
+  bool events() const { return Buf.events(); }
+
+  /// True when at least attribution counters are on.
+  bool counters() const { return Buf.counters(); }
+
+  TraceLevel level() const { return Buf.level(); }
+
+  /// Records one parent-side event (no-op below Events).
+  void event(TraceEventKind Kind, uint32_t Worker, int64_t Chunk,
+             uint64_t StartNs, uint64_t DurNs = 0, uint64_t Arg0 = 0,
+             uint64_t Arg1 = 0) {
+    Buf.record(Kind, Worker, Chunk, StartNs, DurNs, Arg0, Arg1);
+  }
+
+  /// Appends the child-side events shipped in one commit message.
+  void absorbChild(const std::vector<TraceEvent> &ChildEvents) {
+    if (!Buf.events())
+      return;
+    for (const TraceEvent &E : ChildEvents)
+      Buf.record(E.Kind, E.Worker, E.Chunk, E.StartNs, E.DurNs, E.Arg0,
+                 E.Arg1);
+  }
+
+  /// Charges one abort of \p Chunk to the granule containing
+  /// \p WitnessWordKey (the conflicting word the validator found). A zero
+  /// witness (policy conflicts with no single word, e.g. InOrder breakage)
+  /// is counted as unattributed.
+  void conflict(int64_t Chunk, uintptr_t WitnessWordKey);
+
+  /// Moves the collected timeline and attribution into \p Result.
+  void finish(RunResult &Result);
+
+private:
+  struct GranuleCount {
+    uintptr_t WitnessWordKey = 0;
+    uint64_t Aborts = 0;
+  };
+
+  TraceBuffer Buf;
+  std::map<uintptr_t, GranuleCount> Granules;
+  uint64_t UnattributedAborts = 0;
+};
+
+/// Sum of DurNs over events of \p Kind on worker tracks > 0. The bench
+/// smoke uses this to check the exported per-slot tracks cover the run's
+/// WorkerBusyNs.
+uint64_t traceTotalDurNs(const std::vector<TraceEvent> &Events,
+                         TraceEventKind Kind);
+
+} // namespace alter
+
+#endif // ALTER_RUNTIME_TRACESINK_H

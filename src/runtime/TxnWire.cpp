@@ -99,8 +99,13 @@ private:
   bool Failed = false;
 };
 
-constexpr uint64_t MessageMagic = 0x33414c544552ULL; // "ALTER3"
+constexpr uint64_t MessageMagicV3 = 0x33414c544552ULL; // "ALTER3"
+constexpr uint64_t MessageMagicV4 = 0x34414c544552ULL; // "ALTER4"
 constexpr size_t FrameHeaderBytes = 3 * sizeof(uint64_t);
+
+/// Fixed wire size of one TRACE-section event: 6 u64 slots (StartNs, DurNs,
+/// Chunk, Arg0, Arg1, Worker | Kind << 32).
+constexpr size_t TraceEventWireBytes = 6 * sizeof(uint64_t);
 
 /// Decoded word-key cap: each message describes one chunk's accesses, so a
 /// count beyond this is corruption, not a big loop. It bounds the memory a
@@ -265,15 +270,22 @@ bool alter::deserializeAccessSet(const uint8_t *Data, size_t Size,
 }
 
 void alter::runWireChild(const LoopSpec &Spec, const ExecutorConfig &Config,
-                         unsigned Worker, int64_t FirstIter, int64_t LastIter,
-                         int Fd, const ArmedFault &Fault) {
+                         unsigned Worker, int64_t Chunk, int64_t FirstIter,
+                         int64_t LastIter, int Fd, const ArmedFault &Fault) {
   applyChildRlimits(Config);
   if (Fault.Armed && Fault.Kind == FaultKind::ChildCrash)
     ::raise(SIGSEGV); // the injected "buggy chunk" dies before any work
 
+  TraceBuffer Trace(Config.Trace);
+  if (Trace.events())
+    Trace.record(TraceEventKind::ChunkStart, Worker, Chunk, traceNowNs(), 0,
+                 static_cast<uint64_t>(FirstIter),
+                 static_cast<uint64_t>(LastIter));
+
   TxnContext Ctx(ContextMode::Transactional, &Config.Params, &Spec,
                  Config.Allocator, Worker, Config.Limits);
   Ctx.beginTxn();
+  const uint64_t TraceT0 = Trace.events() ? traceNowNs() : 0;
   const uint64_t T0 = nowNs();
   for (int64_t I = FirstIter; I != LastIter; ++I)
     Spec.Body(Ctx, I);
@@ -281,18 +293,57 @@ void alter::runWireChild(const LoopSpec &Spec, const ExecutorConfig &Config,
   // discarded on exit, so no restore is needed.
   Ctx.captureRedo();
   const uint64_t WorkNs = nowNs() - T0;
+  if (Trace.events())
+    Trace.record(TraceEventKind::ChunkExec, Worker, Chunk, TraceT0, WorkNs,
+                 Ctx.readSet().sizeWords(), Ctx.writeSet().sizeWords());
 
   if (Fault.Armed && Fault.Kind == FaultKind::ChildKill)
     ::raise(SIGKILL); // the injected kill lands after the work, pre-report
 
   const auto &Slots = Ctx.reductionSlots();
+
+  // Serialize the body (sets, log, slots) separately from the fixed header:
+  // the trace events recorded below need the body size, and the RawBytes
+  // header field needs the final TRACE-section size.
+  ByteWriter Body;
+  serializeAccessSet(Body.bytes(), Ctx.readSet());
+  serializeAccessSet(Body.bytes(), Ctx.writeSet());
+  {
+    std::vector<uint8_t> LogBuf;
+    Ctx.writeLog().serializeCompact(LogBuf);
+    Body.u64(LogBuf.size());
+    Body.raw(LogBuf.data(), LogBuf.size());
+  }
+  Body.u64(Slots.size());
+  for (const TxnContext::RedSlotState &S : Slots) {
+    Body.u64(S.Touched ? 1 : 0);
+    uint64_t AccBits;
+    std::memcpy(&AccBits, &S.Acc.F, sizeof(AccBits));
+    Body.u64(AccBits);
+  }
+
+  if (Trace.events()) {
+    Trace.record(TraceEventKind::Serialize, Worker, Chunk, traceNowNs(), 0,
+                 9 * sizeof(uint64_t) + Body.bytes().size());
+    // Predicted on-pipe message size, counting this event itself in the
+    // TRACE section (it is the last one recorded).
+    const uint64_t WireTotal =
+        FrameHeaderBytes + 9 * sizeof(uint64_t) + Body.bytes().size() +
+        sizeof(uint64_t) + TraceEventWireBytes * (Trace.buffer().size() + 1);
+    Trace.record(TraceEventKind::CommitAttempt, Worker, Chunk, traceNowNs(),
+                 0, WireTotal);
+  }
+  const uint64_t TraceSectionBytes =
+      sizeof(uint64_t) + TraceEventWireBytes * Trace.buffer().size();
+
   // What the uncompressed format (raw 8-byte word keys, 16-byte write-log
-  // entry table) would have shipped for this same message.
+  // entry table) would have shipped for this same message. The TRACE
+  // section is already fixed-size, so it contributes its wire size as-is.
   const uint64_t RawBytes =
       9 * sizeof(uint64_t) + rawAccessSetBytes(Ctx.readSet()) +
       rawAccessSetBytes(Ctx.writeSet()) + sizeof(uint64_t) +
       Ctx.writeLog().serializedSize() + sizeof(uint64_t) +
-      Slots.size() * 2 * sizeof(uint64_t);
+      Slots.size() * 2 * sizeof(uint64_t) + TraceSectionBytes;
 
   ByteWriter W;
   W.u64(Ctx.limitExceeded() ? 1 : 0);
@@ -304,26 +355,24 @@ void alter::runWireChild(const LoopSpec &Spec, const ExecutorConfig &Config,
   W.u64(Ctx.memTrafficBytes());
   W.u64(Config.Allocator ? Config.Allocator->bumpOffset(Worker) : 0);
   W.u64(RawBytes);
-  serializeAccessSet(W.bytes(), Ctx.readSet());
-  serializeAccessSet(W.bytes(), Ctx.writeSet());
-  {
-    std::vector<uint8_t> LogBuf;
-    Ctx.writeLog().serializeCompact(LogBuf);
-    W.u64(LogBuf.size());
-    W.raw(LogBuf.data(), LogBuf.size());
-  }
-  W.u64(Slots.size());
-  for (const TxnContext::RedSlotState &S : Slots) {
-    W.u64(S.Touched ? 1 : 0);
-    uint64_t AccBits;
-    std::memcpy(&AccBits, &S.Acc.F, sizeof(AccBits));
-    W.u64(AccBits);
+  W.raw(Body.bytes().data(), Body.bytes().size());
+  // TRACE section: count, then fixed-size events. Always present in an
+  // ALTER4 frame; the count is simply 0 below TraceLevel::Events.
+  W.u64(Trace.buffer().size());
+  for (const TraceEvent &E : Trace.buffer()) {
+    W.u64(E.StartNs);
+    W.u64(E.DurNs);
+    W.u64(static_cast<uint64_t>(E.Chunk));
+    W.u64(E.Arg0);
+    W.u64(E.Arg1);
+    W.u64(static_cast<uint64_t>(E.Worker) |
+          (static_cast<uint64_t>(E.Kind) << 32));
   }
 
   // Frame the payload: magic | payload length | CRC32. The parent verifies
   // all three before trusting a byte of the payload.
   ByteWriter Framed;
-  Framed.u64(MessageMagic);
+  Framed.u64(MessageMagicV4);
   Framed.u64(W.bytes().size());
   Framed.u64(wireCrc32(W.bytes().data(), W.bytes().size()));
   Framed.raw(W.bytes().data(), W.bytes().size());
@@ -358,7 +407,8 @@ bool alter::decodeChildReport(const std::vector<uint8_t> &Bytes,
     return false;
   }
   ByteReader R(Bytes.data(), Bytes.size());
-  if (R.u64() != MessageMagic) {
+  const uint64_t Magic = R.u64();
+  if (Magic != MessageMagicV3 && Magic != MessageMagicV4) {
     Error = "bad message magic";
     return false;
   }
@@ -429,6 +479,45 @@ bool alter::decodeChildReport(const std::vector<uint8_t> &Bytes,
         S.Custom = E.Custom;
       }
     }
+  }
+  if (R.failed()) {
+    Error = "message length inconsistent with contents";
+    return false;
+  }
+  if (Magic == MessageMagicV3) {
+    // V3 frames end at the reduction slots.
+    if (!R.exhausted()) {
+      Error = "message length inconsistent with contents";
+      return false;
+    }
+    return true;
+  }
+
+  // V4: the TRACE section. Bound the allocation by the physical bytes
+  // remaining, and require the section to consume them exactly.
+  const uint64_t NumEvents = R.u64();
+  if (R.failed() || NumEvents > R.remaining() / TraceEventWireBytes ||
+      NumEvents * TraceEventWireBytes != R.remaining()) {
+    Error = "corrupt trace section";
+    return false;
+  }
+  Rep.Trace.reserve(static_cast<size_t>(NumEvents));
+  for (uint64_t I = 0; I != NumEvents; ++I) {
+    TraceEvent E;
+    E.StartNs = R.u64();
+    E.DurNs = R.u64();
+    E.Chunk = static_cast<int64_t>(R.u64());
+    E.Arg0 = R.u64();
+    E.Arg1 = R.u64();
+    const uint64_t Packed = R.u64();
+    const uint64_t Kind = Packed >> 32;
+    if (Kind > static_cast<uint64_t>(TraceEventKind::Recovery)) {
+      Error = "corrupt trace event kind";
+      return false;
+    }
+    E.Worker = static_cast<uint32_t>(Packed & 0xffffffffULL);
+    E.Kind = static_cast<TraceEventKind>(Kind);
+    Rep.Trace.push_back(E);
   }
   if (R.failed() || !R.exhausted()) {
     Error = "message length inconsistent with contents";

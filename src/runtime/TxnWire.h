@@ -32,6 +32,14 @@
 ///    structural inconsistencies instead of aborting;
 ///  - pipe I/O retries on EINTR and treats hard errors as truncation.
 ///
+/// Versioning: children emit "ALTER4" frames, which append an optional
+/// TRACE section after the reduction slots — a u64 event count followed by
+/// that many fixed-size (6 x u64) TraceEvents recorded inside the child
+/// (chunk start/exec, serialize, commit attempt). The count is validated
+/// against the physical bytes remaining before any allocation, and the
+/// decoder still accepts "ALTER3" frames (which must end at the slots), so
+/// a parent with this decoder understands both formats.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALTER_RUNTIME_TXNWIRE_H
@@ -41,6 +49,7 @@
 #include "memory/WriteLog.h"
 #include "runtime/Executor.h"
 #include "support/FaultInjection.h"
+#include "support/Trace.h"
 
 #include <cstdint>
 #include <string>
@@ -67,16 +76,22 @@ struct ChildReport {
   AccessSet Writes;
   WriteLog Log;
   std::vector<TxnContext::RedSlotState> Slots;
+  /// Child-side trace events from the message's TRACE section (empty below
+  /// TraceLevel::Events or for ALTER3 frames).
+  std::vector<TraceEvent> Trace;
 };
 
-/// Child side: executes iterations [\p FirstIter, \p LastIter) of \p Spec
-/// transactionally as \p Worker, writes the framed commit message to
-/// \p Fd, and _exit()s. Never returns. Applies the per-child setrlimit caps
-/// from \p Config, and \p Fault (taken from the FaultPlan by the parent at
-/// fork time) when armed.
+/// Child side: executes iterations [\p FirstIter, \p LastIter) of chunk
+/// \p Chunk of \p Spec transactionally as \p Worker, writes the framed
+/// commit message to \p Fd, and _exit()s. Never returns. Applies the
+/// per-child setrlimit caps from \p Config, and \p Fault (taken from the
+/// FaultPlan by the parent at fork time) when armed. At
+/// TraceLevel::Events the message carries the chunk's lifecycle events in
+/// its TRACE section.
 [[noreturn]] void runWireChild(const LoopSpec &Spec,
                                const ExecutorConfig &Config, unsigned Worker,
-                               int64_t FirstIter, int64_t LastIter, int Fd,
+                               int64_t Chunk, int64_t FirstIter,
+                               int64_t LastIter, int Fd,
                                const ArmedFault &Fault = ArmedFault());
 
 /// Parent side: verifies the frame (magic, length, CRC32) and decodes one

@@ -8,6 +8,7 @@
 
 #include "support/Format.h"
 #include "support/Random.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -80,6 +81,16 @@ void KmeansWorkload::setUp(size_t Index) {
   NewCentersLen.assign(static_cast<size_t>(NumClusters), 0);
   Delta = 0.0;
   TripCount = 0;
+
+  // Label the mutable regions so trace-mode conflict attribution reports
+  // "kmeans.newCenters+0x..." instead of raw addresses.
+  traceLabelRegion(NewCenters.data(), NewCenters.size() * sizeof(double),
+                   "kmeans.newCenters");
+  traceLabelRegion(NewCentersLen.data(),
+                   NewCentersLen.size() * sizeof(int64_t),
+                   "kmeans.newCentersLen");
+  traceLabelRegion(Membership.data(), Membership.size() * sizeof(int32_t),
+                   "kmeans.membership");
 }
 
 void KmeansWorkload::run(LoopRunner &Runner) {
