@@ -202,7 +202,9 @@ void alter::bench::finalizeBenchJson() {
         "\"bloom_fp_rate\": %.6g, \"chunk_factor\": %lld, "
         "\"fork_failures\": %llu, "
         "\"child_crashes\": %llu, \"wire_rejects\": %llu, "
-        "\"recovered\": %s, \"recovered_iterations\": %llu}",
+        "\"recovered\": %s, \"recovered_iterations\": %llu, "
+        "\"salvaged_chunks\": %llu, \"quarantined_iterations\": %llu, "
+        "\"bisection_rounds\": %llu}",
         I == 0 ? "" : ",", jsonEscape(R.Figure).c_str(),
         jsonEscape(R.Series).c_str(), R.Point.NumWorkers,
         runStatusName(R.Point.Status), R.Point.Speedup, R.Point.RetryRate,
@@ -224,7 +226,10 @@ void alter::bench::finalizeBenchJson() {
         static_cast<unsigned long long>(S.NumChildCrashes),
         static_cast<unsigned long long>(S.NumWireRejects),
         S.Recovered ? "true" : "false",
-        static_cast<unsigned long long>(S.RecoveredIterations));
+        static_cast<unsigned long long>(S.RecoveredIterations),
+        static_cast<unsigned long long>(S.SalvagedChunks),
+        static_cast<unsigned long long>(S.QuarantinedIterations),
+        static_cast<unsigned long long>(S.BisectionRounds));
   }
   std::fprintf(F, "\n  ]\n}\n");
   if (std::fclose(F) != 0)

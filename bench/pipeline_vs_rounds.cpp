@@ -21,11 +21,18 @@
 /// before any word-by-word intersection).
 ///
 /// With --fault the harness additionally measures each engine through the
-/// sequential-recovery driver with persistent injected faults (a child
-/// SIGKILL, a truncated commit pipe, and a bit-flipped report): the run
-/// still completes with the exact sequential output, and the --json report
-/// records the recovered-run wall clock alongside the clean-run one
-/// ("<engine>-fault" vs "<engine>" series, recovered=true/false).
+/// graceful-degradation ladder driver under two fault regimes. The sticky
+/// regime ("<engine>-fault" series) arms persistent faults at three chunks
+/// (a child SIGKILL, a truncated commit pipe, and a bit-flipped report):
+/// the engine's retries and the ladder's solo salvage both keep failing,
+/// so exactly the three poisoned iterations are quarantined sequentially
+/// while the rest of the tail stays parallel (recovered=true,
+/// quarantined_iterations>0). The transient regime
+/// ("<engine>-fault-salvage" series) arms three one-shot kills on one
+/// chunk: the engine's own retry budget is exhausted, but the ladder's
+/// tier-1 solo re-execution heals the chunk speculatively
+/// (salvaged_chunks>0, recovered=false — no sequential iterations at
+/// all). Both regimes must still reproduce the exact sequential output.
 ///
 /// With --trace <file> the pipelined run at the highest processor count is
 /// traced at TraceLevel::Events and exported as Chrome trace-event JSON
@@ -149,27 +156,47 @@ SweepPoint measure(StragglerLoop &Loop, Executor &Exec, unsigned P,
   return Point;
 }
 
-/// Measures \p Exec through the sequential-recovery driver with persistent
-/// faults armed at three chunks. Every fault is sticky, so the engine's own
-/// per-chunk retries cannot absorb it: the run is forced through the
-/// sequential fallback and must still reproduce the reference output.
-SweepPoint measureRecovering(StragglerLoop &Loop, Executor &Exec, unsigned P,
-                             const std::vector<double> &Ref) {
+/// Measures \p Engine through the graceful-degradation ladder driver.
+/// When \p Transient is false, persistent faults are armed at three
+/// chunks: the engine's retries and the ladder's solo salvage both keep
+/// failing, so the ladder quarantines exactly the poisoned iterations
+/// (the loop runs at chunk factor 1, so bisection is already at
+/// single-iteration width) and the rest of the tail re-runs in parallel.
+/// When \p Transient is true, three one-shot kills are armed on one
+/// chunk: they exhaust the engine's per-chunk retry budget, but the
+/// ladder's tier-1 solo re-execution then heals the chunk speculatively —
+/// no iteration runs sequentially.
+SweepPoint measureRecovering(StragglerLoop &Loop, ParallelEngine Engine,
+                             const ExecutorConfig &Config, unsigned P,
+                             const std::vector<double> &Ref, bool Transient) {
   Loop.reset();
   FaultPlan::global().clear();
-  FaultPlan::global().arm(FaultKind::ChildKill, 1, /*Sticky=*/true);
-  FaultPlan::global().arm(FaultKind::PipeTruncate, 3, /*Sticky=*/true);
-  FaultPlan::global().arm(FaultKind::BitFlip, 5, /*Sticky=*/true);
+  if (Transient) {
+    FaultPlan::global().arm(FaultKind::ChildKill, 1);
+    FaultPlan::global().arm(FaultKind::ChildKill, 1);
+    FaultPlan::global().arm(FaultKind::ChildKill, 1);
+  } else {
+    FaultPlan::global().arm(FaultKind::ChildKill, 1, /*Sticky=*/true);
+    FaultPlan::global().arm(FaultKind::PipeTruncate, 3, /*Sticky=*/true);
+    FaultPlan::global().arm(FaultKind::BitFlip, 5, /*Sticky=*/true);
+  }
   LoopSpec Spec = Loop.spec();
-  RecoveringLoopRunner Runner(Exec);
+  RecoveringLoopRunner Runner(Engine, Config);
   Runner.runInner(Spec);
   FaultPlan::global().clear();
   const RunResult &R = Runner.result();
   if (R.Status != RunStatus::Success)
     fatalError(std::string("recovering straggler loop failed: ") +
                runStatusName(R.Status));
-  if (!R.Stats.Recovered)
-    fatalError("injected faults did not trigger sequential recovery");
+  if (Transient) {
+    if (R.Stats.SalvagedChunks == 0)
+      fatalError("transient faults were not healed by tier-1 salvage");
+    if (R.Stats.Recovered)
+      fatalError("transient faults must not demand sequential execution");
+  } else {
+    if (!R.Stats.Recovered || R.Stats.QuarantinedIterations == 0)
+      fatalError("sticky faults did not reach quarantine");
+  }
   if (std::memcmp(Loop.Out.data(), Ref.data(),
                   Ref.size() * sizeof(double)) != 0)
     fatalError("recovered straggler loop produced wrong output");
@@ -217,11 +244,22 @@ int main(int argc, char **argv) {
   Params.ChunkFactor = 1;
 
   TextTable Table({"procs", "engine", "wall ms", "occupancy", "stall ms",
-                   "wire/raw", "bloom skip", "bloom fp", "recovered"});
+                   "wire/raw", "bloom skip", "bloom fp", "ladder"});
   const std::vector<unsigned> Procs = Quick ? std::vector<unsigned>{4}
                                             : std::vector<unsigned>{2, 4, 8};
   double WallFj4 = 0.0, WallPipe4 = 0.0, Occ4Fj = 0.0, Occ4Pipe = 0.0;
-  double WallFaultFj4 = 0.0, WallFaultPipe4 = 0.0;
+  SweepPoint FaultFj4, FaultPipe4, SalvageFj4, SalvagePipe4;
+  // Per-tier outcome: salvaged chunks / bisection rounds / quarantined
+  // iterations / full-tail recovered iterations.
+  auto ladderCell = [](const RunStats &S) {
+    if (!S.Recovered && S.SalvagedChunks == 0)
+      return std::string("-");
+    return strprintf("s=%llu b=%llu q=%llu r=%llu",
+                     static_cast<unsigned long long>(S.SalvagedChunks),
+                     static_cast<unsigned long long>(S.BisectionRounds),
+                     static_cast<unsigned long long>(S.QuarantinedIterations),
+                     static_cast<unsigned long long>(S.RecoveredIterations));
+  };
   auto addRow = [&](unsigned P, const char *Series, const SweepPoint &Pt) {
     const RunStats &S = Pt.Stats;
     Table.addRow({strprintf("%u", P), Series,
@@ -233,10 +271,7 @@ int main(int argc, char **argv) {
                             static_cast<unsigned long long>(S.BloomSkips),
                             static_cast<unsigned long long>(S.BloomChecks)),
                   strprintf("%.1f%%", 100.0 * S.bloomFalsePositiveRate()),
-                  S.Recovered
-                      ? strprintf("%llu iters", static_cast<unsigned long long>(
-                                                    S.RecoveredIterations))
-                      : std::string("-")});
+                  ladderCell(S)});
     jsonAddPoint("pipeline_vs_rounds", Series, Pt);
   };
   RunResult Traced;
@@ -262,15 +297,23 @@ int main(int argc, char **argv) {
     }
 
     if (Fault) {
-      ForkJoinExecutor FaultRounds(Config);
-      const SweepPoint FFj = measureRecovering(Loop, FaultRounds, P, Ref);
+      const SweepPoint FFj = measureRecovering(
+          Loop, ParallelEngine::ForkJoin, Config, P, Ref, /*Transient=*/false);
       addRow(P, "forkjoin-fault", FFj);
-      PipelineExecutor FaultPipe(Config);
-      const SweepPoint FPl = measureRecovering(Loop, FaultPipe, P, Ref);
+      const SweepPoint FPl = measureRecovering(
+          Loop, ParallelEngine::Pipeline, Config, P, Ref, /*Transient=*/false);
       addRow(P, "pipeline-fault", FPl);
+      const SweepPoint SFj = measureRecovering(
+          Loop, ParallelEngine::ForkJoin, Config, P, Ref, /*Transient=*/true);
+      addRow(P, "forkjoin-fault-salvage", SFj);
+      const SweepPoint SPl = measureRecovering(
+          Loop, ParallelEngine::Pipeline, Config, P, Ref, /*Transient=*/true);
+      addRow(P, "pipeline-fault-salvage", SPl);
       if (P == 4) {
-        WallFaultFj4 = FFj.Stats.RealTimeNs / 1e6;
-        WallFaultPipe4 = FPl.Stats.RealTimeNs / 1e6;
+        FaultFj4 = FFj;
+        FaultPipe4 = FPl;
+        SalvageFj4 = SFj;
+        SalvagePipe4 = SPl;
       }
     }
   }
@@ -280,10 +323,25 @@ int main(int argc, char **argv) {
                 "(%.2fx), occupancy %.1f%% vs %.1f%%\n",
                 WallPipe4, WallFj4, WallFj4 / (WallPipe4 > 0 ? WallPipe4 : 1),
                 100.0 * Occ4Pipe, 100.0 * Occ4Fj);
-  if (Fault && WallFaultFj4 > 0.0)
-    std::printf("with injected faults (recovered runs): rounds %.2fms "
-                "(clean %.2fms), pipeline %.2fms (clean %.2fms)\n",
-                WallFaultFj4, WallFj4, WallFaultPipe4, WallPipe4);
+  if (Fault && FaultFj4.Stats.RealTimeNs > 0) {
+    std::printf("with sticky faults (quarantine): rounds %.2fms "
+                "(clean %.2fms, %llu iters quarantined), pipeline %.2fms "
+                "(clean %.2fms, %llu iters quarantined)\n",
+                FaultFj4.Stats.RealTimeNs / 1e6, WallFj4,
+                static_cast<unsigned long long>(
+                    FaultFj4.Stats.QuarantinedIterations),
+                FaultPipe4.Stats.RealTimeNs / 1e6, WallPipe4,
+                static_cast<unsigned long long>(
+                    FaultPipe4.Stats.QuarantinedIterations));
+    std::printf("with transient faults (tier-1 salvage): rounds %.2fms "
+                "(%llu chunks salvaged), pipeline %.2fms (%llu chunks "
+                "salvaged); no sequential iterations in either\n",
+                SalvageFj4.Stats.RealTimeNs / 1e6,
+                static_cast<unsigned long long>(SalvageFj4.Stats.SalvagedChunks),
+                SalvagePipe4.Stats.RealTimeNs / 1e6,
+                static_cast<unsigned long long>(
+                    SalvagePipe4.Stats.SalvagedChunks));
+  }
   maybeWriteTraceReport(Traced);
   finalizeBenchJson();
   return 0;

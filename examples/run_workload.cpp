@@ -27,6 +27,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Format.h"
+#include "support/Trace.h"
 #include "workloads/Workload.h"
 
 #include <cstdio>
@@ -88,8 +89,9 @@ int main(int Argc, char **Argv) {
 
   std::unique_ptr<Workload> W = makeWorkload(Name);
   if (Input >= W->numInputs()) {
-    std::fprintf(stderr, "error: input %zu out of range (workload has %zu)\n",
-                 Input, W->numInputs());
+    alterLogAlways(LogLevel::Error, "cli",
+                   "msg=\"input %zu out of range (workload has %zu)\"", Input,
+                   W->numInputs());
     return 2;
   }
 
@@ -114,17 +116,17 @@ int main(int Argc, char **Argv) {
       std::string Error;
       A = parseAnnotation(AnnotationText, &Error);
       if (!A) {
-        std::fprintf(stderr, "error: cannot parse annotation: %s\n",
-                     Error.c_str());
+        alterLogAlways(LogLevel::Error, "cli",
+                       "msg=\"cannot parse annotation: %s\"", Error.c_str());
         return 2;
       }
     } else {
       A = W->paperAnnotation();
       if (!A) {
-        std::fprintf(stderr,
-                     "error: the paper found no valid annotation for %s; "
-                     "pass --annotation to force one\n",
-                     Name.c_str());
+        alterLogAlways(LogLevel::Error, "cli",
+                       "msg=\"the paper found no valid annotation for %s; "
+                       "pass --annotation to force one\"",
+                       Name.c_str());
         return 2;
       }
       std::printf("using the paper's annotation %s\n", A->str().c_str());

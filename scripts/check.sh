@@ -4,6 +4,7 @@
 # Usage: scripts/check.sh [build-dir]
 #        scripts/check.sh --sanitize [build-dir]
 #        scripts/check.sh --trace [build-dir]
+#        scripts/check.sh --fault [build-dir]
 #
 # Configures, builds, runs the full ctest suite, then smoke-runs the
 # straggler micro-benchmark (--quick, with --fault so the recovery path is
@@ -19,6 +20,13 @@
 # one untraced and one ALTER_TRACE=events run of the straggler benchmark,
 # asserting the Chrome trace is well-formed JSON and that full event
 # recording costs less than 2x the untraced wall-clock.
+#
+# With --fault the sequence additionally exercises the graceful-degradation
+# ladder: the ladder/fault-matrix test filter, two representative
+# ALTER_FAULTS env plans driven end to end, and a validation pass over the
+# bench JSON asserting sticky faults quarantine (recovered=true,
+# quarantined_iterations>0) while transient faults salvage speculatively
+# (salvaged_chunks>0, recovered=false).
 
 set -euo pipefail
 
@@ -26,10 +34,12 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 SANITIZE=0
 TRACE=0
+FAULT=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
   --sanitize) SANITIZE=1 ;;
   --trace) TRACE=1 ;;
+  --fault) FAULT=1 ;;
   *)
     echo "check.sh: unknown flag $1" >&2
     exit 2
@@ -101,10 +111,54 @@ EOF
   fi
 }
 
+fault_stage() { # fault_stage <build-dir>
+  local DIR="$1"
+  local ROBUSTNESS="$DIR/tests/robustness_test"
+
+  echo "== fault smoke: ladder + fault-matrix tests ($DIR) =="
+  "$ROBUSTNESS" --gtest_filter='DegradationLadderTest.*:FaultMatrixTest.*' \
+    --gtest_brief=1
+
+  echo "== fault smoke: env-armed plans drive the ladder ($DIR) =="
+  # A sticky iteration fault (bisected to one quarantined iteration) and a
+  # sticky chunk kill next to a one-shot stall: both plans are parsed from
+  # the environment on first FaultPlan::global() access and must still
+  # yield the exact sequential memory image.
+  ALTER_FAULTS='crash@i6!;seed=11' "$ROBUSTNESS" \
+    --gtest_filter='DegradationLadderTest.EnvPlanCompletesWithSequentialOutput' \
+    --gtest_brief=1
+  ALTER_FAULTS='kill@1!,truncate@3;seed=7' "$ROBUSTNESS" \
+    --gtest_filter='DegradationLadderTest.EnvPlanCompletesWithSequentialOutput' \
+    --gtest_brief=1
+
+  echo "== fault smoke: per-tier counters in the bench JSON ($DIR) =="
+  python3 - "$DIR/pipeline_vs_rounds.quick.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    records = json.load(f)["records"]
+fault = [r for r in records if r["series"].endswith("-fault")]
+salvage = [r for r in records if r["series"].endswith("-fault-salvage")]
+assert fault and salvage, "bench JSON is missing the fault series"
+for r in fault:
+    assert r["recovered"] and r["quarantined_iterations"] > 0, \
+        f"{r['series']}: sticky faults must end in quarantine, got {r}"
+    assert r["salvaged_chunks"] == 0, \
+        f"{r['series']}: sticky faults must not be salvaged, got {r}"
+for r in salvage:
+    assert r["salvaged_chunks"] > 0 and not r["recovered"], \
+        f"{r['series']}: transient faults must heal at tier 1, got {r}"
+print(f"fault JSON OK: {len(fault)} quarantine + {len(salvage)} salvage runs")
+EOF
+}
+
 run_stage "$BUILD_DIR"
 
 if [[ "$TRACE" == 1 ]]; then
   trace_stage "$BUILD_DIR"
+fi
+
+if [[ "$FAULT" == 1 ]]; then
+  fault_stage "$BUILD_DIR"
 fi
 
 if [[ "$SANITIZE" == 1 ]]; then

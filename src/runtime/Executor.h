@@ -31,6 +31,7 @@
 #include "support/Trace.h"
 
 #include <cstdint>
+#include <memory>
 
 namespace alter {
 
@@ -52,6 +53,41 @@ struct ExecutorConfig {
   /// paper's 10× rule. SeqBaselineNs == 0 disables the rule.
   uint64_t SeqBaselineNs = 0;
   double TimeoutFactor = 10.0;
+
+  /// Per-chunk infrastructure-failure retries (fork failure, child crash,
+  /// rejected commit message) the fork engines absorb before giving up on
+  /// the run with a contained Crash. Transient faults self-heal on the
+  /// first clean retry; persistent ones exhaust the budget quickly so the
+  /// degradation ladder (or the inference engine's §5 classification) sees
+  /// the Crash promptly.
+  unsigned ChunkFaultRetryLimit = 2;
+
+  //===--------------------------------------------------------------------===
+  // Degradation-ladder supervision budgets (RecoveringLoopRunner)
+  //===--------------------------------------------------------------------===
+
+  /// Master switch for the ladder. Off: any unrecoverable Crash/Timeout
+  /// drops every uncommitted iteration straight to the full-tail
+  /// sequential fallback (the pre-ladder behavior).
+  bool EnableSalvage = true;
+
+  /// Tier 1: how many solo speculative re-executions of the indicted chunk
+  /// to attempt before bisecting it.
+  unsigned SalvageAttempts = 2;
+
+  /// Tier 2: maximum recursive halvings of a failing range. Ranges still
+  /// failing at the depth limit (or at single-iteration width) are
+  /// quarantined.
+  unsigned BisectionDepthLimit = 16;
+
+  /// Base wait before the second and later tier-1 attempts; attempt A
+  /// sleeps (base << (A - 2)) plus a deterministic jitter in [0, base)
+  /// seeded by (SalvageSeed, chunk, attempt) — replays of the same plan
+  /// back off identically.
+  uint64_t SalvageBackoffNs = 200'000; // 0.2ms
+
+  /// Seed for the deterministic backoff jitter.
+  uint64_t SalvageSeed = 0x53414c56; // "SALV"
 
   /// Kernel-enforced caps applied inside each forked chunk via setrlimit:
   /// CPU seconds (RLIMIT_CPU — a busy-spinning child is killed by SIGXCPU
@@ -89,6 +125,19 @@ public:
   /// default ignores it; engines with a modeled clock honor it.
   virtual void setAccumulatedSimNs(uint64_t Ns) { (void)Ns; }
 };
+
+/// The fork-based process engines selectable by the recovery driver and the
+/// workload harness.
+enum class ParallelEngine {
+  ForkJoin, ///< round-barrier engine (ForkJoinExecutor)
+  Pipeline, ///< continuous-feed engine (PipelineExecutor)
+};
+
+/// Constructs a fresh instance of the chosen fork engine. The degradation
+/// ladder uses this to spin up solo executors from the committed snapshot;
+/// defined in LoopRunner.cpp.
+std::unique_ptr<Executor> makeParallelEngine(ParallelEngine Engine,
+                                             const ExecutorConfig &Config);
 
 } // namespace alter
 

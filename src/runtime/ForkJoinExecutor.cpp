@@ -29,13 +29,6 @@ using namespace alter;
 
 namespace {
 
-/// Per-chunk infrastructure failures (fork failure, child crash, rejected
-/// commit message) are retried this many times before the run gives up with
-/// a contained Crash. A transient fault self-heals on the first clean
-/// retry; a persistent one exhausts the budget quickly, so the inference
-/// engine still observes the Crash it classifies on (§5).
-constexpr unsigned ChunkFaultRetryLimit = 2;
-
 /// Real-time floor under the stall deadline: fork/exec jitter on a loaded
 /// host must not masquerade as a stalled child when the sequential baseline
 /// is tiny.
@@ -116,9 +109,17 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
     std::vector<RoundSlot> Slots(RoundSize);
     for (unsigned W = 0; W != RoundSize; ++W) {
       const int64_t Chunk = RoundChunks[W];
+      const int64_t First = Chunk * Cf;
+      const int64_t Last = std::min<int64_t>(First + Cf, Spec.NumIterations);
       ArmedFault Fault;
-      if (FaultPlan::global().enabled())
-        Fault = FaultPlan::global().take(Chunk);
+      if (FaultPlan::global().enabled()) {
+        // Fault points address the ORIGINAL coordinates of the work: a
+        // salvage sub-run re-indexes chunks, so map back before consuming.
+        FaultCoords FC{Chunk, First, Last};
+        if (Spec.FaultRemap)
+          FC = Spec.FaultRemap(Chunk, First, Last);
+        Fault = FaultPlan::global().take(FC.Chunk, FC.FirstIter, FC.LastIter);
+      }
       if (Fault.Armed && Fault.Kind == FaultKind::ForkFail) {
         Slots[W].ForkFailed = true;
         continue;
@@ -142,9 +143,6 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
         for (unsigned Prev = 0; Prev != W; ++Prev)
           if (Slots[Prev].Fd >= 0)
             ::close(Slots[Prev].Fd);
-        const int64_t First = Chunk * Cf;
-        const int64_t Last =
-            std::min<int64_t>(First + Cf, Spec.NumIterations);
         runWireChild(Spec, Config, /*Worker=*/W + 1, Chunk, First, Last,
                      Fds[1], Fault);
         // runWireChild never returns.
@@ -266,12 +264,14 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
     // A chunk that overflowed the access-set cap is the paper's resource
     // Crash: no retry — the same chunk would overflow again.
     for (unsigned W = 0; W != RoundSize; ++W)
-      if (Ok[W] && Reports[W].LimitExceeded)
+      if (Ok[W] && Reports[W].LimitExceeded) {
+        Result.FailedChunk = RoundChunks[W];
         return Finish(
             RunStatus::Crash,
             strprintf("worker %u (chunk %lld) exceeded the access-set "
                       "memory cap",
                       W, static_cast<long long>(RoundChunks[W])));
+      }
 
     // Validate and commit in deterministic ascending order. Failed slots
     // participate as automatic validation failures so InOrder semantics
@@ -284,12 +284,14 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
       const int64_t Chunk = RoundChunks[W];
       if (!Ok[W]) {
         const unsigned Count = ++FaultCounts[Chunk];
-        if (Count > ChunkFaultRetryLimit)
+        if (Count > Config.ChunkFaultRetryLimit) {
+          Result.FailedChunk = Chunk;
           return Finish(
               RunStatus::Crash,
               strprintf("chunk %lld failed %u consecutive attempts (%s)",
                         static_cast<long long>(Chunk), Count,
                         FailWhy[W].c_str()));
+        }
         if (Sink.events())
           Sink.event(TraceEventKind::FaultContained, /*Worker=*/0, Chunk,
                      traceNowNs(), 0, /*Arg0=*/Count);

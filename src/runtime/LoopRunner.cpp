@@ -6,13 +6,29 @@
 
 #include "runtime/LoopRunner.h"
 
+#include "runtime/ForkJoinExecutor.h"
+#include "runtime/PipelineExecutor.h"
+#include "support/Error.h"
+#include "support/Random.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <ctime>
 #include <vector>
 
 using namespace alter;
+
+std::unique_ptr<Executor> alter::makeParallelEngine(ParallelEngine Engine,
+                                                    const ExecutorConfig &Config) {
+  switch (Engine) {
+  case ParallelEngine::ForkJoin:
+    return std::make_unique<ForkJoinExecutor>(Config);
+  case ParallelEngine::Pipeline:
+    return std::make_unique<PipelineExecutor>(Config);
+  }
+  ALTER_UNREACHABLE("covered switch");
+}
 
 LoopRunner::~LoopRunner() = default;
 
@@ -52,26 +68,38 @@ bool ExecutorLoopRunner::runInner(const LoopSpec &Spec) {
   return true;
 }
 
+RecoveringLoopRunner::RecoveringLoopRunner(ParallelEngine Engine,
+                                           ExecutorConfig Config,
+                                           AlterAllocator *Allocator)
+    : Engine(Engine), Config(std::move(Config)) {
+  if (Allocator)
+    this->Config.Allocator = Allocator;
+  this->Allocator = this->Config.Allocator;
+  Primary = makeParallelEngine(Engine, this->Config);
+}
+
 bool RecoveringLoopRunner::runInner(const LoopSpec &Spec) {
   if (SequentialMode) {
-    // Deadline already tripped: no speculation, no committed chunks.
-    recoverSequentially(Spec, RunResult());
+    // Deadline already tripped: no speculation, no committed chunks — the
+    // whole loop is one uncommitted "chunk".
+    fullTailSequential(Spec, {0},
+                       Spec.NumIterations > 0 ? Spec.NumIterations : 1);
     return true;
   }
-  Exec.setAccumulatedSimNs(Accumulated.Stats.SimTimeNs);
-  RunResult R = Exec.run(Spec);
+  Primary->setAccumulatedSimNs(Accumulated.Stats.SimTimeNs);
+  RunResult R = Primary->run(Spec);
+  if (R.ChunkFactorUsed > 0)
+    Accumulated.ChunkFactorUsed = R.ChunkFactorUsed;
   Accumulated.mergeTrace(R);
+  Accumulated.Stats.merge(R.Stats);
   if (R.Status != RunStatus::Success) {
-    Accumulated.Stats.merge(R.Stats);
     if (!R.Detail.empty())
-      Accumulated.Detail = "recovered sequentially after: " + R.Detail;
-    recoverSequentially(Spec, R);
-  } else {
-    Accumulated.Stats.merge(R.Stats);
+      Accumulated.Detail = "recovered after: " + R.Detail;
+    runLadder(Spec, R);
   }
-  if (SeqBaselineNs != 0 && !SequentialMode &&
+  if (Config.SeqBaselineNs != 0 && !SequentialMode &&
       static_cast<double>(Accumulated.Stats.SimTimeNs) >
-          TimeoutFactor * static_cast<double>(SeqBaselineNs)) {
+          Config.TimeoutFactor * static_cast<double>(Config.SeqBaselineNs)) {
     // Completion stays guaranteed, but the time budget is spent: later
     // invocations go straight to sequential execution.
     SequentialMode = true;
@@ -82,12 +110,47 @@ bool RecoveringLoopRunner::runInner(const LoopSpec &Spec) {
   return true;
 }
 
-void RecoveringLoopRunner::recoverSequentially(const LoopSpec &Spec,
-                                               const RunResult &Failed) {
-  Accumulated.Stats.Recovered = true;
+bool RecoveringLoopRunner::budgetExpired() const {
+  if (Config.SeqBaselineNs == 0)
+    return false;
+  return static_cast<double>(Accumulated.Stats.RealTimeNs) >
+         Config.TimeoutFactor * static_cast<double>(Config.SeqBaselineNs);
+}
+
+namespace {
+
+/// Removes from \p Remaining (sorted ascending) every original chunk a
+/// sub-run committed. \p Chunks maps the sub-run's local chunk indices
+/// (which CommitOrder holds) back to original indices.
+void eraseCommitted(std::vector<int64_t> &Remaining,
+                    const std::vector<int64_t> &Chunks, const RunResult &R) {
+  for (int64_t Local : R.CommitOrder) {
+    if (Local < 0 || static_cast<size_t>(Local) >= Chunks.size())
+      continue;
+    const int64_t Orig = Chunks[static_cast<size_t>(Local)];
+    const auto It = std::lower_bound(Remaining.begin(), Remaining.end(), Orig);
+    if (It != Remaining.end() && *It == Orig)
+      Remaining.erase(It);
+  }
+}
+
+/// Maps a sub-run's local FailedChunk back to the original chunk index;
+/// -1 when the sub-run indicted nothing (timeout, poll failure).
+int64_t mapFailedChunk(const RunResult &R, const std::vector<int64_t> &Chunks) {
+  if (R.FailedChunk < 0 || static_cast<size_t>(R.FailedChunk) >= Chunks.size())
+    return -1;
+  return Chunks[static_cast<size_t>(R.FailedChunk)];
+}
+
+} // namespace
+
+void RecoveringLoopRunner::runLadder(const LoopSpec &Spec,
+                                     const RunResult &Failed) {
   const int64_t N = Spec.NumIterations;
-  if (N == 0)
+  if (N == 0) {
+    Accumulated.Stats.Recovered = true;
     return;
+  }
   // Engines that chunk always report ChunkFactorUsed; a result without one
   // committed nothing, so the whole loop is a single uncommitted chunk.
   const int64_t Cf = Failed.ChunkFactorUsed > 0 ? Failed.ChunkFactorUsed : N;
@@ -96,25 +159,245 @@ void RecoveringLoopRunner::recoverSequentially(const LoopSpec &Spec,
   for (int64_t C : Failed.CommitOrder)
     if (C >= 0 && C < NumChunks)
       Done[static_cast<size_t>(C)] = true;
+  std::vector<int64_t> Remaining;
+  for (int64_t C = 0; C != NumChunks; ++C)
+    if (!Done[static_cast<size_t>(C)])
+      Remaining.push_back(C);
 
+  int64_t Indicted = Failed.FailedChunk;
+  // Hard cap on ladder rounds: each round either resolves the indicted
+  // chunk or strictly lowers the indictment, but a pathological fault plan
+  // (every chunk poisoned) must still terminate promptly.
+  int64_t RoundsLeft = 2 * NumChunks + 4;
+
+  while (!Remaining.empty()) {
+    if (!Config.EnableSalvage || Indicted < 0 ||
+        !std::binary_search(Remaining.begin(), Remaining.end(), Indicted) ||
+        --RoundsLeft <= 0 || budgetExpired()) {
+      // Ladder floor: the failure has no single culpable chunk (Timeout),
+      // salvage is off, or the budget is spent — finish sequentially.
+      fullTailSequential(Spec, Remaining, Cf);
+      return;
+    }
+
+    // The pipeline's InOrder retirement can indict a chunk that is not the
+    // oldest uncommitted one. Older uncommitted chunks are innocent; re-run
+    // them in parallel first so InOrder splice semantics (committed chunks
+    // form a program-order prefix) survive the salvage.
+    std::vector<int64_t> Pre;
+    for (int64_t C : Remaining)
+      if (C < Indicted)
+        Pre.push_back(C);
+    if (!Pre.empty()) {
+      const RunResult R = runChunksParallel(Spec, Pre, Cf);
+      eraseCommitted(Remaining, Pre, R);
+      if (R.Status != RunStatus::Success) {
+        // An older chunk is also sick: it becomes the indicted one.
+        Indicted = mapFailedChunk(R, Pre);
+        continue;
+      }
+    }
+
+    resolveChunk(Spec, Indicted, Cf);
+    Remaining.erase(
+        std::remove(Remaining.begin(), Remaining.end(), Indicted),
+        Remaining.end());
+    if (Remaining.empty())
+      return;
+
+    // The indicted chunk is out of the way: the tail gets to run in
+    // parallel again.
+    const std::vector<int64_t> Tail = Remaining;
+    const RunResult R = runChunksParallel(Spec, Tail, Cf);
+    eraseCommitted(Remaining, Tail, R);
+    if (R.Status == RunStatus::Success)
+      return;
+    Indicted = mapFailedChunk(R, Tail);
+  }
+}
+
+RunResult
+RecoveringLoopRunner::runChunksParallel(const LoopSpec &Spec,
+                                        const std::vector<int64_t> &Chunks,
+                                        int64_t Cf) {
+  const int64_t N = Spec.NumIterations;
+  LoopSpec Sub;
+  Sub.Name = Spec.Name + ".salvage";
+  // Pad to whole chunks; the body guards the final partial chunk.
+  Sub.NumIterations = static_cast<int64_t>(Chunks.size()) * Cf;
+  Sub.Reductions = Spec.Reductions;
+  const auto Body = Spec.Body;
+  const std::vector<int64_t> List = Chunks;
+  Sub.Body = [Body, List, Cf, N](TxnContext &Ctx, int64_t I) {
+    const int64_t Orig = List[static_cast<size_t>(I / Cf)] * Cf + I % Cf;
+    if (Orig < N)
+      Body(Ctx, Orig);
+  };
+  const auto ParentRemap = Spec.FaultRemap;
+  Sub.FaultRemap = [List, Cf, N, ParentRemap](int64_t C, int64_t,
+                                              int64_t) -> FaultCoords {
+    if (C < 0 || static_cast<size_t>(C) >= List.size())
+      return FaultCoords{C, C * Cf, C * Cf};
+    const int64_t Orig = List[static_cast<size_t>(C)];
+    FaultCoords FC{Orig, Orig * Cf, std::min<int64_t>((Orig + 1) * Cf, N)};
+    if (ParentRemap)
+      FC = ParentRemap(FC.Chunk, FC.FirstIter, FC.LastIter);
+    return FC;
+  };
+  ExecutorConfig SubConfig = Config;
+  SubConfig.Params.ChunkFactor = Cf;
+  RunResult R = makeParallelEngine(Engine, SubConfig)->run(Sub);
+  Accumulated.mergeTrace(R);
+  Accumulated.Stats.merge(R.Stats);
+  return R;
+}
+
+void RecoveringLoopRunner::resolveChunk(const LoopSpec &Spec, int64_t Chunk,
+                                        int64_t Cf) {
+  const int64_t First = Chunk * Cf;
+  const int64_t Last = std::min<int64_t>(First + Cf, Spec.NumIterations);
+  // Tier 1: the indicted chunk alone, speculatively, on a fresh solo
+  // engine — a transient fault heals here without any sequential work.
+  for (unsigned Attempt = 1; Attempt <= Config.SalvageAttempts; ++Attempt) {
+    if (budgetExpired())
+      break;
+    backoff(Chunk, Attempt);
+    traceLadderEvent(TraceEventKind::Salvage, Chunk, /*Arg0=*/Attempt,
+                     /*Arg1=*/static_cast<uint64_t>(Last - First));
+    if (runRangeSolo(Spec, Chunk, First, Last)) {
+      ++Accumulated.Stats.SalvagedChunks;
+      return;
+    }
+  }
+  // Tier 2: shrink the blast radius.
+  bisect(Spec, Chunk, First, Last, /*Depth=*/0);
+}
+
+void RecoveringLoopRunner::bisect(const LoopSpec &Spec, int64_t Chunk,
+                                  int64_t First, int64_t Last,
+                                  unsigned Depth) {
+  if (Last - First <= 1 || Depth >= Config.BisectionDepthLimit ||
+      budgetExpired()) {
+    quarantineRange(Spec, Chunk, First, Last);
+    return;
+  }
+  traceLadderEvent(TraceEventKind::Bisect, Chunk,
+                   /*Arg0=*/static_cast<uint64_t>(First),
+                   /*Arg1=*/static_cast<uint64_t>(Last));
+  ++Accumulated.Stats.BisectionRounds;
+  const int64_t Mid = First + (Last - First) / 2;
+  const int64_t Halves[2][2] = {{First, Mid}, {Mid, Last}};
+  for (const auto &H : Halves) {
+    if (!budgetExpired() && runRangeSolo(Spec, Chunk, H[0], H[1]))
+      ++Accumulated.Stats.SalvagedChunks;
+    else
+      bisect(Spec, Chunk, H[0], H[1], Depth + 1);
+  }
+}
+
+bool RecoveringLoopRunner::runRangeSolo(const LoopSpec &Spec, int64_t Chunk,
+                                        int64_t First, int64_t Last) {
+  const int64_t Len = Last - First;
+  if (Len <= 0)
+    return true;
+  LoopSpec Sub;
+  Sub.Name = Spec.Name + ".solo";
+  Sub.NumIterations = Len;
+  Sub.Reductions = Spec.Reductions;
+  const auto Body = Spec.Body;
+  Sub.Body = [Body, First](TxnContext &Ctx, int64_t I) {
+    Body(Ctx, First + I);
+  };
+  const auto ParentRemap = Spec.FaultRemap;
+  Sub.FaultRemap = [Chunk, First, ParentRemap](int64_t, int64_t F,
+                                               int64_t L) -> FaultCoords {
+    // The whole solo run is one local chunk; sticky chunk faults keep
+    // striking the original chunk index, iteration faults only the
+    // fragments that still cover their iteration.
+    FaultCoords FC{Chunk, First + F, First + L};
+    if (ParentRemap)
+      FC = ParentRemap(FC.Chunk, FC.FirstIter, FC.LastIter);
+    return FC;
+  };
+  ExecutorConfig SubConfig = Config;
+  SubConfig.NumWorkers = 1;
+  SubConfig.Params.ChunkFactor = Len;
+  // Fail fast: the ladder itself supervises retries.
+  SubConfig.ChunkFaultRetryLimit = 0;
+  RunResult R = makeParallelEngine(Engine, SubConfig)->run(Sub);
+  Accumulated.mergeTrace(R);
+  Accumulated.Stats.merge(R.Stats);
+  return R.Status == RunStatus::Success;
+}
+
+void RecoveringLoopRunner::backoff(int64_t Chunk, unsigned Attempt) {
+  if (Attempt < 2 || Config.SalvageBackoffNs == 0)
+    return;
+  const uint64_t Base = Config.SalvageBackoffNs
+                        << std::min(Attempt - 2u, 20u);
+  // Jitter is a pure function of (seed, chunk, attempt): same-seed replays
+  // back off identically, keeping whole-run traces deterministic.
+  SplitMix64 Rng(Config.SalvageSeed ^
+                 (static_cast<uint64_t>(Chunk) * 0x9e3779b97f4a7c15ULL) ^
+                 Attempt);
+  const uint64_t WaitNs = Base + Rng.next() % Config.SalvageBackoffNs;
+  struct timespec Ts;
+  Ts.tv_sec = static_cast<time_t>(WaitNs / 1000000000ULL);
+  Ts.tv_nsec = static_cast<long>(WaitNs % 1000000000ULL);
+  ::nanosleep(&Ts, nullptr);
+  // The wait is ladder overhead; charge it against the outer budgets.
+  Accumulated.Stats.RealTimeNs += WaitNs;
+  Accumulated.Stats.SimTimeNs += WaitNs;
+}
+
+void RecoveringLoopRunner::quarantineRange(const LoopSpec &Spec,
+                                           int64_t Chunk, int64_t First,
+                                           int64_t Last) {
+  if (Last <= First)
+    return;
+  Accumulated.Stats.Recovered = true;
   // Passthrough context: reads and writes go straight to committed memory,
   // and with no runtime parameters reduction updates execute as their
   // direct read-modify-write — sequential semantics.
   TxnContext Ctx(ContextMode::Passthrough, /*Params=*/nullptr, &Spec,
                  Allocator, /*Worker=*/0);
-  // The runner predates ExecutorConfig, so it reads the process-wide level.
-  const bool TraceEvents = globalTraceLevel() >= TraceLevel::Events;
+  const bool TraceEvents = Config.Trace >= TraceLevel::Events;
+  const uint64_t TraceT0 = TraceEvents ? traceNowNs() : 0;
+  const uint64_t Start = nowNs();
+  for (int64_t I = First; I != Last; ++I)
+    Spec.Body(Ctx, I);
+  const uint64_t Elapsed = nowNs() - Start;
+  if (TraceEvents)
+    Accumulated.TraceEvents.push_back(
+        {TraceT0, Elapsed, Chunk,
+         /*Arg0=*/static_cast<uint64_t>(Last - First), /*Arg1=*/0,
+         /*Worker=*/0, TraceEventKind::Quarantine});
+  Accumulated.Stats.RealTimeNs += Elapsed;
+  Accumulated.Stats.SimTimeNs += Elapsed;
+  Accumulated.Stats.BytesRead += Ctx.bytesRead();
+  Accumulated.Stats.BytesWritten += Ctx.bytesWritten();
+  Accumulated.Stats.QuarantinedIterations +=
+      static_cast<uint64_t>(Last - First);
+}
+
+void RecoveringLoopRunner::fullTailSequential(
+    const LoopSpec &Spec, const std::vector<int64_t> &Chunks, int64_t Cf) {
+  Accumulated.Stats.Recovered = true;
+  const int64_t N = Spec.NumIterations;
+  if (N == 0 || Chunks.empty())
+    return;
+  TxnContext Ctx(ContextMode::Passthrough, /*Params=*/nullptr, &Spec,
+                 Allocator, /*Worker=*/0);
+  const bool TraceEvents = Config.Trace >= TraceLevel::Events;
   const uint64_t TraceT0 = TraceEvents ? traceNowNs() : 0;
   const uint64_t Start = nowNs();
   uint64_t Iters = 0;
-  for (int64_t C = 0; C != NumChunks; ++C) {
-    if (Done[static_cast<size_t>(C)])
-      continue;
+  for (int64_t C : Chunks) {
     const int64_t First = C * Cf;
     const int64_t Last = std::min<int64_t>(First + Cf, N);
     for (int64_t I = First; I != Last; ++I)
       Spec.Body(Ctx, I);
-    Iters += static_cast<uint64_t>(Last - First);
+    Iters += static_cast<uint64_t>(Last > First ? Last - First : 0);
   }
   const uint64_t Elapsed = nowNs() - Start;
   if (TraceEvents)
@@ -127,4 +410,13 @@ void RecoveringLoopRunner::recoverSequentially(const LoopSpec &Spec,
   Accumulated.Stats.BytesRead += Ctx.bytesRead();
   Accumulated.Stats.BytesWritten += Ctx.bytesWritten();
   Accumulated.Stats.RecoveredIterations += Iters;
+}
+
+void RecoveringLoopRunner::traceLadderEvent(TraceEventKind Kind,
+                                            int64_t Chunk, uint64_t Arg0,
+                                            uint64_t Arg1) {
+  if (Config.Trace < TraceLevel::Events)
+    return;
+  Accumulated.TraceEvents.push_back(
+      {traceNowNs(), /*DurNs=*/0, Chunk, Arg0, Arg1, /*Worker=*/0, Kind});
 }

@@ -95,44 +95,103 @@ private:
   double TimeoutFactor;
 };
 
-/// Driver that guarantees completion: the inner loop runs under an ALTER
-/// engine, and when speculation fails unrecoverably — a contained Crash
-/// after the engine's own per-chunk retries, or a mid-run deadline
-/// Timeout — the iterations the engine did NOT commit are re-executed
-/// sequentially from the last committed snapshot (parent memory is exactly
-/// that snapshot, because engines mutate it only by applying validated
-/// write logs). The accumulated result of such a run reports Success with
-/// Stats.Recovered set and the fallback's work in
-/// Stats.RecoveredIterations.
+/// Driver that guarantees completion through a graceful-degradation
+/// ladder. The inner loop runs under one of the fork engines; when
+/// speculation fails unrecoverably — a contained Crash after the engine's
+/// own per-chunk retries, or a mid-run deadline Timeout — the runner does
+/// NOT immediately abandon parallelism for the whole uncommitted tail.
+/// Instead it walks down a ladder, paying for exactly as much sequential
+/// execution as the fault demands:
+///
+///  - Tier 1 (salvage): the chunk the engine indicted (RunResult::
+///    FailedChunk) is re-executed alone, speculatively, on a fresh solo
+///    executor forked from the committed snapshot — up to
+///    ExecutorConfig::SalvageAttempts times with deterministic exponential
+///    backoff. A transient fault heals here and the healthy tail re-runs
+///    in parallel.
+///  - Tier 2 (bisection): a chunk that keeps failing solo is split
+///    recursively; healthy halves commit speculatively, only the failing
+///    fragment keeps shrinking (bounded by BisectionDepthLimit).
+///  - Tier 3 (quarantine): fragments that fail at single-iteration width
+///    (or at the depth limit) are executed sequentially against committed
+///    memory. Stats.QuarantinedIterations is bounded by the poisoned
+///    chunk's size — never by the tail.
+///
+/// Only when the ladder cannot run — salvage disabled, no indicted chunk
+/// (e.g. Timeout), or the real-time budget already spent — does the runner
+/// fall back to sequential re-execution of every uncommitted chunk
+/// (Stats.RecoveredIterations), the pre-ladder behavior.
 ///
 /// Correctness of the splice: under InOrder policies the committed chunks
-/// form a program-order prefix, so the fallback completes the exact
-/// sequential execution. Under OutOfOrder/StaleReads they form an
-/// arbitrary validated subset, and sequential completion of the remainder
-/// is one of the serializations those annotations already declare
-/// acceptable.
+/// form a program-order prefix, so completing the remainder in ascending
+/// order yields the exact sequential execution (the ladder re-runs
+/// uncommitted chunks OLDER than the indicted one before resolving it).
+/// Under OutOfOrder/StaleReads the committed chunks form an arbitrary
+/// validated subset, and any completion order of the remainder is one of
+/// the serializations those annotations already declare acceptable.
 ///
 /// Once the outer 10x deadline trips, later invocations stop speculating
 /// and run sequentially outright — completion guaranteed, time bounded.
 class RecoveringLoopRunner : public LoopRunner {
 public:
-  RecoveringLoopRunner(Executor &Exec, AlterAllocator *Allocator = nullptr,
-                       uint64_t SeqBaselineNs = 0,
-                       double TimeoutFactor = 10.0)
-      : Exec(Exec), Allocator(Allocator), SeqBaselineNs(SeqBaselineNs),
-        TimeoutFactor(TimeoutFactor) {}
+  /// \p Config carries the engine configuration, the outer deadline
+  /// (SeqBaselineNs / TimeoutFactor), and the ladder's supervision
+  /// budgets. \p Allocator overrides Config.Allocator when non-null.
+  RecoveringLoopRunner(ParallelEngine Engine, ExecutorConfig Config,
+                       AlterAllocator *Allocator = nullptr);
 
   bool runInner(const LoopSpec &Spec) override;
 
 private:
-  /// Sequentially executes every chunk of \p Spec that \p Failed did not
-  /// commit, in ascending order, directly against committed memory.
-  void recoverSequentially(const LoopSpec &Spec, const RunResult &Failed);
+  /// True once accumulated real time exceeds TimeoutFactor x
+  /// SeqBaselineNs: salvage must stop paying for speculation retries.
+  bool budgetExpired() const;
 
-  Executor &Exec;
+  /// Walks the ladder over every chunk \p Failed did not commit.
+  void runLadder(const LoopSpec &Spec, const RunResult &Failed);
+
+  /// Re-runs \p Chunks (original indices, ascending) in parallel under a
+  /// fresh engine via a re-indexed sub-spec. Merges stats/trace and
+  /// returns the sub-run's result (CommitOrder/FailedChunk hold LOCAL
+  /// chunk indices, i.e. positions into \p Chunks).
+  RunResult runChunksParallel(const LoopSpec &Spec,
+                              const std::vector<int64_t> &Chunks, int64_t Cf);
+
+  /// Tiers 1-3 for one indicted chunk; always resolves it (commits it
+  /// speculatively or quarantines its poisoned iterations).
+  void resolveChunk(const LoopSpec &Spec, int64_t Chunk, int64_t Cf);
+
+  /// Tier 2: recursively split [First, Last), committing healthy halves
+  /// solo and quarantining fragments that keep failing.
+  void bisect(const LoopSpec &Spec, int64_t Chunk, int64_t First,
+              int64_t Last, unsigned Depth);
+
+  /// Runs [First, Last) as one speculative chunk on a fresh single-worker
+  /// engine (retry limit 0). Returns true when it committed.
+  bool runRangeSolo(const LoopSpec &Spec, int64_t Chunk, int64_t First,
+                    int64_t Last);
+
+  /// Deterministic exponential backoff before tier-1 attempt \p Attempt.
+  void backoff(int64_t Chunk, unsigned Attempt);
+
+  /// Tier 3: executes [First, Last) sequentially against committed memory.
+  void quarantineRange(const LoopSpec &Spec, int64_t Chunk, int64_t First,
+                       int64_t Last);
+
+  /// Ladder floor: sequentially executes every chunk in \p Chunks.
+  void fullTailSequential(const LoopSpec &Spec,
+                          const std::vector<int64_t> &Chunks, int64_t Cf);
+
+  /// Records an instant parent-side ladder event at Config.Trace level.
+  void traceLadderEvent(TraceEventKind Kind, int64_t Chunk, uint64_t Arg0,
+                        uint64_t Arg1);
+
+  ParallelEngine Engine;
+  ExecutorConfig Config;
   AlterAllocator *Allocator;
-  uint64_t SeqBaselineNs;
-  double TimeoutFactor;
+  /// The engine instance used for whole-loop invocations; ladder sub-runs
+  /// construct fresh engines so their width/retry settings differ.
+  std::unique_ptr<Executor> Primary;
   /// Set once the outer deadline trips; subsequent invocations bypass the
   /// speculative engine entirely.
   bool SequentialMode = false;

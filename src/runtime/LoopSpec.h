@@ -41,6 +41,14 @@ struct ReductionBinding {
   ScalarKind Kind = ScalarKind::F64;
 };
 
+/// The original coordinates of one re-indexed chunk: which chunk of the
+/// enclosing loop it is, and which iterations of that loop it covers.
+struct FaultCoords {
+  int64_t Chunk = 0;
+  int64_t FirstIter = 0;
+  int64_t LastIter = 0;
+};
+
 /// Description of one annotatable loop.
 struct LoopSpec {
   /// Diagnostic name ("kmeans.main", "gs.inner", ...).
@@ -55,6 +63,16 @@ struct LoopSpec {
 
   /// Variables eligible for reduction annotations, in binding-slot order.
   std::vector<ReductionBinding> Reductions;
+
+  /// Salvage sub-runs (RecoveringLoopRunner's degradation ladder)
+  /// re-execute chunks of an enclosing loop under fresh local indices. This
+  /// hook maps a local chunk and its local iteration range back to the
+  /// ORIGINAL coordinates, so armed fault points (FaultPlan) keep striking
+  /// the same logical work across re-executions. Null for top-level loops:
+  /// local coordinates are the original ones.
+  std::function<FaultCoords(int64_t Chunk, int64_t FirstIter,
+                            int64_t LastIter)>
+      FaultRemap;
 
   /// Names of the reduction bindings, for annotation resolution.
   std::vector<std::string> reductionNames() const {

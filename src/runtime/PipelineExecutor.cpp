@@ -29,13 +29,6 @@ using namespace alter;
 
 namespace {
 
-/// Per-chunk infrastructure failures (fork failure, child crash, rejected
-/// commit message) are retried this many times before the run gives up with
-/// a contained Crash — transient faults self-heal on the first clean retry,
-/// persistent ones still surface as the Crash the inference engine
-/// classifies on (§5).
-constexpr unsigned ChunkFaultRetryLimit = 2;
-
 /// One worker slot of the pipeline. A slot owns one arena index (slot i
 /// runs children as Worker i+1), so its lifecycle must serialize every use
 /// of that arena:
@@ -155,8 +148,9 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
   // caller can recover from sequentially.
   auto chunkFault = [&](int64_t Chunk, const std::string &Why) {
     const unsigned Count = ++FaultCounts[Chunk];
-    if (Count > ChunkFaultRetryLimit) {
+    if (Count > Config.ChunkFaultRetryLimit) {
       Crashed = true;
+      Result.FailedChunk = Chunk;
       CrashDetail =
           strprintf("chunk %lld failed %u consecutive attempts (%s)",
                     static_cast<long long>(Chunk), Count, Why.c_str());
@@ -173,9 +167,17 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
   // and the slot stays Free.
   auto forkChunk = [&](unsigned SlotIdx, int64_t Chunk) -> bool {
     Slot &S = Slots[SlotIdx];
+    const int64_t First = Chunk * Cf;
+    const int64_t Last = std::min<int64_t>(First + Cf, Spec.NumIterations);
     ArmedFault Fault;
-    if (FaultPlan::global().enabled())
-      Fault = FaultPlan::global().take(Chunk);
+    if (FaultPlan::global().enabled()) {
+      // Fault points address the ORIGINAL coordinates of the work: a
+      // salvage sub-run re-indexes chunks, so map back before consuming.
+      FaultCoords FC{Chunk, First, Last};
+      if (Spec.FaultRemap)
+        FC = Spec.FaultRemap(Chunk, First, Last);
+      Fault = FaultPlan::global().take(FC.Chunk, FC.FirstIter, FC.LastIter);
+    }
     if (Fault.Armed && Fault.Kind == FaultKind::ForkFail) {
       ++Result.Stats.NumForkFailures;
       chunkFault(Chunk, "fork/pipe failure");
@@ -202,8 +204,6 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
       for (const Slot &Other : Slots)
         if (Other.St == Slot::State::Running)
           ::close(Other.Fd);
-      const int64_t First = Chunk * Cf;
-      const int64_t Last = std::min<int64_t>(First + Cf, Spec.NumIterations);
       runWireChild(Spec, Config, /*Worker=*/SlotIdx + 1, Chunk, First, Last,
                    Fds[1], Fault);
       // runWireChild never returns.
@@ -361,6 +361,7 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
     S.Buf.clear();
     if (Rep.LimitExceeded) {
       Crashed = true;
+      Result.FailedChunk = S.Chunk;
       CrashDetail = strprintf(
           "worker %u (chunk %lld) exceeded the access-set memory cap",
           SlotIdx, static_cast<long long>(S.Chunk));

@@ -46,5 +46,8 @@ void RunStats::merge(const RunStats &Other) {
   NumChildCrashes += Other.NumChildCrashes;
   NumWireRejects += Other.NumWireRejects;
   RecoveredIterations += Other.RecoveredIterations;
+  SalvagedChunks += Other.SalvagedChunks;
+  QuarantinedIterations += Other.QuarantinedIterations;
+  BisectionRounds += Other.BisectionRounds;
   Recovered |= Other.Recovered;
 }

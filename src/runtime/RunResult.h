@@ -108,11 +108,21 @@ struct RunStats {
   /// Commit messages rejected by the wire framing (truncation, length
   /// mismatch, CRC failure, or structural decode errors).
   uint64_t NumWireRejects = 0;
-  /// Iterations completed by the sequential fallback after the speculative
-  /// engine gave up (RecoveringLoopRunner).
+  /// Iterations completed by the full-tail sequential fallback after the
+  /// degradation ladder gave up (RecoveringLoopRunner).
   uint64_t RecoveredIterations = 0;
-  /// True when any part of the execution went through the sequential
-  /// fallback — the run completed, but not (entirely) speculatively.
+  /// Chunks (tier 1) or bisection fragments (tier 2) of an indicted chunk
+  /// that a solo speculative re-execution committed during salvage.
+  uint64_t SalvagedChunks = 0;
+  /// Iterations the ladder isolated as poisoned and executed sequentially
+  /// under quarantine (tier 3). Bounded by the poisoned chunk's size, never
+  /// the tail.
+  uint64_t QuarantinedIterations = 0;
+  /// Range splits performed while bisecting failing chunks (tier 2).
+  uint64_t BisectionRounds = 0;
+  /// True when any part of the execution ran sequentially against committed
+  /// memory (quarantined iterations or the full-tail fallback) — the run
+  /// completed, but not entirely speculatively.
   bool Recovered = false;
 
   /// Fraction of worker capacity spent executing bodies. The round-barrier
@@ -182,6 +192,11 @@ struct RunResult {
   /// The recovery layer needs it to map committed chunk indices back to
   /// iteration ranges; 0 for engines that do not chunk (sequential).
   int64_t ChunkFactorUsed = 0;
+  /// The chunk the engine indicts for a Crash (fault-budget exhaustion or
+  /// the access-set cap); -1 when the failure has no single culpable chunk
+  /// (timeouts, poll failures, successful runs). The degradation ladder
+  /// starts its salvage at this chunk.
+  int64_t FailedChunk = -1;
   /// Chunk indices in the order they committed. Under OutOfOrder policies a
   /// parallel execution is equivalent to replaying chunks serially in this
   /// order (conflict serializability); tests exploit that. Only the most

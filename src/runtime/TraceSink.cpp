@@ -171,7 +171,7 @@ std::string RunResult::traceSummary(size_t TopN) const {
   std::string Out;
   Out += strprintf("trace: %zu events (%llu dropped)\n", TraceEvents.size(),
                    static_cast<unsigned long long>(TraceEventsDropped));
-  uint64_t Counts[static_cast<size_t>(TraceEventKind::Recovery) + 1] = {};
+  uint64_t Counts[NumTraceEventKinds] = {};
   for (const TraceEvent &E : TraceEvents)
     ++Counts[static_cast<size_t>(E.Kind)];
   for (size_t K = 0; K != sizeof(Counts) / sizeof(Counts[0]); ++K)

@@ -511,7 +511,7 @@ bool alter::decodeChildReport(const std::vector<uint8_t> &Bytes,
     E.Arg1 = R.u64();
     const uint64_t Packed = R.u64();
     const uint64_t Kind = Packed >> 32;
-    if (Kind > static_cast<uint64_t>(TraceEventKind::Recovery)) {
+    if (Kind >= static_cast<uint64_t>(NumTraceEventKinds)) {
       Error = "corrupt trace event kind";
       return false;
     }

@@ -6,19 +6,20 @@
 
 #include "support/Error.h"
 
-#include <cstdio>
+#include "support/Trace.h"
+
 #include <cstdlib>
 
 using namespace alter;
 
 void alter::fatalError(const std::string &Message) {
-  std::fprintf(stderr, "alter fatal error: %s\n", Message.c_str());
+  alterLogAlways(LogLevel::Error, "fatal", "msg=\"%s\"", Message.c_str());
   std::abort();
 }
 
 void alter::alterUnreachableImpl(const char *Message, const char *File,
                                  unsigned Line) {
-  std::fprintf(stderr, "alter unreachable at %s:%u: %s\n", File, Line,
-               Message ? Message : "<no message>");
+  alterLogAlways(LogLevel::Error, "fatal", "unreachable=%s:%u msg=\"%s\"",
+                 File, Line, Message ? Message : "<no message>");
   std::abort();
 }

@@ -18,9 +18,10 @@
 
 namespace alter {
 
-/// Prints \p Message to stderr with an "alter fatal error:" banner and
-/// aborts. Used for unrecoverable environment failures (failed mmap, failed
-/// fork, ...), never for conditions a caller could handle.
+/// Emits \p Message to stderr as a structured ALTER_LOG error line (never
+/// silenced by the log threshold) and aborts. Used for unrecoverable
+/// environment failures (failed mmap, failed fork, ...), never for
+/// conditions a caller could handle.
 [[noreturn]] void fatalError(const std::string &Message);
 
 /// Marks a point in the code that must never be reached; aborts with

@@ -89,20 +89,34 @@ void FaultPlan::clear() {
 }
 
 void FaultPlan::arm(FaultKind Kind, int64_t Chunk, bool Sticky) {
-  Points.push_back({Kind, Chunk, Sticky});
+  Points.push_back({Kind, Chunk, Sticky, /*IterTarget=*/false});
+}
+
+void FaultPlan::armIteration(FaultKind Kind, int64_t Iter, bool Sticky) {
+  Points.push_back({Kind, Iter, Sticky, /*IterTarget=*/true});
 }
 
 ArmedFault FaultPlan::take(int64_t Chunk) {
+  // Empty iteration range: chunk-targeted points only.
+  return take(Chunk, /*FirstIter=*/0, /*LastIter=*/0);
+}
+
+ArmedFault FaultPlan::take(int64_t Chunk, int64_t FirstIter,
+                           int64_t LastIter) {
   ArmedFault Fault;
   for (size_t I = 0; I != Points.size(); ++I) {
-    if (Points[I].Chunk != Chunk)
+    const FaultPoint &P = Points[I];
+    const bool Hit = P.IterTarget
+                         ? (P.Target >= FirstIter && P.Target < LastIter)
+                         : P.Target == Chunk;
+    if (!Hit)
       continue;
     Fault.Armed = true;
-    Fault.Kind = Points[I].Kind;
+    Fault.Kind = P.Kind;
     Fault.Chunk = Chunk;
     Fault.Seed = Seed;
     Fault.StallNs = StallNs;
-    if (!Points[I].Sticky)
+    if (!P.Sticky)
       Points.erase(Points.begin() + static_cast<ptrdiff_t>(I));
     return Fault;
   }
@@ -147,15 +161,21 @@ bool FaultPlan::parse(const std::string &Text, std::string *Error) {
     FaultPoint Point;
     if (!parseKind(Entry.substr(0, At), Point.Kind))
       return Fail("unknown fault kind '" + Entry.substr(0, At) + "'");
-    std::string ChunkText = Entry.substr(At + 1);
-    if (!ChunkText.empty() && ChunkText.back() == '!') {
+    std::string TargetText = Entry.substr(At + 1);
+    if (!TargetText.empty() && TargetText.back() == '!') {
       Point.Sticky = true;
-      ChunkText.pop_back();
+      TargetText.pop_back();
     }
-    uint64_t Chunk;
-    if (!parseUint(ChunkText, Chunk))
-      return Fail("bad chunk index in '" + Entry + "'");
-    Point.Chunk = static_cast<int64_t>(Chunk);
+    if (!TargetText.empty() && TargetText.front() == 'i') {
+      Point.IterTarget = true;
+      TargetText.erase(TargetText.begin());
+    }
+    uint64_t Target;
+    if (!parseUint(TargetText, Target))
+      return Fail(std::string("bad ") +
+                  (Point.IterTarget ? "iteration" : "chunk") + " index in '" +
+                  Entry + "'");
+    Point.Target = static_cast<int64_t>(Target);
     Parsed.push_back(Point);
   }
   Points.insert(Points.end(), Parsed.begin(), Parsed.end());

@@ -23,7 +23,16 @@
 /// one-shot fault strikes only the first execution attempt of its chunk and
 /// the executor's retry runs clean — modeling a transient failure. A sticky
 /// fault stays armed and strikes every attempt — modeling a persistent
-/// failure that forces the sequential-recovery path.
+/// failure that drives the degradation ladder (salvage, bisection,
+/// quarantine) and ultimately the sequential fallback.
+///
+/// A fault point targets either a chunk ("kill@3") or a single ITERATION
+/// ("crash@i17"). Iteration targeting is what makes chunk bisection
+/// testable: when the ladder re-executes half a chunk, the fault must
+/// follow the poisoned iteration into whichever sub-range contains it, not
+/// the re-numbered chunk id. Executors therefore pass the original
+/// iteration range of the work they are forking (via LoopSpec::FaultRemap
+/// when the range was re-indexed by a salvage sub-run).
 ///
 /// Everything is deterministic: corruption positions derive from
 /// (seed, chunk) via SplitMix64, never from wall-clock or global entropy.
@@ -52,12 +61,16 @@ enum class FaultKind : uint8_t {
 /// Returns "forkfail", "crash", "kill", "truncate", "bitflip", or "stall".
 const char *faultKindName(FaultKind Kind);
 
-/// One armed fault: strikes execution attempts of chunk \p Chunk.
+/// One armed fault: strikes execution attempts of chunk \p Target (or, when
+/// \p IterTarget is set, of any forked range containing iteration
+/// \p Target).
 struct FaultPoint {
   FaultKind Kind = FaultKind::ChildCrash;
-  int64_t Chunk = 0;
+  int64_t Target = 0;
   /// Sticky faults strike every attempt; one-shot faults only the first.
   bool Sticky = false;
+  /// Target is an iteration index, not a chunk index.
+  bool IterTarget = false;
 };
 
 /// What FaultPlan::take hands the executor for one fork: the fault to
@@ -92,6 +105,10 @@ public:
   /// Arms \p Kind against chunk \p Chunk.
   void arm(FaultKind Kind, int64_t Chunk, bool Sticky = false);
 
+  /// Arms \p Kind against iteration \p Iter: the fault strikes any forked
+  /// range whose [FirstIter, LastIter) contains the iteration.
+  void armIteration(FaultKind Kind, int64_t Iter, bool Sticky = false);
+
   /// Seed for deterministic corruption positions.
   void setSeed(uint64_t S) { Seed = S; }
   uint64_t seed() const { return Seed; }
@@ -103,11 +120,20 @@ public:
   /// Called by an executor immediately before forking chunk \p Chunk:
   /// returns the fault armed against it (Armed=false when none) and, unless
   /// the fault is sticky, disarms it so the retry attempt runs clean.
+  /// Matches chunk-targeted points only; use the three-argument overload
+  /// when the forked iteration range is known.
   ArmedFault take(int64_t Chunk);
 
+  /// Full consumption point: matches chunk-targeted points against
+  /// \p Chunk and iteration-targeted points against the half-open range
+  /// [FirstIter, LastIter) the fork covers. At most one point is consumed
+  /// per call (first match in arming order).
+  ArmedFault take(int64_t Chunk, int64_t FirstIter, int64_t LastIter);
+
   /// Parses a plan spec: comma/semicolon-separated entries of
-  /// "kind@chunk" (one-shot), "kind@chunk!" (sticky), "seed=N", and
-  /// "stallms=N". Example: "kill@3,truncate@1!,bitflip@2,seed=7".
+  /// "kind@chunk" (one-shot), "kind@chunk!" (sticky), "kind@iN" /
+  /// "kind@iN!" (iteration-targeted), "seed=N", and "stallms=N".
+  /// Example: "kill@3,truncate@1!,crash@i17!,seed=7".
   /// On failure returns false, sets \p Error if non-null, and leaves the
   /// plan unchanged.
   bool parse(const std::string &Text, std::string *Error = nullptr);

@@ -108,6 +108,12 @@ const char *alter::traceEventKindName(TraceEventKind Kind) {
     return "round_barrier";
   case TraceEventKind::Recovery:
     return "recovery";
+  case TraceEventKind::Salvage:
+    return "salvage";
+  case TraceEventKind::Bisect:
+    return "bisect";
+  case TraceEventKind::Quarantine:
+    return "quarantine";
   }
   ALTER_UNREACHABLE("covered switch");
 }
@@ -259,15 +265,12 @@ bool alter::logEnabled(LogLevel Level) {
   return Level != LogLevel::Off && Level <= globalLogLevel();
 }
 
-void alter::alterLog(LogLevel Level, const char *Subsystem, const char *Fmt,
-                     ...) {
-  if (!logEnabled(Level))
-    return;
+namespace {
+
+void logLineV(LogLevel Level, const char *Subsystem, const char *Fmt,
+              va_list Args) {
   char Message[1024];
-  va_list Args;
-  va_start(Args, Fmt);
   std::vsnprintf(Message, sizeof(Message), Fmt, Args);
-  va_end(Args);
   // One write per line keeps lines whole even with forked children logging
   // concurrently to the shared stderr.
   char Line[1200];
@@ -277,4 +280,24 @@ void alter::alterLog(LogLevel Level, const char *Subsystem, const char *Fmt,
   if (N > 0)
     std::fwrite(Line, 1, std::min(static_cast<size_t>(N), sizeof(Line) - 1),
                 stderr);
+}
+
+} // namespace
+
+void alter::alterLog(LogLevel Level, const char *Subsystem, const char *Fmt,
+                     ...) {
+  if (!logEnabled(Level))
+    return;
+  va_list Args;
+  va_start(Args, Fmt);
+  logLineV(Level, Subsystem, Fmt, Args);
+  va_end(Args);
+}
+
+void alter::alterLogAlways(LogLevel Level, const char *Subsystem,
+                           const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  logLineV(Level, Subsystem, Fmt, Args);
+  va_end(Args);
 }

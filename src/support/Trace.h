@@ -88,7 +88,18 @@ enum class TraceEventKind : uint8_t {
   FaultContained, ///< infrastructure fault absorbed; chunk requeued
   RoundBarrier,   ///< round-barrier engines: one validation round ended
   Recovery,       ///< sequential fallback ran; Arg0 = iterations recovered
+  // Degradation ladder (RecoveringLoopRunner).
+  Salvage,    ///< tier 1: solo re-execution of the indicted chunk;
+              ///< Arg0 = attempt number, Arg1 = iterations in the chunk
+  Bisect,     ///< tier 2: a failing range was split; Arg0/Arg1 =
+              ///< first/last iteration of the range being bisected
+  Quarantine, ///< tier 3: poisoned iterations ran sequentially;
+              ///< Arg0 = iterations quarantined
 };
+
+/// Number of event kinds; bounds wire decoding and per-kind count arrays.
+constexpr size_t NumTraceEventKinds =
+    static_cast<size_t>(TraceEventKind::Quarantine) + 1;
 
 /// Short stable name ("chunk_exec", "validate", ...). Used by both the
 /// Chrome exporter and the text summary.
@@ -213,6 +224,12 @@ bool logEnabled(LogLevel Level);
 /// the whole line stays machine-parseable.
 void alterLog(LogLevel Level, const char *Subsystem, const char *Fmt, ...)
     __attribute__((format(printf, 3, 4)));
+
+/// Like alterLog but bypasses the ALTER_LOG threshold: the line is always
+/// emitted. For diagnostics that must never be silenced (fatal errors,
+/// command-line misuse) while still keeping the structured one-line format.
+void alterLogAlways(LogLevel Level, const char *Subsystem, const char *Fmt,
+                    ...) __attribute__((format(printf, 3, 4)));
 
 } // namespace alter
 

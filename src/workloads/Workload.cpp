@@ -85,12 +85,7 @@ RunResult Workload::runRecovering(ParallelEngine Engine,
   Config.Limits = Limits;
   Config.SeqBaselineNs = SeqBaselineNs;
   Config.Allocator = allocator();
-  std::unique_ptr<Executor> Exec;
-  if (Engine == ParallelEngine::ForkJoin)
-    Exec = std::make_unique<ForkJoinExecutor>(Config);
-  else
-    Exec = std::make_unique<PipelineExecutor>(Config);
-  RecoveringLoopRunner Runner(*Exec, allocator(), SeqBaselineNs);
+  RecoveringLoopRunner Runner(Engine, Config);
   run(Runner);
   return Runner.result();
 }

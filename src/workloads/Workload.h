@@ -31,11 +31,8 @@
 
 namespace alter {
 
-/// The fork-based process engines selectable by the recovery driver.
-enum class ParallelEngine {
-  ForkJoin, ///< round-barrier engine (ForkJoinExecutor)
-  Pipeline, ///< continuous-feed engine (PipelineExecutor)
-};
+// ParallelEngine (the engine selector the recovery driver takes) now lives
+// in runtime/Executor.h, next to the makeParallelEngine factory.
 
 /// Abstract benchmark workload.
 class Workload {

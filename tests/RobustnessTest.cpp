@@ -32,7 +32,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
+#include <tuple>
 #include <unistd.h>
 
 using namespace alter;
@@ -266,6 +268,37 @@ TEST(FaultPlanTest, ParseGrammarAndConsumption) {
   EXPECT_FALSE(Plan.enabled());
 }
 
+TEST(FaultPlanTest, IterationTargetedPointsMatchByRange) {
+  FaultPlan &Plan = FaultPlan::global();
+  Plan.clear();
+  std::string Error;
+  ASSERT_TRUE(Plan.parse("kill@i6!,crash@i2;seed=5", &Error)) << Error;
+  EXPECT_EQ(Plan.pendingCount(), 2u);
+
+  // The chunk-only overload never consumes iteration points.
+  EXPECT_FALSE(Plan.take(1).Armed);
+  EXPECT_EQ(Plan.pendingCount(), 2u);
+
+  // crash@i2 is one-shot: it strikes the chunk covering iteration 2 once.
+  const ArmedFault OneShot = Plan.take(/*Chunk=*/0, /*FirstIter=*/0,
+                                       /*LastIter=*/4);
+  EXPECT_TRUE(OneShot.Armed);
+  EXPECT_EQ(OneShot.Kind, FaultKind::ChildCrash);
+  EXPECT_EQ(OneShot.Chunk, 0);
+  EXPECT_FALSE(Plan.take(0, 0, 4).Armed) << "one-shot consumed; iteration 6 "
+                                            "is outside [0, 4)";
+
+  // kill@i6! is sticky: every range covering iteration 6 is struck.
+  EXPECT_TRUE(Plan.take(1, 4, 8).Armed);
+  EXPECT_TRUE(Plan.take(1, 6, 7).Armed);
+  EXPECT_FALSE(Plan.take(1, 4, 6).Armed) << "[4, 6) does not cover 6";
+  EXPECT_FALSE(Plan.take(1, 7, 8).Armed);
+
+  EXPECT_FALSE(Plan.parse("kill@i", &Error));
+  EXPECT_FALSE(Plan.parse("kill@ix", &Error));
+  Plan.clear();
+}
+
 TEST(FaultPlanTest, WireCorruptionIsDeterministic) {
   std::vector<uint8_t> A(333, 0xaa), B(333, 0xaa);
   faultBitFlipWire(A, /*Seed=*/9, /*Chunk=*/4);
@@ -285,13 +318,6 @@ TEST(FaultPlanTest, WireCorruptionIsDeterministic) {
 
 namespace {
 
-std::unique_ptr<Executor> makeEngine(ParallelEngine Engine,
-                                     const ExecutorConfig &Config) {
-  if (Engine == ParallelEngine::ForkJoin)
-    return std::make_unique<ForkJoinExecutor>(Config);
-  return std::make_unique<PipelineExecutor>(Config);
-}
-
 const char *engineName(ParallelEngine Engine) {
   return Engine == ParallelEngine::ForkJoin ? "forkjoin" : "pipeline";
 }
@@ -299,10 +325,11 @@ const char *engineName(ParallelEngine Engine) {
 /// Runs a disjoint-writes loop (6 chunks of 4 iterations, 2 workers) under
 /// the recovery driver with whatever the global FaultPlan has armed, and
 /// asserts the final memory image equals sequential execution regardless
-/// of which faults struck.
-RunResult runDisjointLoopRecovering(ParallelEngine Engine,
-                                    CommitOrderPolicy Order,
-                                    uint64_t SeqBaselineNs = 0) {
+/// of which faults struck. \p Tweak may adjust the config (ladder budgets,
+/// trace level) before the runner is built.
+RunResult runDisjointLoopRecovering(
+    ParallelEngine Engine, CommitOrderPolicy Order, uint64_t SeqBaselineNs = 0,
+    const std::function<void(ExecutorConfig &)> &Tweak = {}) {
   constexpr int64_t N = 24;
   std::vector<int64_t> Data(N, -1);
   LoopSpec Spec;
@@ -315,8 +342,9 @@ RunResult runDisjointLoopRecovering(ParallelEngine Engine,
   Config.Params.ChunkFactor = 4;
   Config.Params.CommitOrder = Order;
   Config.SeqBaselineNs = SeqBaselineNs;
-  std::unique_ptr<Executor> Exec = makeEngine(Engine, Config);
-  RecoveringLoopRunner Runner(*Exec, /*Allocator=*/nullptr, SeqBaselineNs);
+  if (Tweak)
+    Tweak(Config);
+  RecoveringLoopRunner Runner(Engine, Config);
   EXPECT_TRUE(Runner.runInner(Spec));
   for (int64_t I = 0; I != N; ++I)
     EXPECT_EQ(Data[static_cast<size_t>(I)], I * 3 + 1)
@@ -366,10 +394,13 @@ TEST(FaultMatrixTest, TransientFaultsSelfHealInsideTheEngine) {
   FaultPlan::global().clear();
 }
 
-TEST(FaultMatrixTest, PersistentFaultsRecoverSequentially) {
+TEST(FaultMatrixTest, PersistentFaultsQuarantineOnlyThePoisonedChunk) {
   // A sticky fault strikes every attempt: the engine exhausts its
-  // per-chunk retry budget, reports a contained Crash, and the recovery
-  // driver completes the uncommitted iterations sequentially.
+  // per-chunk retry budget and reports a contained Crash. The degradation
+  // ladder then walks chunk 1 down through salvage and bisection to
+  // quarantine — exactly the poisoned chunk's four iterations run
+  // sequentially, and the healthy tail stays parallel (zero
+  // RecoveredIterations).
   for (ParallelEngine Engine :
        {ParallelEngine::ForkJoin, ParallelEngine::Pipeline}) {
     for (CommitOrderPolicy Order :
@@ -387,7 +418,14 @@ TEST(FaultMatrixTest, PersistentFaultsRecoverSequentially) {
         EXPECT_EQ(R.Status, RunStatus::Success)
             << "recovery must downgrade the crash to a completed run";
         EXPECT_TRUE(R.Stats.Recovered);
-        EXPECT_GT(R.Stats.RecoveredIterations, 0u);
+        EXPECT_EQ(R.Stats.QuarantinedIterations, 4u)
+            << "exactly the poisoned chunk is quarantined";
+        EXPECT_EQ(R.Stats.RecoveredIterations, 0u)
+            << "the healthy tail must stay parallel";
+        EXPECT_EQ(R.Stats.SalvagedChunks, 0u)
+            << "a sticky chunk fault poisons every fragment";
+        EXPECT_LE(R.Stats.RecoveredIterations + R.Stats.QuarantinedIterations,
+                  static_cast<uint64_t>(R.ChunkFactorUsed));
       }
     }
   }
@@ -445,6 +483,153 @@ TEST(FaultMatrixTest, AllWorkloadsRecoverToValidOutput) {
         << "recovered output must validate against sequential";
     FaultPlan::global().clear();
   }
+}
+
+//===----------------------------------------------------------------------===
+// The degradation ladder: salvage -> bisect -> quarantine
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Ladder events of the merged timeline, in emission order, reduced to the
+/// deterministic tuple (timestamps excluded: engine poll counts vary).
+std::vector<std::tuple<TraceEventKind, int64_t, uint64_t, uint64_t>>
+ladderTransitions(const RunResult &R) {
+  std::vector<std::tuple<TraceEventKind, int64_t, uint64_t, uint64_t>> Out;
+  for (const TraceEvent &E : R.TraceEvents)
+    if (E.Kind == TraceEventKind::Salvage ||
+        E.Kind == TraceEventKind::Bisect ||
+        E.Kind == TraceEventKind::Quarantine)
+      Out.emplace_back(E.Kind, E.Chunk, E.Arg0, E.Arg1);
+  return Out;
+}
+
+} // namespace
+
+TEST(DegradationLadderTest, ExhaustedRetryBudgetHealsAtTierOne) {
+  // Three one-shot kills burn the engine's whole per-chunk fault budget
+  // (ChunkFaultRetryLimit = 2), so the run crashes — but the faults are
+  // spent, and the FIRST solo salvage attempt commits the chunk
+  // speculatively. No sequential work of any kind.
+  for (ParallelEngine Engine :
+       {ParallelEngine::ForkJoin, ParallelEngine::Pipeline}) {
+    SCOPED_TRACE(engineName(Engine));
+    FaultPlan::global().clear();
+    for (int K = 0; K != 3; ++K)
+      FaultPlan::global().arm(FaultKind::ChildKill, /*Chunk=*/1,
+                              /*Sticky=*/false);
+    const RunResult R =
+        runDisjointLoopRecovering(Engine, CommitOrderPolicy::InOrder);
+    EXPECT_EQ(R.Status, RunStatus::Success);
+    EXPECT_FALSE(R.Stats.Recovered)
+        << "tier 1 must resolve the chunk without sequential execution";
+    EXPECT_EQ(R.Stats.SalvagedChunks, 1u);
+    EXPECT_EQ(R.Stats.QuarantinedIterations, 0u);
+    EXPECT_EQ(R.Stats.RecoveredIterations, 0u);
+    EXPECT_EQ(R.Stats.BisectionRounds, 0u);
+    EXPECT_EQ(FaultPlan::global().pendingCount(), 0u);
+  }
+  FaultPlan::global().clear();
+}
+
+TEST(DegradationLadderTest, StickyIterationFaultIsBisectedToOneIteration) {
+  // A sticky fault pinned to iteration 6 follows the work through the
+  // ladder: the solo chunk [4, 8) keeps failing, bisection commits the
+  // healthy fragments [4, 6) and [7, 8) speculatively, and exactly the
+  // poisoned iteration is quarantined.
+  for (ParallelEngine Engine :
+       {ParallelEngine::ForkJoin, ParallelEngine::Pipeline}) {
+    SCOPED_TRACE(engineName(Engine));
+    FaultPlan::global().clear();
+    FaultPlan::global().armIteration(FaultKind::ChildKill, /*Iter=*/6,
+                                     /*Sticky=*/true);
+    const RunResult R =
+        runDisjointLoopRecovering(Engine, CommitOrderPolicy::InOrder);
+    EXPECT_EQ(R.Status, RunStatus::Success);
+    EXPECT_TRUE(R.Stats.Recovered);
+    EXPECT_EQ(R.Stats.QuarantinedIterations, 1u)
+        << "only the poisoned iteration runs sequentially";
+    EXPECT_EQ(R.Stats.SalvagedChunks, 2u) << "[4,6) and [7,8) commit solo";
+    EXPECT_EQ(R.Stats.BisectionRounds, 2u) << "[4,8) and [6,8) are split";
+    EXPECT_EQ(R.Stats.RecoveredIterations, 0u);
+  }
+  FaultPlan::global().clear();
+}
+
+TEST(DegradationLadderTest, SalvageDisabledFallsBackToTheFullTail) {
+  // EnableSalvage = false restores the pre-ladder floor: every uncommitted
+  // iteration runs sequentially.
+  FaultPlan::global().clear();
+  FaultPlan::global().arm(FaultKind::ChildKill, /*Chunk=*/1, /*Sticky=*/true);
+  const RunResult R = runDisjointLoopRecovering(
+      ParallelEngine::ForkJoin, CommitOrderPolicy::InOrder,
+      /*SeqBaselineNs=*/0,
+      [](ExecutorConfig &Config) { Config.EnableSalvage = false; });
+  EXPECT_TRUE(R.Stats.Recovered);
+  EXPECT_EQ(R.Stats.QuarantinedIterations, 0u);
+  EXPECT_EQ(R.Stats.SalvagedChunks, 0u);
+  EXPECT_GT(R.Stats.RecoveredIterations, 4u)
+      << "with the ladder off, the whole uncommitted tail goes sequential";
+  FaultPlan::global().clear();
+}
+
+TEST(DegradationLadderTest, LadderTransitionsReplayDeterministically) {
+  // Two same-seed replays of the same sticky plan must walk the identical
+  // salvage -> bisect -> quarantine sequence (the acceptance criterion for
+  // supervised recovery: retries are a pure function of the plan).
+  for (ParallelEngine Engine :
+       {ParallelEngine::ForkJoin, ParallelEngine::Pipeline}) {
+    SCOPED_TRACE(engineName(Engine));
+    auto Replay = [Engine] {
+      FaultPlan::global().clear();
+      FaultPlan::global().setSeed(11);
+      FaultPlan::global().armIteration(FaultKind::ChildCrash, /*Iter=*/6,
+                                       /*Sticky=*/true);
+      return runDisjointLoopRecovering(
+          Engine, CommitOrderPolicy::InOrder, /*SeqBaselineNs=*/0,
+          [](ExecutorConfig &Config) { Config.Trace = TraceLevel::Events; });
+    };
+    const RunResult A = Replay();
+    const RunResult B = Replay();
+    const auto TransA = ladderTransitions(A);
+    EXPECT_FALSE(TransA.empty()) << "the plan must drive the ladder";
+    EXPECT_EQ(TransA, ladderTransitions(B));
+    EXPECT_EQ(A.Stats.SalvagedChunks, B.Stats.SalvagedChunks);
+    EXPECT_EQ(A.Stats.QuarantinedIterations, B.Stats.QuarantinedIterations);
+    EXPECT_EQ(A.Stats.BisectionRounds, B.Stats.BisectionRounds);
+    // The ladder escalates monotonically per chunk: every Bisect comes
+    // after the first Salvage, every Quarantine after the first Bisect.
+    size_t FirstSalvage = TransA.size(), FirstBisect = TransA.size();
+    for (size_t I = 0; I != TransA.size(); ++I) {
+      const TraceEventKind Kind = std::get<0>(TransA[I]);
+      if (Kind == TraceEventKind::Salvage && FirstSalvage == TransA.size())
+        FirstSalvage = I;
+      if (Kind == TraceEventKind::Bisect) {
+        if (FirstBisect == TransA.size())
+          FirstBisect = I;
+        EXPECT_GT(I, FirstSalvage);
+      }
+      if (Kind == TraceEventKind::Quarantine)
+        EXPECT_GT(I, FirstBisect);
+    }
+  }
+  FaultPlan::global().clear();
+}
+
+TEST(DegradationLadderTest, EnvPlanCompletesWithSequentialOutput) {
+  // Deliberately does NOT clear the global plan first: scripts/check.sh
+  // runs this test under representative ALTER_FAULTS plans (the env plan is
+  // parsed on first FaultPlan::global() access) and the ladder must finish
+  // with the sequential memory image whatever was armed. Without
+  // ALTER_FAULTS this is simply a clean recovering run.
+  for (ParallelEngine Engine :
+       {ParallelEngine::ForkJoin, ParallelEngine::Pipeline}) {
+    SCOPED_TRACE(engineName(Engine));
+    const RunResult R =
+        runDisjointLoopRecovering(Engine, CommitOrderPolicy::InOrder);
+    EXPECT_EQ(R.Status, RunStatus::Success);
+  }
+  FaultPlan::global().clear();
 }
 
 TEST(ConfigurationSemanticsTest, StaleReadsOutputDependsOnWorkersAndCf) {

@@ -443,9 +443,7 @@ TEST(EnvFaultTest, StickyFaultPlanYieldsEnvFaultEndToEnd) {
   ExecutorConfig Config;
   Config.NumWorkers = 2;
   Config.Params.ChunkFactor = 4;
-  ForkJoinExecutor Exec(Config);
-  RecoveringLoopRunner Runner(Exec, /*Allocator=*/nullptr,
-                              /*SeqBaselineNs=*/0);
+  RecoveringLoopRunner Runner(ParallelEngine::ForkJoin, Config);
   ASSERT_TRUE(Runner.runInner(Spec));
   const RunResult R = Runner.result();
   FaultPlan::global().clear();
@@ -463,9 +461,9 @@ TEST(EnvFaultTest, StickyFaultPlanYieldsEnvFaultEndToEnd) {
 // Recovery events in the merged timeline
 //===----------------------------------------------------------------------===
 
-TEST(RecoveryTraceTest, SequentialFallbackEmitsARecoveryEvent) {
-  ScopedTraceLevel Scope(TraceLevel::Events);
-  setDeterministicTraceClock(11);
+namespace {
+
+RunResult runRecoveringChainUnderStickyKill(bool EnableSalvage) {
   FaultPlan::global().clear();
   FaultPlan::global().arm(FaultKind::ChildKill, /*Chunk=*/1, /*Sticky=*/true);
   std::vector<int64_t> Data(24, -1);
@@ -478,17 +476,46 @@ TEST(RecoveryTraceTest, SequentialFallbackEmitsARecoveryEvent) {
   Config.NumWorkers = 2;
   Config.Params.ChunkFactor = 4;
   Config.Trace = TraceLevel::Events;
-  ForkJoinExecutor Exec(Config);
-  RecoveringLoopRunner Runner(Exec, nullptr, 0);
-  ASSERT_TRUE(Runner.runInner(Spec));
-  const RunResult R = Runner.result();
+  Config.EnableSalvage = EnableSalvage;
+  RecoveringLoopRunner Runner(ParallelEngine::ForkJoin, Config);
+  EXPECT_TRUE(Runner.runInner(Spec));
   FaultPlan::global().clear();
+  for (int64_t I = 0; I != 24; ++I)
+    EXPECT_EQ(Data[static_cast<size_t>(I)], I);
+  return Runner.result();
+}
+
+} // namespace
+
+TEST(RecoveryTraceTest, LadderEmitsSalvageBisectQuarantineEvents) {
+  ScopedTraceLevel Scope(TraceLevel::Events);
+  setDeterministicTraceClock(11);
+  const RunResult R = runRecoveringChainUnderStickyKill(/*EnableSalvage=*/true);
+  ASSERT_TRUE(R.Stats.Recovered);
+  // The sticky chunk fault walks all three tiers; no full-tail fallback.
+  EXPECT_EQ(countKind(R.TraceEvents, TraceEventKind::Recovery), 0u);
+  EXPECT_GE(countKind(R.TraceEvents, TraceEventKind::FaultContained), 1u);
+  EXPECT_EQ(countKind(R.TraceEvents, TraceEventKind::Salvage), 2u)
+      << "both tier-1 attempts are recorded";
+  EXPECT_EQ(countKind(R.TraceEvents, TraceEventKind::Bisect),
+            R.Stats.BisectionRounds);
+  uint64_t Quarantined = 0;
+  for (const TraceEvent &E : R.TraceEvents)
+    if (E.Kind == TraceEventKind::Quarantine) {
+      EXPECT_EQ(E.Chunk, 1) << "quarantine events carry the poisoned chunk";
+      Quarantined += E.Arg0;
+    }
+  EXPECT_EQ(Quarantined, R.Stats.QuarantinedIterations);
+}
+
+TEST(RecoveryTraceTest, FullTailFallbackStillEmitsARecoveryEvent) {
+  ScopedTraceLevel Scope(TraceLevel::Events);
+  setDeterministicTraceClock(11);
+  const RunResult R =
+      runRecoveringChainUnderStickyKill(/*EnableSalvage=*/false);
   ASSERT_TRUE(R.Stats.Recovered);
   ASSERT_EQ(countKind(R.TraceEvents, TraceEventKind::Recovery), 1u);
-  EXPECT_GE(countKind(R.TraceEvents, TraceEventKind::FaultContained), 1u);
-  for (const TraceEvent &E : R.TraceEvents) {
-    if (E.Kind == TraceEventKind::Recovery) {
+  for (const TraceEvent &E : R.TraceEvents)
+    if (E.Kind == TraceEventKind::Recovery)
       EXPECT_EQ(E.Arg0, R.Stats.RecoveredIterations);
-    }
-  }
 }
