@@ -201,6 +201,11 @@ void alter::bench::finalizeBenchJson() {
         "\"bloom_skips\": %llu, \"bloom_false_positives\": %llu, "
         "\"bloom_fp_rate\": %.6g, \"chunk_factor\": %lld, "
         "\"fork_failures\": %llu, "
+        "\"transport\": \"%s\", \"wire_bytes_copied\": %llu, "
+        "\"warm_forks\": %llu, \"cold_forks\": %llu, "
+        "\"child_reuses\": %llu, "
+        "\"warm_fork_rate\": %.6g, \"template_refreshes\": %llu, "
+        "\"pool_faults\": %llu, "
         "\"child_crashes\": %llu, \"wire_rejects\": %llu, "
         "\"recovered\": %s, \"recovered_iterations\": %llu, "
         "\"salvaged_chunks\": %llu, \"quarantined_iterations\": %llu, "
@@ -223,6 +228,13 @@ void alter::bench::finalizeBenchJson() {
         S.bloomFalsePositiveRate(),
         static_cast<long long>(R.Point.ChunkFactorUsed),
         static_cast<unsigned long long>(S.NumForkFailures),
+        jsonEscape(R.Point.Transport).c_str(),
+        static_cast<unsigned long long>(S.WireBytesCopied),
+        static_cast<unsigned long long>(S.WarmForks),
+        static_cast<unsigned long long>(S.ColdForks),
+        static_cast<unsigned long long>(S.ChildReuses), S.warmForkRate(),
+        static_cast<unsigned long long>(S.TemplateRefreshes),
+        static_cast<unsigned long long>(S.PoolFaults),
         static_cast<unsigned long long>(S.NumChildCrashes),
         static_cast<unsigned long long>(S.NumWireRejects),
         S.Recovered ? "true" : "false",

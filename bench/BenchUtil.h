@@ -43,6 +43,9 @@ struct SweepPoint {
   /// Full per-run statistics, carried into the --json report (transaction
   /// counts, wire bytes, Bloom prefilter hits, worker occupancy).
   RunStats Stats;
+  /// Commit transport the run used ("pipe" / "ring"), carried into the
+  /// --json report. "n/a" for thread-based engines with no fork transport.
+  std::string Transport = "n/a";
 };
 
 /// A named speedup series (one line of a paper figure).

@@ -17,12 +17,17 @@
 #include "memory/AlterAllocator.h"
 #include "memory/WriteLog.h"
 #include "runtime/Annotation.h"
+#include "runtime/CommitRing.h"
 #include "runtime/ConflictDetector.h"
 #include "runtime/LockstepExecutor.h"
+#include "runtime/PipelineExecutor.h"
 #include "runtime/TxnContext.h"
 
 #include <benchmark/benchmark.h>
 
+#include <cerrno>
+#include <sys/wait.h>
+#include <unistd.h>
 #include <vector>
 
 using namespace alter;
@@ -250,6 +255,104 @@ static void BM_LockstepRoundOverhead(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_LockstepRoundOverhead);
+
+//===----------------------------------------------------------------------===
+// Commit transport: cold fork+pipe vs warm fork+ring (the BENCH_transport
+// baseline — run with --benchmark_filter=Transport|ColdFork|RingPush and
+// --benchmark_out=BENCH_transport.json --benchmark_out_format=json)
+//===----------------------------------------------------------------------===
+
+static void BM_ColdForkReap(benchmark::State &State) {
+  // The floor the warm pool amortizes away from the parent's critical
+  // path: one fork() of this full process plus the reap.
+  for (auto _ : State) {
+    const pid_t Pid = ::fork();
+    if (Pid == 0)
+      ::_exit(0);
+    int Status = 0;
+    while (::waitpid(Pid, &Status, 0) < 0 && errno == EINTR)
+      ;
+    benchmark::DoNotOptimize(Status);
+  }
+}
+BENCHMARK(BM_ColdForkReap);
+
+static void BM_RingPushDrain(benchmark::State &State) {
+  // Raw SPSC ring throughput for one commit-record-sized message,
+  // producer and consumer in the same thread (no fork, no doorbell): the
+  // shared-memory copy cost that replaces the kernel pipe copy.
+  CommitRing Ring(CommitRing::DefaultCapacity);
+  const std::vector<uint8_t> Msg(static_cast<size_t>(State.range(0)), 0x5a);
+  std::vector<uint8_t> Out;
+  Out.reserve(Msg.size());
+  for (auto _ : State) {
+    size_t Off = 0;
+    while (Off != Msg.size()) {
+      Off += Ring.pushSome(Msg.data() + Off, Msg.size() - Off);
+      Ring.drainInto(Out);
+    }
+    Out.clear();
+  }
+  State.SetBytesProcessed(State.iterations() *
+                          static_cast<int64_t>(Msg.size()));
+}
+BENCHMARK(BM_RingPushDrain)->Arg(1 << 10)->Arg(64 << 10)->Arg(1 << 20);
+
+namespace {
+
+/// End-to-end per-chunk transport cost: a disjoint loop whose bodies do a
+/// few hundred ns of work, run through the pipelined fork engine, so the
+/// measured time is dominated by fork + commit shipping. The per-chunk
+/// commit message stays small (ChunkFactor * 8 word-keyed doubles), the
+/// regime where process setup, not payload, is the cost.
+void runChunkTransport(benchmark::State &State, TransportKind Transport) {
+  constexpr int64_t NumIters = 96;
+  constexpr size_t DoublesPerIter = 8;
+  std::vector<double> Data(NumIters * DoublesPerIter);
+  LoopSpec Spec;
+  Spec.NumIterations = NumIters;
+  Spec.Body = [&Data](TxnContext &Ctx, int64_t I) {
+    const size_t Base = static_cast<size_t>(I) * DoublesPerIter;
+    for (size_t K = 0; K != DoublesPerIter; ++K)
+      Ctx.store(&Data[Base + K], static_cast<double>(I + 1));
+  };
+  ExecutorConfig Config;
+  Config.NumWorkers = 2;
+  Config.Params.Conflict = ConflictPolicy::WAW;
+  Config.Params.ChunkFactor = State.range(0);
+  Config.Transport = Transport;
+  uint64_t Chunks = 0, BytesCopied = 0, Warm = 0, Cold = 0;
+  for (auto _ : State) {
+    PipelineExecutor Exec(Config);
+    const RunResult R = Exec.run(Spec);
+    if (R.Status != RunStatus::Success)
+      State.SkipWithError("transport loop failed");
+    Chunks += R.Stats.WarmForks + R.Stats.ColdForks;
+    BytesCopied += R.Stats.WireBytesCopied;
+    Warm += R.Stats.WarmForks;
+    Cold += R.Stats.ColdForks;
+  }
+  // items/s is chunks/s; its inverse is the headline ns-per-chunk.
+  State.SetItemsProcessed(static_cast<int64_t>(Chunks));
+  State.counters["bytes_copied_per_chunk"] =
+      Chunks ? static_cast<double>(BytesCopied) / static_cast<double>(Chunks)
+             : 0.0;
+  State.counters["warm_fork_rate"] =
+      Chunks ? static_cast<double>(Warm) / static_cast<double>(Warm + Cold)
+             : 0.0;
+}
+
+} // namespace
+
+static void BM_TransportColdForkPipe(benchmark::State &State) {
+  runChunkTransport(State, TransportKind::Pipe);
+}
+BENCHMARK(BM_TransportColdForkPipe)->Arg(1)->Arg(4)->Arg(16);
+
+static void BM_TransportWarmForkRing(benchmark::State &State) {
+  runChunkTransport(State, TransportKind::Ring);
+}
+BENCHMARK(BM_TransportWarmForkRing)->Arg(1)->Arg(4)->Arg(16);
 
 static void BM_AnnotationParse(benchmark::State &State) {
   for (auto _ : State)

@@ -34,6 +34,15 @@
 /// (salvaged_chunks>0, recovered=false — no sequential iterations at
 /// all). Both regimes must still reproduce the exact sequential output.
 ///
+/// The transport A/B section reruns the loop in a small-chunk regime
+/// (many chunks, little work per chunk, no latency windows) where
+/// per-chunk process setup and commit copies — not speculation — dominate,
+/// once per TransportKind: the legacy cold-fork+pipe path against the warm
+/// worker pool with shared-memory commit rings. The JSON report carries
+/// `transport`, `warm_forks`, `cold_forks`, `template_refreshes`, and
+/// `wire_bytes_copied` for every row so pool hit-rate regressions are
+/// visible, not just wall clock.
+///
 /// With --trace <file> the pipelined run at the highest processor count is
 /// traced at TraceLevel::Events and exported as Chrome trace-event JSON
 /// (one track per worker slot), with the conflict-attribution summary on
@@ -75,9 +84,17 @@ struct StragglerLoop {
   /// validated Out array, so the memcmp against the sequential reference is
   /// unaffected by retry-order nondeterminism.
   bool Contend = false;
+  /// Transport A/B regime: every chunk additionally range-reads this many
+  /// doubles from a shared read-only window (a lookup table shared by all
+  /// iterations — the read-mostly/small-write shape). The reads never
+  /// conflict, but each commit then ships and validates a large read set,
+  /// which is exactly the parent-side work the warm pool overlaps with the
+  /// template's forking and the cold-fork path serializes behind fork().
+  size_t ReadWindowDoubles = 0;
 
   std::vector<double> In;
   std::vector<double> Out;
+  std::vector<double> Window;
   double Shared = 0.0;
 
   void reset() {
@@ -86,6 +103,9 @@ struct StragglerLoop {
     for (size_t I = 0; I != In.size(); ++I)
       In[I] = 1.0 + static_cast<double>(I % 97);
     Shared = 0.0;
+    Window.assign(ReadWindowDoubles, 0.0);
+    for (size_t I = 0; I != Window.size(); ++I)
+      Window[I] = static_cast<double>(I % 13);
     traceLabelRegion(In.data(), In.size() * sizeof(double), "straggler.in");
     traceLabelRegion(Out.data(), Out.size() * sizeof(double),
                      "straggler.out");
@@ -98,6 +118,14 @@ struct StragglerLoop {
     LoopSpec Spec;
     Spec.NumIterations = NumChunks;
     Spec.Body = [this](TxnContext &Ctx, int64_t C) {
+      if (!Window.empty()) {
+        // The shared lookup window: range-instrumented, so the child's
+        // tracking stays cheap but the commit record carries the full
+        // read set for the parent to decode and validate.
+        thread_local std::vector<double> Scratch;
+        Scratch.resize(Window.size());
+        Ctx.readRange(Window.data(), Window.size(), Scratch.data());
+      }
       const size_t Base = static_cast<size_t>(C) * SliceDoubles;
       for (size_t I = 0; I != SliceDoubles; ++I) {
         double V = Ctx.load(&In[Base + I]);
@@ -133,7 +161,7 @@ struct StragglerLoop {
 };
 
 SweepPoint measure(StragglerLoop &Loop, Executor &Exec, unsigned P,
-                   const std::vector<double> &Ref,
+                   TransportKind Transport, const std::vector<double> &Ref,
                    RunResult *TraceOut = nullptr) {
   Loop.reset();
   LoopSpec Spec = Loop.spec();
@@ -153,6 +181,7 @@ SweepPoint measure(StragglerLoop &Loop, Executor &Exec, unsigned P,
   Point.RetryRate = R.Stats.retryRate();
   Point.ChunkFactorUsed = R.ChunkFactorUsed;
   Point.Stats = R.Stats;
+  Point.Transport = transportKindName(Transport);
   return Point;
 }
 
@@ -207,6 +236,7 @@ SweepPoint measureRecovering(StragglerLoop &Loop, ParallelEngine Engine,
   Point.RetryRate = R.Stats.retryRate();
   Point.ChunkFactorUsed = R.ChunkFactorUsed;
   Point.Stats = R.Stats;
+  Point.Transport = transportKindName(Config.Transport);
   return Point;
 }
 
@@ -281,11 +311,11 @@ int main(int argc, char **argv) {
     Config.Params = Params;
 
     ForkJoinExecutor Rounds(Config);
-    const SweepPoint Fj = measure(Loop, Rounds, P, Ref);
+    const SweepPoint Fj = measure(Loop, Rounds, P, Config.Transport, Ref);
     addRow(P, "forkjoin", Fj);
     PipelineExecutor Pipe(Config);
     // Procs ascends, so the kept trace is the highest-P pipelined run.
-    const SweepPoint Pl = measure(Loop, Pipe, P, Ref,
+    const SweepPoint Pl = measure(Loop, Pipe, P, Config.Transport, Ref,
                                   traceRequested() ? &Traced : nullptr);
     addRow(P, "pipeline", Pl);
 
@@ -342,6 +372,83 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(
                     SalvagePipe4.Stats.SalvagedChunks));
   }
+  // Transport A/B in the small-chunk regime: many chunks, a few hundred ns
+  // of work each, no latency windows — so per-chunk fork()+pipe transport,
+  // not speculation, is what the wall clock measures. This is where the
+  // warm pool has to earn its keep: >90% warm forks and ~0 wire bytes
+  // copied, and a faster wall clock than the cold-fork+pipe path at P=4.
+  StragglerLoop Small;
+  Small.NumChunks = Quick ? 128 : 256;
+  Small.SliceDoubles = 16;
+  Small.WorkPerElement = 4;
+  Small.StragglerNs = 0;
+  Small.ReadWindowDoubles = 1024; // 8 KiB shared lookup table
+  Small.reset();
+  const std::vector<double> SmallRef = Small.reference();
+
+  std::printf("\ntransport A/B, small-chunk regime (%lld chunks x %zu "
+              "doubles, no straggler windows):\n",
+              static_cast<long long>(Small.NumChunks), Small.SliceDoubles);
+  TextTable SmallTable({"procs", "engine", "transport", "wall ms",
+                        "warm forks", "reuses", "cold forks", "refreshes",
+                        "copied KiB"});
+  double SmallPipe4 = 0.0, SmallRing4 = 0.0, RingWarmRate4 = 0.0;
+  uint64_t RingCopied4 = 0, PipeCopied4 = 0, RingReuses4 = 0;
+  for (unsigned P : Procs) {
+    for (TransportKind T : {TransportKind::Pipe, TransportKind::Ring}) {
+      ExecutorConfig Config;
+      Config.NumWorkers = P;
+      Config.Params = Params;
+      Config.Transport = T;
+      for (const char *Engine : {"forkjoin", "pipeline"}) {
+        SweepPoint Pt;
+        if (std::string(Engine) == "forkjoin") {
+          ForkJoinExecutor Exec(Config);
+          Pt = measure(Small, Exec, P, T, SmallRef);
+        } else {
+          PipelineExecutor Exec(Config);
+          Pt = measure(Small, Exec, P, T, SmallRef);
+        }
+        const RunStats &S = Pt.Stats;
+        SmallTable.addRow(
+            {strprintf("%u", P), Engine, transportKindName(T),
+             strprintf("%.2f", S.RealTimeNs / 1e6),
+             strprintf("%llu", static_cast<unsigned long long>(S.WarmForks)),
+             strprintf("%llu",
+                       static_cast<unsigned long long>(S.ChildReuses)),
+             strprintf("%llu", static_cast<unsigned long long>(S.ColdForks)),
+             strprintf("%llu",
+                       static_cast<unsigned long long>(S.TemplateRefreshes)),
+             strprintf("%.1f", S.WireBytesCopied / 1024.0)});
+        jsonAddPoint("pipeline_vs_rounds",
+                     std::string(Engine) + "-small-" + transportKindName(T),
+                     Pt);
+        if (P == 4 && std::string(Engine) == "pipeline") {
+          if (T == TransportKind::Ring) {
+            SmallRing4 = S.RealTimeNs / 1e6;
+            RingWarmRate4 = S.warmForkRate();
+            RingCopied4 = S.WireBytesCopied;
+            RingReuses4 = S.ChildReuses;
+          } else {
+            SmallPipe4 = S.RealTimeNs / 1e6;
+            PipeCopied4 = S.WireBytesCopied;
+          }
+        }
+      }
+    }
+  }
+  SmallTable.printText();
+  if (SmallPipe4 > 0.0)
+    std::printf("\nat 4 workers (pipeline, small chunks): ring %.2fms vs "
+                "pipe %.2fms (%.2fx), warm-fork rate %.1f%%, %llu fork-free "
+                "redispatches, wire bytes copied %llu vs %llu\n",
+                SmallRing4, SmallPipe4,
+                SmallPipe4 / (SmallRing4 > 0 ? SmallRing4 : 1),
+                100.0 * RingWarmRate4,
+                static_cast<unsigned long long>(RingReuses4),
+                static_cast<unsigned long long>(RingCopied4),
+                static_cast<unsigned long long>(PipeCopied4));
+
   maybeWriteTraceReport(Traced);
   finalizeBenchJson();
   return 0;

@@ -5,6 +5,7 @@
 #        scripts/check.sh --sanitize [build-dir]
 #        scripts/check.sh --trace [build-dir]
 #        scripts/check.sh --fault [build-dir]
+#        scripts/check.sh --pool [build-dir]
 #
 # Configures, builds, runs the full ctest suite, then smoke-runs the
 # straggler micro-benchmark (--quick, with --fault so the recovery path is
@@ -27,6 +28,13 @@
 # bench JSON asserting sticky faults quarantine (recovered=true,
 # quarantined_iterations>0) while transient faults salvage speculatively
 # (salvaged_chunks>0, recovered=false).
+#
+# With --pool the sequence additionally exercises the steady-state
+# transport: the ring/pool/transport test filters, a ring-corruption
+# ALTER_FAULTS plan driven end to end with ALTER_TRANSPORT=ring, and a
+# validation pass over the bench JSON asserting the ring transport copies
+# orders of magnitude fewer wire bytes than the pipe and actually reaches
+# the fork-free steady state (child_reuses > 0 on the pipelined engine).
 
 set -euo pipefail
 
@@ -35,11 +43,13 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 SANITIZE=0
 TRACE=0
 FAULT=0
+POOL=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
   --sanitize) SANITIZE=1 ;;
   --trace) TRACE=1 ;;
   --fault) FAULT=1 ;;
+  --pool) POOL=1 ;;
   *)
     echo "check.sh: unknown flag $1" >&2
     exit 2
@@ -151,6 +161,56 @@ print(f"fault JSON OK: {len(fault)} quarantine + {len(salvage)} salvage runs")
 EOF
 }
 
+pool_stage() { # pool_stage <build-dir>
+  local DIR="$1"
+
+  echo "== pool smoke: ring + pool + transport tests ($DIR) =="
+  "$DIR/tests/commit_ring_test" --gtest_brief=1
+  "$DIR/tests/pipeline_executor_test" --gtest_filter='TransportTest.*' \
+    --gtest_brief=1
+  "$DIR/tests/robustness_test" --gtest_filter='PoolFaultMatrixTest.*' \
+    --gtest_brief=1
+
+  echo "== pool smoke: ring-corruption env plan on ALTER_TRANSPORT=ring ($DIR) =="
+  # A torn ring record (truncate), a bit-flipped one, and a poisoned
+  # template in the same run: the checked decode rejects the corrupt
+  # records, the pool degrades the poisoned fork to cold, and the output
+  # must still equal sequential execution.
+  ALTER_TRANSPORT=ring ALTER_FAULTS='truncate@1,bitflip@2,poison@3;seed=5' \
+    "$DIR/tests/robustness_test" \
+    --gtest_filter='DegradationLadderTest.EnvPlanCompletesWithSequentialOutput' \
+    --gtest_brief=1
+
+  echo "== pool smoke: transport counters in the bench JSON ($DIR) =="
+  python3 - "$DIR/pipeline_vs_rounds.quick.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    records = json.load(f)["records"]
+small = [r for r in records if "-small-" in r["series"]]
+assert small, "bench JSON is missing the small-chunk transport A/B"
+by_series = {}
+for r in small:
+    by_series.setdefault(r["series"], {})[r["procs"]] = r
+for engine in ("forkjoin", "pipeline"):
+    ring = by_series[f"{engine}-small-ring"]
+    pipe = by_series[f"{engine}-small-pipe"]
+    for procs, rr in ring.items():
+        pr = pipe[procs]
+        assert rr["transport"] == "ring" and pr["transport"] == "pipe"
+        assert rr["warm_forks"] > 0, f"{engine}/P{procs}: pool never warmed"
+        assert rr["wire_bytes_copied"] * 10 < pr["wire_bytes_copied"], (
+            f"{engine}/P{procs}: ring must copy only doorbells, got "
+            f"{rr['wire_bytes_copied']} vs pipe {pr['wire_bytes_copied']}")
+reuse = by_series["pipeline-small-ring"][4]
+assert reuse["child_reuses"] > 0, \
+    "the pipelined engine must reach the fork-free steady state at P=4"
+assert by_series["forkjoin-small-ring"][4]["child_reuses"] == 0, \
+    "the round-barrier engine must never redispatch a resident child"
+print(f"transport JSON OK: {len(small)} A/B runs, "
+      f"{reuse['child_reuses']} fork-free redispatches at P=4")
+EOF
+}
+
 run_stage "$BUILD_DIR"
 
 if [[ "$TRACE" == 1 ]]; then
@@ -159,6 +219,10 @@ fi
 
 if [[ "$FAULT" == 1 ]]; then
   fault_stage "$BUILD_DIR"
+fi
+
+if [[ "$POOL" == 1 ]]; then
+  pool_stage "$BUILD_DIR"
 fi
 
 if [[ "$SANITIZE" == 1 ]]; then

@@ -1,0 +1,93 @@
+//===- runtime/CommitRing.cpp ---------------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CommitRing.h"
+
+#include "support/Error.h"
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <sys/mman.h>
+#include <unistd.h>
+
+using namespace alter;
+
+namespace {
+
+size_t roundUpPow2(size_t V) {
+  size_t P = 1;
+  while (P < V)
+    P <<= 1;
+  return P;
+}
+
+} // namespace
+
+CommitRing::CommitRing(size_t CapacityBytes) {
+  const size_t Page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  Cap = roundUpPow2(CapacityBytes < Page ? Page : CapacityBytes);
+  MapBytes = sizeof(Header) + Cap;
+  void *Mem = ::mmap(nullptr, MapBytes, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (Mem == MAP_FAILED)
+    fatalError("CommitRing: mmap failed");
+  Hdr = new (Mem) Header;
+  Hdr->Head.store(0, std::memory_order_relaxed);
+  Hdr->Tail.store(0, std::memory_order_relaxed);
+  Data = static_cast<uint8_t *>(Mem) + sizeof(Header);
+}
+
+CommitRing::~CommitRing() {
+  if (Hdr)
+    ::munmap(Hdr, MapBytes);
+}
+
+size_t CommitRing::pushSome(const uint8_t *Src, size_t Size) {
+  const uint64_t Head = Hdr->Head.load(std::memory_order_relaxed);
+  const uint64_t Tail = Hdr->Tail.load(std::memory_order_acquire);
+  const size_t Free = Cap - static_cast<size_t>(Head - Tail);
+  const size_t N = Size < Free ? Size : Free;
+  if (N == 0)
+    return 0;
+  const size_t Pos = static_cast<size_t>(Head) & (Cap - 1);
+  const size_t FirstPart = N < Cap - Pos ? N : Cap - Pos;
+  std::memcpy(Data + Pos, Src, FirstPart);
+  std::memcpy(Data, Src + FirstPart, N - FirstPart);
+  Hdr->Head.store(Head + N, std::memory_order_release);
+  return N;
+}
+
+size_t CommitRing::drainInto(std::vector<uint8_t> &Out) {
+  const uint64_t Tail = Hdr->Tail.load(std::memory_order_relaxed);
+  const uint64_t Head = Hdr->Head.load(std::memory_order_acquire);
+  const size_t N = static_cast<size_t>(Head - Tail);
+  if (N == 0)
+    return 0;
+  const size_t Pos = static_cast<size_t>(Tail) & (Cap - 1);
+  const size_t FirstPart = N < Cap - Pos ? N : Cap - Pos;
+  Out.insert(Out.end(), Data + Pos, Data + Pos + FirstPart);
+  Out.insert(Out.end(), Data, Data + (N - FirstPart));
+  Hdr->Tail.store(Tail + N, std::memory_order_release);
+  return N;
+}
+
+size_t CommitRing::used() const {
+  const uint64_t Tail = Hdr->Tail.load(std::memory_order_relaxed);
+  const uint64_t Head = Hdr->Head.load(std::memory_order_acquire);
+  return static_cast<size_t>(Head - Tail);
+}
+
+void CommitRing::reset() {
+  Hdr->Head.store(0, std::memory_order_relaxed);
+  Hdr->Tail.store(0, std::memory_order_relaxed);
+}
+
+void CommitRing::backoff() {
+  timespec Ts{0, 50'000}; // 50us: the parent drains on the next poll wake
+  while (::nanosleep(&Ts, &Ts) != 0 && errno == EINTR)
+    ;
+}

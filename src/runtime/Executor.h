@@ -37,6 +37,30 @@ namespace alter {
 
 class AlterAllocator;
 
+/// Child->parent commit transport used by the fork engines.
+enum class TransportKind : uint8_t {
+  /// Legacy per-chunk transport: every chunk forks a fresh child from the
+  /// full parent and ships its commit message through a pipe. Kept
+  /// config-selectable for A/B benchmarking and as the fallback when the
+  /// warm pool is unavailable.
+  Pipe,
+  /// Steady-state transport: children re-fork from a resident warm
+  /// template (WorkerPool) and publish commit records into per-slot
+  /// shared-memory rings (CommitRing); only 1-byte doorbells cross a pipe.
+  Ring,
+};
+
+/// Returns "pipe" or "ring".
+const char *transportKindName(TransportKind Kind);
+
+/// Process-default transport: TransportKind::Ring unless the
+/// ALTER_TRANSPORT environment variable ("pipe" / "ring") says otherwise.
+/// Read once on first use; defined in WorkerPool.cpp.
+TransportKind globalTransportKind();
+
+/// Overrides the process default (tests and benches).
+void setGlobalTransportKind(TransportKind Kind);
+
 /// Configuration shared by the parallel executors.
 struct ExecutorConfig {
   /// Number of worker processes N (paper §4.1's fork–join width).
@@ -88,6 +112,42 @@ struct ExecutorConfig {
 
   /// Seed for the deterministic backoff jitter.
   uint64_t SalvageSeed = 0x53414c56; // "SALV"
+
+  //===--------------------------------------------------------------------===
+  // Steady-state transport (WorkerPool + CommitRing)
+  //===--------------------------------------------------------------------===
+
+  /// Commit transport for the fork engines. Ring runs chunks from the warm
+  /// worker pool and ships commits through shared-memory rings; Pipe is
+  /// the fork-per-chunk fallback. Defaults to the ALTER_TRANSPORT-derived
+  /// process default at config construction.
+  TransportKind Transport = globalTransportKind();
+
+  /// Data capacity of each worker slot's commit ring (rounded up to a
+  /// power of two). Messages larger than the ring still ship — the child
+  /// publishes in pieces under backpressure — this only sizes the fast
+  /// path.
+  size_t RingBytesPerSlot = 1 << 20;
+
+  /// Retire and respawn the warm template after this many commits have
+  /// been streamed to it (0 = never refresh). A refresh re-snapshots the
+  /// template from the parent wholesale, bounding drift if incremental
+  /// commit replay ever diverges; it waits for a moment with no warm child
+  /// in flight, so the old template can still reap its children.
+  unsigned TemplateRefreshCommits = 0;
+
+  /// Fork-free steady state (pipeline engine only): after a slot's chunk
+  /// commits, dispatch the next chunk to the SAME resident child over the
+  /// slot's work pipe instead of re-forking — the child's memory is the
+  /// fork-time snapshot plus its own committed writes, so validating its
+  /// reads against every commit since the original fork (the slot keeps
+  /// its fork-time SnapshotSeq) stays sound; it merely aborts more often
+  /// as the snapshot ages. This caps consecutive reuses per child, so the
+  /// snapshot lag — and the conflict-epoch history the detector must
+  /// retain — stays bounded. 0 disables reuse (every chunk re-forks from
+  /// the warm template). The round-based ForkJoin engine never reuses:
+  /// its round-local validation cannot see commits older than the round.
+  unsigned MaxChildReuse = 64;
 
   /// Kernel-enforced caps applied inside each forked chunk via setrlimit:
   /// CPU seconds (RLIMIT_CPU — a busy-spinning child is killed by SIGXCPU

@@ -9,6 +9,7 @@
 #include "runtime/ConflictDetector.h"
 #include "runtime/TraceSink.h"
 #include "runtime/TxnWire.h"
+#include "runtime/WorkerPool.h"
 #include "support/FaultInjection.h"
 #include "support/Format.h"
 #include "support/Subprocess.h"
@@ -36,10 +37,7 @@ constexpr uint64_t MinStallGraceNs = 250'000'000; // 250ms
 
 /// Parent-side state for one forked chunk of the round.
 struct RoundSlot {
-  pid_t Pid = -1;
-  int Fd = -1;
-  std::vector<uint8_t> Buf;
-  bool Open = false;       // read end not yet at EOF
+  ChunkChannel Ch;         // transport-agnostic child channel
   bool ForkFailed = false; // pipe()/fork() (or injected ForkFail) failed
 };
 
@@ -69,6 +67,15 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
   std::unordered_map<int64_t, unsigned> FaultCounts;
   ConflictDetector Detector(Config.Params.Conflict);
   TraceSink Sink(Config.Trace);
+  // Steady-state transport: the warm template + per-slot commit rings.
+  // Pool faults degrade individual forks to the cold pipe path below.
+  std::unique_ptr<WorkerPool> Pool;
+  if (Config.Transport == TransportKind::Ring)
+    // No child reuse here: round-local validation (resetRound +
+    // hasConflict) cannot see commits older than the current round, which
+    // a reused child's snapshot would predate. Every chunk re-forks warm.
+    Pool = std::make_unique<WorkerPool>(Spec, Config, P,
+                                        /*AllowReuse=*/false);
   const uint64_t RealStart = nowNs();
 
   // Real-time stall deadline: children run on real CPUs, so the 10x rule
@@ -91,6 +98,11 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
     Result.Stats.BloomChecks = Detector.bloomChecks();
     Result.Stats.BloomSkips = Detector.bloomSkips();
     Result.Stats.BloomFalsePositives = Detector.bloomFalsePositives();
+    if (Pool) {
+      Result.Stats.TemplateRefreshes = Pool->templateRefreshes();
+      Result.Stats.PoolFaults = Pool->poolFaults();
+      Result.Stats.ChildReuses = Pool->childReuses();
+    }
     Sink.finish(Result);
     return Result;
   };
@@ -124,36 +136,24 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
         Slots[W].ForkFailed = true;
         continue;
       }
-      int Fds[2];
-      if (::pipe(Fds) != 0) {
+      // Cold children must not inherit the other in-flight pipe read ends.
+      std::vector<int> CloseInChild;
+      for (unsigned Prev = 0; Prev != W; ++Prev)
+        if (Slots[Prev].Ch.Launched && !Slots[Prev].Ch.Warm)
+          CloseInChild.push_back(Slots[Prev].Ch.PollFd);
+      if (!spawnChunkChild(Spec, Config, Pool.get(), W, Chunk, First, Last,
+                           Fault, CloseInChild, Slots[W].Ch)) {
         Slots[W].ForkFailed = true;
         continue;
       }
-      const pid_t Pid = ::fork();
-      if (Pid < 0) {
-        ::close(Fds[0]);
-        ::close(Fds[1]);
-        Slots[W].ForkFailed = true;
-        continue;
-      }
-      if (Pid == 0) {
-        ::close(Fds[0]);
-        // Close previously opened parent-side read ends inherited by this
-        // child so EOF semantics stay clean.
-        for (unsigned Prev = 0; Prev != W; ++Prev)
-          if (Slots[Prev].Fd >= 0)
-            ::close(Slots[Prev].Fd);
-        runWireChild(Spec, Config, /*Worker=*/W + 1, Chunk, First, Last,
-                     Fds[1], Fault);
-        // runWireChild never returns.
-      }
-      ::close(Fds[1]);
-      Slots[W].Pid = Pid;
-      Slots[W].Fd = Fds[0];
-      Slots[W].Open = true;
+      if (Slots[W].Ch.Warm)
+        ++Result.Stats.WarmForks;
+      else
+        ++Result.Stats.ColdForks;
       if (Sink.events())
         Sink.event(TraceEventKind::Fork, /*Worker=*/0, Chunk, traceNowNs(),
-                   0, /*Arg0=*/W + 1);
+                   0, /*Arg0=*/W + 1,
+                   /*Arg1=*/Slots[W].Ch.Warm ? 1 : 0);
     }
 
     // Join: drain every pipe concurrently under the stall deadline. A
@@ -164,8 +164,8 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
       std::vector<pollfd> Pfds;
       std::vector<unsigned> PfdSlot;
       for (unsigned W = 0; W != RoundSize; ++W)
-        if (Slots[W].Open) {
-          Pfds.push_back({Slots[W].Fd, POLLIN, 0});
+        if (Slots[W].Ch.Launched && !Slots[W].Ch.Done) {
+          Pfds.push_back({Slots[W].Ch.PollFd, POLLIN, 0});
           PfdSlot.push_back(W);
         }
       if (Pfds.empty())
@@ -194,30 +194,15 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
         if (RealDeadline != 0 && nowNs() >= RealDeadline)
           TimedOut = true;
         for (unsigned W = 0; W != RoundSize; ++W)
-          if (Slots[W].Open && Slots[W].Pid > 0)
-            ::kill(Slots[W].Pid, SIGKILL);
+          if (Slots[W].Ch.Launched && !Slots[W].Ch.Done)
+            killChunkChild(Pool.get(), W, Slots[W].Ch);
         RealDeadline = 0;
         continue;
       }
       for (size_t I = 0; I != Pfds.size(); ++I) {
         if (!(Pfds[I].revents & (POLLIN | POLLHUP | POLLERR)))
           continue;
-        RoundSlot &S = Slots[PfdSlot[I]];
-        uint8_t Buf[1 << 16];
-        const ssize_t R = ::read(S.Fd, Buf, sizeof(Buf));
-        if (R < 0) {
-          if (errno == EINTR)
-            continue;
-          ::close(S.Fd); // hard error == truncation; the frame check
-          S.Open = false; // rejects whatever arrived
-          continue;
-        }
-        if (R == 0) {
-          ::close(S.Fd);
-          S.Open = false;
-          continue;
-        }
-        S.Buf.insert(S.Buf.end(), Buf, Buf + R);
+        pumpChunkChannel(Pool.get(), PfdSlot[I], Slots[PfdSlot[I]].Ch);
       }
     }
 
@@ -233,20 +218,30 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
         FailWhy[W] = "fork/pipe failure";
         continue;
       }
-      int Status = 0;
-      if (waitpidRetry(S.Pid, &Status) < 0) {
-        ++Result.Stats.NumChildCrashes;
-        FailWhy[W] = "waitpid failure";
-        continue;
-      }
-      if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0) {
-        ++Result.Stats.NumChildCrashes;
-        FailWhy[W] =
-            strprintf("terminated abnormally (status 0x%x)", Status);
-        continue;
+      Result.Stats.WireBytesCopied += S.Ch.BytesCopied;
+      if (S.Ch.Warm) {
+        // The template reaped the child; its doorbell carried the verdict.
+        if (S.Ch.Abnormal) {
+          ++Result.Stats.NumChildCrashes;
+          FailWhy[W] = "pooled child terminated abnormally";
+          continue;
+        }
+      } else {
+        int Status = 0;
+        if (waitpidRetry(S.Ch.DirectPid, &Status) < 0) {
+          ++Result.Stats.NumChildCrashes;
+          FailWhy[W] = "waitpid failure";
+          continue;
+        }
+        if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0) {
+          ++Result.Stats.NumChildCrashes;
+          FailWhy[W] =
+              strprintf("terminated abnormally (status 0x%x)", Status);
+          continue;
+        }
       }
       std::string Error;
-      if (!decodeChildReport(S.Buf, Spec, Config.Params, Reports[W],
+      if (!decodeChildReport(S.Ch.Buf, Spec, Config.Params, Reports[W],
                              Error)) {
         ++Result.Stats.NumWireRejects;
         FailWhy[W] = "rejected commit message: " + Error;
@@ -354,6 +349,10 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
           TxnContext::commitReductionSlot(Spec.Reductions[I], Rep.Slots[I]);
       if (Config.Allocator)
         Config.Allocator->advanceBump(W + 1, Rep.BumpOffset);
+      // Stream the commit to the warm template at the exact point it is
+      // applied here, so later warm forks snapshot this state.
+      if (Pool)
+        Pool->pushCommit(W + 1, Chunk, Rep);
       Result.CommitOrder.push_back(Chunk);
       if (Sink.events())
         Sink.event(TraceEventKind::Commit, /*Worker=*/0, Chunk, traceNowNs(),

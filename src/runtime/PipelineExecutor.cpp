@@ -9,6 +9,7 @@
 #include "runtime/ConflictDetector.h"
 #include "runtime/TraceSink.h"
 #include "runtime/TxnWire.h"
+#include "runtime/WorkerPool.h"
 #include "support/FaultInjection.h"
 #include "support/Format.h"
 #include "support/Subprocess.h"
@@ -44,11 +45,15 @@ namespace {
 struct Slot {
   enum class State { Free, Running, Reserved };
   State St = State::Free;
-  pid_t Pid = -1;
-  int Fd = -1;
+  ChunkChannel Ch; // transport-agnostic child channel
   int64_t Chunk = -1;
   uint64_t SnapshotSeq = 0;
-  std::vector<uint8_t> Buf;
+  /// A warm child may still be resident in this slot (ring transport):
+  /// even while the slot is Free — between its chunk completing and the
+  /// next dispatch — the child's fork-time snapshot must hold back epoch
+  /// pruning, or a redispatch would validate against truncated history
+  /// and miss conflicts.
+  bool PinSnapshot = false;
 };
 
 /// A decoded report waiting for in-order retirement.
@@ -101,6 +106,14 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
 
   ConflictDetector Detector(Config.Params.Conflict);
   TraceSink Sink(Config.Trace);
+  // Steady-state transport: the warm template + per-slot commit rings.
+  // Pool faults degrade individual forks to the cold pipe path below.
+  std::unique_ptr<WorkerPool> Pool;
+  if (Config.Transport == TransportKind::Ring)
+    // The pipeline's per-slot snapshot validation makes child reuse sound
+    // here (unlike ForkJoin's round-local validation).
+    Pool = std::make_unique<WorkerPool>(Spec, Config, P,
+                                        /*AllowReuse=*/true);
   const uint64_t RealStart = nowNs();
 
   bool Crashed = false;
@@ -116,17 +129,28 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
     Result.Stats.BloomChecks = Detector.bloomChecks();
     Result.Stats.BloomSkips = Detector.bloomSkips();
     Result.Stats.BloomFalsePositives = Detector.bloomFalsePositives();
+    if (Pool) {
+      Result.Stats.TemplateRefreshes = Pool->templateRefreshes();
+      Result.Stats.PoolFaults = Pool->poolFaults();
+      Result.Stats.ChildReuses = Pool->childReuses();
+    }
     Sink.finish(Result);
   };
 
   auto killInFlight = [&] {
-    for (Slot &S : Slots) {
+    for (unsigned I = 0; I != P; ++I) {
+      Slot &S = Slots[I];
       if (S.St != Slot::State::Running)
         continue;
-      ::kill(S.Pid, SIGKILL);
-      ::close(S.Fd);
-      int Status = 0;
-      waitpidRetry(S.Pid, &Status);
+      killChunkChild(Pool.get(), I, S.Ch);
+      if (!S.Ch.Warm) {
+        if (S.Ch.PollFd >= 0)
+          ::close(S.Ch.PollFd);
+        int Status = 0;
+        waitpidRetry(S.Ch.DirectPid, &Status);
+      }
+      // Warm children are the template's to reap; the pool teardown (or
+      // the Kill command just sent) takes care of them.
       S.St = Slot::State::Free;
     }
   };
@@ -183,43 +207,45 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
       chunkFault(Chunk, "fork/pipe failure");
       return false;
     }
-    int Fds[2];
-    if (::pipe(Fds) != 0) {
+    // A cold fallback child inherits the other in-flight COLD read ends;
+    // close them in the child so their EOF semantics stay clean. (Warm
+    // slots poll pool-owned doorbells, which don't carry EOF.)
+    std::vector<int> CloseInChild;
+    for (const Slot &Other : Slots)
+      if (Other.St == Slot::State::Running && !Other.Ch.Warm)
+        CloseInChild.push_back(Other.Ch.PollFd);
+    if (!spawnChunkChild(Spec, Config, Pool.get(), SlotIdx, Chunk, First,
+                         Last, Fault, CloseInChild, S.Ch)) {
       ++Result.Stats.NumForkFailures;
       chunkFault(Chunk, "fork/pipe failure");
       return false;
     }
-    const pid_t Pid = ::fork();
-    if (Pid < 0) {
-      ::close(Fds[0]);
-      ::close(Fds[1]);
-      ++Result.Stats.NumForkFailures;
-      chunkFault(Chunk, "fork/pipe failure");
-      return false;
-    }
-    if (Pid == 0) {
-      ::close(Fds[0]);
-      // Close every other in-flight parent-side read end inherited by this
-      // child so their EOF semantics stay clean.
-      for (const Slot &Other : Slots)
-        if (Other.St == Slot::State::Running)
-          ::close(Other.Fd);
-      runWireChild(Spec, Config, /*Worker=*/SlotIdx + 1, Chunk, First, Last,
-                   Fds[1], Fault);
-      // runWireChild never returns.
-    }
-    ::close(Fds[1]);
+    if (S.Ch.Warm)
+      ++Result.Stats.WarmForks;
+    else
+      ++Result.Stats.ColdForks;
     if (Sink.events())
       Sink.event(TraceEventKind::Fork, /*Worker=*/0, Chunk, traceNowNs(), 0,
-                 /*Arg0=*/SlotIdx + 1);
+                 /*Arg0=*/SlotIdx + 1,
+                 /*Arg1=*/S.Ch.Reused ? 2 : S.Ch.Warm ? 1 : 0);
     S.St = Slot::State::Running;
-    S.Pid = Pid;
-    S.Fd = Fds[0];
     S.Chunk = Chunk;
-    // The child's COW snapshot reflects every commit applied so far; it
+    // The child's snapshot reflects every commit applied so far — a warm
+    // fork sees exactly the commits streamed to the template before the
+    // Fork command (FIFO), a cold fork sees the parent's memory; both
     // must validate against everything that commits after this point.
-    S.SnapshotSeq = Detector.commitSeq();
-    S.Buf.clear();
+    // A REUSED child is the exception: its memory still dates from its
+    // original fork (plus its own committed writes), so the slot keeps
+    // its fork-time SnapshotSeq and the chunk validates against every
+    // commit since then — older snapshot, more abort exposure, same
+    // soundness. (This also pins epoch pruning below that seq; the
+    // MaxChildReuse chain cap bounds how far it can lag.)
+    if (!S.Ch.Reused)
+      S.SnapshotSeq = Detector.commitSeq();
+    // Ring children stay resident after completion, so their snapshot
+    // must pin pruning across the slot's Free gaps; a cold child is gone
+    // once its record is in.
+    S.PinSnapshot = S.Ch.Warm;
     return true;
   };
 
@@ -256,7 +282,7 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
   auto pruneEpochs = [&] {
     uint64_t MinSnapshot = Detector.commitSeq();
     for (const Slot &S : Slots)
-      if (S.St == Slot::State::Running)
+      if (S.St == Slot::State::Running || S.PinSnapshot)
         MinSnapshot = std::min(MinSnapshot, S.SnapshotSeq);
     for (const auto &[Chunk, B] : Arrived)
       MinSnapshot = std::min(MinSnapshot, B.SnapshotSeq);
@@ -275,6 +301,10 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
         TxnContext::commitReductionSlot(Spec.Reductions[I], Rep.Slots[I]);
     if (Config.Allocator)
       Config.Allocator->advanceBump(SlotIdx + 1, Rep.BumpOffset);
+    // Mirror the commit into the warm template so later warm forks see
+    // it; the chunk id doubles as the reuse commit-gate for the slot.
+    if (Pool)
+      Pool->pushCommit(SlotIdx + 1, Chunk, Rep);
     Result.CommitOrder.push_back(Chunk);
     ++Committed;
     if (Sink.events())
@@ -332,33 +362,44 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
   // same chunk would overflow again on retry.
   auto completeSlot = [&](unsigned SlotIdx) {
     Slot &S = Slots[SlotIdx];
-    ::close(S.Fd);
-    int Status = 0;
-    if (waitpidRetry(S.Pid, &Status) < 0) {
-      ++Result.Stats.NumChildCrashes;
-      S.St = Slot::State::Free;
-      S.Buf.clear();
-      chunkFault(S.Chunk, "waitpid failure");
-      return;
-    }
-    if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0) {
-      ++Result.Stats.NumChildCrashes;
-      S.St = Slot::State::Free;
-      S.Buf.clear();
-      chunkFault(S.Chunk, strprintf("terminated abnormally (status 0x%x)",
-                                    Status));
-      return;
+    Result.Stats.WireBytesCopied += S.Ch.BytesCopied;
+    if (S.Ch.Warm) {
+      // The template reaped the child; its doorbell told us how it died.
+      if (S.Ch.Abnormal) {
+        ++Result.Stats.NumChildCrashes;
+        S.St = Slot::State::Free;
+        S.Ch.Buf.clear();
+        chunkFault(S.Chunk, "pooled child terminated abnormally");
+        return;
+      }
+    } else {
+      int Status = 0;
+      if (waitpidRetry(S.Ch.DirectPid, &Status) < 0) {
+        ++Result.Stats.NumChildCrashes;
+        S.St = Slot::State::Free;
+        S.Ch.Buf.clear();
+        chunkFault(S.Chunk, "waitpid failure");
+        return;
+      }
+      if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0) {
+        ++Result.Stats.NumChildCrashes;
+        S.St = Slot::State::Free;
+        S.Ch.Buf.clear();
+        chunkFault(S.Chunk, strprintf("terminated abnormally (status 0x%x)",
+                                      Status));
+        return;
+      }
     }
     ChildReport Rep;
     std::string Error;
-    if (!decodeChildReport(S.Buf, Spec, Config.Params, Rep, Error)) {
+    if (!decodeChildReport(S.Ch.Buf, Spec, Config.Params, Rep, Error)) {
       ++Result.Stats.NumWireRejects;
       S.St = Slot::State::Free;
-      S.Buf.clear();
+      S.Ch.Buf.clear();
       chunkFault(S.Chunk, "rejected commit message: " + Error);
       return;
     }
-    S.Buf.clear();
+    S.Ch.Buf.clear();
     if (Rep.LimitExceeded) {
       Crashed = true;
       Result.FailedChunk = S.Chunk;
@@ -424,7 +465,7 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
     for (unsigned I = 0; I != P; ++I) {
       if (Slots[I].St != Slot::State::Running)
         continue;
-      Fds.push_back({Slots[I].Fd, POLLIN, 0});
+      Fds.push_back({Slots[I].Ch.PollFd, POLLIN, 0});
       FdSlots.push_back(I);
     }
 
@@ -457,22 +498,14 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
         if (!(Fds[F].revents & (POLLIN | POLLHUP | POLLERR)))
           continue;
         Slot &S = Slots[FdSlots[F]];
-        uint8_t Buf[1 << 16];
-        const ssize_t N = ::read(S.Fd, Buf, sizeof(Buf));
-        if (N < 0) {
-          if (errno == EINTR)
-            continue;
-          // Hard read error: whatever arrived is all we get. completeSlot
-          // decodes the truncated buffer and rejects it via the frame
-          // check, containing the failure to this chunk.
-          completeSlot(FdSlots[F]);
-        } else if (N > 0) {
-          S.Buf.insert(S.Buf.end(), Buf, Buf + N);
+        // Pump whatever arrived (pipe bytes or ring records); when the
+        // record is complete — EOF on a cold pipe, a whole frame or a
+        // terminal doorbell on a warm ring — retire the slot. Truncated
+        // buffers are rejected by the decode inside completeSlot,
+        // containing the failure to this chunk.
+        if (!pumpChunkChannel(Pool.get(), FdSlots[F], S.Ch))
           continue;
-        } else {
-          // EOF: the whole commit message has arrived.
-          completeSlot(FdSlots[F]);
-        }
+        completeSlot(FdSlots[F]);
         if (Crashed) {
           killInFlight();
           Result.Status = RunStatus::Crash;

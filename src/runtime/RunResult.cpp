@@ -40,6 +40,12 @@ void RunStats::merge(const RunStats &Other) {
   BloomFalsePositives += Other.BloomFalsePositives;
   WireBytes += Other.WireBytes;
   WireBytesRaw += Other.WireBytesRaw;
+  WireBytesCopied += Other.WireBytesCopied;
+  WarmForks += Other.WarmForks;
+  ColdForks += Other.ColdForks;
+  ChildReuses += Other.ChildReuses;
+  TemplateRefreshes += Other.TemplateRefreshes;
+  PoolFaults += Other.PoolFaults;
   WorkerBusyNs += Other.WorkerBusyNs;
   WorkerSlotNs += Other.WorkerSlotNs;
   NumForkFailures += Other.NumForkFailures;

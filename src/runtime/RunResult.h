@@ -83,6 +83,33 @@ struct RunStats {
   /// Bytes the uncompressed wire format would have shipped for the same
   /// messages; WireBytes / WireBytesRaw is the compression ratio.
   uint64_t WireBytesRaw = 0;
+  /// Bytes that actually crossed a kernel pipe for commit transport. On
+  /// the Pipe transport this equals WireBytes (the whole message is
+  /// copied); on the Ring transport records travel through shared memory
+  /// and only the 1-byte doorbells are copied, so this is ~0.
+  uint64_t WireBytesCopied = 0;
+
+  //===--------------------------------------------------------------------===
+  // Warm worker pool (TransportKind::Ring steady state)
+  //===--------------------------------------------------------------------===
+
+  /// Chunks forked from the warm template process.
+  uint64_t WarmForks = 0;
+  /// Chunks forked cold from the full parent: every fork on the Pipe
+  /// transport, plus Ring-transport fallbacks when the pool was
+  /// unavailable.
+  uint64_t ColdForks = 0;
+  /// Chunks dispatched to an already-resident child with no fork at all
+  /// (the fork-free steady state; pipeline engine, Ring transport).
+  /// Counted inside WarmForks — a reuse is the warmest possible path.
+  uint64_t ChildReuses = 0;
+  /// Template retire/respawn cycles (TemplateRefreshCommits).
+  uint64_t TemplateRefreshes = 0;
+  /// Pool infrastructure faults absorbed without failing any chunk:
+  /// template spawn failures, a dead template discovered on use, and
+  /// injected TemplatePoison hits. Each degrades the affected forks to
+  /// the cold path.
+  uint64_t PoolFaults = 0;
 
   //===--------------------------------------------------------------------===
   // Worker occupancy (straggler accounting)
@@ -156,6 +183,15 @@ struct RunStats {
       return 1.0;
     return static_cast<double>(WireBytes) /
            static_cast<double>(WireBytesRaw);
+  }
+
+  /// Fraction of chunk forks served by the warm template (1.0 when every
+  /// chunk took the fast path; 0.0 on the Pipe transport).
+  double warmForkRate() const {
+    const uint64_t Total = WarmForks + ColdForks;
+    if (Total == 0)
+      return 0.0;
+    return static_cast<double>(WarmForks) / static_cast<double>(Total);
   }
 
   /// Fraction of commit attempts that failed (the paper flags > 50% as

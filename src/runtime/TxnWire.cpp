@@ -269,9 +269,20 @@ bool alter::deserializeAccessSet(const uint8_t *Data, size_t Size,
   return true;
 }
 
-void alter::runWireChild(const LoopSpec &Spec, const ExecutorConfig &Config,
-                         unsigned Worker, int64_t Chunk, int64_t FirstIter,
-                         int64_t LastIter, int Fd, const ArmedFault &Fault) {
+namespace {
+
+/// Child-side core shared by the pipe and ring transports: applies the
+/// rlimit caps, executes the chunk transactionally, serializes the framed
+/// ALTER4 message, and applies any armed wire-corruption or stall fault.
+/// The crash/kill faults raise inside, so this returns only on the report
+/// path. The assembled (possibly corrupted) message is ready to ship
+/// verbatim over either transport.
+std::vector<uint8_t> buildChildCommitMessage(const LoopSpec &Spec,
+                                             const ExecutorConfig &Config,
+                                             unsigned Worker, int64_t Chunk,
+                                             int64_t FirstIter,
+                                             int64_t LastIter,
+                                             const ArmedFault &Fault) {
   applyChildRlimits(Config);
   if (Fault.Armed && Fault.Kind == FaultKind::ChildCrash)
     ::raise(SIGSEGV); // the injected "buggy chunk" dies before any work
@@ -289,8 +300,10 @@ void alter::runWireChild(const LoopSpec &Spec, const ExecutorConfig &Config,
   const uint64_t T0 = nowNs();
   for (int64_t I = FirstIter; I != LastIter; ++I)
     Spec.Body(Ctx, I);
-  // The serialized log must carry the new values; this address space is
-  // discarded on exit, so no restore is needed.
+  // The serialized log must carry the new values. No restore is needed:
+  // this address space is either discarded on exit, or — when the parent
+  // redispatches this resident child — kept only after the chunk commits,
+  // at which point the written-through values ARE committed state.
   Ctx.captureRedo();
   const uint64_t WorkNs = nowNs() - T0;
   if (Trace.events())
@@ -393,9 +406,95 @@ void alter::runWireChild(const LoopSpec &Spec, const ExecutorConfig &Config,
       break; // parent-side kinds handled before fork
     }
   }
+  return std::move(Message);
+}
+
+} // namespace
+
+void alter::runWireChild(const LoopSpec &Spec, const ExecutorConfig &Config,
+                         unsigned Worker, int64_t Chunk, int64_t FirstIter,
+                         int64_t LastIter, int Fd, const ArmedFault &Fault) {
+  const std::vector<uint8_t> Message = buildChildCommitMessage(
+      Spec, Config, Worker, Chunk, FirstIter, LastIter, Fault);
   writeAllToPipe(Fd, Message.data(), Message.size());
   ::close(Fd);
   _exit(0);
+}
+
+void alter::runWireChildRing(const LoopSpec &Spec,
+                             const ExecutorConfig &Config, unsigned Worker,
+                             int64_t Chunk, int64_t FirstIter,
+                             int64_t LastIter, CommitRing &Ring,
+                             int DoorbellFd, uint8_t DoorbellTag, int WorkFd,
+                             const ArmedFault &Fault) {
+  const auto RingBell = [&](uint8_t Kind) {
+    // A failed doorbell write (parent gone) is unrecoverable but also
+    // unreportable; the template reaps us and the parent sees the frame.
+    const uint8_t Bell = Kind | (DoorbellTag & RingDoorbellTagMask);
+    ssize_t N;
+    do {
+      N = ::write(DoorbellFd, &Bell, 1);
+    } while (N < 0 && errno == EINTR);
+  };
+
+  ArmedFault F = Fault;
+  for (;;) {
+    const std::vector<uint8_t> Message = buildChildCommitMessage(
+        Spec, Config, Worker, Chunk, FirstIter, LastIter, F);
+    // Publish through shared memory; the doorbell after every accepted
+    // piece keeps the parent draining, so a message larger than the ring
+    // makes progress under backpressure instead of deadlocking.
+    Ring.pushAll(Message.data(), Message.size(),
+                 [&] { RingBell(RingDoorbellData); });
+    // Finish marks the record complete even when an injected truncation
+    // keeps the frame from looking whole — and it is this chunk's LAST
+    // doorbell, the invariant that lets the parent redispatch us under
+    // the same attempt tag with no stale bytes in flight.
+    RingBell(RingDoorbellFinish);
+    if (WorkFd < 0)
+      _exit(0);
+    // Fork-free steady state: stay resident and wait for the parent to
+    // hand us another chunk. Our memory is the fork-time snapshot plus
+    // this chunk's (written-through) values — the parent only redispatches
+    // if the chunk committed, making that memory a subset of committed
+    // state; otherwise it kills us and re-forks from the template.
+    WireNextCmd Cmd;
+    for (;;) {
+      uint8_t *P = reinterpret_cast<uint8_t *>(&Cmd);
+      size_t Need = sizeof(Cmd);
+      while (Need != 0) {
+        const ssize_t N = ::read(WorkFd, P, Need);
+        if (N < 0 && errno == EINTR)
+          continue;
+        if (N <= 0)
+          _exit(0); // EOF (pool teardown) or a hard error: we are done
+        P += N;
+        Need -= static_cast<size_t>(N);
+      }
+      // A command addressed to a dead predecessor (it died between the
+      // parent's dispatch write and its read) is stale: running it would
+      // re-execute a chunk the parent already completed via re-fork.
+      if ((Cmd.Tag & RingDoorbellTagMask) ==
+          (DoorbellTag & RingDoorbellTagMask))
+        break;
+    }
+    Chunk = Cmd.Chunk;
+    FirstIter = Cmd.First;
+    LastIter = Cmd.Last;
+    F = Cmd.Fault;
+  }
+}
+
+bool alter::wireFrameLooksComplete(const uint8_t *Bytes, size_t Size) {
+  if (Size < FrameHeaderBytes)
+    return false;
+  uint64_t Magic, PayloadLen;
+  std::memcpy(&Magic, Bytes, sizeof(Magic));
+  if (Magic != MessageMagicV3 && Magic != MessageMagicV4)
+    return true; // corrupt header: length untrustworthy, let decode reject
+  std::memcpy(&PayloadLen, Bytes + sizeof(uint64_t), sizeof(PayloadLen));
+  // Overflow-safe: compare payload bytes present, not header + length.
+  return Size - FrameHeaderBytes >= PayloadLen;
 }
 
 bool alter::decodeChildReport(const std::vector<uint8_t> &Bytes,

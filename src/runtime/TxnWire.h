@@ -47,6 +47,7 @@
 
 #include "memory/AccessSet.h"
 #include "memory/WriteLog.h"
+#include "runtime/CommitRing.h"
 #include "runtime/Executor.h"
 #include "support/FaultInjection.h"
 #include "support/Trace.h"
@@ -93,6 +94,52 @@ struct ChildReport {
                                int64_t Chunk, int64_t FirstIter,
                                int64_t LastIter, int Fd,
                                const ArmedFault &Fault = ArmedFault());
+
+/// One redispatch command on a slot's work pipe (parent -> resident
+/// child): run this chunk against the memory you already have. Sent only
+/// after the child's previous chunk committed, so that memory is a subset
+/// of committed state. Raw little-endian struct — parent and child are
+/// forks of one process, so layouts agree by construction.
+struct WireNextCmd {
+  int64_t Chunk;
+  int64_t First;
+  int64_t Last;
+  ArmedFault Fault;
+  /// Attempt tag of the child this command is addressed to. If the target
+  /// dies between the parent's dispatch write and its work-pipe read (the
+  /// parent holds the read end, so the pipe — and the command — survive),
+  /// the slot's NEXT resident child would otherwise consume the stale
+  /// command after its own chunk and execute that chunk a second time,
+  /// corrupting the ring/doorbell stream under its own tag. Children drop
+  /// commands whose tag is not theirs.
+  uint8_t Tag;
+};
+
+/// Ring-transport variant of runWireChild: same transactional execution
+/// and byte-identical ALTER4 frame, but the message is published into
+/// \p Ring (shared with the parent) instead of a pipe, with a
+/// (RingDoorbellData | \p DoorbellTag) byte written to \p DoorbellFd after
+/// every accepted piece so the parent's poll loop wakes to drain, and a
+/// RingDoorbellFinish byte once the record is fully published. Called by
+/// the warm template's forked children (WorkerPool). After Finish the
+/// child does not exit: it blocks on \p WorkFd for a WireNextCmd and runs
+/// that chunk in the same address space — the fork-free steady state. EOF
+/// or a short read on \p WorkFd exits cleanly; \p WorkFd < 0 restores the
+/// exit-after-one-chunk behavior. Never returns.
+[[noreturn]] void runWireChildRing(const LoopSpec &Spec,
+                                   const ExecutorConfig &Config,
+                                   unsigned Worker, int64_t Chunk,
+                                   int64_t FirstIter, int64_t LastIter,
+                                   CommitRing &Ring, int DoorbellFd,
+                                   uint8_t DoorbellTag, int WorkFd,
+                                   const ArmedFault &Fault = ArmedFault());
+
+/// True when \p Bytes holds a complete frame: the header has arrived and
+/// the payload-length field is satisfied. A corrupt magic makes the length
+/// untrustworthy, so any full header with a bad magic counts as complete —
+/// the decode path rejects it either way. Used by the ring transport,
+/// which has no EOF to delimit a record.
+bool wireFrameLooksComplete(const uint8_t *Bytes, size_t Size);
 
 /// Parent side: verifies the frame (magic, length, CRC32) and decodes one
 /// child's message into \p Rep. Returns false — with \p Error describing

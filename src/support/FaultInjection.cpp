@@ -32,6 +32,8 @@ bool parseKind(const std::string &Name, FaultKind &Kind) {
     Kind = FaultKind::BitFlip;
   else if (Name == "stall")
     Kind = FaultKind::Stall;
+  else if (Name == "poison")
+    Kind = FaultKind::TemplatePoison;
   else
     return false;
   return true;
@@ -65,6 +67,8 @@ const char *alter::faultKindName(FaultKind Kind) {
     return "bitflip";
   case FaultKind::Stall:
     return "stall";
+  case FaultKind::TemplatePoison:
+    return "poison";
   }
   ALTER_UNREACHABLE("covered switch");
 }

@@ -17,7 +17,12 @@
 ///  - PipeTruncate: the child ships only a prefix of its commit message;
 ///  - BitFlip:      one bit of the commit message is flipped in flight;
 ///  - Stall:        the child sleeps past the executor deadline before
-///                  reporting (containment requires an armed deadline).
+///                  reporting (containment requires an armed deadline);
+///  - TemplatePoison: the warm worker-pool template is killed at spawn
+///                  time, so the chunk cannot warm-fork. The executor
+///                  degrades to a cold pipe fork for that attempt and the
+///                  pool respawns afterwards; on the Pipe transport (no
+///                  pool) the fault is consumed as a no-op.
 ///
 /// Faults are consumed by the PARENT at fork time (FaultPlan::take), so a
 /// one-shot fault strikes only the first execution attempt of its chunk and
@@ -56,9 +61,11 @@ enum class FaultKind : uint8_t {
   PipeTruncate,
   BitFlip,
   Stall,
+  TemplatePoison,
 };
 
-/// Returns "forkfail", "crash", "kill", "truncate", "bitflip", or "stall".
+/// Returns "forkfail", "crash", "kill", "truncate", "bitflip", "stall", or
+/// "poison".
 const char *faultKindName(FaultKind Kind);
 
 /// One armed fault: strikes execution attempts of chunk \p Target (or, when

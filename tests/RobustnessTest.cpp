@@ -299,6 +299,20 @@ TEST(FaultPlanTest, IterationTargetedPointsMatchByRange) {
   Plan.clear();
 }
 
+TEST(FaultPlanTest, PoisonPointParsesAndConsumes) {
+  FaultPlan &Plan = FaultPlan::global();
+  Plan.clear();
+  std::string Error;
+  ASSERT_TRUE(Plan.parse("poison@2", &Error)) << Error;
+  EXPECT_EQ(Plan.pendingCount(), 1u);
+  const ArmedFault F = Plan.take(2);
+  EXPECT_TRUE(F.Armed);
+  EXPECT_EQ(F.Kind, FaultKind::TemplatePoison);
+  EXPECT_STREQ(faultKindName(F.Kind), "poison");
+  EXPECT_FALSE(Plan.take(2).Armed) << "one-shot poison is consumed";
+  Plan.clear();
+}
+
 TEST(FaultPlanTest, WireCorruptionIsDeterministic) {
   std::vector<uint8_t> A(333, 0xaa), B(333, 0xaa);
   faultBitFlipWire(A, /*Seed=*/9, /*Chunk=*/4);
@@ -483,6 +497,134 @@ TEST(FaultMatrixTest, AllWorkloadsRecoverToValidOutput) {
         << "recovered output must validate against sequential";
     FaultPlan::global().clear();
   }
+}
+
+//===----------------------------------------------------------------------===
+// Steady-state transport: the fault matrix on rings, and pool faults
+//===----------------------------------------------------------------------===
+
+TEST(PoolFaultMatrixTest, WireFaultsHealIdenticallyOnBothTransports) {
+  // Fault-matrix parity: the same wire corruptions that the pipe path
+  // contains must be contained on the ring path — a truncated or
+  // bit-flipped ring record is rejected by the checked decode, a killed
+  // pooled worker surfaces through the template's abnormal doorbell.
+  for (TransportKind Transport : {TransportKind::Ring, TransportKind::Pipe}) {
+    for (ParallelEngine Engine :
+         {ParallelEngine::ForkJoin, ParallelEngine::Pipeline}) {
+      for (FaultKind Kind : {FaultKind::ChildCrash, FaultKind::ChildKill,
+                             FaultKind::PipeTruncate, FaultKind::BitFlip}) {
+        SCOPED_TRACE(std::string(transportKindName(Transport)) + "/" +
+                     engineName(Engine) + "/" + faultKindName(Kind));
+        FaultPlan::global().clear();
+        FaultPlan::global().arm(Kind, /*Chunk=*/1, /*Sticky=*/false);
+        const RunResult R = runDisjointLoopRecovering(
+            Engine, CommitOrderPolicy::InOrder, /*SeqBaselineNs=*/0,
+            [Transport](ExecutorConfig &Config) {
+              Config.Transport = Transport;
+            });
+        EXPECT_EQ(R.Status, RunStatus::Success);
+        EXPECT_FALSE(R.Stats.Recovered);
+        EXPECT_EQ(FaultPlan::global().pendingCount(), 0u)
+            << "the fault must actually have struck";
+        if (Transport == TransportKind::Ring)
+          EXPECT_GT(R.Stats.WarmForks, 0u)
+              << "the fault must have struck the WARM path";
+      }
+    }
+  }
+  FaultPlan::global().clear();
+}
+
+TEST(PoolFaultMatrixTest, TemplatePoisonDegradesToColdAndRespawns) {
+  // Killing the resident template mid-run is a pool fault, not a chunk
+  // fault: the struck chunk runs cold, the next warm fork respawns the
+  // template, and the run completes without the recovery ladder.
+  for (ParallelEngine Engine :
+       {ParallelEngine::ForkJoin, ParallelEngine::Pipeline}) {
+    SCOPED_TRACE(engineName(Engine));
+    FaultPlan::global().clear();
+    FaultPlan::global().arm(FaultKind::TemplatePoison, /*Chunk=*/2,
+                            /*Sticky=*/false);
+    const RunResult R = runDisjointLoopRecovering(
+        Engine, CommitOrderPolicy::InOrder, /*SeqBaselineNs=*/0,
+        [](ExecutorConfig &Config) {
+          Config.Transport = TransportKind::Ring;
+        });
+    EXPECT_EQ(R.Status, RunStatus::Success);
+    EXPECT_FALSE(R.Stats.Recovered);
+    // The poisoned chunk itself runs cold and clean; a SIBLING warm child
+    // in flight when the template dies goes down with it (PDEATHSIG) and
+    // is requeued as a contained child crash — at most one here (the
+    // other worker), and only on the overlapping pipeline engine.
+    EXPECT_LE(R.Stats.NumChildCrashes, 1u)
+        << "poison itself must not masquerade as a chunk failure";
+    EXPECT_GE(R.Stats.PoolFaults, 1u);
+    EXPECT_GE(R.Stats.ColdForks, 1u) << "the struck chunk ran cold";
+    EXPECT_GT(R.Stats.WarmForks, 0u) << "the pool respawned afterwards";
+    EXPECT_EQ(FaultPlan::global().pendingCount(), 0u);
+  }
+  FaultPlan::global().clear();
+}
+
+TEST(PoolFaultMatrixTest, StickyPoisonRunsEveryForkColdAndStillSucceeds) {
+  FaultPlan::global().clear();
+  FaultPlan::global().arm(FaultKind::TemplatePoison, /*Chunk=*/0,
+                          /*Sticky=*/true);
+  // Iteration-blind sticky chunk-0 poison strikes only chunk 0's attempts;
+  // arm every chunk instead so no fork ever finds a live template.
+  for (int64_t C = 1; C != 6; ++C)
+    FaultPlan::global().arm(FaultKind::TemplatePoison, C, /*Sticky=*/true);
+  const RunResult R = runDisjointLoopRecovering(
+      ParallelEngine::ForkJoin, CommitOrderPolicy::InOrder,
+      /*SeqBaselineNs=*/0,
+      [](ExecutorConfig &Config) { Config.Transport = TransportKind::Ring; });
+  EXPECT_EQ(R.Status, RunStatus::Success)
+      << "a permanently dead pool is a performance bug, never a failure";
+  EXPECT_FALSE(R.Stats.Recovered);
+  EXPECT_EQ(R.Stats.WarmForks, 0u);
+  EXPECT_GE(R.Stats.ColdForks, 6u);
+  EXPECT_GE(R.Stats.PoolFaults, 6u);
+  FaultPlan::global().clear();
+}
+
+TEST(PoolFaultMatrixTest, ForkJoinNeverReusesResidentChildren) {
+  // The round-barrier engine validates against round-local state
+  // (resetRound), so a child whose snapshot predates the round would
+  // validate against history the detector no longer holds. It must fork
+  // every chunk fresh from the template — warm, but never fork-free.
+  FaultPlan::global().clear();
+  const RunResult R = runDisjointLoopRecovering(
+      ParallelEngine::ForkJoin, CommitOrderPolicy::InOrder,
+      /*SeqBaselineNs=*/0,
+      [](ExecutorConfig &Config) { Config.Transport = TransportKind::Ring; });
+  EXPECT_EQ(R.Status, RunStatus::Success);
+  EXPECT_GT(R.Stats.WarmForks, 0u);
+  EXPECT_EQ(R.Stats.ChildReuses, 0u)
+      << "round-local validation cannot see commits older than the round";
+}
+
+TEST(PoolFaultMatrixTest, RingRecoveryReplaysDeterministically) {
+  // Same-seed replay on the ring transport: two runs of the same sticky
+  // bit-flip plan must walk identical commit orders and fault counters —
+  // the determinism guarantee is transport-independent.
+  auto Replay = [] {
+    FaultPlan::global().clear();
+    FaultPlan::global().setSeed(13);
+    FaultPlan::global().arm(FaultKind::BitFlip, /*Chunk=*/1, /*Sticky=*/true);
+    return runDisjointLoopRecovering(
+        ParallelEngine::ForkJoin, CommitOrderPolicy::InOrder,
+        /*SeqBaselineNs=*/0, [](ExecutorConfig &Config) {
+          Config.Transport = TransportKind::Ring;
+        });
+  };
+  const RunResult A = Replay();
+  const RunResult B = Replay();
+  EXPECT_EQ(A.Status, RunStatus::Success);
+  EXPECT_EQ(A.CommitOrder, B.CommitOrder);
+  EXPECT_EQ(A.Stats.NumWireRejects, B.Stats.NumWireRejects);
+  EXPECT_EQ(A.Stats.QuarantinedIterations, B.Stats.QuarantinedIterations);
+  EXPECT_EQ(A.Stats.SalvagedChunks, B.Stats.SalvagedChunks);
+  FaultPlan::global().clear();
 }
 
 //===----------------------------------------------------------------------===
