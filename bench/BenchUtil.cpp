@@ -61,7 +61,43 @@ SweepSeries alter::bench::runSweep(const std::string &Name, size_t InputIndex,
   return Series;
 }
 
+SweepSeries alter::bench::runScheduledSweep(
+    const std::string &Name, size_t InputIndex, SchedulePolicy Policy,
+    const RuntimeParams &Params, const std::string &Label, uint64_t SeqNs,
+    const std::vector<unsigned> &Workers) {
+  SweepSeries Series;
+  Series.Label = Label;
+  for (unsigned P : Workers) {
+    SweepPoint Point;
+    Point.NumWorkers = P;
+    if (P < 2) {
+      // No replica beside the sequential lane: the point stays empty and
+      // renders as "-".
+      Series.Points.push_back(Point);
+      continue;
+    }
+    std::unique_ptr<Workload> W = makeWorkload(Name);
+    W->setUp(InputIndex);
+    const RunResult R = W->runScheduled(Policy, Params, P);
+    Point.Schedule = scheduleKindName(R.ScheduleUsed);
+    Point.Status = R.Status;
+    Point.SimTimeNs = R.Stats.SimTimeNs;
+    Point.RetryRate = R.Stats.retryRate();
+    Point.ChunkFactorUsed = R.ChunkFactorUsed;
+    Point.Stats = R.Stats;
+    Point.Speedup = R.Stats.SimTimeNs == 0
+                        ? 0.0
+                        : static_cast<double>(SeqNs) /
+                              static_cast<double>(R.Stats.SimTimeNs);
+    Series.Points.push_back(Point);
+  }
+  return Series;
+}
+
 std::string alter::bench::speedupCell(const SweepPoint &Point) {
+  if (Point.SimTimeNs == 0 && Point.Stats.NumTransactions == 0 &&
+      Point.Speedup == 0.0)
+    return "-"; // empty point (e.g. staged at one processor)
   if (Point.Status != RunStatus::Success)
     return runStatusName(Point.Status);
   return formatSpeedup(Point.Speedup);
@@ -201,7 +237,8 @@ void alter::bench::finalizeBenchJson() {
         "\"bloom_skips\": %llu, \"bloom_false_positives\": %llu, "
         "\"bloom_fp_rate\": %.6g, \"chunk_factor\": %lld, "
         "\"fork_failures\": %llu, "
-        "\"transport\": \"%s\", \"wire_bytes_copied\": %llu, "
+        "\"transport\": \"%s\", \"schedule\": \"%s\", "
+        "\"wire_bytes_copied\": %llu, "
         "\"warm_forks\": %llu, \"cold_forks\": %llu, "
         "\"child_reuses\": %llu, "
         "\"warm_fork_rate\": %.6g, \"template_refreshes\": %llu, "
@@ -229,6 +266,7 @@ void alter::bench::finalizeBenchJson() {
         static_cast<long long>(R.Point.ChunkFactorUsed),
         static_cast<unsigned long long>(S.NumForkFailures),
         jsonEscape(R.Point.Transport).c_str(),
+        jsonEscape(R.Point.Schedule).c_str(),
         static_cast<unsigned long long>(S.WireBytesCopied),
         static_cast<unsigned long long>(S.WarmForks),
         static_cast<unsigned long long>(S.ColdForks),

@@ -46,6 +46,10 @@ struct SweepPoint {
   /// Commit transport the run used ("pipe" / "ring"), carried into the
   /// --json report. "n/a" for thread-based engines with no fork transport.
   std::string Transport = "n/a";
+  /// Schedule the run executed under ("chunked" / "staged" / "sequential"),
+  /// carried into the --json report so the --stage CI gate can assert the
+  /// planner's pick. "n/a" for engine-direct runs that predate the planner.
+  std::string Schedule = "n/a";
 };
 
 /// A named speedup series (one line of a paper figure).
@@ -69,6 +73,18 @@ SweepSeries runSweep(const std::string &Name, size_t InputIndex,
                      uint64_t SeqNs,
                      const std::vector<unsigned> &Workers =
                          paperProcessorCounts());
+
+/// Like runSweep, but through the schedule-aware recovery driver with an
+/// explicit SchedulePolicy — the "staged" column of figures whose workload
+/// carries a stage decomposition. Processor counts below 2 cannot host a
+/// replica beside the sequential lane; their points stay empty and render
+/// as "-".
+SweepSeries runScheduledSweep(const std::string &Name, size_t InputIndex,
+                              SchedulePolicy Policy,
+                              const RuntimeParams &Params,
+                              const std::string &Label, uint64_t SeqNs,
+                              const std::vector<unsigned> &Workers =
+                                  paperProcessorCounts());
 
 /// Prints a figure: one row per processor count, one column per series.
 /// \p PaperNote describes the paper's reported shape for eyeballing.

@@ -74,11 +74,30 @@ using namespace alter::bench;
 
 namespace {
 
+/// Where the chunk-duration skew comes from (the straggler placement).
+enum class SkewMode {
+  Periodic,  ///< every 8th chunk blocks for the latency window
+  Bimodal,   ///< ~25% of chunks block, at hash-random positions — several
+             ///< stragglers can land in the same round-barrier round
+  HeavyTail, ///< no blocking at all: every chunk draws a Pareto-ish
+             ///< compute multiplier (most cheap, a few 8x/32x)
+};
+
+/// Deterministic per-chunk hash (splitmix64) so the skew placement is
+/// reproducible across engines and matches the sequential reference.
+uint64_t chunkMix(int64_t Chunk) {
+  uint64_t Z = static_cast<uint64_t>(Chunk) + 0x9e3779b97f4a7c15ULL;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
 struct StragglerLoop {
   int64_t NumChunks;
   size_t SliceDoubles;
   int WorkPerElement;
   uint64_t StragglerNs;
+  SkewMode Skew = SkewMode::Periodic;
   /// --contend: every chunk read-modify-writes Shared, making it the one
   /// conflicting granule for the attribution report. It stays out of the
   /// validated Out array, so the memcmp against the sequential reference is
@@ -112,7 +131,28 @@ struct StragglerLoop {
     traceLabelRegion(&Shared, sizeof(Shared), "straggler.shared");
   }
 
-  static bool isStraggler(int64_t Chunk) { return Chunk % 8 == 0; }
+  bool isStraggler(int64_t Chunk) const {
+    switch (Skew) {
+    case SkewMode::Periodic:
+      return Chunk % 8 == 0;
+    case SkewMode::Bimodal:
+      return chunkMix(Chunk) % 8 < 2;
+    case SkewMode::HeavyTail:
+      return false;
+    }
+    return false;
+  }
+
+  /// Per-chunk compute rounds: constant except under HeavyTail, where the
+  /// hash draws a discrete Pareto-ish multiplier (2% of chunks 32x, 8%
+  /// 8x, the rest 1x — mean ~2.2x, tail far beyond it).
+  int workFor(int64_t Chunk) const {
+    if (Skew != SkewMode::HeavyTail)
+      return WorkPerElement;
+    const uint64_t H = chunkMix(Chunk) % 1000;
+    const int Mult = H < 20 ? 32 : H < 100 ? 8 : 1;
+    return WorkPerElement * Mult;
+  }
 
   LoopSpec spec() {
     LoopSpec Spec;
@@ -127,9 +167,10 @@ struct StragglerLoop {
         Ctx.readRange(Window.data(), Window.size(), Scratch.data());
       }
       const size_t Base = static_cast<size_t>(C) * SliceDoubles;
+      const int Rounds = workFor(C);
       for (size_t I = 0; I != SliceDoubles; ++I) {
         double V = Ctx.load(&In[Base + I]);
-        for (int R = 0; R != WorkPerElement; ++R)
+        for (int R = 0; R != Rounds; ++R)
           V = std::sqrt(V * V + 1.0);
         Ctx.store(&Out[Base + I], V);
       }
@@ -150,11 +191,15 @@ struct StragglerLoop {
   /// The loop's exact sequential result, for validating both engines.
   std::vector<double> reference() const {
     std::vector<double> Ref(In.size());
-    for (size_t I = 0; I != In.size(); ++I) {
-      double V = In[I];
-      for (int R = 0; R != WorkPerElement; ++R)
-        V = std::sqrt(V * V + 1.0);
-      Ref[I] = V;
+    for (int64_t C = 0; C != NumChunks; ++C) {
+      const size_t Base = static_cast<size_t>(C) * SliceDoubles;
+      const int Rounds = workFor(C);
+      for (size_t I = 0; I != SliceDoubles; ++I) {
+        double V = In[Base + I];
+        for (int R = 0; R != Rounds; ++R)
+          V = std::sqrt(V * V + 1.0);
+        Ref[Base + I] = V;
+      }
     }
     return Ref;
   }
@@ -372,6 +417,55 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(
                     SalvagePipe4.Stats.SalvagedChunks));
   }
+  // Iteration-skew regimes beyond the periodic straggler. Bimodal keeps
+  // the same latency window but places it at hash-random chunks, so
+  // several stragglers can land in one round-barrier round (the rounds
+  // engine then pays max, not sum — its best case — while the pipeline is
+  // indifferent to placement). Heavy-tail sleeps never: every chunk draws
+  // a Pareto-ish compute multiplier, the skew that data-dependent work
+  // (hub vertices, long duplicate chains) produces in the paper's
+  // workloads.
+  std::printf("\niteration-skew regimes at 4 workers:\n");
+  TextTable SkewTable(
+      {"skew", "engine", "wall ms", "occupancy", "stall ms"});
+  for (const auto &[Mode, ModeName] :
+       {std::pair<SkewMode, const char *>{SkewMode::Bimodal, "bimodal"},
+        std::pair<SkewMode, const char *>{SkewMode::HeavyTail,
+                                          "heavy-tail"}}) {
+    StragglerLoop Skewed;
+    Skewed.NumChunks = Loop.NumChunks;
+    Skewed.SliceDoubles = Loop.SliceDoubles;
+    Skewed.WorkPerElement = Loop.WorkPerElement;
+    // Bimodal doubles the straggler fraction (~25% vs every 8th), so
+    // halve the window to keep total sleep comparable to the periodic
+    // run; heavy-tail never sleeps and ignores the value.
+    Skewed.StragglerNs = Loop.StragglerNs / 2;
+    Skewed.Skew = Mode;
+    Skewed.reset();
+    const std::vector<double> SkewRef = Skewed.reference();
+    ExecutorConfig Config;
+    Config.NumWorkers = 4;
+    Config.Params = Params;
+    for (const char *Engine : {"forkjoin", "pipeline"}) {
+      SweepPoint Pt;
+      if (std::string(Engine) == "forkjoin") {
+        ForkJoinExecutor Exec(Config);
+        Pt = measure(Skewed, Exec, 4, Config.Transport, SkewRef);
+      } else {
+        PipelineExecutor Exec(Config);
+        Pt = measure(Skewed, Exec, 4, Config.Transport, SkewRef);
+      }
+      const RunStats &S = Pt.Stats;
+      SkewTable.addRow({ModeName, Engine,
+                        strprintf("%.2f", S.RealTimeNs / 1e6),
+                        strprintf("%.1f%%", 100.0 * S.occupancy()),
+                        strprintf("%.2f", S.stragglerStallNs() / 1e6)});
+      jsonAddPoint("pipeline_vs_rounds",
+                   std::string(Engine) + "-" + ModeName, Pt);
+    }
+  }
+  SkewTable.printText();
+
   // Transport A/B in the small-chunk regime: many chunks, a few hundred ns
   // of work each, no latency windows — so per-chunk fork()+pipe transport,
   // not speculation, is what the wall clock measures. This is where the

@@ -15,6 +15,11 @@
 ///     --annotation '<text>'   e.g. '[StaleReads + Reduction(delta, +)]'
 ///     --tls                   Theorem 4.3 parameters instead
 ///     --engine lockstep|forkjoin|sequential   (default lockstep)
+///     --schedule auto|chunked|staged|sequential
+///                             run behind the schedule-aware recovery
+///                             driver instead of --engine: auto lets the
+///                             planner pick chunked speculation vs the
+///                             stage pipeline per loop
 ///     --workers N             (default 4)
 ///     --cf N                  chunk factor (default: the loop's tuned one)
 ///     --input K               input index (default 0)
@@ -42,7 +47,8 @@ namespace {
 [[noreturn]] void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <workload> [--annotation '<text>' | --tls] "
-               "[--engine lockstep|forkjoin|sequential] [--workers N] "
+               "[--engine lockstep|forkjoin|sequential] "
+               "[--schedule auto|chunked|staged|sequential] [--workers N] "
                "[--cf N] [--input K]\nworkloads:",
                Argv0);
   for (const std::string &Name : allWorkloadNames())
@@ -60,6 +66,7 @@ int main(int Argc, char **Argv) {
 
   std::string AnnotationText;
   std::string Engine = "lockstep";
+  std::string ScheduleText;
   bool Tls = false;
   unsigned Workers = 4;
   int Cf = 0;
@@ -77,6 +84,8 @@ int main(int Argc, char **Argv) {
       Tls = true;
     else if (Arg == "--engine")
       Engine = Next();
+    else if (Arg == "--schedule")
+      ScheduleText = Next();
     else if (Arg == "--workers")
       Workers = static_cast<unsigned>(std::atoi(Next()));
     else if (Arg == "--cf")
@@ -138,16 +147,31 @@ int main(int Argc, char **Argv) {
 
   W->setUp(Input);
   RunResult R;
-  if (Engine == "lockstep")
+  if (!ScheduleText.empty()) {
+    SchedulePolicy Policy = SchedulePolicy::Auto;
+    if (!parseSchedulePolicy(ScheduleText, Policy)) {
+      alterLogAlways(LogLevel::Error, "cli",
+                     "msg=\"unknown schedule policy '%s'\"",
+                     ScheduleText.c_str());
+      return 2;
+    }
+    R = W->runScheduled(Policy, Params, Workers);
+  } else if (Engine == "lockstep") {
     R = W->runLockstep(Params, Workers);
-  else if (Engine == "forkjoin")
+  } else if (Engine == "forkjoin") {
     R = W->runForkJoin(Params, Workers);
-  else
+  } else {
     usage(Argv[0]);
+  }
 
   const bool Valid = R.succeeded() && W->validate(Reference);
-  std::printf("engine=%s workers=%u params=%s\n", Engine.c_str(), Workers,
-              Params.str().c_str());
+  if (!ScheduleText.empty())
+    std::printf("schedule policy=%s -> used=%s  workers=%u params=%s\n",
+                ScheduleText.c_str(), scheduleKindName(R.ScheduleUsed),
+                Workers, Params.str().c_str());
+  else
+    std::printf("engine=%s workers=%u params=%s\n", Engine.c_str(), Workers,
+                Params.str().c_str());
   std::printf("status=%s  txns=%llu  retries=%llu (%s)  rounds=%llu\n",
               runStatusName(R.Status),
               static_cast<unsigned long long>(R.Stats.NumTransactions),

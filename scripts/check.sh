@@ -6,11 +6,24 @@
 #        scripts/check.sh --trace [build-dir]
 #        scripts/check.sh --fault [build-dir]
 #        scripts/check.sh --pool [build-dir]
+#        scripts/check.sh --stage [build-dir]
 #
 # Configures, builds, runs the full ctest suite, then smoke-runs the
 # straggler micro-benchmark (--quick, with --fault so the recovery path is
 # exercised too) with a JSON report so the pipelined engine's
-# occupancy/wire stats stay eyeballable on every change.
+# occupancy/wire stats stay eyeballable on every change. The smoke run is
+# then compared against the committed BENCH_pipeline.json baseline: any
+# sleep-dominated series more than 1.5x slower than the baseline fails the
+# check (the compute-bound -small- transport rows are host-dependent and
+# covered by BENCH_transport.json instead).
+#
+# With --stage the sequence additionally exercises the PS-DSWP stage
+# pipeline: the stage-schedule test binary (planner picks, staged output
+# equivalence, cap attribution, buffered writes), the staged fault-matrix
+# rows, two staged ALTER_FAULTS env plans (stage-worker kill and
+# inter-stage queue-record corruption) driven end to end, and an
+# end-to-end staged Genome figure run asserting the staged schedule was
+# actually executed.
 #
 # With --sanitize the whole sequence additionally runs in a second build
 # tree compiled with AddressSanitizer + UndefinedBehaviorSanitizer, so
@@ -44,12 +57,14 @@ SANITIZE=0
 TRACE=0
 FAULT=0
 POOL=0
+STAGE=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
   --sanitize) SANITIZE=1 ;;
   --trace) TRACE=1 ;;
   --fault) FAULT=1 ;;
   --pool) POOL=1 ;;
+  --stage) STAGE=1 ;;
   *)
     echo "check.sh: unknown flag $1" >&2
     exit 2
@@ -76,6 +91,42 @@ run_stage() { # run_stage <build-dir> <extra cmake args...>
   echo "== bench smoke (pipeline vs rounds, quick, with faults) ($DIR) =="
   local JSON_OUT="$DIR/pipeline_vs_rounds.quick.json"
   "$DIR/bench/pipeline_vs_rounds" --quick --fault --json "$JSON_OUT"
+}
+
+baseline_stage() { # baseline_stage <build-dir> — primary (unsanitized) tree only
+  local DIR="$1"
+
+  echo "== bench baseline: compare against BENCH_pipeline.json =="
+  python3 - "$DIR/pipeline_vs_rounds.quick.json" \
+    "$REPO_ROOT/BENCH_pipeline.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    cur = json.load(f)["records"]
+with open(sys.argv[2]) as f:
+    base = json.load(f)["records"]
+# Only the sleep-dominated series are stable across hosts; the -small-
+# transport rows and the heavy-tail skew rows are pure compute (tracked
+# by BENCH_transport.json and the occupancy columns instead).
+def key(r): return (r["series"], r["procs"])
+stable = {key(r): r for r in base
+          if "-small-" not in r["series"] and "heavy-tail" not in r["series"]}
+checked, bad = 0, []
+for r in cur:
+    b = stable.get(key(r))
+    if b is None or b["real_time_ns"] == 0:
+        continue
+    checked += 1
+    ratio = r["real_time_ns"] / b["real_time_ns"]
+    if ratio > 1.5:
+        bad.append(f"{r['series']}/P{r['procs']}: "
+                   f"{r['real_time_ns']/1e6:.2f}ms vs baseline "
+                   f"{b['real_time_ns']/1e6:.2f}ms ({ratio:.2f}x)")
+assert checked > 0, "no comparable series against the committed baseline"
+if bad:
+    sys.exit("pipeline bench regressed >1.5x vs BENCH_pipeline.json:\n  "
+             + "\n  ".join(bad))
+print(f"baseline OK: {checked} series within 1.5x of BENCH_pipeline.json")
+EOF
 }
 
 trace_stage() { # trace_stage <build-dir>
@@ -211,7 +262,45 @@ print(f"transport JSON OK: {len(small)} A/B runs, "
 EOF
 }
 
+stage_stage() { # stage_stage <build-dir>
+  local DIR="$1"
+
+  echo "== stage smoke: schedule + planner + staged fault tests ($DIR) =="
+  "$DIR/tests/stage_pipeline_test" --gtest_brief=1
+  "$DIR/tests/robustness_test" --gtest_filter='FaultMatrixTest.Staged*' \
+    --gtest_brief=1
+
+  echo "== stage smoke: staged ALTER_FAULTS plans drive the ladder ($DIR) =="
+  # A sticky stage-worker kill and a sticky inter-stage queue-record
+  # bit-flip: the staged engine's restart budget exhausts, the run degrades
+  # through the ladder, and the output must still equal sequential.
+  ALTER_FAULTS='kill@1!;seed=3' "$DIR/tests/stage_pipeline_test" \
+    --gtest_filter='StageScheduleTest.EnvPlanCompletesWithValidOutput' \
+    --gtest_brief=1
+  ALTER_FAULTS='qflip@1!;seed=9' "$DIR/tests/stage_pipeline_test" \
+    --gtest_filter='StageScheduleTest.EnvPlanCompletesWithValidOutput' \
+    --gtest_brief=1
+
+  echo "== stage smoke: staged Genome end to end ($DIR) =="
+  local STAGE_JSON="$DIR/fig6_genome.stage.json"
+  "$DIR/bench/fig6_genome" --json "$STAGE_JSON" >/dev/null
+  python3 - "$STAGE_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    records = json.load(f)["records"]
+staged = [r for r in records if r["series"] == "staged" and r["procs"] >= 2]
+assert staged, "fig6 JSON is missing the staged column"
+for r in staged:
+    assert r["status"] == "success", f"staged Genome failed: {r}"
+    assert r["schedule"] == "staged", (
+        f"forced staged Genome must actually run staged, got "
+        f"{r['schedule']} at P={r['procs']}")
+print(f"staged Genome OK: {len(staged)} staged points, all ran staged")
+EOF
+}
+
 run_stage "$BUILD_DIR"
+baseline_stage "$BUILD_DIR"
 
 if [[ "$TRACE" == 1 ]]; then
   trace_stage "$BUILD_DIR"
@@ -223,6 +312,10 @@ fi
 
 if [[ "$POOL" == 1 ]]; then
   pool_stage "$BUILD_DIR"
+fi
+
+if [[ "$STAGE" == 1 ]]; then
+  stage_stage "$BUILD_DIR"
 fi
 
 if [[ "$SANITIZE" == 1 ]]; then

@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 namespace alter {
 
@@ -61,6 +62,26 @@ TransportKind globalTransportKind();
 /// Overrides the process default (tests and benches).
 void setGlobalTransportKind(TransportKind Kind);
 
+/// How the schedule-aware runner (RecoveringLoopRunner) maps a loop onto
+/// workers. Auto probes a short prefix and lets the CostModel planner pick
+/// between chunked speculation and the stage pipeline; the forced policies
+/// skip the probe. Staged falls back to chunked when the LoopSpec carries
+/// no stage decomposition.
+enum class SchedulePolicy : uint8_t {
+  Auto,       ///< planner picks per loop (default)
+  Chunked,    ///< force chunked iteration speculation
+  Staged,     ///< force the stage pipeline (needs LoopSpec::Stage)
+  Sequential, ///< force sequential execution
+};
+
+/// Returns "auto", "chunked", "staged", or "sequential".
+const char *schedulePolicyName(SchedulePolicy Policy);
+
+/// Parses a schedule-policy name (case-sensitive, as printed by
+/// schedulePolicyName). Returns false and leaves \p Policy untouched on
+/// anything else.
+bool parseSchedulePolicy(const std::string &Text, SchedulePolicy &Policy);
+
 /// Configuration shared by the parallel executors.
 struct ExecutorConfig {
   /// Number of worker processes N (paper §4.1's fork–join width).
@@ -77,6 +98,11 @@ struct ExecutorConfig {
   /// paper's 10× rule. SeqBaselineNs == 0 disables the rule.
   uint64_t SeqBaselineNs = 0;
   double TimeoutFactor = 10.0;
+
+  /// Schedule selection for the schedule-aware runner. Engines driven
+  /// directly ignore it; RecoveringLoopRunner consults it before choosing
+  /// an engine for the loop.
+  SchedulePolicy Schedule = SchedulePolicy::Auto;
 
   /// Per-chunk infrastructure-failure retries (fork failure, child crash,
   /// rejected commit message) the fork engines absorb before giving up on

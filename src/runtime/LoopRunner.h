@@ -147,6 +147,18 @@ private:
   /// SeqBaselineNs: salvage must stop paying for speculation retries.
   bool budgetExpired() const;
 
+  /// Schedule planner (SchedulePolicy::Auto): probes a short prefix of the
+  /// stage-decomposed body — each probe chunk runs First then Second
+  /// transactionally in the parent and is rolled back, so the measurement
+  /// commits nothing — then prices both schedules through the CostModel.
+  /// Returns true when the stage pipeline is predicted faster. Records a
+  /// SchedulePick event (Arg0/Arg1 = modeled chunked/staged ns).
+  bool planPicksStaged(const LoopSpec &Spec);
+
+  /// Runs one invocation under the stage pipeline, falling into the
+  /// degradation ladder on failure exactly like the chunked path.
+  void runStagedInner(const LoopSpec &Spec);
+
   /// Walks the ladder over every chunk \p Failed did not commit.
   void runLadder(const LoopSpec &Spec, const RunResult &Failed);
 

@@ -19,6 +19,7 @@
 #define ALTER_RUNTIME_LOOPSPEC_H
 
 #include "runtime/ReductionOps.h"
+#include "runtime/StagePipelinePlan.h"
 
 #include <cstdint>
 #include <functional>
@@ -63,6 +64,14 @@ struct LoopSpec {
 
   /// Variables eligible for reduction annotations, in binding-slot order.
   std::vector<ReductionBinding> Reductions;
+
+  /// Optional PS-DSWP stage decomposition of the body (see
+  /// StagePipelinePlan.h). When valid(), the schedule-aware runner may run
+  /// the loop as sequential-stage -> queue -> replicated-stage instead of
+  /// chunked speculation; engines that do not understand stages ignore it
+  /// and run Body as always. Stage.First + Stage.Second in iteration order
+  /// must be equivalent to Body.
+  StagePlan Stage;
 
   /// Salvage sub-runs (RecoveringLoopRunner's degradation ladder)
   /// re-execute chunks of an enclosing loop under fresh local indices. This

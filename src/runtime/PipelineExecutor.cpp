@@ -402,10 +402,37 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
     S.Ch.Buf.clear();
     if (Rep.LimitExceeded) {
       Crashed = true;
-      Result.FailedChunk = S.Chunk;
+      // Record the blown access sets before bailing: the run dies, but
+      // the telemetry must still show the read-set blowup that killed it
+      // (AggloClust under OutOfOrder retries grows monotone merge read
+      // sets until they hit the cap — invisible if dropped here).
+      Result.Stats.ReadSetWords.add(
+          static_cast<double>(Rep.Reads.sizeWords()));
+      Result.Stats.WriteSetWords.add(
+          static_cast<double>(Rep.Writes.sizeWords()));
+      // Indict the earliest uncommitted chunk, not the one that tripped
+      // the cap. The tripping chunk's set usually blew up re-validating
+      // against snapshots that are stale only because an earlier chunk
+      // has not retired; the ladder resolves the indicted chunk solo and
+      // then re-runs the tail, so pointing it at the head-of-line
+      // blocker lets the tripping chunk retry with fresh, small sets
+      // instead of overflowing again in quarantine.
+      int64_t Earliest = S.Chunk;
+      for (const Slot &Other : Slots)
+        if (&Other != &S && Other.St != Slot::State::Free)
+          Earliest = std::min(Earliest, Other.Chunk);
+      if (!Arrived.empty())
+        Earliest = std::min(Earliest, Arrived.begin()->first);
+      if (!Pending.empty()) // sorted: the front is the oldest runnable
+        Earliest = std::min(Earliest, Pending.front());
+      if (InOrder)
+        Earliest = std::min(Earliest, NextToRetire);
+      Result.FailedChunk = Earliest;
       CrashDetail = strprintf(
-          "worker %u (chunk %lld) exceeded the access-set memory cap",
-          SlotIdx, static_cast<long long>(S.Chunk));
+          "worker %u (chunk %lld) exceeded the access-set memory cap "
+          "(earliest uncommitted chunk %lld indicted)",
+          SlotIdx, static_cast<long long>(S.Chunk),
+          static_cast<long long>(Earliest));
       S.St = Slot::State::Free;
       return;
     }

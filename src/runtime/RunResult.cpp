@@ -8,6 +8,8 @@
 
 #include "support/Error.h"
 
+#include <algorithm>
+
 using namespace alter;
 
 const char *alter::runStatusName(RunStatus Status) {
@@ -18,6 +20,20 @@ const char *alter::runStatusName(RunStatus Status) {
     return "crash";
   case RunStatus::Timeout:
     return "timeout";
+  }
+  ALTER_UNREACHABLE("covered switch");
+}
+
+const char *alter::scheduleKindName(ScheduleKind Kind) {
+  switch (Kind) {
+  case ScheduleKind::Unknown:
+    return "unknown";
+  case ScheduleKind::Sequential:
+    return "sequential";
+  case ScheduleKind::Chunked:
+    return "chunked";
+  case ScheduleKind::Staged:
+    return "staged";
   }
   ALTER_UNREACHABLE("covered switch");
 }
@@ -46,6 +62,8 @@ void RunStats::merge(const RunStats &Other) {
   ChildReuses += Other.ChildReuses;
   TemplateRefreshes += Other.TemplateRefreshes;
   PoolFaults += Other.PoolFaults;
+  StageStalled += Other.StageStalled;
+  QueueDepthPeak = std::max(QueueDepthPeak, Other.QueueDepthPeak);
   WorkerBusyNs += Other.WorkerBusyNs;
   WorkerSlotNs += Other.WorkerSlotNs;
   NumForkFailures += Other.NumForkFailures;

@@ -36,6 +36,19 @@ enum class RunStatus {
 /// Returns "success", "crash", or "timeout".
 const char *runStatusName(RunStatus Status);
 
+/// Which schedule a loop actually executed under. The planner
+/// (RecoveringLoopRunner + CostModel) records its pick here so benches and
+/// the --stage CI gate can assert the auto policy chose as expected.
+enum class ScheduleKind : uint8_t {
+  Unknown,    ///< engine predates the planner or was driven directly
+  Sequential, ///< ran on the sequential reference engine
+  Chunked,    ///< chunked iteration speculation (fork/lockstep engines)
+  Staged,     ///< PS-DSWP stage pipeline (StagePipelineExecutor)
+};
+
+/// Returns "unknown", "sequential", "chunked", or "staged".
+const char *scheduleKindName(ScheduleKind Kind);
+
 /// Statistics accumulated over one or more loop executions.
 struct RunStats {
   /// Transactions that attempted to commit (including retries of the same
@@ -110,6 +123,19 @@ struct RunStats {
   /// injected TemplatePoison hits. Each degrades the affected forks to
   /// the cold path.
   uint64_t PoolFaults = 0;
+
+  //===--------------------------------------------------------------------===
+  // Stage pipeline (StagePipelineExecutor)
+  //===--------------------------------------------------------------------===
+
+  /// Times the stage feed blocked: the sequential stage had a chunk ready
+  /// but every replica of the parallel stage was busy (backpressure), or
+  /// the retirement frontier starved waiting on one straggling replica.
+  uint64_t StageStalled = 0;
+  /// Peak number of chunks in flight between the two stages (dispatched
+  /// into an inter-stage queue but not yet retired). merge() takes the max:
+  /// it is a high-water mark, not a count.
+  uint64_t QueueDepthPeak = 0;
 
   //===--------------------------------------------------------------------===
   // Worker occupancy (straggler accounting)
@@ -233,6 +259,10 @@ struct RunResult {
   /// (timeouts, poll failures, successful runs). The degradation ladder
   /// starts its salvage at this chunk.
   int64_t FailedChunk = -1;
+  /// Schedule the loop actually ran under (the planner's pick, or the
+  /// forced policy). Unknown when the result came from an engine driven
+  /// outside the schedule-aware runner.
+  ScheduleKind ScheduleUsed = ScheduleKind::Unknown;
   /// Chunk indices in the order they committed. Under OutOfOrder policies a
   /// parallel execution is equivalent to replaying chunks serially in this
   /// order (conflict serializability); tests exploit that. Only the most

@@ -1,0 +1,1239 @@
+//===- runtime/StagePipelineExecutor.cpp ----------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// See StagePipelineExecutor.h for the architecture. Layout of this file:
+//
+//   - STGQ inter-stage queue records (framing, encode, decode)
+//   - replica child main loop (runStageChild)
+//   - parent engine (StagePipelineExecutor::run)
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/StagePipelineExecutor.h"
+
+#include "memory/AlterAllocator.h"
+#include "runtime/CommitRing.h"
+#include "runtime/ConflictDetector.h"
+#include "runtime/TraceSink.h"
+#include "runtime/TxnWire.h"
+#include "support/Error.h"
+#include "support/FaultInjection.h"
+#include "support/Format.h"
+#include "support/Subprocess.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+using namespace alter;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// STGQ records: the parent -> replica dispatch (and, for ParFirst plans, the
+// replica -> parent token report appended after the ALTER4 commit frame).
+// Framed exactly like the commit wire — magic | payload length | CRC32 — so
+// a corrupted queue record is REJECTED by the consumer, never trusted.
+//===----------------------------------------------------------------------===
+
+constexpr uint64_t StageQueueMagic = 0x3151475453ULL; // "STGQ1"
+constexpr size_t StageFrameHeaderBytes = 3 * sizeof(uint64_t);
+
+/// Exit code a replica uses when it rejects a corrupt inter-stage record;
+/// the parent counts it as a wire reject rather than a child crash.
+constexpr int StageQueueRejectExit = 13;
+
+/// One inter-stage queue record. Dispatch direction: the chunk's iteration
+/// range, the armed fault the parent took for it, and (SeqFirst) the tokens
+/// the sequential stage produced. Report direction (ParFirst): the tokens
+/// the replica produced, same framing.
+struct StageCmd {
+  int64_t Chunk = 0;
+  int64_t First = 0;
+  int64_t Last = 0;
+  ArmedFault Fault;
+  std::vector<uint64_t> Tokens;
+};
+
+void appendU64(std::vector<uint8_t> &Out, uint64_t V) {
+  const uint8_t *P = reinterpret_cast<const uint8_t *>(&V);
+  Out.insert(Out.end(), P, P + sizeof(V));
+}
+
+uint64_t readU64(const uint8_t *P) {
+  uint64_t V;
+  std::memcpy(&V, P, sizeof(V));
+  return V;
+}
+
+/// Serializes \p Cmd as a framed STGQ record. Parent and replicas are forks
+/// of one process, so the ArmedFault struct ships as raw bytes.
+void encodeStageCmd(std::vector<uint8_t> &Out, const StageCmd &Cmd) {
+  std::vector<uint8_t> Payload;
+  appendU64(Payload, static_cast<uint64_t>(Cmd.Chunk));
+  appendU64(Payload, static_cast<uint64_t>(Cmd.First));
+  appendU64(Payload, static_cast<uint64_t>(Cmd.Last));
+  const uint8_t *F = reinterpret_cast<const uint8_t *>(&Cmd.Fault);
+  Payload.insert(Payload.end(), F, F + sizeof(ArmedFault));
+  appendU64(Payload, Cmd.Tokens.size());
+  for (uint64_t T : Cmd.Tokens)
+    appendU64(Payload, T);
+
+  appendU64(Out, StageQueueMagic);
+  appendU64(Out, Payload.size());
+  appendU64(Out, wireCrc32(Payload.data(), Payload.size()));
+  Out.insert(Out.end(), Payload.begin(), Payload.end());
+}
+
+/// True when \p Size bytes hold a complete STGQ frame. Like
+/// wireFrameLooksComplete, a full header with a corrupt magic counts as
+/// complete — the length field is untrustworthy and decode rejects it.
+bool stageFrameComplete(const uint8_t *Bytes, size_t Size) {
+  if (Size < StageFrameHeaderBytes)
+    return false;
+  if (readU64(Bytes) != StageQueueMagic)
+    return true;
+  return Size - StageFrameHeaderBytes >= readU64(Bytes + 8);
+}
+
+/// Verifies the frame and decodes one record. \p Consumed receives the
+/// total frame size on success.
+bool decodeStageCmd(const uint8_t *Bytes, size_t Size, StageCmd &Cmd,
+                    size_t &Consumed) {
+  if (Size < StageFrameHeaderBytes)
+    return false;
+  if (readU64(Bytes) != StageQueueMagic)
+    return false;
+  const uint64_t PayloadLen = readU64(Bytes + 8);
+  if (PayloadLen > Size - StageFrameHeaderBytes)
+    return false;
+  const uint8_t *P = Bytes + StageFrameHeaderBytes;
+  if (readU64(Bytes + 16) != wireCrc32(P, PayloadLen))
+    return false;
+  const size_t FixedBytes = 3 * sizeof(uint64_t) + sizeof(ArmedFault) +
+                            sizeof(uint64_t);
+  if (PayloadLen < FixedBytes)
+    return false;
+  Cmd.Chunk = static_cast<int64_t>(readU64(P));
+  Cmd.First = static_cast<int64_t>(readU64(P + 8));
+  Cmd.Last = static_cast<int64_t>(readU64(P + 16));
+  std::memcpy(&Cmd.Fault, P + 24, sizeof(ArmedFault));
+  const uint64_t NumTokens = readU64(P + 24 + sizeof(ArmedFault));
+  if (NumTokens * sizeof(uint64_t) != PayloadLen - FixedBytes)
+    return false;
+  Cmd.Tokens.resize(NumTokens);
+  const uint8_t *T = P + FixedBytes;
+  for (uint64_t I = 0; I != NumTokens; ++I)
+    Cmd.Tokens[I] = readU64(T + I * sizeof(uint64_t));
+  Consumed = StageFrameHeaderBytes + PayloadLen;
+  return true;
+}
+
+//===----------------------------------------------------------------------===
+// Replica child side
+//===----------------------------------------------------------------------===
+
+/// Local copy of the kernel-enforced per-child caps (the TxnWire original
+/// is file-local there). Best-effort, matching that behavior.
+void applyStageRlimits(const ExecutorConfig &Config) {
+  if (Config.ChildCpuSeconds != 0) {
+    rlimit R;
+    R.rlim_cur = static_cast<rlim_t>(Config.ChildCpuSeconds);
+    R.rlim_max = static_cast<rlim_t>(Config.ChildCpuSeconds + 1);
+    (void)::setrlimit(RLIMIT_CPU, &R);
+  }
+  if (Config.ChildAddressSpaceBytes != 0) {
+    rlimit R;
+    R.rlim_cur = static_cast<rlim_t>(Config.ChildAddressSpaceBytes);
+    R.rlim_max = static_cast<rlim_t>(Config.ChildAddressSpaceBytes);
+    (void)::setrlimit(RLIMIT_AS, &R);
+  }
+}
+
+void stageSleepNs(uint64_t Ns) {
+  timespec Ts;
+  Ts.tv_sec = static_cast<time_t>(Ns / 1000000000ULL);
+  Ts.tv_nsec = static_cast<long>(Ns % 1000000000ULL);
+  while (::nanosleep(&Ts, &Ts) != 0 && errno == EINTR)
+    ;
+}
+
+/// Executes one replica chunk: the plan's replicated stage, transactionally,
+/// then ships the framed ALTER4 commit message (and, for ParFirst, the STGQ
+/// token report) into \p OutRing with doorbells through \p Bell.
+template <typename BellFn>
+void runStageChunk(const LoopSpec &Spec, TxnContext &Ctx,
+                   const ExecutorConfig &Config, unsigned Worker,
+                   const StageCmd &Cmd, CommitRing &OutRing,
+                   const BellFn &Bell) {
+  if (Cmd.Fault.Armed && Cmd.Fault.Kind == FaultKind::ChildCrash)
+    ::raise(SIGSEGV); // the injected "buggy stage worker" dies pre-work
+
+  TraceBuffer Trace(Config.Trace);
+  if (Trace.events())
+    Trace.record(TraceEventKind::ChunkStart, Worker, Cmd.Chunk, traceNowNs(),
+                 0, static_cast<uint64_t>(Cmd.First),
+                 static_cast<uint64_t>(Cmd.Last));
+
+  Ctx.beginTxn();
+  const uint64_t TraceT0 = Trace.events() ? traceNowNs() : 0;
+  const uint64_t T0 = cpuNowNs();
+  std::vector<uint64_t> OutTokens;
+  if (Spec.Stage.Order == StageOrder::SeqFirst) {
+    // Consume: the sequential stage already produced one token per
+    // iteration of this chunk.
+    if (Cmd.Tokens.size() != static_cast<size_t>(Cmd.Last - Cmd.First))
+      _exit(StageQueueRejectExit);
+    for (int64_t I = Cmd.First; I != Cmd.Last; ++I)
+      Spec.Stage.Second(Ctx, I,
+                        Cmd.Tokens[static_cast<size_t>(I - Cmd.First)]);
+  } else {
+    // Produce: run the replicated prefix and collect the tokens the
+    // parent's sequential stage will consume.
+    OutTokens.reserve(static_cast<size_t>(Cmd.Last - Cmd.First));
+    for (int64_t I = Cmd.First; I != Cmd.Last; ++I)
+      OutTokens.push_back(Spec.Stage.First(Ctx, I));
+  }
+  // No captureRedo pass: the replica's buffered write log already holds
+  // the final values (see runStageChild).
+  const uint64_t WorkNs = cpuNowNs() - T0;
+  if (Trace.events())
+    Trace.record(TraceEventKind::ChunkExec, Worker, Cmd.Chunk, TraceT0,
+                 WorkNs, Ctx.readSet().sizeWords(),
+                 Ctx.writeSet().sizeWords());
+
+  if (Cmd.Fault.Armed && Cmd.Fault.Kind == FaultKind::ChildKill)
+    ::raise(SIGKILL); // lands after the work, before the report
+
+  std::vector<uint8_t> Message =
+      encodeCommitFrame(Ctx, Config, Worker, Cmd.Chunk, WorkNs, Trace);
+  if (Cmd.Fault.Armed) {
+    switch (Cmd.Fault.Kind) {
+    case FaultKind::PipeTruncate:
+      faultTruncateWire(Message, Cmd.Fault.Seed, Cmd.Fault.Chunk);
+      break;
+    case FaultKind::BitFlip:
+      faultBitFlipWire(Message, Cmd.Fault.Seed, Cmd.Fault.Chunk);
+      break;
+    case FaultKind::Stall:
+      stageSleepNs(Cmd.Fault.StallNs);
+      break;
+    default:
+      break; // parent-side kinds were consumed before dispatch
+    }
+  }
+  OutRing.pushAll(Message.data(), Message.size(),
+                  [&] { Bell(RingDoorbellData); });
+  if (Spec.Stage.Order == StageOrder::ParFirst) {
+    StageCmd Report;
+    Report.Chunk = Cmd.Chunk;
+    Report.First = Cmd.First;
+    Report.Last = Cmd.Last;
+    Report.Tokens = std::move(OutTokens);
+    std::vector<uint8_t> TokenFrame;
+    encodeStageCmd(TokenFrame, Report);
+    OutRing.pushAll(TokenFrame.data(), TokenFrame.size(),
+                    [&] { Bell(RingDoorbellData); });
+  }
+  Bell(RingDoorbellFinish);
+}
+
+/// Replica main loop: block on the dispatch doorbell pipe, drain the
+/// in-ring until a full STGQ record (the Finish doorbell delimits it), run
+/// the chunk, publish the report, repeat. EOF on the dispatch pipe is the
+/// teardown signal; a corrupt record exits with StageQueueRejectExit.
+[[noreturn]] void runStageChild(const LoopSpec &Spec,
+                                const ExecutorConfig &Config, unsigned Worker,
+                                CommitRing &InRing, int WorkR,
+                                CommitRing &OutRing, int BellW, uint8_t Tag) {
+  ::signal(SIGPIPE, SIG_IGN);
+  applyStageRlimits(Config);
+
+  const auto Bell = [&](uint8_t Kind) {
+    const uint8_t B =
+        static_cast<uint8_t>(Kind | (Tag & RingDoorbellTagMask));
+    for (;;) {
+      const ssize_t N = ::write(BellW, &B, 1);
+      if (N == 1)
+        return;
+      if (N < 0 && errno == EINTR)
+        continue;
+      _exit(0); // parent tore the pipe down: we are done
+    }
+  };
+
+  // One context for the replica's whole generation: beginTxn() per chunk
+  // reuses the warm access-set and log capacity (cold hash-table growth
+  // would otherwise dominate small chunks). Writes are buffered — they
+  // exist only to be shipped on the commit wire, so skipping the undo
+  // snapshot and the in-place store keeps the child's COW image clean and
+  // makes the captureRedo pass unnecessary.
+  TxnContext Ctx(ContextMode::Transactional, &Config.Params, &Spec,
+                 Config.Allocator, Worker, Config.Limits);
+  Ctx.enableBufferedWrites();
+
+  std::vector<uint8_t> Buf;
+  for (;;) {
+    // Collect one dispatch record: doorbells until Finish, draining the
+    // ring after each so a record larger than the ring still flows.
+    bool Finish = false;
+    while (!Finish) {
+      uint8_t B = 0;
+      const ssize_t N = ::read(WorkR, &B, 1);
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0)
+        _exit(0); // EOF: clean teardown
+      if ((B & RingDoorbellTagMask) != (Tag & RingDoorbellTagMask))
+        continue; // stale doorbell from a previous generation
+      InRing.drainInto(Buf);
+      Finish = (B & RingDoorbellKindMask) == RingDoorbellFinish;
+    }
+    InRing.drainInto(Buf);
+    StageCmd Cmd;
+    size_t Consumed = 0;
+    // The parent has finished publishing: an incomplete or corrupt frame
+    // here is queue corruption, not backpressure. Reject and die; the
+    // parent contains it like a child crash.
+    if (!stageFrameComplete(Buf.data(), Buf.size()) ||
+        !decodeStageCmd(Buf.data(), Buf.size(), Cmd, Consumed))
+      _exit(StageQueueRejectExit);
+    Buf.erase(Buf.begin(),
+              Buf.begin() + static_cast<std::ptrdiff_t>(Consumed));
+    runStageChunk(Spec, Ctx, Config, Worker, Cmd, OutRing, Bell);
+  }
+}
+
+/// A replica arrival buffered until the retirement frontier reaches it.
+struct StageArrival {
+  ChildReport Rep;
+  std::vector<uint64_t> Tokens; // ParFirst: the produced tokens
+  unsigned WorkerIdx = 0;       // replica index (arena = WorkerIdx + 1)
+};
+
+/// Parent-side record of one open (executed, unretired) sequential-stage
+/// transaction. SeqFirst only; ParFirst sequential halves commit as they
+/// run.
+struct SeqChunkState {
+  std::unique_ptr<TxnContext> Ctx;
+  uint64_t SeqNs = 0;
+  std::vector<uint64_t> Tokens;
+};
+
+/// One resident replica and its queue endpoints.
+struct StageWorker {
+  pid_t Pid = -1;
+  std::unique_ptr<CommitRing> InRing;  // parent -> replica dispatch records
+  std::unique_ptr<CommitRing> OutRing; // replica -> parent reports
+  int WorkW = -1;                      // dispatch doorbells (parent writes)
+  int BellR = -1;                      // report doorbells (parent reads)
+  int64_t Chunk = -1;                  // in-flight chunk, -1 when free
+  std::vector<uint8_t> Buf;            // drained out-ring bytes
+  bool FinishSeen = false;
+};
+
+/// Real-time no-progress floor for the hung-replica backstop: small enough
+/// to keep fault tests fast, large enough that fork + queue latency on a
+/// loaded host cannot trip it spuriously.
+constexpr uint64_t StageStallFloorNs = 250'000'000; // 250ms
+
+} // namespace
+
+RunResult StagePipelineExecutor::run(const LoopSpec &Spec) {
+  RunResult Result;
+  if (!Spec.Stage.valid()) {
+    Result.Status = RunStatus::Crash;
+    Result.Detail = "loop carries no stage decomposition";
+    return Result;
+  }
+  // Staged chunks never misspeculate, so the pipeline runs coarser chunks
+  // than the loop's abort-tuned chunk factor (stagedChunkFactor), which
+  // amortizes the per-chunk dispatch, context, and frame costs that would
+  // otherwise dominate the sequential lane.
+  const int64_t Cf =
+      stagedChunkFactor(Config.Params.ChunkFactor > 0
+                            ? Config.Params.ChunkFactor
+                            : globalChunkFactor());
+  Result.ChunkFactorUsed = Cf;
+  Result.ScheduleUsed = ScheduleKind::Staged;
+  const int64_t N = Spec.NumIterations;
+  const int64_t NumChunks = (N + Cf - 1) / Cf;
+  if (NumChunks == 0)
+    return Result;
+  const bool SeqFirst = Spec.Stage.Order == StageOrder::SeqFirst;
+  // The parent owns the sequential lane (worker/arena 0); everyone else is
+  // a replica of the parallel stage.
+  const unsigned NumPar = std::max(1u, Config.NumWorkers) - 1 > 0
+                              ? Config.NumWorkers - 1
+                              : 1;
+  const uint64_t DeadlineNs =
+      Config.SeqBaselineNs == 0
+          ? 0
+          : static_cast<uint64_t>(Config.TimeoutFactor *
+                                  static_cast<double>(Config.SeqBaselineNs));
+  const CostModel &Model =
+      Config.Costs ? *Config.Costs : CostModel::calibrated();
+
+  // The stages promise disjointness, so validation is a safety net, not a
+  // speculation policy. REPLICAS track under FULL regardless of the loop's
+  // annotation: their chunks sit off the sequential lane, so the extra
+  // tracking is paid on the replicated (cheap) side and makes every
+  // replica-stage overlap with a sequential commit epoch observable. The
+  // PARENT's sequential lane runs with conflict tracking disabled — it is
+  // the pipeline's critical path, and set maintenance there would charge
+  // the staged schedule per-store costs the plan's disjointness contract
+  // makes unnecessary (the lane is never validated against). The checks
+  // this forgoes — replica footprints against sequential-lane accesses —
+  // are exactly the trust a breakable-dependence annotation already
+  // extends; the cross-footprint checks below still fire for any plan
+  // whose replicated stage performs tracked accesses.
+  ExecutorConfig SC = Config;
+  SC.Params.Conflict = ConflictPolicy::FULL;
+
+  ConflictDetector Detector(ConflictPolicy::FULL);
+  TraceSink Sink(Config.Trace);
+
+  std::vector<StageWorker> Workers(NumPar);
+  std::map<int64_t, SeqChunkState> SeqOpen;   // SeqFirst: executed, unretired
+  // Sequential-lane contexts are pooled across chunks: beginTxn() keeps the
+  // warm undo-log and access-set capacity, and cold hash-table growth on a
+  // fresh context is a per-chunk cost the pipeline's critical lane cannot
+  // afford. Pool entries already have conflict tracking disabled.
+  std::vector<std::unique_ptr<TxnContext>> CtxPool;
+  auto takeSeqCtx = [&]() -> std::unique_ptr<TxnContext> {
+    if (!CtxPool.empty()) {
+      auto Ctx = std::move(CtxPool.back());
+      CtxPool.pop_back();
+      return Ctx;
+    }
+    auto Ctx = std::make_unique<TxnContext>(
+        ContextMode::Transactional, &Config.Params, &Spec, Config.Allocator,
+        /*Worker=*/0u, Config.Limits);
+    // The sequential lane is never validated against: it runs in iteration
+    // order in this process, and the plan's disjointness contract promises
+    // the replicated stage reads none of its writes. Undo logging stays
+    // (restart-the-world rolls open chunks back); the conflict sets would
+    // only be dead weight on the pipeline's critical lane.
+    Ctx->disableConflictTracking();
+    return Ctx;
+  };
+  std::map<int64_t, StageArrival> Arrived;    // replica reports by chunk
+  std::map<int64_t, unsigned> FaultCounts;
+  // Cross-stage footprints for the plan-contract checks (word keys). Kept
+  // across restarts: rolled-back halves re-execute deterministically, so
+  // stale entries are a conservative superset.
+  std::unordered_set<uintptr_t> SeqReadWords;
+  std::unordered_set<uintptr_t> ParWriteWords;
+
+  int64_t Frontier = 0;     // next chunk to retire
+  int64_t NextSeq = 0;      // SeqFirst: next sequential half to execute
+  int64_t NextDispatch = 0; // next chunk to hand to a replica
+  const int64_t LeadMax = 2 * static_cast<int64_t>(NumPar) + 2;
+  unsigned Generation = 0;
+  uint64_t GenForkSeq = 0;
+  bool Crashed = false;
+  bool RestartPending = false;
+  std::string CrashDetail;
+  int64_t FaultChunk = -1; // chunk the pending restart indicts
+  int64_t LastStallChunk = -1;
+
+  // Modeled pipeline clock (see header): the sequential lane, one lane per
+  // replica, and the in-order retirement frontier.
+  double SeqLaneNs = 0.0;
+  std::vector<double> ParFreeNs(NumPar, 0.0);
+  double RetireClockNs = 0.0;
+
+  const uint64_t RealStart = nowNs();
+  uint64_t LastProgressNs = RealStart;
+
+  auto finishStats = [&] {
+    Result.Stats.RealTimeNs = nowNs() - RealStart;
+    // Single-CPU host: the protocol ran for real, the parallel wall-clock
+    // is modeled (header comment). One final join closes the pipeline.
+    Result.Stats.SimTimeNs =
+        static_cast<uint64_t>(RetireClockNs + Model.BarrierNs);
+    Result.Stats.WorkerSlotNs = Result.Stats.SimTimeNs * Config.NumWorkers;
+    Result.Stats.BloomChecks = Detector.bloomChecks();
+    Result.Stats.BloomSkips = Detector.bloomSkips();
+    Result.Stats.BloomFalsePositives = Detector.bloomFalsePositives();
+    Sink.finish(Result);
+  };
+
+  auto killWorker = [&](unsigned W) {
+    StageWorker &SW = Workers[W];
+    if (SW.Pid > 0) {
+      ::kill(SW.Pid, SIGKILL);
+      int Status = 0;
+      waitpidRetry(SW.Pid, &Status);
+    }
+    if (SW.WorkW >= 0)
+      ::close(SW.WorkW);
+    if (SW.BellR >= 0)
+      ::close(SW.BellR);
+    SW.Pid = -1;
+    SW.WorkW = SW.BellR = -1;
+    SW.Chunk = -1;
+    SW.Buf.clear();
+    SW.FinishSeen = false;
+    SW.InRing.reset();
+    SW.OutRing.reset();
+  };
+
+  auto killAllWorkers = [&] {
+    for (unsigned W = 0; W != NumPar; ++W)
+      killWorker(W);
+  };
+
+  // Rolls back every open sequential-stage transaction newest-first (LIFO:
+  // each undo log restores the bytes the NEXT-older transaction observed).
+  auto rollbackOpenSeq = [&] {
+    for (auto It = SeqOpen.rbegin(); It != SeqOpen.rend(); ++It) {
+      It->second.Ctx->suspendTxn();
+      It->second.Ctx->abortTxn();
+      CtxPool.push_back(std::move(It->second.Ctx));
+    }
+    SeqOpen.clear();
+  };
+
+  // Contained infrastructure failure: charge the chunk's fault budget and
+  // request a world restart, or — budget exhausted — fail the run with a
+  // Crash the recovery ladder can absorb.
+  auto chunkFault = [&](int64_t Chunk, const std::string &Why) {
+    const unsigned Count = ++FaultCounts[Chunk];
+    if (Count > Config.ChunkFaultRetryLimit) {
+      Crashed = true;
+      Result.FailedChunk = Chunk;
+      CrashDetail =
+          strprintf("chunk %lld failed %u consecutive attempts (%s)",
+                    static_cast<long long>(Chunk), Count, Why.c_str());
+      return;
+    }
+    if (Sink.events())
+      Sink.event(TraceEventKind::FaultContained, /*Worker=*/0, Chunk,
+                 traceNowNs(), 0, /*Arg0=*/Count);
+    RestartPending = true;
+    if (FaultChunk < 0)
+      FaultChunk = Chunk;
+  };
+
+  // A detected plan-contract violation: the stages were not disjoint after
+  // all. Never retried — re-running the same plan re-violates — the run
+  // fails into the ladder, which re-executes from committed state.
+  auto planViolation = [&](int64_t Chunk, const char *What) {
+    Crashed = true;
+    Result.FailedChunk = Chunk;
+    CrashDetail = strprintf("stage plan violation at chunk %lld (%s)",
+                            static_cast<long long>(Chunk), What);
+    if (Sink.counters())
+      Sink.conflict(Chunk, Detector.lastConflictWord());
+  };
+
+  auto setOverlaps = [](const AccessSet &Set,
+                        const std::unordered_set<uintptr_t> &Words) {
+    for (uintptr_t Key : Set.words())
+      if (Words.count(Key))
+        return true;
+    return false;
+  };
+
+  auto forkWorker = [&](unsigned W) -> bool {
+    StageWorker &SW = Workers[W];
+    int WorkP[2] = {-1, -1};
+    int BellP[2] = {-1, -1};
+    if (::pipe(WorkP) != 0)
+      return false;
+    if (::pipe(BellP) != 0) {
+      ::close(WorkP[0]);
+      ::close(WorkP[1]);
+      return false;
+    }
+    SW.InRing = std::make_unique<CommitRing>(Config.RingBytesPerSlot);
+    SW.OutRing = std::make_unique<CommitRing>(Config.RingBytesPerSlot);
+    const uint8_t Tag = static_cast<uint8_t>(Generation);
+    const pid_t Pid = ::fork();
+    if (Pid < 0) {
+      ::close(WorkP[0]);
+      ::close(WorkP[1]);
+      ::close(BellP[0]);
+      ::close(BellP[1]);
+      SW.InRing.reset();
+      SW.OutRing.reset();
+      return false;
+    }
+    if (Pid == 0) {
+      ::close(WorkP[1]);
+      ::close(BellP[0]);
+      // Drop the other replicas' endpoints: a sibling holding a doorbell
+      // write end would mask that sibling's death from the parent's EOF
+      // detection.
+      for (unsigned O = 0; O != NumPar; ++O) {
+        if (O == W)
+          continue;
+        if (Workers[O].WorkW >= 0)
+          ::close(Workers[O].WorkW);
+        if (Workers[O].BellR >= 0)
+          ::close(Workers[O].BellR);
+      }
+#ifdef __linux__
+      ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+      runStageChild(Spec, SC, W + 1, *SW.InRing, WorkP[0], *SW.OutRing,
+                    BellP[1], Tag);
+    }
+    ::close(WorkP[0]);
+    ::close(BellP[1]);
+    SW.Pid = Pid;
+    SW.WorkW = WorkP[1];
+    SW.BellR = BellP[0];
+    SW.Chunk = -1;
+    SW.Buf.clear();
+    SW.FinishSeen = false;
+    ++Result.Stats.ColdForks;
+    if (Sink.events())
+      Sink.event(TraceEventKind::Fork, /*Worker=*/0, /*Chunk=*/-1,
+                 traceNowNs(), 0, /*Arg0=*/W + 1, /*Arg1=*/3);
+    return true;
+  };
+
+  // (Re)fork the whole replica generation from committed state. The fresh
+  // snapshot makes every pre-restart epoch — including rolled-back
+  // sequential halves — invisible to the new generation's validation.
+  auto forkAllWorkers = [&] {
+    for (unsigned W = 0; W != NumPar; ++W) {
+      if (!forkWorker(W)) {
+        ++Result.Stats.NumForkFailures;
+        for (unsigned O = 0; O <= W; ++O)
+          killWorker(O);
+        chunkFault(Frontier, "fork/pipe failure");
+        RestartPending = true;
+        return false;
+      }
+    }
+    GenForkSeq = Detector.commitSeq();
+    Detector.pruneEpochsThrough(GenForkSeq);
+    return true;
+  };
+
+  auto restartWorld = [&] {
+    ++Generation;
+    killAllWorkers();
+    rollbackOpenSeq();
+    Arrived.clear();
+    NextSeq = NextDispatch = Frontier;
+    FaultChunk = -1;
+    RestartPending = false;
+    if (forkAllWorkers())
+      LastProgressNs = nowNs();
+  };
+
+  auto writeDispatchBell = [&](StageWorker &SW, uint8_t Kind) {
+    const uint8_t B = static_cast<uint8_t>(
+        Kind | (static_cast<uint8_t>(Generation) & RingDoorbellTagMask));
+    for (;;) {
+      const ssize_t R = ::write(SW.WorkW, &B, 1);
+      if (R == 1 || (R < 0 && errno != EINTR))
+        return; // EPIPE (dead replica) surfaces via the doorbell EOF
+      if (R >= 0)
+        return;
+    }
+  };
+
+  // Executes the sequential half of chunk \p C in the parent (SeqFirst):
+  // one transaction, held open — its in-place writes carry the SCC to the
+  // next chunk — until the frontier retires it.
+  auto execSeqChunk = [&](int64_t C) {
+    const int64_t First = C * Cf;
+    const int64_t Last = std::min<int64_t>(First + Cf, N);
+    SeqChunkState SCS;
+    SCS.Ctx = takeSeqCtx();
+    SCS.Ctx->beginTxn();
+    SCS.Tokens.reserve(static_cast<size_t>(Last - First));
+    const uint64_t T0 = cpuNowNs();
+    for (int64_t I = First; I != Last; ++I)
+      SCS.Tokens.push_back(Spec.Stage.First(*SCS.Ctx, I));
+    SCS.SeqNs = cpuNowNs() - T0;
+    if (SCS.Ctx->limitExceeded()) {
+      // Roll this transaction back before indicting it, so the crash exit
+      // leaves memory at committed state.
+      SCS.Ctx->suspendTxn();
+      SCS.Ctx->abortTxn();
+      CtxPool.push_back(std::move(SCS.Ctx));
+      Crashed = true;
+      Result.FailedChunk = C;
+      CrashDetail = strprintf(
+          "sequential stage (chunk %lld) exceeded the access-set memory cap",
+          static_cast<long long>(C));
+      return;
+    }
+    if (setOverlaps(SCS.Ctx->readSet(), ParWriteWords) ||
+        setOverlaps(SCS.Ctx->writeSet(), ParWriteWords)) {
+      SeqOpen.emplace(C, std::move(SCS)); // rolled back by the crash exit
+      planViolation(C, "sequential stage touched replica-stage writes");
+      return;
+    }
+    // Publish the half's writes as a commit epoch so every replica
+    // validation from this generation sees them.
+    Detector.recordCommitEpoch(SCS.Ctx->writeSet());
+    for (uintptr_t Key : SCS.Ctx->readSet().words())
+      SeqReadWords.insert(Key);
+    SeqOpen.emplace(C, std::move(SCS));
+  };
+
+  // Hands chunk \p C to replica \p W through its dispatch queue.
+  auto dispatchChunk = [&](unsigned W, int64_t C) {
+    StageWorker &SW = Workers[W];
+    const int64_t First = C * Cf;
+    const int64_t Last = std::min<int64_t>(First + Cf, N);
+    ArmedFault Fault;
+    if (FaultPlan::global().enabled()) {
+      // Fault points address the ORIGINAL coordinates of the work: a
+      // salvage sub-run re-indexes chunks, so map back before consuming.
+      FaultCoords FC{C, First, Last};
+      if (Spec.FaultRemap)
+        FC = Spec.FaultRemap(C, First, Last);
+      Fault = FaultPlan::global().take(FC.Chunk, FC.FirstIter, FC.LastIter);
+    }
+    if (Fault.Armed && Fault.Kind == FaultKind::ForkFail) {
+      ++Result.Stats.NumForkFailures;
+      chunkFault(C, "fork/pipe failure");
+      return;
+    }
+    bool FlipRecord = false;
+    uint64_t FlipSeed = 0;
+    int64_t FlipChunk = 0;
+    if (Fault.Armed) {
+      if (Fault.Kind == FaultKind::QueueFlip) {
+        // Parent-side fault: corrupt the queue record itself, not the
+        // replica's behavior.
+        FlipRecord = true;
+        FlipSeed = Fault.Seed;
+        FlipChunk = Fault.Chunk;
+        Fault = ArmedFault();
+      } else if (Fault.Kind == FaultKind::TemplatePoison) {
+        Fault = ArmedFault(); // no warm template here: consumed as a no-op
+      }
+    }
+    StageCmd Cmd;
+    Cmd.Chunk = C;
+    Cmd.First = First;
+    Cmd.Last = Last;
+    Cmd.Fault = Fault;
+    if (SeqFirst) {
+      auto It = SeqOpen.find(C);
+      assert(It != SeqOpen.end() && "dispatch before sequential half ran");
+      Cmd.Tokens = It->second.Tokens;
+    }
+    std::vector<uint8_t> Frame;
+    encodeStageCmd(Frame, Cmd);
+    if (FlipRecord)
+      faultBitFlipWire(Frame, FlipSeed, FlipChunk);
+    if (Sink.events())
+      Sink.event(TraceEventKind::StageDispatch, /*Worker=*/W + 1, C,
+                 traceNowNs(), 0, /*Arg0=*/Frame.size(),
+                 /*Arg1=*/Cmd.Tokens.size());
+    SW.Chunk = C;
+    SW.InRing->pushAll(Frame.data(), Frame.size(),
+                       [&] { writeDispatchBell(SW, RingDoorbellData); });
+    writeDispatchBell(SW, RingDoorbellFinish);
+    LastProgressNs = nowNs();
+    Result.Stats.QueueDepthPeak =
+        std::max<uint64_t>(Result.Stats.QueueDepthPeak,
+                           static_cast<uint64_t>(
+                               (SeqFirst ? NextSeq : NextDispatch + 1) -
+                               Frontier));
+  };
+
+  // Absorbs one replica's decoded report into the run statistics.
+  auto absorbReport = [&](const ChildReport &Rep) {
+    ++Result.Stats.NumTransactions;
+    Result.Stats.ReadSetWords.add(
+        static_cast<double>(Rep.Reads.sizeWords()));
+    Result.Stats.WriteSetWords.add(
+        static_cast<double>(Rep.Writes.sizeWords()));
+    Result.Stats.InstrReadCalls += Rep.InstrReadCalls;
+    Result.Stats.InstrWriteCalls += Rep.InstrWriteCalls;
+    Result.Stats.BytesRead += Rep.BytesRead;
+    Result.Stats.BytesWritten += Rep.BytesWritten;
+    Result.Stats.WireBytes += Rep.WireBytes;
+    Result.Stats.WireBytesRaw += Rep.RawWireBytes;
+    Result.Stats.WorkerBusyNs += Rep.WorkNs;
+    Sink.absorbChild(Rep.Trace);
+  };
+
+  // A replica's doorbell pipe reported EOF: it died (fault injection, a
+  // rejected queue record, or a real crash). Classify, then restart.
+  auto workerDied = [&](unsigned W) {
+    StageWorker &SW = Workers[W];
+    int Status = 0;
+    waitpidRetry(SW.Pid, &Status);
+    SW.Pid = -1;
+    const bool QueueReject =
+        WIFEXITED(Status) && WEXITSTATUS(Status) == StageQueueRejectExit;
+    if (QueueReject)
+      ++Result.Stats.NumWireRejects;
+    else
+      ++Result.Stats.NumChildCrashes;
+    const int64_t Indicted = SW.Chunk >= 0 ? SW.Chunk : Frontier;
+    chunkFault(Indicted,
+               QueueReject ? "replica rejected a corrupt inter-stage record"
+                           : "stage replica terminated abnormally");
+  };
+
+  // Tries to cut one complete report (ALTER4 frame + ParFirst token frame)
+  // from worker \p W's drained bytes. Returns false when more bytes are
+  // needed; rejections go through chunkFault.
+  auto completeWorker = [&](unsigned W) -> bool {
+    StageWorker &SW = Workers[W];
+    if (!wireFrameLooksComplete(SW.Buf.data(), SW.Buf.size()))
+      return false;
+    // Slice the exact ALTER4 frame: the decoder demands an exact-length
+    // buffer. A corrupt magic poisons the length field, so hand the whole
+    // buffer over and let the decode reject it.
+    size_t FrameLen = SW.Buf.size();
+    if (SW.Buf.size() >= 24) {
+      const uint64_t PayloadLen = readU64(SW.Buf.data() + 8);
+      if (24 + PayloadLen <= SW.Buf.size())
+        FrameLen = static_cast<size_t>(24 + PayloadLen);
+    }
+    std::vector<uint8_t> Frame(SW.Buf.begin(),
+                               SW.Buf.begin() +
+                                   static_cast<std::ptrdiff_t>(FrameLen));
+    ChildReport Rep;
+    std::string Error;
+    if (!decodeChildReport(Frame, Spec, SC.Params, Rep, Error)) {
+      ++Result.Stats.NumWireRejects;
+      const int64_t C = SW.Chunk;
+      SW.Buf.clear();
+      SW.FinishSeen = false;
+      SW.Chunk = -1;
+      chunkFault(C, "rejected stage commit message: " + Error);
+      return true;
+    }
+    StageArrival A;
+    A.WorkerIdx = W;
+    if (!SeqFirst) {
+      // The token report follows the commit frame in the same ring.
+      StageCmd Report;
+      size_t Consumed = 0;
+      const uint8_t *Rest = SW.Buf.data() + FrameLen;
+      const size_t RestLen = SW.Buf.size() - FrameLen;
+      if (!stageFrameComplete(Rest, RestLen)) {
+        if (!SW.FinishSeen)
+          return false; // still streaming
+        ++Result.Stats.NumWireRejects;
+        const int64_t C = SW.Chunk;
+        SW.Buf.clear();
+        SW.FinishSeen = false;
+        SW.Chunk = -1;
+        chunkFault(C, "truncated inter-stage token record");
+        return true;
+      }
+      if (!decodeStageCmd(Rest, RestLen, Report, Consumed) ||
+          Report.Chunk != SW.Chunk ||
+          Report.Tokens.size() !=
+              static_cast<size_t>(Report.Last - Report.First)) {
+        ++Result.Stats.NumWireRejects;
+        const int64_t C = SW.Chunk;
+        SW.Buf.clear();
+        SW.FinishSeen = false;
+        SW.Chunk = -1;
+        chunkFault(C, "rejected inter-stage token record");
+        return true;
+      }
+      FrameLen += Consumed;
+      A.Tokens = std::move(Report.Tokens);
+    }
+    SW.Buf.erase(SW.Buf.begin(),
+                 SW.Buf.begin() + static_cast<std::ptrdiff_t>(FrameLen));
+    SW.FinishSeen = false;
+    const int64_t C = SW.Chunk;
+    SW.Chunk = -1;
+    if (Rep.LimitExceeded) {
+      Crashed = true;
+      Result.FailedChunk = C;
+      CrashDetail = strprintf(
+          "stage replica %u (chunk %lld) exceeded the access-set memory cap",
+          W, static_cast<long long>(C));
+      return true;
+    }
+    absorbReport(Rep);
+    A.Rep = std::move(Rep);
+    Arrived.emplace(C, std::move(A));
+    LastProgressNs = nowNs();
+    return true;
+  };
+
+  // Advances the modeled pipeline clock for one retired chunk. The chunk
+  // occupies the LEAST-LOADED modeled replica lane, not the replica that
+  // actually ran it here: on the modeled P-core machine the parent hands
+  // work to whichever replica is free, and the single-CPU host's scheduler
+  // skew (which timeshared process happened to finish chunks faster) must
+  // not leak into the modeled clock as phantom lane imbalance.
+  auto advanceModel = [&](int64_t C, uint64_t SeqNs, uint64_t ParNs,
+                          uint64_t CommitBytes, uint64_t CheckWords,
+                          uint64_t TokenBytes) {
+    const double DispatchCost =
+        Model.StageDispatchNs +
+        static_cast<double>(TokenBytes) * Model.CommitNsPerByte;
+    const double CommitCost =
+        static_cast<double>(CheckWords) * Model.CheckNsPerWord +
+        static_cast<double>(CommitBytes) * Model.CommitNsPerByte;
+    double &Lane = *std::min_element(ParFreeNs.begin(), ParFreeNs.end());
+    if (SeqFirst) {
+      // Sequential lane produces, a replica lane consumes; the parent lane
+      // also pays the serialized validate/commit that closes the chunk.
+      SeqLaneNs += static_cast<double>(SeqNs) + DispatchCost;
+      const double Start = std::max(SeqLaneNs, Lane);
+      const double Done = Start + static_cast<double>(ParNs);
+      Lane = Done;
+      SeqLaneNs += CommitCost;
+      RetireClockNs =
+          std::max({RetireClockNs, Done + CommitCost, SeqLaneNs});
+    } else {
+      // Replica lane produces, the sequential lane consumes and commits.
+      const double Start = Lane + DispatchCost;
+      const double Done = Start + static_cast<double>(ParNs);
+      Lane = Done;
+      const double SeqStart = std::max(Done, SeqLaneNs);
+      SeqLaneNs = SeqStart + static_cast<double>(SeqNs) + CommitCost;
+      RetireClockNs = std::max(RetireClockNs, SeqLaneNs);
+    }
+    if (Sink.events())
+      Sink.event(TraceEventKind::StageRetire, /*Worker=*/0, C, traceNowNs(),
+                 0, /*Arg0=*/SeqNs, /*Arg1=*/ParNs);
+  };
+
+  // Commits one replica report (the parallel half of chunk \p C).
+  auto commitParHalf = [&](StageArrival &A, int64_t C) {
+    ++Result.Stats.NumCommitted;
+    Detector.recordCommitEpoch(A.Rep.Writes);
+    for (uintptr_t Key : A.Rep.Writes.words())
+      ParWriteWords.insert(Key);
+    A.Rep.Log.apply();
+    for (unsigned I = 0; I != A.Rep.Slots.size(); ++I)
+      if (A.Rep.Slots[I].Active && A.Rep.Slots[I].Touched)
+        TxnContext::commitReductionSlot(Spec.Reductions[I], A.Rep.Slots[I]);
+    if (Config.Allocator)
+      Config.Allocator->advanceBump(A.WorkerIdx + 1, A.Rep.BumpOffset);
+    if (Sink.events())
+      Sink.event(TraceEventKind::Commit, /*Worker=*/0, C, traceNowNs(), 0,
+                 /*Arg0=*/A.Rep.Log.dataBytes());
+  };
+
+  // Validates the replica half of chunk \p C against the plan contract.
+  auto validatePar = [&](const StageArrival &A, int64_t C) -> bool {
+    const uint64_t ValT0 = Sink.events() ? traceNowNs() : 0;
+    const bool Conflicts =
+        Detector.hasConflictSince(GenForkSeq, A.Rep.Reads, A.Rep.Writes);
+    if (Sink.events())
+      Sink.event(TraceEventKind::Validate, /*Worker=*/0, C, ValT0,
+                 traceNowNs() - ValT0, /*Arg0=*/Conflicts ? 1 : 0,
+                 /*Arg1=*/Detector.lastConflictWord());
+    if (Conflicts) {
+      planViolation(C, "replica stage overlapped a commit epoch");
+      return false;
+    }
+    if (setOverlaps(A.Rep.Writes, SeqReadWords)) {
+      planViolation(C, "replica-stage writes hit the sequential read set");
+      return false;
+    }
+    return true;
+  };
+
+  // Retires every chunk whose report has arrived at the frontier.
+  auto retireFrontier = [&] {
+    while (!Crashed && !RestartPending && Frontier != NumChunks) {
+      auto It = Arrived.find(Frontier);
+      if (It == Arrived.end())
+        return;
+      StageArrival &A = It->second;
+      const int64_t C = Frontier;
+      if (!validatePar(A, C))
+        return;
+      const int64_t First = C * Cf;
+      const int64_t Last = std::min<int64_t>(First + Cf, N);
+      const uint64_t CheckWords =
+          A.Rep.Reads.sizeWords() + A.Rep.Writes.sizeWords();
+      const uint64_t TokenBytes =
+          StageFrameHeaderBytes +
+          static_cast<uint64_t>(Last - First) * sizeof(uint64_t);
+      const uint64_t ParNs = A.Rep.WorkNs;
+      uint64_t SeqNs = 0;
+      uint64_t CommitBytes = A.Rep.Log.dataBytes();
+      if (SeqFirst) {
+        auto SIt = SeqOpen.find(C);
+        assert(SIt != SeqOpen.end() && "retiring a chunk with no seq half");
+        SeqChunkState &SCS = SIt->second;
+        SeqNs = SCS.SeqNs;
+        commitParHalf(A, C);
+        // Retire the sequential half: its writes are already in place, so
+        // capture them as redo and commit (reduction merges, deferred
+        // frees) without restoring.
+        ++Result.Stats.NumTransactions;
+        ++Result.Stats.NumCommitted;
+        Result.Stats.ReadSetWords.add(
+            static_cast<double>(SCS.Ctx->readSet().sizeWords()));
+        Result.Stats.WriteSetWords.add(
+            static_cast<double>(SCS.Ctx->writeSet().sizeWords()));
+        Result.Stats.InstrReadCalls += SCS.Ctx->instrReadCalls();
+        Result.Stats.InstrWriteCalls += SCS.Ctx->instrWriteCalls();
+        Result.Stats.BytesRead += SCS.Ctx->bytesRead();
+        Result.Stats.BytesWritten += SCS.Ctx->bytesWritten();
+        Result.Stats.WorkerBusyNs += SCS.SeqNs;
+        CommitBytes += SCS.Ctx->writeLog().dataBytes();
+        SCS.Ctx->captureRedo();
+        SCS.Ctx->commitTxn();
+        CtxPool.push_back(std::move(SCS.Ctx));
+        SeqOpen.erase(SIt);
+      } else {
+        commitParHalf(A, C);
+        // Run the sequential half NOW, consuming the replica's tokens, and
+        // commit it immediately — the frontier IS the sequential lane. The
+        // context comes from (and returns to) the pool.
+        auto CtxPtr = takeSeqCtx();
+        TxnContext &Ctx = *CtxPtr;
+        Ctx.beginTxn();
+        const uint64_t T0 = cpuNowNs();
+        for (int64_t I = First; I != Last; ++I)
+          Spec.Stage.Second(Ctx, I,
+                            A.Tokens[static_cast<size_t>(I - First)]);
+        SeqNs = cpuNowNs() - T0;
+        if (Ctx.limitExceeded()) {
+          Ctx.suspendTxn();
+          Ctx.abortTxn();
+          CtxPool.push_back(std::move(CtxPtr));
+          Crashed = true;
+          Result.FailedChunk = C;
+          CrashDetail = strprintf("sequential stage (chunk %lld) exceeded "
+                                  "the access-set memory cap",
+                                  static_cast<long long>(C));
+          return;
+        }
+        if (setOverlaps(Ctx.readSet(), ParWriteWords) ||
+            setOverlaps(Ctx.writeSet(), ParWriteWords)) {
+          Ctx.suspendTxn();
+          Ctx.abortTxn();
+          CtxPool.push_back(std::move(CtxPtr));
+          planViolation(C, "sequential stage touched replica-stage writes");
+          return;
+        }
+        Detector.recordCommitEpoch(Ctx.writeSet());
+        for (uintptr_t Key : Ctx.readSet().words())
+          SeqReadWords.insert(Key);
+        ++Result.Stats.NumTransactions;
+        ++Result.Stats.NumCommitted;
+        Result.Stats.ReadSetWords.add(
+            static_cast<double>(Ctx.readSet().sizeWords()));
+        Result.Stats.WriteSetWords.add(
+            static_cast<double>(Ctx.writeSet().sizeWords()));
+        Result.Stats.InstrReadCalls += Ctx.instrReadCalls();
+        Result.Stats.InstrWriteCalls += Ctx.instrWriteCalls();
+        Result.Stats.BytesRead += Ctx.bytesRead();
+        Result.Stats.BytesWritten += Ctx.bytesWritten();
+        Result.Stats.WorkerBusyNs += SeqNs;
+        CommitBytes += Ctx.writeLog().dataBytes();
+        Ctx.captureRedo();
+        Ctx.commitTxn();
+        CtxPool.push_back(std::move(CtxPtr));
+      }
+      advanceModel(C, SeqNs, ParNs, CommitBytes, CheckWords, TokenBytes);
+      Result.CommitOrder.push_back(C);
+      Arrived.erase(It);
+      ++Frontier;
+      FaultCounts.erase(C);
+      LastProgressNs = nowNs();
+    }
+  };
+
+  auto crashExit = [&](RunStatus Status, const std::string &Detail) {
+    killAllWorkers();
+    rollbackOpenSeq();
+    Result.Status = Status;
+    Result.Detail = Detail;
+    finishStats();
+    return Result;
+  };
+
+  ::signal(SIGPIPE, SIG_IGN);
+  if (!forkAllWorkers()) {
+    // First generation could not even fork; chunkFault already charged it.
+    if (!Crashed) {
+      Crashed = true;
+      Result.FailedChunk = Frontier;
+      CrashDetail = "stage replica fork failed";
+    }
+    return crashExit(RunStatus::Crash, CrashDetail);
+  }
+
+  while (Frontier != NumChunks) {
+    if (Crashed)
+      return crashExit(RunStatus::Crash, CrashDetail);
+    if (RestartPending) {
+      restartWorld();
+      if (Crashed)
+        return crashExit(RunStatus::Crash, CrashDetail);
+      if (RestartPending) {
+        ::poll(nullptr, 0, 1); // transient fork failure: back off, retry
+        continue;
+      }
+    }
+
+    // Run the sequential lane ahead of the frontier (SeqFirst): each half
+    // produces the tokens its replica half will consume.
+    if (SeqFirst) {
+      while (!Crashed && NextSeq != NumChunks &&
+             NextSeq - Frontier < LeadMax) {
+        execSeqChunk(NextSeq);
+        if (Crashed || RestartPending)
+          break;
+        ++NextSeq;
+      }
+    } else {
+      NextSeq = std::min<int64_t>(Frontier + LeadMax, NumChunks);
+    }
+    if (Crashed || RestartPending)
+      continue;
+
+    // Feed free replicas. A ready chunk with no free replica is the
+    // backpressure stall the StageStalled counter records.
+    const int64_t DispatchableEnd = SeqFirst ? NextSeq : NumChunks;
+    while (NextDispatch < DispatchableEnd &&
+           NextDispatch - Frontier < LeadMax && !Crashed && !RestartPending) {
+      int FreeW = -1;
+      for (unsigned W = 0; W != NumPar; ++W)
+        if (Workers[W].Pid > 0 && Workers[W].Chunk < 0) {
+          FreeW = static_cast<int>(W);
+          break;
+        }
+      if (FreeW < 0) {
+        if (LastStallChunk != NextDispatch) {
+          LastStallChunk = NextDispatch;
+          ++Result.Stats.StageStalled;
+          if (Sink.events())
+            Sink.event(TraceEventKind::StageStall, /*Worker=*/0,
+                       NextDispatch, traceNowNs(), 0,
+                       /*Arg0=*/static_cast<uint64_t>(NextDispatch -
+                                                      Frontier));
+        }
+        break;
+      }
+      dispatchChunk(static_cast<unsigned>(FreeW), NextDispatch);
+      if (Crashed || RestartPending)
+        break;
+      ++NextDispatch;
+    }
+    if (Crashed || RestartPending)
+      continue;
+
+    retireFrontier();
+    if (Crashed || RestartPending || Frontier == NumChunks)
+      continue;
+
+    // Wait for replica doorbells. Every live replica is polled — an idle
+    // one can still die and must be noticed before the next dispatch.
+    std::vector<pollfd> Fds;
+    std::vector<unsigned> FdWorkers;
+    bool AnyBusy = false;
+    for (unsigned W = 0; W != NumPar; ++W) {
+      if (Workers[W].Pid <= 0)
+        continue;
+      Fds.push_back({Workers[W].BellR, POLLIN, 0});
+      FdWorkers.push_back(W);
+      AnyBusy = AnyBusy || Workers[W].Chunk >= 0;
+    }
+    if (Fds.empty() || !AnyBusy) {
+      ::poll(nullptr, 0, 1);
+    } else {
+      const int PollTimeoutMs = DeadlineNs == 0 ? -1 : 100;
+      const uint64_t PollT0 = Sink.events() ? traceNowNs() : 0;
+      int Ready;
+      do {
+        Ready = ::poll(Fds.data(), Fds.size(), PollTimeoutMs);
+      } while (Ready < 0 && errno == EINTR);
+      if (Sink.events() && Ready >= 0)
+        Sink.event(TraceEventKind::PollWake, /*Worker=*/0, /*Chunk=*/-1,
+                   PollT0, traceNowNs() - PollT0,
+                   /*Arg0=*/static_cast<uint64_t>(Ready));
+      if (Ready < 0)
+        return crashExit(RunStatus::Crash,
+                         "poll() failed in stage-pipeline executor");
+      for (size_t F = 0; F != Fds.size(); ++F) {
+        if (!(Fds[F].revents & (POLLIN | POLLHUP | POLLERR)))
+          continue;
+        const unsigned W = FdWorkers[F];
+        StageWorker &SW = Workers[W];
+        uint8_t Bells[256];
+        ssize_t NRead;
+        do {
+          NRead = ::read(SW.BellR, Bells, sizeof(Bells));
+        } while (NRead < 0 && errno == EINTR);
+        if (NRead <= 0) {
+          workerDied(W);
+          killWorker(W);
+          continue;
+        }
+        LastProgressNs = nowNs();
+        const uint8_t Tag =
+            static_cast<uint8_t>(Generation) & RingDoorbellTagMask;
+        bool Drained = false;
+        for (ssize_t B = 0; B != NRead; ++B) {
+          if ((Bells[B] & RingDoorbellTagMask) != Tag)
+            continue;
+          if (!Drained) {
+            SW.OutRing->drainInto(SW.Buf);
+            Drained = true;
+          }
+          if ((Bells[B] & RingDoorbellKindMask) == RingDoorbellFinish)
+            SW.FinishSeen = true;
+        }
+        if (SW.Chunk >= 0) {
+          SW.OutRing->drainInto(SW.Buf);
+          completeWorker(W);
+        }
+        if (Crashed)
+          return crashExit(RunStatus::Crash, CrashDetail);
+      }
+      retireFrontier();
+      if (Crashed)
+        return crashExit(RunStatus::Crash, CrashDetail);
+    }
+
+    if (DeadlineNs != 0) {
+      const uint64_t SimNow = static_cast<uint64_t>(RetireClockNs);
+      if (AccumulatedSimNs + SimNow > DeadlineNs)
+        return crashExit(
+            RunStatus::Timeout,
+            "staged execution time exceeded the 10x-sequential deadline");
+      const uint64_t Now = nowNs();
+      const uint64_t Backstop = std::max(DeadlineNs, StageStallFloorNs);
+      if (Now - LastProgressNs > Backstop)
+        return crashExit(RunStatus::Timeout,
+                         "stage pipeline made no progress within the "
+                         "deadline (hung replica)");
+    }
+  }
+
+  assert(SeqOpen.empty() && "open sequential halves outlived the run");
+  killAllWorkers();
+  finishStats();
+  return Result;
+}

@@ -1,0 +1,67 @@
+//===- runtime/StagePipelinePlan.cpp --------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/StagePipelinePlan.h"
+
+#include "runtime/Executor.h"
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace alter;
+
+const char *alter::stageOrderName(StageOrder Order) {
+  switch (Order) {
+  case StageOrder::SeqFirst:
+    return "seq_first";
+  case StageOrder::ParFirst:
+    return "par_first";
+  }
+  ALTER_UNREACHABLE("covered switch");
+}
+
+double StagePlan::chunkedAbortRate() const {
+  double Rate = 0.0;
+  for (const BreakableEdge &E : Removed)
+    Rate += E.ChunkedAbortRate;
+  return std::clamp(Rate, 0.0, 0.95);
+}
+
+uint64_t StagePlan::removalNsPerIter() const {
+  uint64_t Ns = 0;
+  for (const BreakableEdge &E : Removed)
+    Ns += E.RemovalNsPerIter;
+  return Ns;
+}
+
+const char *alter::schedulePolicyName(SchedulePolicy Policy) {
+  switch (Policy) {
+  case SchedulePolicy::Auto:
+    return "auto";
+  case SchedulePolicy::Chunked:
+    return "chunked";
+  case SchedulePolicy::Staged:
+    return "staged";
+  case SchedulePolicy::Sequential:
+    return "sequential";
+  }
+  ALTER_UNREACHABLE("covered switch");
+}
+
+bool alter::parseSchedulePolicy(const std::string &Text,
+                                SchedulePolicy &Policy) {
+  if (Text == "auto")
+    Policy = SchedulePolicy::Auto;
+  else if (Text == "chunked")
+    Policy = SchedulePolicy::Chunked;
+  else if (Text == "staged")
+    Policy = SchedulePolicy::Staged;
+  else if (Text == "sequential")
+    Policy = SchedulePolicy::Sequential;
+  else
+    return false;
+  return true;
+}

@@ -83,6 +83,10 @@ void TxnContext::storeBytes(void *Addr, const void *Src, size_t Size) {
       Writes.insertRange(Addr, Size);
       checkSetLimits();
     }
+    if (BufferedWrites) {
+      Log.record(Addr, Src, Size);
+      return;
+    }
     Log.recordUndo(Addr, Size);
     std::memcpy(Addr, Src, Size);
     return;
@@ -99,6 +103,10 @@ void TxnContext::storeInitBytes(void *Addr, const void *Src, size_t Size) {
     std::memcpy(Addr, Src, Size);
     return;
   case ContextMode::Transactional:
+    if (BufferedWrites) {
+      Log.record(Addr, Src, Size);
+      return;
+    }
     // Undo-logged (isolation) but untracked (fresh data).
     Log.recordUndo(Addr, Size);
     std::memcpy(Addr, Src, Size);
@@ -126,6 +134,8 @@ void TxnContext::readRangeBytes(const void *Addr, void *Out, size_t Size) {
       checkSetLimits();
     }
     std::memcpy(Out, Addr, Size);
+    if (BufferedWrites)
+      Log.overlayRange(Addr, Size, Out);
     return;
   }
   ALTER_UNREACHABLE("covered switch");
@@ -146,6 +156,10 @@ void TxnContext::writeRangeBytes(void *Addr, const void *Src, size_t Size) {
       ++InstrWriteCalls;
       Writes.insertRange(Addr, Size);
       checkSetLimits();
+    }
+    if (BufferedWrites) {
+      Log.record(Addr, Src, Size);
+      return;
     }
     Log.recordUndo(Addr, Size);
     std::memcpy(Addr, Src, Size);
@@ -210,6 +224,9 @@ void TxnContext::acquireObject(void *Addr, size_t Size) {
     checkSetLimits();
     BytesRead += Size;
     BytesWritten += Size;
+    assert(!BufferedWrites &&
+           "acquireObject's raw-pointer access contract is incompatible "
+           "with buffered writes");
     Log.recordUndo(Addr, Size);
     return;
   }
@@ -318,12 +335,16 @@ void TxnContext::beginTxn() {
 void TxnContext::suspendTxn() {
   assert(Mode == ContextMode::Transactional &&
          "suspendTxn is only meaningful transactionally");
+  if (BufferedWrites)
+    return; // memory was never touched; the log already holds redo data
   Log.swapWithMemory();
 }
 
 void TxnContext::captureRedo() {
   assert(Mode == ContextMode::Transactional &&
          "captureRedo is only meaningful transactionally");
+  if (BufferedWrites)
+    return; // the buffered log IS the redo log
   Log.captureRedo();
 }
 

@@ -98,6 +98,9 @@ public:
         Reads.insertRange(Addr, sizeof(T));
         checkSetLimits();
       }
+      if (BufferedWrites && Log.mayContain(Addr, sizeof(T)) &&
+          Log.lookup(Addr, &Value, sizeof(T)))
+        return Value; // read-your-own-buffered-write
       std::memcpy(&Value, Addr, sizeof(T));
       return Value;
     }
@@ -122,6 +125,10 @@ public:
         Writes.insertRange(Addr, sizeof(T));
         checkSetLimits();
       }
+      if (BufferedWrites) {
+        Log.record(Addr, &Value, sizeof(T));
+        return;
+      }
       Log.recordUndo(Addr, sizeof(T));
       std::memcpy(Addr, &Value, sizeof(T));
       return;
@@ -141,6 +148,10 @@ public:
                   "instrumented accesses require trivially copyable types");
     if (Mode == ContextMode::Transactional) {
       BytesWritten += sizeof(T);
+      if (BufferedWrites) {
+        Log.record(Addr, &Value, sizeof(T));
+        return;
+      }
       Log.recordUndo(Addr, sizeof(T));
       std::memcpy(Addr, &Value, sizeof(T));
       return;
@@ -237,6 +248,27 @@ public:
   // Executor-facing protocol (not for loop bodies)
   //===--------------------------------------------------------------------===
 
+  /// Drops read/write conflict-set tracking for the rest of this context's
+  /// life; undo logging, commit, and abort stay intact. The stage
+  /// pipeline's sequential lane runs this way: it executes in iteration
+  /// order in one process and nothing is validated against it, so the
+  /// stage plan's disjointness contract (tokens are the only cross-stage
+  /// flow) stands in for the conflict check — DSWP's sequential stage
+  /// needs no speculation support.
+  void disableConflictTracking() { TrackReads = TrackWrites = false; }
+
+  /// Routes every subsequent write into the log as a buffered redo value
+  /// instead of undo-log-then-write-in-place; loads get read-your-own-writes
+  /// through the log overlay. Fork-shipped replicas (the stage pipeline's
+  /// parallel-stage children) run this way: their writes exist only to be
+  /// serialized onto the commit wire, so buffering skips the undo snapshot,
+  /// the page-dirtying store (the child's COW image stays clean), and the
+  /// whole captureRedo pass — the log already IS the redo log. Incompatible
+  /// with acquireObject/instrumentWrite (raw-pointer writes would bypass
+  /// the buffer); such bodies must not run in a buffered context.
+  void enableBufferedWrites() { BufferedWrites = true; }
+  bool bufferedWrites() const { return BufferedWrites; }
+
   /// Resets all transactional state for a fresh transaction.
   void beginTxn();
 
@@ -325,6 +357,7 @@ private:
 
   bool TrackReads = false;
   bool TrackWrites = false;
+  bool BufferedWrites = false;
 
   WriteLog Log;
   AccessSet Reads;

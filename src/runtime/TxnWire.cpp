@@ -313,6 +313,33 @@ std::vector<uint8_t> buildChildCommitMessage(const LoopSpec &Spec,
   if (Fault.Armed && Fault.Kind == FaultKind::ChildKill)
     ::raise(SIGKILL); // the injected kill lands after the work, pre-report
 
+  std::vector<uint8_t> Message =
+      encodeCommitFrame(Ctx, Config, Worker, Chunk, WorkNs, Trace);
+  if (Fault.Armed) {
+    switch (Fault.Kind) {
+    case FaultKind::PipeTruncate:
+      faultTruncateWire(Message, Fault.Seed, Fault.Chunk);
+      break;
+    case FaultKind::BitFlip:
+      faultBitFlipWire(Message, Fault.Seed, Fault.Chunk);
+      break;
+    case FaultKind::Stall:
+      sleepNs(Fault.StallNs);
+      break;
+    default:
+      break; // parent-side kinds handled before fork
+    }
+  }
+  return Message;
+}
+
+} // namespace
+
+std::vector<uint8_t> alter::encodeCommitFrame(TxnContext &Ctx,
+                                              const ExecutorConfig &Config,
+                                              unsigned Worker, int64_t Chunk,
+                                              uint64_t WorkNs,
+                                              TraceBuffer &Trace) {
   const auto &Slots = Ctx.reductionSlots();
 
   // Serialize the body (sets, log, slots) separately from the fixed header:
@@ -390,26 +417,8 @@ std::vector<uint8_t> buildChildCommitMessage(const LoopSpec &Spec,
   Framed.u64(wireCrc32(W.bytes().data(), W.bytes().size()));
   Framed.raw(W.bytes().data(), W.bytes().size());
 
-  std::vector<uint8_t> &Message = Framed.bytes();
-  if (Fault.Armed) {
-    switch (Fault.Kind) {
-    case FaultKind::PipeTruncate:
-      faultTruncateWire(Message, Fault.Seed, Fault.Chunk);
-      break;
-    case FaultKind::BitFlip:
-      faultBitFlipWire(Message, Fault.Seed, Fault.Chunk);
-      break;
-    case FaultKind::Stall:
-      sleepNs(Fault.StallNs);
-      break;
-    default:
-      break; // parent-side kinds handled before fork
-    }
-  }
-  return std::move(Message);
+  return std::move(Framed.bytes());
 }
-
-} // namespace
 
 void alter::runWireChild(const LoopSpec &Spec, const ExecutorConfig &Config,
                          unsigned Worker, int64_t Chunk, int64_t FirstIter,

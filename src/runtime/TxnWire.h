@@ -134,6 +134,19 @@ struct WireNextCmd {
                                    uint8_t DoorbellTag, int WorkFd,
                                    const ArmedFault &Fault = ArmedFault());
 
+/// Child side: serializes the framed ALTER4 commit message for a
+/// transaction already executed in \p Ctx (after captureRedo): fixed
+/// header, compressed access sets, write log, reduction slots, TRACE
+/// section, all wrapped in the magic | length | CRC32 frame. The uncorrupted
+/// building block behind runWireChild, exposed so other transactional
+/// children (the stage-pipeline workers) can ship through the identical
+/// validate/commit path. Records the Serialize/CommitAttempt trace events
+/// into \p Trace before encoding the TRACE section.
+std::vector<uint8_t> encodeCommitFrame(TxnContext &Ctx,
+                                       const ExecutorConfig &Config,
+                                       unsigned Worker, int64_t Chunk,
+                                       uint64_t WorkNs, TraceBuffer &Trace);
+
 /// True when \p Bytes holds a complete frame: the header has arrived and
 /// the payload-length field is satisfied. A corrupt magic makes the length
 /// untrustworthy, so any full header with a bad magic counts as complete —

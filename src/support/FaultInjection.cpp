@@ -34,6 +34,8 @@ bool parseKind(const std::string &Name, FaultKind &Kind) {
     Kind = FaultKind::Stall;
   else if (Name == "poison")
     Kind = FaultKind::TemplatePoison;
+  else if (Name == "qflip")
+    Kind = FaultKind::QueueFlip;
   else
     return false;
   return true;
@@ -69,6 +71,8 @@ const char *alter::faultKindName(FaultKind Kind) {
     return "stall";
   case FaultKind::TemplatePoison:
     return "poison";
+  case FaultKind::QueueFlip:
+    return "qflip";
   }
   ALTER_UNREACHABLE("covered switch");
 }

@@ -23,6 +23,12 @@
 ///                  degrades to a cold pipe fork for that attempt and the
 ///                  pool respawns afterwards; on the Pipe transport (no
 ///                  pool) the fault is consumed as a no-op.
+///  - QueueFlip:    one bit of the PARENT->child inter-stage queue record
+///                  (StagePipelineExecutor token dispatch) is flipped
+///                  before it enters the ring; the stage worker rejects
+///                  the corrupt record and dies, and the engine contains
+///                  the loss like any dead stage child. Engines without
+///                  an inter-stage queue consume the fault as a no-op.
 ///
 /// Faults are consumed by the PARENT at fork time (FaultPlan::take), so a
 /// one-shot fault strikes only the first execution attempt of its chunk and
@@ -62,10 +68,11 @@ enum class FaultKind : uint8_t {
   BitFlip,
   Stall,
   TemplatePoison,
+  QueueFlip,
 };
 
-/// Returns "forkfail", "crash", "kill", "truncate", "bitflip", "stall", or
-/// "poison".
+/// Returns "forkfail", "crash", "kill", "truncate", "bitflip", "stall",
+/// "poison", or "qflip".
 const char *faultKindName(FaultKind Kind);
 
 /// One armed fault: strikes execution attempts of chunk \p Target (or, when

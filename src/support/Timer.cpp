@@ -8,6 +8,7 @@
 
 #include <cassert>
 #include <chrono>
+#include <ctime>
 
 using namespace alter;
 
@@ -16,6 +17,16 @@ uint64_t alter::nowNs() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+uint64_t alter::cpuNowNs() {
+#ifdef CLOCK_PROCESS_CPUTIME_ID
+  timespec Ts;
+  if (::clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &Ts) == 0)
+    return static_cast<uint64_t>(Ts.tv_sec) * 1000000000ULL +
+           static_cast<uint64_t>(Ts.tv_nsec);
+#endif
+  return nowNs();
 }
 
 void Timer::start() {

@@ -21,6 +21,14 @@ namespace alter {
 /// Returns the current monotonic time in nanoseconds.
 uint64_t nowNs();
 
+/// Returns this process's consumed CPU time in nanoseconds (falling back
+/// to nowNs() where the clock is unavailable). Measurements that feed the
+/// modeled parallel clock use this instead of wall time: when replica
+/// processes oversubscribe the host's cores, wall-clock intervals inflate
+/// with scheduling interference, while CPU time still reports what the
+/// measured section would cost running alone.
+uint64_t cpuNowNs();
+
 /// Accumulating stopwatch. start()/stop() may be called repeatedly; the
 /// elapsed time across all completed intervals accumulates.
 class Timer {

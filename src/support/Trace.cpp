@@ -114,6 +114,14 @@ const char *alter::traceEventKindName(TraceEventKind Kind) {
     return "bisect";
   case TraceEventKind::Quarantine:
     return "quarantine";
+  case TraceEventKind::StageDispatch:
+    return "stage_dispatch";
+  case TraceEventKind::StageRetire:
+    return "stage_retire";
+  case TraceEventKind::StageStall:
+    return "stage_stall";
+  case TraceEventKind::SchedulePick:
+    return "schedule_pick";
   }
   ALTER_UNREACHABLE("covered switch");
 }

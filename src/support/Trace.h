@@ -95,11 +95,20 @@ enum class TraceEventKind : uint8_t {
               ///< first/last iteration of the range being bisected
   Quarantine, ///< tier 3: poisoned iterations ran sequentially;
               ///< Arg0 = iterations quarantined
+  // Stage pipelining (StagePipelineExecutor + schedule planner).
+  StageDispatch, ///< a chunk's token record was queued to a stage worker;
+                 ///< Arg0 = record bytes, Arg1 = tokens carried
+  StageRetire,   ///< both stage halves of a chunk committed in order;
+                 ///< Arg0 = sequential-half ns, Arg1 = parallel-half ns
+  StageStall,    ///< the stage feed blocked (all replicas busy or the
+                 ///< retirement frontier starved); Arg0 = in-flight chunks
+  SchedulePick,  ///< the planner chose a schedule; Arg0/Arg1 = estimated
+                 ///< chunked/staged ns (0 = not estimated)
 };
 
 /// Number of event kinds; bounds wire decoding and per-kind count arrays.
 constexpr size_t NumTraceEventKinds =
-    static_cast<size_t>(TraceEventKind::Quarantine) + 1;
+    static_cast<size_t>(TraceEventKind::SchedulePick) + 1;
 
 /// Short stable name ("chunk_exec", "validate", ...). Used by both the
 /// Chrome exporter and the text summary.

@@ -89,6 +89,36 @@ void Ssca2Workload::run(LoopRunner &Runner) {
     Ctx.storeInit(&Weights[static_cast<size_t>(Slot)],
                   edgeWeight(Src, Dst, E));
   };
+  // PS-DSWP decomposition: the fill-cursor SCC (the only cross-iteration
+  // dependence) stays sequential and produces the slot index; the weight
+  // generation — the dominant, pure part of the body — replicates. The
+  // stages touch disjoint data (Fill/Adjacency vs Weights) and communicate
+  // only through the slot token.
+  Spec.Stage.Order = StageOrder::SeqFirst;
+  Spec.Stage.TokenName = "slot";
+  Spec.Stage.First = [this](TxnContext &Ctx, int64_t E) -> uint64_t {
+    const int32_t Src = EdgeSrc[static_cast<size_t>(E)];
+    const int32_t Dst = EdgeDst[static_cast<size_t>(E)];
+    Ctx.noteMemoryTraffic(64);
+    const int64_t Cursor = Ctx.load(&Fill[static_cast<size_t>(Src)]);
+    Ctx.store(&Fill[static_cast<size_t>(Src)], Cursor + 1);
+    const int64_t Slot = Offset[static_cast<size_t>(Src)] + Cursor;
+    Ctx.store(&Adjacency[static_cast<size_t>(Slot)], Dst);
+    return static_cast<uint64_t>(Slot);
+  };
+  Spec.Stage.Second = [this](TxnContext &Ctx, int64_t E, uint64_t Token) {
+    const size_t Slot = static_cast<size_t>(Token);
+    Ctx.noteMemoryTraffic(64);
+    Ctx.storeInit(&Weights[Slot],
+                  edgeWeight(EdgeSrc[static_cast<size_t>(E)],
+                             EdgeDst[static_cast<size_t>(E)], E));
+  };
+  // Chunked speculation keeps the cursor RMW inside every replica: edges
+  // sharing a hub vertex abort each other at the rates the skewed degree
+  // distribution produces. The staged schedule removes the edge by
+  // forwarding the resolved slot through the queue.
+  Spec.Stage.Removed = {
+      {"fill-cursor", /*RemovalNsPerIter=*/5, /*ChunkedAbortRate=*/0.25}};
   Runner.runInner(Spec);
 }
 

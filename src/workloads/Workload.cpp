@@ -90,6 +90,22 @@ RunResult Workload::runRecovering(ParallelEngine Engine,
   return Runner.result();
 }
 
+RunResult Workload::runScheduled(SchedulePolicy Policy,
+                                 const RuntimeParams &Params,
+                                 unsigned NumWorkers, uint64_t SeqBaselineNs,
+                                 TxnLimits Limits) {
+  ExecutorConfig Config;
+  Config.NumWorkers = NumWorkers;
+  Config.Params = Params;
+  Config.Limits = Limits;
+  Config.SeqBaselineNs = SeqBaselineNs;
+  Config.Allocator = allocator();
+  Config.Schedule = Policy;
+  RecoveringLoopRunner Runner(ParallelEngine::Pipeline, Config);
+  run(Runner);
+  return Runner.result();
+}
+
 RuntimeParams Workload::resolveAnnotation(const Annotation &A) const {
   RuntimeParams Params = paramsForAnnotation(A, reductionCandidates());
   if (A.ChunkFactor <= 0)

@@ -130,6 +130,14 @@ public:
                           unsigned NumWorkers, uint64_t SeqBaselineNs = 0,
                           TxnLimits Limits = TxnLimits());
 
+  /// Runs behind the schedule-aware recovery driver with an explicit
+  /// SchedulePolicy: Auto lets the CostModel planner pick chunked vs staged
+  /// per loop (recorded in RunResult::ScheduleUsed), the other values force
+  /// a schedule. Chunked sub-runs use the pipelined engine.
+  RunResult runScheduled(SchedulePolicy Policy, const RuntimeParams &Params,
+                         unsigned NumWorkers, uint64_t SeqBaselineNs = 0,
+                         TxnLimits Limits = TxnLimits());
+
   /// Resolves \p A against this workload's reduction-candidate names and
   /// applies the paper's chunk-factor default when the annotation leaves
   /// it unset.

@@ -499,6 +499,57 @@ TEST(FaultMatrixTest, AllWorkloadsRecoverToValidOutput) {
   }
 }
 
+TEST(FaultMatrixTest, StagedWorkerKillDegradesThroughLadder) {
+  // A stage-pipeline replica SIGKILLed on every attempt of chunk 1: the
+  // staged engine's restart-the-world retries exhaust, the run reports a
+  // contained Crash, and the degradation ladder (chunked salvage →
+  // bisection → quarantine) still completes to the sequential output.
+  std::unique_ptr<Workload> W = makeWorkload("ssca2");
+  W->setUp(0);
+  W->runSequential();
+  const std::vector<double> Reference = W->outputSignature();
+
+  FaultPlan::global().clear();
+  FaultPlan::global().arm(FaultKind::ChildKill, /*Chunk=*/1, /*Sticky=*/true);
+  W->setUp(0);
+  const RunResult R = W->runScheduled(
+      SchedulePolicy::Staged, W->resolveAnnotation(*W->paperAnnotation()),
+      /*NumWorkers=*/4);
+  FaultPlan::global().clear();
+  EXPECT_EQ(R.Status, RunStatus::Success) << R.Detail;
+  EXPECT_TRUE(W->validate(Reference))
+      << "degraded staged run must still match sequential";
+  EXPECT_TRUE(R.Stats.Recovered || R.Stats.QuarantinedIterations > 0 ||
+              R.Stats.SalvagedChunks > 0)
+      << "the sticky kill must have pushed the run down the ladder";
+}
+
+TEST(FaultMatrixTest, StagedQueueCorruptionDegradesThroughLadder) {
+  // The inter-stage token queue record of chunk 1 is bit-flipped on every
+  // staged attempt: the consuming replica rejects the frame (bad STGQ
+  // magic or CRC) and dies with the queue-reject exit, the staged engine
+  // gives up after its retry budget, and the ladder's chunked sub-runs —
+  // which have no inter-stage queue to corrupt — salvage the loop to a
+  // valid output with no sequential tail.
+  std::unique_ptr<Workload> W = makeWorkload("ssca2");
+  W->setUp(0);
+  W->runSequential();
+  const std::vector<double> Reference = W->outputSignature();
+
+  FaultPlan::global().clear();
+  FaultPlan::global().arm(FaultKind::QueueFlip, /*Chunk=*/1, /*Sticky=*/true);
+  W->setUp(0);
+  const RunResult R = W->runScheduled(
+      SchedulePolicy::Staged, W->resolveAnnotation(*W->paperAnnotation()),
+      /*NumWorkers=*/4);
+  FaultPlan::global().clear();
+  EXPECT_EQ(R.Status, RunStatus::Success) << R.Detail;
+  EXPECT_TRUE(W->validate(Reference));
+  EXPECT_TRUE(R.Stats.Recovered || R.Stats.QuarantinedIterations > 0 ||
+              R.Stats.SalvagedChunks > 0)
+      << "the sticky queue corruption must have left the staged schedule";
+}
+
 //===----------------------------------------------------------------------===
 // Steady-state transport: the fault matrix on rings, and pool faults
 //===----------------------------------------------------------------------===
