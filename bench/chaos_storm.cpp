@@ -1,0 +1,246 @@
+//===- bench/chaos_storm.cpp - Randomized multi-fault soak harness --------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parent-survivability soak: seeded randomized multi-fault plans run
+/// registry-wide for a bounded wall-clock budget, asserting the three
+/// containment invariants the runtime promises its host process:
+///
+///   1. Every run terminates with a VALID outcome — Success whose output
+///      matches the sequential reference, or Interrupted (a sigstorm plan
+///      wound the run down gracefully). Never a crash, hang, or abort of
+///      the parent.
+///   2. Zero leaked children: after every run, /proc/self/task/<pid>/
+///      children is empty — templates, residents, stage replicas, and cold
+///      chunk children were all reaped, even mid-interrupt.
+///   3. Zero leaked mappings: the /proc/self/maps line count returns to
+///      its post-warm-up baseline (modulo allocator slack) — commit rings
+///      are unmapped on every path, including pool-invalid downgrades.
+///
+/// Everything derives from --seed: plans, engine/transport picks, and
+/// workload order replay identically, so a soak failure is reproducible by
+/// rerunning with the printed seed. The final line is machine-checkable:
+///
+///   chaos_storm: seed=7 runs=N storms=F interrupted=K recovered=J
+///       orphan_violations=0 map_growth=G verdict=OK
+///
+/// scripts/check.sh --chaos greps verdict=OK and re-asserts the zero
+/// counters.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "runtime/ShutdownSupervisor.h"
+#include "support/FaultInjection.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace alter;
+using namespace alter::bench;
+
+namespace {
+
+/// Live (unreaped) children of this process, per the kernel.
+std::string liveChildren() {
+  std::ifstream In("/proc/self/task/" + std::to_string(::getpid()) +
+                   "/children");
+  std::string Out((std::istreambuf_iterator<char>(In)),
+                  std::istreambuf_iterator<char>());
+  while (!Out.empty() && (Out.back() == ' ' || Out.back() == '\n'))
+    Out.pop_back();
+  return Out;
+}
+
+/// Number of lines in /proc/self/maps — one per mapping. A leaked commit
+/// ring shows up as monotone growth across runs.
+size_t mappingCount() {
+  std::ifstream In("/proc/self/maps");
+  size_t Lines = 0;
+  std::string Line;
+  while (std::getline(In, Line))
+    ++Lines;
+  return Lines;
+}
+
+/// The fault kinds a storm may arm. Stall is included with a short
+/// stallms so a stalled child trips the deadline without eating the
+/// budget; the three resource/shutdown kinds exercise this PR's
+/// containment paths.
+const FaultKind StormKinds[] = {
+    FaultKind::ForkFail,     FaultKind::ChildCrash,
+    FaultKind::ChildKill,    FaultKind::PipeTruncate,
+    FaultKind::BitFlip,      FaultKind::Stall,
+    FaultKind::TemplatePoison, FaultKind::QueueFlip,
+    FaultKind::MmapFail,     FaultKind::PipeExhaust,
+    FaultKind::SignalStorm,
+};
+
+/// Arms 1-4 random fault points. Returns a printable spec for diagnostics.
+std::string armRandomPlan(SplitMix64 &Rng) {
+  FaultPlan &Plan = FaultPlan::global();
+  Plan.clear();
+  Plan.setSeed(Rng.next());
+  Plan.setStallNs(30'000'000); // 30 ms: trips deadlines, spares the budget
+  std::string Spec;
+  const unsigned NumFaults = 1 + static_cast<unsigned>(Rng.next() % 4);
+  for (unsigned F = 0; F != NumFaults; ++F) {
+    const FaultKind Kind =
+        StormKinds[Rng.next() % (sizeof(StormKinds) / sizeof(StormKinds[0]))];
+    const int64_t Target = static_cast<int64_t>(Rng.next() % 8);
+    const bool Sticky = (Rng.next() & 1) != 0;
+    Plan.arm(Kind, Target, Sticky);
+    if (!Spec.empty())
+      Spec += ',';
+    Spec += std::string(faultKindName(Kind)) + "@" + std::to_string(Target) +
+            (Sticky ? "!" : "");
+  }
+  return Spec;
+}
+
+struct Totals {
+  uint64_t Runs = 0;
+  uint64_t Storms = 0;
+  uint64_t Interrupted = 0;
+  uint64_t Recovered = 0;
+  uint64_t OrphanViolations = 0;
+  uint64_t OutputViolations = 0;
+  uint64_t StatusViolations = 0;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t Seed = 1;
+  uint64_t BudgetMs = 20'000;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--seed=", 7) == 0)
+      Seed = std::strtoull(argv[I] + 7, nullptr, 10);
+    else if (std::strncmp(argv[I], "--budget-ms=", 12) == 0)
+      BudgetMs = std::strtoull(argv[I] + 12, nullptr, 10);
+  }
+  printHeader("chaos_storm",
+              "randomized multi-fault soak: valid outcomes, zero orphans, "
+              "zero leaked mappings");
+
+  // References and warm-up: one sequential run per parallelizable
+  // workload. This also lets lazily created arenas and allocator pools
+  // settle before the mapping baseline is taken.
+  std::vector<std::string> Names;
+  std::map<std::string, std::vector<double>> References;
+  for (const std::string &Name : allWorkloadNames()) {
+    std::unique_ptr<Workload> W = makeWorkload(Name);
+    if (!W->paperAnnotation())
+      continue; // labyrinth: the paper could not parallelize it
+    W->setUp(0);
+    W->runSequential();
+    References[Name] = W->outputSignature();
+    Names.push_back(Name);
+  }
+
+  ensureShutdownSupervisorInstalled();
+  SplitMix64 Rng(Seed ^ 0x57a6b5c4d3e2f1ULL);
+  Totals T;
+  size_t BaselineMaps = 0;
+  const uint64_t T0 = nowNs();
+  const uint64_t BudgetNs = BudgetMs * 1'000'000ULL;
+
+  while (nowNs() - T0 < BudgetNs) {
+    const std::string &Name = Names[Rng.next() % Names.size()];
+    std::unique_ptr<Workload> W = makeWorkload(Name);
+    const RuntimeParams Params = W->resolveAnnotation(*W->paperAnnotation());
+    const std::string PlanSpec = armRandomPlan(Rng);
+    T.Storms += FaultPlan::global().pendingCount();
+
+    const unsigned Mode = static_cast<unsigned>(Rng.next() % 3);
+    const unsigned Workers = 2 + static_cast<unsigned>(Rng.next() % 3);
+    W->setUp(0);
+    RunResult R;
+    const char *ModeName;
+    if (Mode == 0) {
+      ModeName = "forkjoin";
+      R = W->runRecovering(ParallelEngine::ForkJoin, Params, Workers);
+    } else if (Mode == 1) {
+      ModeName = "pipeline";
+      R = W->runRecovering(ParallelEngine::Pipeline, Params, Workers);
+    } else {
+      ModeName = "staged";
+      R = W->runScheduled(SchedulePolicy::Staged, Params, Workers);
+    }
+    ++T.Runs;
+    FaultPlan::global().clear();
+
+    // Invariant 1: a valid outcome. Interrupted is valid only because a
+    // sigstorm (or a real signal) can land; anything else must succeed
+    // and validate.
+    if (R.Status == RunStatus::Interrupted) {
+      ++T.Interrupted;
+    } else if (R.Status != RunStatus::Success) {
+      ++T.StatusViolations;
+      std::fprintf(stderr,
+                   "VIOLATION status: workload=%s mode=%s plan=%s -> %s\n",
+                   Name.c_str(), ModeName, PlanSpec.c_str(),
+                   R.Detail.c_str());
+    } else {
+      if (R.Stats.Recovered)
+        ++T.Recovered;
+      if (!W->validate(References[Name])) {
+        ++T.OutputViolations;
+        std::fprintf(stderr,
+                     "VIOLATION output: workload=%s mode=%s plan=%s\n",
+                     Name.c_str(), ModeName, PlanSpec.c_str());
+      }
+    }
+    clearShutdownRequest();
+
+    // Invariant 2: nothing orphaned.
+    const std::string Orphans = liveChildren();
+    if (!Orphans.empty()) {
+      ++T.OrphanViolations;
+      std::fprintf(stderr,
+                   "VIOLATION orphans: workload=%s mode=%s plan=%s pids=%s\n",
+                   Name.c_str(), ModeName, PlanSpec.c_str(), Orphans.c_str());
+    }
+
+    // Invariant 3 baseline: the first completed storm fixes the mapping
+    // count every later run must return to (workload warm-up above has
+    // already settled the allocator).
+    if (BaselineMaps == 0)
+      BaselineMaps = mappingCount();
+  }
+
+  // Mapping growth across the whole soak. A small slack absorbs libc
+  // allocator arenas; a leaked per-run ring would dwarf it.
+  const size_t FinalMaps = mappingCount();
+  const size_t Growth = FinalMaps > BaselineMaps ? FinalMaps - BaselineMaps : 0;
+  constexpr size_t MapSlack = 8;
+  const bool MapsOk = Growth <= MapSlack;
+
+  const bool Ok = MapsOk && T.OrphanViolations == 0 &&
+                  T.OutputViolations == 0 && T.StatusViolations == 0 &&
+                  T.Runs > 0;
+  std::printf("chaos_storm: seed=%llu runs=%llu storms=%llu "
+              "interrupted=%llu recovered=%llu orphan_violations=%llu "
+              "output_violations=%llu status_violations=%llu "
+              "map_growth=%zu verdict=%s\n",
+              (unsigned long long)Seed, (unsigned long long)T.Runs,
+              (unsigned long long)T.Storms, (unsigned long long)T.Interrupted,
+              (unsigned long long)T.Recovered,
+              (unsigned long long)T.OrphanViolations,
+              (unsigned long long)T.OutputViolations,
+              (unsigned long long)T.StatusViolations, Growth,
+              Ok ? "OK" : "FAIL");
+  return Ok ? 0 : 1;
+}

@@ -7,6 +7,7 @@
 #        scripts/check.sh --fault [build-dir]
 #        scripts/check.sh --pool [build-dir]
 #        scripts/check.sh --stage [build-dir]
+#        scripts/check.sh --chaos [build-dir]
 #
 # Configures, builds, runs the full ctest suite, then smoke-runs the
 # straggler micro-benchmark (--quick, with --fault so the recovery path is
@@ -24,6 +25,13 @@
 # inter-stage queue-record corruption) driven end to end, and an
 # end-to-end staged Genome figure run asserting the staged schedule was
 # actually executed.
+#
+# With --chaos the sequence additionally runs the parent-survivability
+# soak: the resource-fault/shutdown test filters, a seeded randomized
+# multi-fault storm over the whole workload registry (bench/chaos_storm,
+# bounded wall-clock), and an assertion pass over its summary line — every
+# run must end Success-with-valid-output or Interrupted, with zero
+# orphaned children and zero leaked mappings per /proc/self.
 #
 # With --sanitize the whole sequence additionally runs in a second build
 # tree compiled with AddressSanitizer + UndefinedBehaviorSanitizer, so
@@ -58,6 +66,7 @@ TRACE=0
 FAULT=0
 POOL=0
 STAGE=0
+CHAOS=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
   --sanitize) SANITIZE=1 ;;
@@ -65,6 +74,7 @@ while [[ "${1:-}" == --* ]]; do
   --fault) FAULT=1 ;;
   --pool) POOL=1 ;;
   --stage) STAGE=1 ;;
+  --chaos) CHAOS=1 ;;
   *)
     echo "check.sh: unknown flag $1" >&2
     exit 2
@@ -299,6 +309,47 @@ print(f"staged Genome OK: {len(staged)} staged points, all ran staged")
 EOF
 }
 
+chaos_stage() { # chaos_stage <build-dir>
+  local DIR="$1"
+
+  echo "== chaos smoke: resource-fault + shutdown tests ($DIR) =="
+  "$DIR/tests/robustness_test" \
+    --gtest_filter='ResourceFaultMatrixTest.*:ShutdownTest.*' --gtest_brief=1
+
+  echo "== chaos smoke: setup-failure env plan degrades to cold ($DIR) =="
+  # A dead slot-0 ring and slot-1 pipes on the ring transport: the pool is
+  # invalid, the engines retreat to the cold pipe transport, and the output
+  # must still equal sequential execution.
+  ALTER_TRANSPORT=ring ALTER_FAULTS='mmapfail@0,pipeexhaust@1' \
+    "$DIR/tests/robustness_test" \
+    --gtest_filter='DegradationLadderTest.EnvPlanCompletesWithSequentialOutput' \
+    --gtest_brief=1
+
+  echo "== chaos storm: seeded randomized multi-fault soak ($DIR) =="
+  # Bounded wall-clock (~25 s of storms + registry warm-up, well under the
+  # 60 s stage budget). The harness exits nonzero on any violation; the
+  # summary-line assertions below re-check the invariants independently.
+  local STORM_OUT="$DIR/chaos_storm.out"
+  "$DIR/bench/chaos_storm" --seed=42 --budget-ms=25000 | tee "$STORM_OUT"
+  python3 - "$STORM_OUT" <<'EOF'
+import sys
+summary = None
+with open(sys.argv[1]) as f:
+    for line in f:
+        if line.startswith("chaos_storm:"):
+            summary = dict(kv.split("=", 1) for kv in line.split()[1:])
+assert summary, "chaos_storm printed no summary line"
+assert summary["verdict"] == "OK", f"chaos storm failed: {summary}"
+assert int(summary["runs"]) > 0 and int(summary["storms"]) > 0
+assert int(summary["orphan_violations"]) == 0, "orphaned children leaked"
+assert int(summary["output_violations"]) == 0, "a storm corrupted output"
+assert int(summary["status_violations"]) == 0, "a storm crashed a run"
+assert int(summary["map_growth"]) <= 8, "commit-ring mappings leaked"
+print(f"chaos OK: {summary['runs']} runs, {summary['storms']} faults, "
+      f"{summary['interrupted']} graceful interrupts, zero leaks")
+EOF
+}
+
 run_stage "$BUILD_DIR"
 baseline_stage "$BUILD_DIR"
 
@@ -316,6 +367,10 @@ fi
 
 if [[ "$STAGE" == 1 ]]; then
   stage_stage "$BUILD_DIR"
+fi
+
+if [[ "$CHAOS" == 1 ]]; then
+  chaos_stage "$BUILD_DIR"
 fi
 
 if [[ "$SANITIZE" == 1 ]]; then

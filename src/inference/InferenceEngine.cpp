@@ -169,6 +169,13 @@ CandidateReport InferenceEngine::evaluateCandidate(const std::string &Name,
       [&](int WriteFd) { runCandidateChild(Name, Cand, Config, WriteFd); },
       Config.SandboxTimeoutSec);
 
+  if (Sandbox.SpawnFailed) {
+    // The sandbox never launched (pipe/fork exhaustion in OUR process):
+    // indict the environment, not the candidate.
+    Report.Outcome = InferenceOutcome::EnvFault;
+    Report.EnvFaults = 1;
+    return Report;
+  }
   if (Sandbox.TimedOut) {
     Report.Outcome = InferenceOutcome::Timeout;
     return Report;

@@ -47,6 +47,12 @@ AlterAllocator::AlterAllocator(unsigned NumWorkers, size_t BytesPerWorker)
   ReservationBytes = ArenaBytes * TotalArenas;
   void *Mapped = ::mmap(nullptr, ReservationBytes, PROT_READ | PROT_WRITE,
                         MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  // Deliberately fatal: this is the workload's entire heap, reserved once
+  // at startup before any engine exists. There is no degraded mode without
+  // it — the sequential fallback uses the same arenas — and MAP_NORESERVE
+  // means failure here is address-space exhaustion at process start, not
+  // runtime memory pressure. (Per-run resources that CAN fail mid-flight,
+  // like commit-ring mmaps, are contained instead — see CommitRing.)
   if (Mapped == MAP_FAILED)
     fatalError(strprintf("AlterAllocator: mmap of %zu bytes failed",
                          ReservationBytes));
@@ -86,12 +92,18 @@ void *AlterAllocator::allocate(unsigned Worker, size_t Size) {
     }
     const size_t Bytes = sizeClassBytes(Class);
     const size_t Offset = alignUp(A.Bump, MinClassBytes);
+    // Arena exhaustion is a sized-capacity invariant, not environment
+    // pressure: the reservation was committed at startup, so running off
+    // its end means the workload outgrew its declared footprint. Forked
+    // children die by _exit and the parent contains it as a chunk fault;
+    // parent-side it is the documented abort the sandbox tests assert.
     if (Offset + Bytes > ArenaBytes)
       fatalError(strprintf("AlterAllocator: arena %u exhausted", Worker));
     A.Bump = Offset + Bytes;
     return A.Base + Offset;
   }
   const size_t Offset = alignUp(A.Bump, MinClassBytes);
+  // Same capacity invariant as the size-class path above.
   if (Offset + Size > ArenaBytes)
     fatalError(strprintf("AlterAllocator: arena %u exhausted", Worker));
   A.Bump = Offset + Size;
@@ -122,6 +134,8 @@ void AlterAllocator::rollback(unsigned Worker, const ArenaMark &Mark) {
 
 void AlterAllocator::advanceBump(unsigned Worker, size_t Offset) {
   Arena &A = arena(Worker);
+  // Invariant violation: the cursor comes from a validated commit of our
+  // own child, so an out-of-range value means corrupted commit state.
   if (Offset > ArenaBytes)
     fatalError("AlterAllocator: advanceBump beyond arena");
   if (Offset > A.Bump)
@@ -138,6 +152,7 @@ bool AlterAllocator::ownsAddress(const void *Ptr) const {
 }
 
 unsigned AlterAllocator::addressWorker(const void *Ptr) const {
+  // Invariant violation: callers must check ownsAddress first.
   if (!ownsAddress(Ptr))
     fatalError("AlterAllocator: address not owned by any arena");
   const size_t Delta =

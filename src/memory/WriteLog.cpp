@@ -264,6 +264,11 @@ void WriteLog::serializeCompact(std::vector<uint8_t> &Out) const {
 }
 
 WriteLog WriteLog::deserializeCompact(const uint8_t *Buf, size_t Len) {
+  // Trusted-input path: callers hand this bytes the parent itself wrote
+  // (template replay of an already-validated commit). Corruption here is
+  // parent memory corruption, an invariant violation — untrusted wire
+  // input goes through deserializeCompactChecked and is rejected, never
+  // fatal.
   WriteLog Log;
   if (!deserializeCompactChecked(Buf, Len, Log))
     fatalError("corrupt compact write log");
@@ -308,6 +313,9 @@ bool WriteLog::deserializeCompactChecked(const uint8_t *Buf, size_t Len,
 }
 
 WriteLog WriteLog::deserialize(const uint8_t *Buf, size_t Len) {
+  // Trusted-input path like deserializeCompact above: the three
+  // truncation aborts below fire only on self-corrupted state, not on
+  // anything a child or the environment can send.
   WriteLog Log;
   if (Len < sizeof(uint64_t))
     fatalError("truncated write log header");

@@ -6,7 +6,7 @@
 
 #include "runtime/CommitRing.h"
 
-#include "support/Error.h"
+#include "support/Trace.h"
 
 #include <cerrno>
 #include <cstring>
@@ -33,8 +33,16 @@ CommitRing::CommitRing(size_t CapacityBytes) {
   MapBytes = sizeof(Header) + Cap;
   void *Mem = ::mmap(nullptr, MapBytes, PROT_READ | PROT_WRITE,
                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
-  if (Mem == MAP_FAILED)
-    fatalError("CommitRing: mmap failed");
+  if (Mem == MAP_FAILED) {
+    // ENOMEM-class exhaustion: leave the ring invalid and let the creation
+    // site retreat (cold transport / contained fork failure) instead of
+    // killing the parent.
+    alterLogAlways(LogLevel::Warn, "ring",
+                   "event=mmap_fail bytes=%zu errno=%d", MapBytes, errno);
+    Cap = 0;
+    MapBytes = 0;
+    return;
+  }
   Hdr = new (Mem) Header;
   Hdr->Head.store(0, std::memory_order_relaxed);
   Hdr->Tail.store(0, std::memory_order_relaxed);

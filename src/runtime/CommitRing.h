@@ -71,10 +71,17 @@ public:
   static constexpr size_t DefaultCapacity = 1 << 20;
 
   /// Maps a ring with at least \p CapacityBytes of data area (rounded up
-  /// to a power of two, minimum one page). Aborts on mmap failure — ring
-  /// creation happens once per run, before any speculation.
+  /// to a power of two, minimum one page). An mmap failure (ENOMEM) does
+  /// NOT abort: the ring comes up with valid() == false and every creation
+  /// site degrades — the pool falls back to the cold pipe transport, a
+  /// stage worker fails its (contained) fork. Callers must check valid()
+  /// before use; the data-path methods assume a valid ring.
   explicit CommitRing(size_t CapacityBytes = DefaultCapacity);
   ~CommitRing();
+
+  /// True when the shared mapping exists. False after an mmap failure —
+  /// the contained resource-fault outcome, never a crash.
+  bool valid() const { return Hdr != nullptr; }
 
   CommitRing(const CommitRing &) = delete;
   CommitRing &operator=(const CommitRing &) = delete;

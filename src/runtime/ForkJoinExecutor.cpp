@@ -7,6 +7,7 @@
 #include "runtime/ForkJoinExecutor.h"
 
 #include "runtime/ConflictDetector.h"
+#include "runtime/ShutdownSupervisor.h"
 #include "runtime/TraceSink.h"
 #include "runtime/TxnWire.h"
 #include "runtime/WorkerPool.h"
@@ -76,6 +77,24 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
     // a reused child's snapshot would predate. Every chunk re-forks warm.
     Pool = std::make_unique<WorkerPool>(Spec, Config, P,
                                         /*AllowReuse=*/false);
+  if (Pool && !Pool->valid()) {
+    // Resource exhaustion while building the rings/pipes (ENOMEM/EMFILE):
+    // retreat to the cold pipe transport for this run instead of aborting.
+    ++Result.Stats.ResourceFaults;
+    ++Result.Stats.TransportDowngrades;
+    if (Sink.events()) {
+      Sink.event(TraceEventKind::ResourceFault, /*Worker=*/0, /*Chunk=*/-1,
+                 traceNowNs(), 0, /*Arg0=*/Pool->setupFaultSite());
+      Sink.event(TraceEventKind::Downgrade, /*Worker=*/0, /*Chunk=*/-1,
+                 traceNowNs(), 0, /*Arg0=*/0, /*Arg1=*/P);
+    }
+    Pool.reset();
+  }
+  ensureShutdownSupervisorInstalled();
+  // Effective parallelism: halved (never below 1) after consecutive rounds
+  // in which EVERY launch failed — fork/pipe exhaustion at full width.
+  unsigned ActiveP = P;
+  unsigned AllFailedRounds = 0;
   const uint64_t RealStart = nowNs();
 
   // Real-time stall deadline: children run on real CPUs, so the 10x rule
@@ -102,15 +121,39 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
       Result.Stats.TemplateRefreshes = Pool->templateRefreshes();
       Result.Stats.PoolFaults = Pool->poolFaults();
       Result.Stats.ChildReuses = Pool->childReuses();
+      if (!Pool->valid()) {
+        // The pool died mid-run (failed ring respawn under exhaustion):
+        // every later fork already degraded cold; account the downgrade.
+        ++Result.Stats.ResourceFaults;
+        ++Result.Stats.TransportDowngrades;
+      }
     }
     Sink.finish(Result);
     return Result;
   };
 
+  // Graceful wind-down shared by the round-top and post-join checks: every
+  // child of the round is already dead and reaped by the time either runs,
+  // and the pool destructor (on return) tears down the template and any
+  // residents, so nothing is orphaned.
+  const auto FinishInterrupted = [&] {
+    if (Sink.events())
+      Sink.event(TraceEventKind::Interrupt, /*Worker=*/0, /*Chunk=*/-1,
+                 traceNowNs(), 0, /*Arg0=*/Result.Stats.NumCommitted);
+    return Finish(RunStatus::Interrupted,
+                  strprintf("interrupted by shutdown request (signal %d) "
+                            "with %llu chunks committed",
+                            shutdownSignal(),
+                            static_cast<unsigned long long>(
+                                Result.Stats.NumCommitted)));
+  };
+
   while (!Pending.empty()) {
+    if (shutdownRequested())
+      return FinishInterrupted();
     ++Result.Stats.NumRounds;
     const unsigned RoundSize =
-        static_cast<unsigned>(std::min<int64_t>(P, Pending.size()));
+        static_cast<unsigned>(std::min<int64_t>(ActiveP, Pending.size()));
     std::vector<int64_t> RoundChunks(Pending.begin(),
                                      Pending.begin() + RoundSize);
     Pending.erase(Pending.begin(), Pending.begin() + RoundSize);
@@ -131,6 +174,13 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
         if (Spec.FaultRemap)
           FC = Spec.FaultRemap(Chunk, First, Last);
         Fault = FaultPlan::global().take(FC.Chunk, FC.FirstIter, FC.LastIter);
+      }
+      if (Fault.Armed && Fault.Kind == FaultKind::SignalStorm) {
+        // The storm targets the parent, not the chunk: latch a shutdown
+        // request; the post-join check winds down into Interrupted.
+        requestShutdown();
+        Slots[W].ForkFailed = true;
+        continue;
       }
       if (Fault.Armed && Fault.Kind == FaultKind::ForkFail) {
         Slots[W].ForkFailed = true;
@@ -156,11 +206,38 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
                    /*Arg1=*/Slots[W].Ch.Warm ? 1 : 0);
     }
 
+    // Fork/pipe exhaustion at full width: when EVERY launch of the round
+    // failed twice in a row, halve the effective parallelism so the
+    // retries demand fewer simultaneous children.
+    bool AllLaunchesFailed = RoundSize > 0;
+    for (unsigned W = 0; W != RoundSize; ++W)
+      AllLaunchesFailed &= Slots[W].ForkFailed;
+    if (AllLaunchesFailed) {
+      if (++AllFailedRounds >= 2 && ActiveP > 1) {
+        ActiveP = std::max(1u, ActiveP / 2);
+        ++Result.Stats.ResourceFaults;
+        ++Result.Stats.ParallelismDowngrades;
+        if (Sink.events())
+          Sink.event(TraceEventKind::Downgrade, /*Worker=*/0, /*Chunk=*/-1,
+                     traceNowNs(), 0, /*Arg0=*/1, /*Arg1=*/ActiveP);
+        AllFailedRounds = 0;
+      }
+    } else {
+      AllFailedRounds = 0;
+    }
+
     // Join: drain every pipe concurrently under the stall deadline. A
     // child that outlives the deadline is SIGKILLed; the resulting EOF
     // unblocks its read and the truncated message is rejected downstream.
     bool TimedOut = false;
     for (;;) {
+      if (shutdownRequested())
+        // Stop waiting for stragglers: SIGKILL everything still in flight;
+        // the resulting EOFs/terminal doorbells complete the channels and
+        // the post-join check returns Interrupted.
+        for (unsigned W = 0; W != RoundSize; ++W)
+          if (Slots[W].Ch.Launched && !Slots[W].Ch.Done)
+            killChunkChild(Pool.get(), W, Slots[W].Ch);
       std::vector<pollfd> Pfds;
       std::vector<unsigned> PfdSlot;
       for (unsigned W = 0; W != RoundSize; ++W)
@@ -215,6 +292,10 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
       RoundSlot &S = Slots[W];
       if (S.ForkFailed) {
         ++Result.Stats.NumForkFailures;
+        ++Result.Stats.ResourceFaults;
+        if (Sink.events())
+          Sink.event(TraceEventKind::ResourceFault, /*Worker=*/0,
+                     RoundChunks[W], traceNowNs(), 0, /*Arg0=*/2);
         FailWhy[W] = "fork/pipe failure";
         continue;
       }
@@ -250,6 +331,11 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
       Ok[W] = true;
       Sink.absorbChild(Reports[W].Trace);
     }
+
+    if (shutdownRequested())
+      // Every child of the round is dead and reaped (killed above, EOFs
+      // drained, cold children waited on just now): wind down cleanly.
+      return FinishInterrupted();
 
     if (TimedOut)
       return Finish(RunStatus::Timeout,

@@ -103,7 +103,8 @@ bool RecoveringLoopRunner::runInner(const LoopSpec &Spec) {
   else if (Config.Schedule == SchedulePolicy::Auto && CanStage)
     UseStaged = planPicksStaged(Spec);
   if (UseStaged) {
-    runStagedInner(Spec);
+    if (!runStagedInner(Spec))
+      return false;
   } else {
     Accumulated.ScheduleUsed = ScheduleKind::Chunked;
     Primary->setAccumulatedSimNs(Accumulated.Stats.SimTimeNs);
@@ -112,6 +113,14 @@ bool RecoveringLoopRunner::runInner(const LoopSpec &Spec) {
       Accumulated.ChunkFactorUsed = R.ChunkFactorUsed;
     Accumulated.mergeTrace(R);
     Accumulated.Stats.merge(R.Stats);
+    if (R.Status == RunStatus::Interrupted) {
+      // A shutdown request is a command to stop, not a fault to recover
+      // from: the ladder must NOT try to finish the loop. The engine
+      // already reaped its children; surface the partial result as-is.
+      Accumulated.Status = RunStatus::Interrupted;
+      Accumulated.Detail = std::move(R.Detail);
+      return false;
+    }
     if (R.Status != RunStatus::Success) {
       if (!R.Detail.empty())
         Accumulated.Detail = "recovered after: " + R.Detail;
@@ -131,7 +140,7 @@ bool RecoveringLoopRunner::runInner(const LoopSpec &Spec) {
   return true;
 }
 
-void RecoveringLoopRunner::runStagedInner(const LoopSpec &Spec) {
+bool RecoveringLoopRunner::runStagedInner(const LoopSpec &Spec) {
   Accumulated.ScheduleUsed = ScheduleKind::Staged;
   StagePipelineExecutor Staged(Config);
   Staged.setAccumulatedSimNs(Accumulated.Stats.SimTimeNs);
@@ -140,6 +149,12 @@ void RecoveringLoopRunner::runStagedInner(const LoopSpec &Spec) {
     Accumulated.ChunkFactorUsed = R.ChunkFactorUsed;
   Accumulated.mergeTrace(R);
   Accumulated.Stats.merge(R.Stats);
+  if (R.Status == RunStatus::Interrupted) {
+    // Stop, don't recover — see the chunked path above.
+    Accumulated.Status = RunStatus::Interrupted;
+    Accumulated.Detail = std::move(R.Detail);
+    return false;
+  }
   if (R.Status != RunStatus::Success) {
     // The pipeline indicts chunks and reports CommitOrder exactly like the
     // chunked engines, so the same ladder resolves its failures; ladder
@@ -148,6 +163,7 @@ void RecoveringLoopRunner::runStagedInner(const LoopSpec &Spec) {
       Accumulated.Detail = "recovered after: " + R.Detail;
     runLadder(Spec, R);
   }
+  return true;
 }
 
 bool RecoveringLoopRunner::planPicksStaged(const LoopSpec &Spec) {

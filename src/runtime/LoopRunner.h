@@ -156,8 +156,10 @@ private:
   bool planPicksStaged(const LoopSpec &Spec);
 
   /// Runs one invocation under the stage pipeline, falling into the
-  /// degradation ladder on failure exactly like the chunked path.
-  void runStagedInner(const LoopSpec &Spec);
+  /// degradation ladder on failure exactly like the chunked path. Returns
+  /// false when the run was Interrupted by a shutdown request — the ladder
+  /// never attempts to finish an interrupted loop.
+  bool runStagedInner(const LoopSpec &Spec);
 
   /// Walks the ladder over every chunk \p Failed did not commit.
   void runLadder(const LoopSpec &Spec, const RunResult &Failed);

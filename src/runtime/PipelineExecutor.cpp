@@ -7,6 +7,7 @@
 #include "runtime/PipelineExecutor.h"
 
 #include "runtime/ConflictDetector.h"
+#include "runtime/ShutdownSupervisor.h"
 #include "runtime/TraceSink.h"
 #include "runtime/TxnWire.h"
 #include "runtime/WorkerPool.h"
@@ -114,6 +115,24 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
     // here (unlike ForkJoin's round-local validation).
     Pool = std::make_unique<WorkerPool>(Spec, Config, P,
                                         /*AllowReuse=*/true);
+  if (Pool && !Pool->valid()) {
+    // Resource exhaustion while building the rings/pipes (ENOMEM/EMFILE):
+    // retreat to the cold pipe transport for this run instead of aborting.
+    ++Result.Stats.ResourceFaults;
+    ++Result.Stats.TransportDowngrades;
+    if (Sink.events()) {
+      Sink.event(TraceEventKind::ResourceFault, /*Worker=*/0, /*Chunk=*/-1,
+                 traceNowNs(), 0, /*Arg0=*/Pool->setupFaultSite());
+      Sink.event(TraceEventKind::Downgrade, /*Worker=*/0, /*Chunk=*/-1,
+                 traceNowNs(), 0, /*Arg0=*/0, /*Arg1=*/P);
+    }
+    Pool.reset();
+  }
+  ensureShutdownSupervisorInstalled();
+  // Effective parallelism, shrunk (never below 1) when the environment
+  // cannot even sustain the launches — see the all-fail sweep backoff.
+  unsigned ActiveP = P;
+  unsigned FailedSweeps = 0;
   const uint64_t RealStart = nowNs();
 
   bool Crashed = false;
@@ -133,6 +152,12 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
       Result.Stats.TemplateRefreshes = Pool->templateRefreshes();
       Result.Stats.PoolFaults = Pool->poolFaults();
       Result.Stats.ChildReuses = Pool->childReuses();
+      if (!Pool->valid()) {
+        // The pool died mid-run (failed ring respawn under exhaustion):
+        // every later fork already degraded cold; account the downgrade.
+        ++Result.Stats.ResourceFaults;
+        ++Result.Stats.TransportDowngrades;
+      }
     }
     Sink.finish(Result);
   };
@@ -202,8 +227,19 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
         FC = Spec.FaultRemap(Chunk, First, Last);
       Fault = FaultPlan::global().take(FC.Chunk, FC.FirstIter, FC.LastIter);
     }
+    if (Fault.Armed && Fault.Kind == FaultKind::SignalStorm) {
+      // The storm targets the parent, not the chunk: latch a shutdown
+      // request and let the main loop wind down into Interrupted.
+      requestShutdown();
+      insertPending(Chunk);
+      return false;
+    }
     if (Fault.Armed && Fault.Kind == FaultKind::ForkFail) {
       ++Result.Stats.NumForkFailures;
+      ++Result.Stats.ResourceFaults;
+      if (Sink.events())
+        Sink.event(TraceEventKind::ResourceFault, /*Worker=*/0, Chunk,
+                   traceNowNs(), 0, /*Arg0=*/2);
       chunkFault(Chunk, "fork/pipe failure");
       return false;
     }
@@ -217,6 +253,10 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
     if (!spawnChunkChild(Spec, Config, Pool.get(), SlotIdx, Chunk, First,
                          Last, Fault, CloseInChild, S.Ch)) {
       ++Result.Stats.NumForkFailures;
+      ++Result.Stats.ResourceFaults;
+      if (Sink.events())
+        Sink.event(TraceEventKind::ResourceFault, /*Worker=*/0, Chunk,
+                   traceNowNs(), 0, /*Arg0=*/2);
       chunkFault(Chunk, "fork/pipe failure");
       return false;
     }
@@ -270,7 +310,10 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
       }
       return;
     }
-    for (unsigned I = 0; I != P && !Pending.empty() && !Crashed; ++I) {
+    // Dispatch only into the first ActiveP slots: a parallelism downgrade
+    // must reduce the number of SIMULTANEOUS children, and slots above the
+    // shrunk width drain naturally (Reserved reports still retire).
+    for (unsigned I = 0; I != ActiveP && !Pending.empty() && !Crashed; ++I) {
       if (Slots[I].St != Slot::State::Free)
         continue;
       const int64_t Chunk = Pending.front();
@@ -478,6 +521,24 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
   };
 
   while (Committed != NumChunks) {
+    if (shutdownRequested()) {
+      // Graceful wind-down: stop dispatching, SIGKILL and reap every live
+      // child (the pool destructor tears down the template and its
+      // residents on return), and surface a valid partial result.
+      killInFlight();
+      Result.Status = RunStatus::Interrupted;
+      Result.Detail = strprintf(
+          "interrupted by shutdown request (signal %d) with %lld of %lld "
+          "chunks committed",
+          shutdownSignal(), static_cast<long long>(Committed),
+          static_cast<long long>(NumChunks));
+      if (Sink.events())
+        Sink.event(TraceEventKind::Interrupt, /*Worker=*/0, /*Chunk=*/-1,
+                   traceNowNs(), 0,
+                   /*Arg0=*/static_cast<uint64_t>(Committed));
+      finishStats();
+      return Result;
+    }
     fillSlots();
     if (Crashed) {
       killInFlight();
@@ -499,8 +560,21 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
     if (Fds.empty()) {
       // Every launch attempt failed this iteration (transient fork/pipe
       // exhaustion): back off briefly instead of spinning, then retry.
+      // Two consecutive all-fail sweeps mean the environment cannot
+      // sustain the requested parallelism at all — halve it (never below
+      // one) so the retries demand fewer simultaneous children.
+      if (!Pending.empty() && ++FailedSweeps >= 2 && ActiveP > 1) {
+        ActiveP = std::max(1u, ActiveP / 2);
+        ++Result.Stats.ResourceFaults;
+        ++Result.Stats.ParallelismDowngrades;
+        if (Sink.events())
+          Sink.event(TraceEventKind::Downgrade, /*Worker=*/0, /*Chunk=*/-1,
+                     traceNowNs(), 0, /*Arg0=*/1, /*Arg1=*/ActiveP);
+        FailedSweeps = 0;
+      }
       ::poll(nullptr, 0, 1);
     } else {
+      FailedSweeps = 0;
       // With a deadline armed, wake periodically even if no child reports,
       // so a runaway chunk cannot postpone the timeout check indefinitely.
       const int PollTimeoutMs = DeadlineNs == 0 ? -1 : 100;

@@ -20,6 +20,8 @@ const char *alter::runStatusName(RunStatus Status) {
     return "crash";
   case RunStatus::Timeout:
     return "timeout";
+  case RunStatus::Interrupted:
+    return "interrupted";
   }
   ALTER_UNREACHABLE("covered switch");
 }
@@ -73,5 +75,8 @@ void RunStats::merge(const RunStats &Other) {
   SalvagedChunks += Other.SalvagedChunks;
   QuarantinedIterations += Other.QuarantinedIterations;
   BisectionRounds += Other.BisectionRounds;
+  ResourceFaults += Other.ResourceFaults;
+  TransportDowngrades += Other.TransportDowngrades;
+  ParallelismDowngrades += Other.ParallelismDowngrades;
   Recovered |= Other.Recovered;
 }

@@ -31,9 +31,15 @@ enum class RunStatus {
   Success, ///< ran to completion
   Crash,   ///< resource exhaustion or abnormal termination
   Timeout, ///< exceeded the configured deadline (10x sequential by default)
+  /// A shutdown signal (SIGTERM/SIGINT/SIGHUP) arrived mid-run: the
+  /// executor stopped dispatching, killed and reaped every live child, and
+  /// returned whatever had committed. Unlike Crash/Timeout this is a clean,
+  /// operator-requested stop — the recovery ladder must NOT try to finish
+  /// the loop.
+  Interrupted,
 };
 
-/// Returns "success", "crash", or "timeout".
+/// Returns "success", "crash", "timeout", or "interrupted".
 const char *runStatusName(RunStatus Status);
 
 /// Which schedule a loop actually executed under. The planner
@@ -173,6 +179,18 @@ struct RunStats {
   uint64_t QuarantinedIterations = 0;
   /// Range splits performed while bisecting failing chunks (tier 2).
   uint64_t BisectionRounds = 0;
+  /// Environment resource failures (ring mmap, pipe exhaustion, fork
+  /// EAGAIN, dispatch-write failure) demoted to contained per-run outcomes
+  /// instead of aborting the process.
+  uint64_t ResourceFaults = 0;
+  /// Times a run retreated from the Ring transport to the cold Pipe path
+  /// because shared-memory/pipe setup failed (pool construction or a
+  /// mid-run pool rebuild).
+  uint64_t TransportDowngrades = 0;
+  /// Times an engine shrank its effective worker count after every launch
+  /// attempt in a sweep failed (persistent fork/pipe exhaustion); the last
+  /// rung before the ladder's sequential floor.
+  uint64_t ParallelismDowngrades = 0;
   /// True when any part of the execution ran sequentially against committed
   /// memory (quarantined iterations or the full-tail fallback) — the run
   /// completed, but not entirely speculatively.

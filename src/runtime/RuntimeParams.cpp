@@ -72,6 +72,8 @@ alter::paramsForAnnotation(const Annotation &A,
       Found = true;
       break;
     }
+    // Startup config validation, not a resource-exhaustion path: a typo'd
+    // annotation is unrunnable and aborting before any work is contained.
     if (!Found)
       fatalError("annotation names unknown reduction variable '" + Clause.Var +
                  "'");
@@ -97,6 +99,7 @@ int GlobalChunkFactor = 16;
 int alter::globalChunkFactor() { return GlobalChunkFactor; }
 
 void alter::setGlobalChunkFactor(int Cf) {
+  // Config validation: only a caller can pass a non-positive factor.
   if (Cf <= 0)
     fatalError("the global chunk factor must be positive");
   GlobalChunkFactor = Cf;

@@ -1,0 +1,52 @@
+//===- runtime/ShutdownSupervisor.cpp -------------------------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ShutdownSupervisor.h"
+
+#include <csignal>
+
+using namespace alter;
+
+namespace {
+
+// Both cells are only ever written with single sig_atomic_t stores, the
+// one operation POSIX guarantees a handler may perform on shared state.
+volatile std::sig_atomic_t ShutdownFlag = 0;
+volatile std::sig_atomic_t ShutdownSig = 0;
+
+void onShutdownSignal(int Sig) {
+  ShutdownSig = Sig;
+  ShutdownFlag = 1;
+}
+
+} // namespace
+
+void alter::ensureShutdownSupervisorInstalled() {
+  static const bool Installed = [] {
+    struct sigaction Sa;
+    Sa.sa_handler = onShutdownSignal;
+    ::sigemptyset(&Sa.sa_mask);
+    // No SA_RESTART: a blocked poll(2) must return EINTR so the engine
+    // notices the request promptly instead of at its next natural wakeup.
+    Sa.sa_flags = 0;
+    ::sigaction(SIGTERM, &Sa, nullptr);
+    ::sigaction(SIGINT, &Sa, nullptr);
+    ::sigaction(SIGHUP, &Sa, nullptr);
+    return true;
+  }();
+  (void)Installed;
+}
+
+bool alter::shutdownRequested() noexcept { return ShutdownFlag != 0; }
+
+void alter::requestShutdown() noexcept { ShutdownFlag = 1; }
+
+int alter::shutdownSignal() noexcept { return ShutdownSig; }
+
+void alter::clearShutdownRequest() noexcept {
+  ShutdownFlag = 0;
+  ShutdownSig = 0;
+}

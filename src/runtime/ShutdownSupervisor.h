@@ -1,0 +1,59 @@
+//===- runtime/ShutdownSupervisor.h - Graceful parent shutdown --*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parent-side shutdown supervision: SIGTERM/SIGINT/SIGHUP arriving mid-run
+/// must not orphan forked children (pool templates, resident ring children,
+/// stage workers) or leak shared-memory rings. The supervisor turns those
+/// signals into a latched, async-signal-safe request flag; every parallel
+/// engine polls the flag from its event loop and winds down deliberately —
+/// stop dispatching, SIGKILL and reap every live child, unmap the rings
+/// (pool/ring destructors), and return a valid RunStatus::Interrupted
+/// result with whatever had committed.
+///
+/// The handlers are installed WITHOUT SA_RESTART on purpose: the engines
+/// block in poll(2), and an interrupted poll (EINTR) is exactly the prompt
+/// wakeup that lets them notice the request at the top of the next loop
+/// iteration. Forked children are unaffected — they either reset to default
+/// dispositions implicitly (SIGKILL from the parent/template is unblockable
+/// anyway) or die with the run.
+///
+/// requestShutdown() may also be called programmatically: the injected
+/// SignalStorm fault (ALTER_FAULTS "sigstorm@N") strikes a fork site and
+/// raises the same flag, so tests exercise the full wind-down path without
+/// racing real signal delivery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_RUNTIME_SHUTDOWNSUPERVISOR_H
+#define ALTER_RUNTIME_SHUTDOWNSUPERVISOR_H
+
+namespace alter {
+
+/// Installs the SIGTERM/SIGINT/SIGHUP handlers once per process (later
+/// calls are no-ops). Engines call this at run start; it is idempotent and
+/// cheap. Parent-side only — forked children never reach an engine loop.
+void ensureShutdownSupervisorInstalled();
+
+/// True once a shutdown signal arrived (or requestShutdown() was called).
+/// Async-signal-safe readers only observe the latched flag.
+bool shutdownRequested() noexcept;
+
+/// Latches the shutdown request programmatically (SignalStorm injection,
+/// embedding harnesses). Identical effect to a delivered SIGTERM.
+void requestShutdown() noexcept;
+
+/// The signal number that latched the request (0 when programmatic or when
+/// no request is pending). Diagnostic only.
+int shutdownSignal() noexcept;
+
+/// Clears the latch. Harness/test use between runs: a completed Interrupted
+/// run has already wound down, and the next run must not be stillborn.
+void clearShutdownRequest() noexcept;
+
+} // namespace alter
+
+#endif // ALTER_RUNTIME_SHUTDOWNSUPERVISOR_H

@@ -17,6 +17,7 @@
 #include "memory/AlterAllocator.h"
 #include "runtime/CommitRing.h"
 #include "runtime/ConflictDetector.h"
+#include "runtime/ShutdownSupervisor.h"
 #include "runtime/TraceSink.h"
 #include "runtime/TxnWire.h"
 #include "support/Error.h"
@@ -265,6 +266,9 @@ void runStageChunk(const LoopSpec &Spec, TxnContext &Ctx,
                                 const ExecutorConfig &Config, unsigned Worker,
                                 CommitRing &InRing, int WorkR,
                                 CommitRing &OutRing, int BellW, uint8_t Tag) {
+  // fatalError in a replica must _exit, never abort(): an abort would dump
+  // core and re-run parent atexit handlers from the fork image.
+  markForkedChild();
   ::signal(SIGPIPE, SIG_IGN);
   applyStageRlimits(Config);
 
@@ -557,17 +561,49 @@ RunResult StagePipelineExecutor::run(const LoopSpec &Spec) {
 
   auto forkWorker = [&](unsigned W) -> bool {
     StageWorker &SW = Workers[W];
+    // Resource exhaustion anywhere in here (EMFILE on a pipe, ENOMEM on a
+    // ring mapping, EAGAIN on the fork) is a contained per-generation
+    // outcome: forkAllWorkers charges the frontier chunk's fault budget
+    // and the ladder absorbs a Crash if it never recovers. The injected
+    // pipeexhaust@W / mmapfail@W setup faults strike the same paths.
+    if (FaultPlan::global().takeSetup(FaultKind::PipeExhaust, W).Armed) {
+      if (Sink.events())
+        Sink.event(TraceEventKind::ResourceFault, /*Worker=*/W + 1,
+                   /*Chunk=*/-1, traceNowNs(), 0, /*Arg0=*/1);
+      return false;
+    }
     int WorkP[2] = {-1, -1};
     int BellP[2] = {-1, -1};
-    if (::pipe(WorkP) != 0)
+    if (::pipe(WorkP) != 0) {
+      if (Sink.events())
+        Sink.event(TraceEventKind::ResourceFault, /*Worker=*/W + 1,
+                   /*Chunk=*/-1, traceNowNs(), 0, /*Arg0=*/1);
       return false;
+    }
     if (::pipe(BellP) != 0) {
       ::close(WorkP[0]);
       ::close(WorkP[1]);
+      if (Sink.events())
+        Sink.event(TraceEventKind::ResourceFault, /*Worker=*/W + 1,
+                   /*Chunk=*/-1, traceNowNs(), 0, /*Arg0=*/1);
       return false;
     }
+    const bool InjectMmap =
+        FaultPlan::global().takeSetup(FaultKind::MmapFail, W).Armed;
     SW.InRing = std::make_unique<CommitRing>(Config.RingBytesPerSlot);
     SW.OutRing = std::make_unique<CommitRing>(Config.RingBytesPerSlot);
+    if (InjectMmap || !SW.InRing->valid() || !SW.OutRing->valid()) {
+      ::close(WorkP[0]);
+      ::close(WorkP[1]);
+      ::close(BellP[0]);
+      ::close(BellP[1]);
+      SW.InRing.reset();
+      SW.OutRing.reset();
+      if (Sink.events())
+        Sink.event(TraceEventKind::ResourceFault, /*Worker=*/W + 1,
+                   /*Chunk=*/-1, traceNowNs(), 0, /*Arg0=*/0);
+      return false;
+    }
     const uint8_t Tag = static_cast<uint8_t>(Generation);
     const pid_t Pid = ::fork();
     if (Pid < 0) {
@@ -621,6 +657,7 @@ RunResult StagePipelineExecutor::run(const LoopSpec &Spec) {
     for (unsigned W = 0; W != NumPar; ++W) {
       if (!forkWorker(W)) {
         ++Result.Stats.NumForkFailures;
+        ++Result.Stats.ResourceFaults;
         for (unsigned O = 0; O <= W; ++O)
           killWorker(O);
         chunkFault(Frontier, "fork/pipe failure");
@@ -712,8 +749,18 @@ RunResult StagePipelineExecutor::run(const LoopSpec &Spec) {
         FC = Spec.FaultRemap(C, First, Last);
       Fault = FaultPlan::global().take(FC.Chunk, FC.FirstIter, FC.LastIter);
     }
+    if (Fault.Armed && Fault.Kind == FaultKind::SignalStorm) {
+      // The storm targets the parent, not the chunk: latch a shutdown
+      // request; the main loop winds the pipeline down into Interrupted.
+      requestShutdown();
+      return;
+    }
     if (Fault.Armed && Fault.Kind == FaultKind::ForkFail) {
       ++Result.Stats.NumForkFailures;
+      ++Result.Stats.ResourceFaults;
+      if (Sink.events())
+        Sink.event(TraceEventKind::ResourceFault, /*Worker=*/W + 1, C,
+                   traceNowNs(), 0, /*Arg0=*/2);
       chunkFault(C, "fork/pipe failure");
       return;
     }
@@ -1074,6 +1121,7 @@ RunResult StagePipelineExecutor::run(const LoopSpec &Spec) {
   };
 
   ::signal(SIGPIPE, SIG_IGN);
+  ensureShutdownSupervisorInstalled();
   if (!forkAllWorkers()) {
     // First generation could not even fork; chunkFault already charged it.
     if (!Crashed) {
@@ -1085,6 +1133,21 @@ RunResult StagePipelineExecutor::run(const LoopSpec &Spec) {
   }
 
   while (Frontier != NumChunks) {
+    if (shutdownRequested()) {
+      // Graceful wind-down: crashExit SIGKILLs and reaps every replica and
+      // rolls open sequential halves back, so memory is committed state
+      // and nothing is orphaned; the partial result is valid as-is.
+      if (Sink.events())
+        Sink.event(TraceEventKind::Interrupt, /*Worker=*/0, /*Chunk=*/-1,
+                   traceNowNs(), 0,
+                   /*Arg0=*/static_cast<uint64_t>(Frontier));
+      return crashExit(
+          RunStatus::Interrupted,
+          strprintf("interrupted by shutdown request (signal %d) with %lld "
+                    "of %lld chunks retired",
+                    shutdownSignal(), static_cast<long long>(Frontier),
+                    static_cast<long long>(NumChunks)));
+    }
     if (Crashed)
       return crashExit(RunStatus::Crash, CrashDetail);
     if (RestartPending) {

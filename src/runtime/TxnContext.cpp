@@ -294,12 +294,16 @@ void TxnContext::redUpdateI(unsigned Slot, ReduceOp SourceOp,
 //===----------------------------------------------------------------------===
 
 void *TxnContext::allocate(size_t Size) {
+  // Invariant violation, not a resource failure: a workload allocating
+  // through a context that was built without an allocator is a programming
+  // error on the caller's side — no environment can cause it at runtime.
   if (!Allocator)
     fatalError("TxnContext::allocate without an AlterAllocator");
   return Allocator->allocate(Worker, Size);
 }
 
 void TxnContext::deallocate(void *Ptr, size_t Size) {
+  // Invariant violation, same as allocate() above.
   if (!Allocator)
     fatalError("TxnContext::deallocate without an AlterAllocator");
   if (Mode == ContextMode::Transactional) {

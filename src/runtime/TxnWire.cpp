@@ -423,6 +423,7 @@ std::vector<uint8_t> alter::encodeCommitFrame(TxnContext &Ctx,
 void alter::runWireChild(const LoopSpec &Spec, const ExecutorConfig &Config,
                          unsigned Worker, int64_t Chunk, int64_t FirstIter,
                          int64_t LastIter, int Fd, const ArmedFault &Fault) {
+  markForkedChild();
   const std::vector<uint8_t> Message = buildChildCommitMessage(
       Spec, Config, Worker, Chunk, FirstIter, LastIter, Fault);
   writeAllToPipe(Fd, Message.data(), Message.size());
@@ -436,6 +437,7 @@ void alter::runWireChildRing(const LoopSpec &Spec,
                              int64_t LastIter, CommitRing &Ring,
                              int DoorbellFd, uint8_t DoorbellTag, int WorkFd,
                              const ArmedFault &Fault) {
+  markForkedChild();
   const auto RingBell = [&](uint8_t Kind) {
     // A failed doorbell write (parent gone) is unrecoverable but also
     // unreportable; the template reaps us and the parent sees the frame.

@@ -11,6 +11,7 @@
 #include "support/Error.h"
 #include "support/Subprocess.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <cerrno>
 #include <csignal>
@@ -126,6 +127,9 @@ TransportKind &transportStorage() {
       return TransportKind::Pipe;
     if (Value == "ring")
       return TransportKind::Ring;
+    // Startup config validation, not a resource-exhaustion path: a bad
+    // ALTER_TRANSPORT spelling means the operator's intent is unknowable
+    // and aborting at process start is the contained outcome.
     fatalError(std::string("malformed ALTER_TRANSPORT value: ") + Env);
   }();
   return Kind;
@@ -158,11 +162,37 @@ WorkerPool::WorkerPool(const LoopSpec &Spec, const ExecutorConfig &Config,
     : Spec(Spec), Config(Config),
       AllowReuse(AllowReuse && Config.MaxChildReuse != 0), Slots(NumSlots) {
   ignoreSigpipeOnce();
-  for (SlotState &S : Slots) {
+  for (unsigned SlotIdx = 0; SlotIdx != Slots.size(); ++SlotIdx) {
+    SlotState &S = Slots[SlotIdx];
+    // Resource exhaustion here (ENOMEM on the ring mapping, EMFILE/ENFILE
+    // on either pipe) is a contained per-run outcome, not a crash: the
+    // pool comes up with valid() == false and the engine that built it
+    // drops to the cold pipe transport. Injected setup faults (mmapfail@N
+    // / pipeexhaust@N, N = slot index) strike the same paths.
+    const bool InjectMmap =
+        FaultPlan::global().takeSetup(FaultKind::MmapFail, SlotIdx).Armed;
     S.Ring = std::make_unique<CommitRing>(Config.RingBytesPerSlot);
+    if (InjectMmap || !S.Ring->valid()) {
+      alterLogAlways(LogLevel::Warn, "pool",
+                     "event=ring_invalid slot=%u injected=%d", SlotIdx,
+                     InjectMmap ? 1 : 0);
+      if (!Invalid)
+        FailSite = 0;
+      Invalid = true;
+      continue;
+    }
+    const bool InjectPipe =
+        FaultPlan::global().takeSetup(FaultKind::PipeExhaust, SlotIdx).Armed;
     int Fds[2];
-    if (::pipe(Fds) != 0)
-      fatalError("WorkerPool: doorbell pipe() failed");
+    if (InjectPipe || ::pipe(Fds) != 0) {
+      alterLogAlways(LogLevel::Warn, "pool",
+                     "event=doorbell_pipe_fail slot=%u errno=%d injected=%d",
+                     SlotIdx, InjectPipe ? 0 : errno, InjectPipe ? 1 : 0);
+      if (!Invalid)
+        FailSite = 1;
+      Invalid = true;
+      continue;
+    }
     S.DoorbellR = Fds[0];
     S.DoorbellW = Fds[1];
     // The parent drains doorbells opportunistically from its poll loop.
@@ -172,8 +202,14 @@ WorkerPool::WorkerPool(const LoopSpec &Spec, const ExecutorConfig &Config,
     // the read end so a respawned template (forked from the parent later)
     // still inherits it for its children. A WireNextCmd is far below
     // PIPE_BUF, so dispatch writes never block or interleave.
-    if (::pipe(Fds) != 0)
-      fatalError("WorkerPool: work pipe() failed");
+    if (::pipe(Fds) != 0) {
+      alterLogAlways(LogLevel::Warn, "pool",
+                     "event=work_pipe_fail slot=%u errno=%d", SlotIdx, errno);
+      if (!Invalid)
+        FailSite = 1;
+      Invalid = true;
+      continue;
+    }
     S.WorkR = Fds[0];
     S.WorkW = Fds[1];
   }
@@ -268,6 +304,13 @@ void WorkerPool::killTemplateHard() {
       S.WorkW = -1;
     }
     S.Ring = std::make_unique<CommitRing>(Config.RingBytesPerSlot);
+    if (!S.Ring->valid()) {
+      // The replacement mapping failed (ENOMEM while already degraded):
+      // the whole pool retreats to cold forks rather than aborting.
+      alterLogAlways(LogLevel::Warn, "pool",
+                     "event=ring_respawn_fail errno=%d", errno);
+      Invalid = true;
+    }
   }
 }
 
@@ -337,6 +380,12 @@ void WorkerPool::retireTemplate() {
 bool WorkerPool::warmFork(unsigned Slot, int64_t Chunk, int64_t First,
                           int64_t Last, const ArmedFault &Fault,
                           ChunkChannel &Ch) {
+  if (Invalid) {
+    // A ring or pipe never came up (or died in a hard retirement): every
+    // fork degrades to the cold path until the engine drops the pool.
+    ++Faults;
+    return false;
+  }
   SlotState &S = Slots[Slot];
 
   if (!ensureTemplate()) {
@@ -620,6 +669,9 @@ void WorkerPool::poisonTemplate() {
 //===----------------------------------------------------------------------===
 
 void WorkerPool::templateMain(int CtlFd) {
+  // Any fatalError below this point must _exit, never abort(): an abort in
+  // a forked template would dump core and re-run parent atexit handlers.
+  markForkedChild();
   ignoreSigpipeOnce();
   const pid_t TmplPid = ::getpid();
 #ifdef __linux__

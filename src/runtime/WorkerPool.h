@@ -130,6 +130,18 @@ public:
   /// straggling children, then exit) and reaps it.
   ~WorkerPool();
 
+  /// True when every slot's ring mapping and pipes came up. False after
+  /// resource exhaustion at construction (ENOMEM on a ring mmap, EMFILE on
+  /// a pipe) or a failed ring respawn in a hard retirement — a contained
+  /// outcome: warmFork refuses, and the owning engine should drop the pool
+  /// and run the whole loop on the cold pipe transport (counting a
+  /// TransportDowngrade).
+  bool valid() const { return !Invalid; }
+
+  /// Site code of the first setup failure when !valid(), matching the
+  /// ResourceFault trace-event convention: 0 = ring mmap, 1 = pipe setup.
+  unsigned setupFaultSite() const { return FailSite; }
+
   WorkerPool(const WorkerPool &) = delete;
   WorkerPool &operator=(const WorkerPool &) = delete;
 
@@ -200,6 +212,8 @@ private:
   const LoopSpec &Spec;
   const ExecutorConfig &Config;
   const bool AllowReuse;
+  bool Invalid = false; // a ring/pipe failed: warm forks permanently refuse
+  unsigned FailSite = 0; // first failure site (0 ring mmap, 1 pipe setup)
   std::vector<SlotState> Slots;
   pid_t TemplatePid = -1;
   int ControlFd = -1; // parent's write end of the current template's pipe

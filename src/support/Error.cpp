@@ -9,11 +9,25 @@
 #include "support/Trace.h"
 
 #include <cstdlib>
+#include <unistd.h>
 
 using namespace alter;
 
+namespace {
+/// Plain bool, not atomic: set once immediately after fork, before the
+/// child touches any other library code, and each forked child is
+/// single-threaded.
+bool IsForkedChild = false;
+} // namespace
+
+void alter::markForkedChild() noexcept { IsForkedChild = true; }
+
+bool alter::inForkedChild() noexcept { return IsForkedChild; }
+
 void alter::fatalError(const std::string &Message) {
   alterLogAlways(LogLevel::Error, "fatal", "msg=\"%s\"", Message.c_str());
+  if (IsForkedChild)
+    ::_exit(ForkedChildFatalExit);
   std::abort();
 }
 

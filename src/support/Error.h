@@ -19,10 +19,30 @@
 namespace alter {
 
 /// Emits \p Message to stderr as a structured ALTER_LOG error line (never
-/// silenced by the log threshold) and aborts. Used for unrecoverable
-/// environment failures (failed mmap, failed fork, ...), never for
-/// conditions a caller could handle.
+/// silenced by the log threshold) and terminates. Used for invariant
+/// violations and unrecoverable startup/config failures, never for
+/// conditions a caller could handle — resource-exhaustion paths (ring
+/// mmap, pipe setup, fork) are demoted to contained outcomes instead.
+///
+/// In the parent this aborts (core-dumpable, visible to sanitizers). In a
+/// forked chunk/template/stage child (markForkedChild) it _exits with
+/// ForkedChildFatalExit instead: abort would run parent-inherited atexit
+/// handlers and double-flush parent-owned stdio buffers, and the parent
+/// already contains any abnormal child exit to the chunk.
 [[noreturn]] void fatalError(const std::string &Message);
+
+/// Exit status a forked child dies with when fatalError fires after
+/// markForkedChild. Distinct from the wire-protocol exits (11/13/111/112).
+constexpr int ForkedChildFatalExit = 113;
+
+/// Declares that this process is a forked worker child (wire chunk child,
+/// warm-pool template, or stage replica): from now on fatalError _exits
+/// instead of aborting. Called immediately after fork in the child;
+/// irreversible for the life of the process.
+void markForkedChild() noexcept;
+
+/// True once markForkedChild has been called in this process.
+bool inForkedChild() noexcept;
 
 /// Marks a point in the code that must never be reached; aborts with
 /// \p Message if it is.

@@ -8,6 +8,7 @@
 
 #include "support/Error.h"
 #include "support/Random.h"
+#include "support/Trace.h"
 
 #include <cstddef>
 #include <cstdlib>
@@ -36,6 +37,12 @@ bool parseKind(const std::string &Name, FaultKind &Kind) {
     Kind = FaultKind::TemplatePoison;
   else if (Name == "qflip")
     Kind = FaultKind::QueueFlip;
+  else if (Name == "mmapfail")
+    Kind = FaultKind::MmapFail;
+  else if (Name == "pipeexhaust")
+    Kind = FaultKind::PipeExhaust;
+  else if (Name == "sigstorm")
+    Kind = FaultKind::SignalStorm;
   else
     return false;
   return true;
@@ -48,9 +55,18 @@ bool parseUint(const std::string &Text, uint64_t &Value) {
   for (char C : Text) {
     if (C < '0' || C > '9')
       return false;
-    Value = Value * 10 + static_cast<uint64_t>(C - '0');
+    const uint64_t Digit = static_cast<uint64_t>(C - '0');
+    if (Value > (UINT64_MAX - Digit) / 10)
+      return false; // overflow: reject rather than wrap to a bogus target
+    Value = Value * 10 + Digit;
   }
   return true;
+}
+
+/// A FaultPoint whose target is a setup resource (worker-slot index), not a
+/// chunk of work; the ordinary fork-time take() must never consume it.
+bool isSetupKind(FaultKind Kind) {
+  return Kind == FaultKind::MmapFail || Kind == FaultKind::PipeExhaust;
 }
 
 } // namespace
@@ -73,6 +89,12 @@ const char *alter::faultKindName(FaultKind Kind) {
     return "poison";
   case FaultKind::QueueFlip:
     return "qflip";
+  case FaultKind::MmapFail:
+    return "mmapfail";
+  case FaultKind::PipeExhaust:
+    return "pipeexhaust";
+  case FaultKind::SignalStorm:
+    return "sigstorm";
   }
   ALTER_UNREACHABLE("covered switch");
 }
@@ -80,8 +102,18 @@ const char *alter::faultKindName(FaultKind Kind) {
 FaultPlan::FaultPlan() : Seed(DefaultSeed), StallNs(DefaultStallNs) {
   if (const char *Env = std::getenv("ALTER_FAULTS")) {
     std::string Error;
-    if (!parse(Env, &Error))
-      fatalError("malformed ALTER_FAULTS: " + Error);
+    if (!parse(Env, &Error)) {
+      // A typo must be loud but not lethal: arm nothing, latch the error,
+      // and spell out the grammar so the operator can fix the plan.
+      LoadError = "malformed ALTER_FAULTS: " + Error;
+      alterLogAlways(LogLevel::Error, "faults",
+                     "msg=\"%s\" grammar=\"kind@N | kind@N! | kind@iN | "
+                     "kind@iN! | seed=N | stallms=N, comma/semicolon "
+                     "separated; kinds: forkfail crash kill truncate "
+                     "bitflip stall poison qflip mmapfail pipeexhaust "
+                     "sigstorm\"",
+                     LoadError.c_str());
+    }
   }
 }
 
@@ -114,6 +146,8 @@ ArmedFault FaultPlan::take(int64_t Chunk, int64_t FirstIter,
   ArmedFault Fault;
   for (size_t I = 0; I != Points.size(); ++I) {
     const FaultPoint &P = Points[I];
+    if (isSetupKind(P.Kind))
+      continue; // slot-targeted; consumed by takeSetup at creation time
     const bool Hit = P.IterTarget
                          ? (P.Target >= FirstIter && P.Target < LastIter)
                          : P.Target == Chunk;
@@ -122,6 +156,24 @@ ArmedFault FaultPlan::take(int64_t Chunk, int64_t FirstIter,
     Fault.Armed = true;
     Fault.Kind = P.Kind;
     Fault.Chunk = Chunk;
+    Fault.Seed = Seed;
+    Fault.StallNs = StallNs;
+    if (!P.Sticky)
+      Points.erase(Points.begin() + static_cast<ptrdiff_t>(I));
+    return Fault;
+  }
+  return Fault;
+}
+
+ArmedFault FaultPlan::takeSetup(FaultKind Kind, int64_t Index) {
+  ArmedFault Fault;
+  for (size_t I = 0; I != Points.size(); ++I) {
+    const FaultPoint &P = Points[I];
+    if (P.Kind != Kind || P.IterTarget || P.Target != Index)
+      continue;
+    Fault.Armed = true;
+    Fault.Kind = P.Kind;
+    Fault.Chunk = Index;
     Fault.Seed = Seed;
     Fault.StallNs = StallNs;
     if (!P.Sticky)

@@ -29,6 +29,15 @@
 ///                  the corrupt record and dies, and the engine contains
 ///                  the loss like any dead stage child. Engines without
 ///                  an inter-stage queue consume the fault as a no-op.
+///  - MmapFail:     the shared-memory commit ring for worker slot N fails
+///                  to mmap (as under ENOMEM). Consumed at ring-creation
+///                  time via takeSetup, not at fork time; the pool (or
+///                  stage worker) degrades instead of aborting.
+///  - PipeExhaust:  the pipe() setup for worker slot N fails (as under
+///                  EMFILE). Also a takeSetup-consumed setup fault.
+///  - SignalStorm:  a shutdown signal (SIGTERM) is delivered to the parent
+///                  when chunk N is about to fork; the run winds down to a
+///                  valid Interrupted result with every child reaped.
 ///
 /// Faults are consumed by the PARENT at fork time (FaultPlan::take), so a
 /// one-shot fault strikes only the first execution attempt of its chunk and
@@ -69,10 +78,13 @@ enum class FaultKind : uint8_t {
   Stall,
   TemplatePoison,
   QueueFlip,
+  MmapFail,
+  PipeExhaust,
+  SignalStorm,
 };
 
 /// Returns "forkfail", "crash", "kill", "truncate", "bitflip", "stall",
-/// "poison", or "qflip".
+/// "poison", "qflip", "mmapfail", "pipeexhaust", or "sigstorm".
 const char *faultKindName(FaultKind Kind);
 
 /// One armed fault: strikes execution attempts of chunk \p Target (or, when
@@ -102,10 +114,16 @@ struct ArmedFault {
 /// which is why consumption happens parent-side before fork.
 class FaultPlan {
 public:
-  /// The global plan. First access loads ALTER_FAULTS from the environment
-  /// (aborts on a malformed value — an injection typo must not silently
-  /// become a clean run).
+  /// The global plan. First access loads ALTER_FAULTS from the environment.
+  /// A malformed value arms nothing; instead a structured error naming the
+  /// offending token and the accepted grammar is logged and latched in
+  /// loadError(), so an injection typo is loud without killing the process.
   static FaultPlan &global();
+
+  /// The latched ALTER_FAULTS parse error ("" when the value parsed, or no
+  /// value was set). Harnesses that must not mistake a typo for a clean
+  /// run assert on this.
+  const std::string &loadError() const { return LoadError; }
 
   /// Removes every armed fault and restores default seed/stall values.
   void clear();
@@ -141,8 +159,16 @@ public:
   /// Full consumption point: matches chunk-targeted points against
   /// \p Chunk and iteration-targeted points against the half-open range
   /// [FirstIter, LastIter) the fork covers. At most one point is consumed
-  /// per call (first match in arming order).
+  /// per call (first match in arming order). Setup faults (MmapFail,
+  /// PipeExhaust) are never matched here — their targets are worker-slot
+  /// indices, consumed by takeSetup at resource-creation time.
   ArmedFault take(int64_t Chunk, int64_t FirstIter, int64_t LastIter);
+
+  /// Setup-time consumption point: matches only points of exactly \p Kind
+  /// targeting slot/worker \p Index. Called where a resource is created
+  /// (ring mmap, pipe setup), so resource-exhaustion containment can be
+  /// driven deterministically.
+  ArmedFault takeSetup(FaultKind Kind, int64_t Index);
 
   /// Parses a plan spec: comma/semicolon-separated entries of
   /// "kind@chunk" (one-shot), "kind@chunk!" (sticky), "kind@iN" /
@@ -158,6 +184,7 @@ private:
   std::vector<FaultPoint> Points;
   uint64_t Seed;
   uint64_t StallNs;
+  std::string LoadError;
 };
 
 /// Child-side wire corruption, exposed for tests: truncates \p Bytes to a

@@ -41,11 +41,23 @@ SubprocessResult
 alter::runInSandbox(const std::function<void(int WriteFd)> &Child,
                     unsigned TimeoutSec) {
   int Fds[2];
-  if (::pipe(Fds) != 0)
-    fatalError("pipe() failed in sandbox");
+  if (::pipe(Fds) != 0) {
+    // EMFILE/ENFILE: contained — report a spawn failure the caller can
+    // classify as an environment fault instead of killing the process.
+    SubprocessResult Result;
+    Result.SpawnFailed = true;
+    Result.SpawnError = "pipe";
+    return Result;
+  }
   const pid_t Pid = ::fork();
-  if (Pid < 0)
-    fatalError("fork() failed in sandbox");
+  if (Pid < 0) {
+    ::close(Fds[0]);
+    ::close(Fds[1]);
+    SubprocessResult Result;
+    Result.SpawnFailed = true;
+    Result.SpawnError = "fork";
+    return Result;
+  }
   if (Pid == 0) {
     ::close(Fds[0]);
     if (TimeoutSec != 0)
@@ -72,6 +84,9 @@ alter::runInSandbox(const std::function<void(int WriteFd)> &Child,
 
   int Status = 0;
   if (waitpidRetry(Pid, &Status) < 0)
+    // True invariant violation, not resource exhaustion: waitpid on our own
+    // un-reaped child can only fail if something corrupted the process's
+    // child bookkeeping (e.g. a stray SIGCHLD/SA_NOCLDWAIT handler).
     fatalError("waitpid() failed in sandbox");
   if (WIFEXITED(Status)) {
     Result.Exited = true;

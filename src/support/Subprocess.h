@@ -18,12 +18,20 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace alter {
 
 /// How a sandboxed child terminated, plus whatever it wrote to its pipe.
 struct SubprocessResult {
+  /// True when the sandbox never launched: pipe() or fork() failed in the
+  /// parent (resource exhaustion). No child ran, Output is empty, and
+  /// SpawnError names the failed syscall — callers classify this as an
+  /// environment fault, not a verdict on the child workload.
+  bool SpawnFailed = false;
+  /// The failed syscall when SpawnFailed ("pipe" or "fork").
+  std::string SpawnError;
   /// True when the child exited normally (any exit code).
   bool Exited = false;
   /// Exit code when Exited.

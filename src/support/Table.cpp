@@ -96,6 +96,9 @@ void TextTable::printText(std::FILE *Out) const {
 
 void TextTable::writeCsv(const std::string &Path) const {
   std::FILE *Out = std::fopen(Path.c_str(), "w");
+  // Bench-harness contract (see BenchUtil::maybeWriteCsv): the operator
+  // asked for this artifact, so failing to produce it must be loud. Only
+  // harness binaries reach this — never the runtime's execution paths.
   if (!Out)
     fatalError("cannot open CSV output file: " + Path);
   const std::string Text = renderCsv();

@@ -60,6 +60,8 @@ TraceLevel traceLevelFromEnv() {
   if (!Env || !*Env)
     return TraceLevel::Off;
   TraceLevel Level = TraceLevel::Off;
+  // Startup config validation: guessing at a misspelled level would
+  // silently drop the telemetry the operator asked for.
   if (!parseTraceLevel(Env, Level))
     fatalError(std::string("malformed ALTER_TRACE value: ") + Env);
   return Level;
@@ -122,6 +124,12 @@ const char *alter::traceEventKindName(TraceEventKind Kind) {
     return "stage_stall";
   case TraceEventKind::SchedulePick:
     return "schedule_pick";
+  case TraceEventKind::ResourceFault:
+    return "resource_fault";
+  case TraceEventKind::Downgrade:
+    return "downgrade";
+  case TraceEventKind::Interrupt:
+    return "interrupt";
   }
   ALTER_UNREACHABLE("covered switch");
 }
@@ -253,6 +261,7 @@ LogLevel logLevelFromEnv() {
     return LogLevel::Info;
   if (Lower == "debug")
     return LogLevel::Debug;
+  // Startup config validation, like ALTER_TRACE above.
   fatalError(std::string("malformed ALTER_LOG value: ") + Env);
 }
 

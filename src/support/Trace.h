@@ -104,11 +104,20 @@ enum class TraceEventKind : uint8_t {
                  ///< retirement frontier starved); Arg0 = in-flight chunks
   SchedulePick,  ///< the planner chose a schedule; Arg0/Arg1 = estimated
                  ///< chunked/staged ns (0 = not estimated)
+  ResourceFault, ///< an environment resource failure was contained instead
+                 ///< of aborting; Arg0 = site (0 ring mmap, 1 pipe setup,
+                 ///< 2 fork, 3 dispatch write)
+  Downgrade,     ///< the run retreated a rung: Arg0 = 0 for a transport
+                 ///< downgrade (ring -> cold pipe), 1 for a parallelism
+                 ///< downgrade; Arg1 = the new effective worker count (or
+                 ///< 0 for transport)
+  Interrupt,     ///< a shutdown signal stopped the run; Arg0 = chunks
+                 ///< committed when the executor wound down
 };
 
 /// Number of event kinds; bounds wire decoding and per-kind count arrays.
 constexpr size_t NumTraceEventKinds =
-    static_cast<size_t>(TraceEventKind::SchedulePick) + 1;
+    static_cast<size_t>(TraceEventKind::Interrupt) + 1;
 
 /// Short stable name ("chunk_exec", "validate", ...). Used by both the
 /// Chrome exporter and the text summary.

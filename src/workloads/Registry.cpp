@@ -55,6 +55,8 @@ std::unique_ptr<Workload> alter::makeWorkload(const std::string &Name) {
     return std::make_unique<FftWorkload>();
   if (Name == "hmm")
     return std::make_unique<HmmWorkload>();
+  // Config validation: an unknown name is a harness/operator typo, caught
+  // before any run starts (RegistryTest asserts this aborts in a sandbox).
   fatalError("unknown workload '" + Name + "'");
 }
 

@@ -24,6 +24,7 @@
 #include "runtime/ForkJoinExecutor.h"
 #include "runtime/LockstepExecutor.h"
 #include "runtime/PipelineExecutor.h"
+#include "runtime/ShutdownSupervisor.h"
 #include "runtime/TxnWire.h"
 #include "support/FaultInjection.h"
 #include "support/Subprocess.h"
@@ -32,6 +33,8 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <tuple>
@@ -310,6 +313,64 @@ TEST(FaultPlanTest, PoisonPointParsesAndConsumes) {
   EXPECT_EQ(F.Kind, FaultKind::TemplatePoison);
   EXPECT_STREQ(faultKindName(F.Kind), "poison");
   EXPECT_FALSE(Plan.take(2).Armed) << "one-shot poison is consumed";
+  Plan.clear();
+}
+
+TEST(FaultPlanTest, MalformedPlansAreStructuredErrors) {
+  FaultPlan &Plan = FaultPlan::global();
+  Plan.clear();
+  std::string Error;
+  // Empty specs and stray separators arm nothing, but are not errors.
+  EXPECT_TRUE(Plan.parse("", &Error));
+  EXPECT_TRUE(Plan.parse(",;,", &Error));
+  EXPECT_EQ(Plan.pendingCount(), 0u);
+  // An unknown kind names the offending token, not just "parse error".
+  EXPECT_FALSE(Plan.parse("explode@1", &Error));
+  EXPECT_NE(Error.find("explode"), std::string::npos) << Error;
+  // A chunk index that overflows uint64 is rejected, never wrapped to a
+  // bogus (possibly matching) target.
+  EXPECT_FALSE(Plan.parse("kill@99999999999999999999999", &Error));
+  EXPECT_NE(Error.find("chunk index"), std::string::npos) << Error;
+  EXPECT_FALSE(Plan.parse("crash@i99999999999999999999999", &Error));
+  EXPECT_NE(Error.find("iteration"), std::string::npos) << Error;
+  // A bare sticky marker leaves no digits behind the '@'.
+  EXPECT_FALSE(Plan.parse("kill@!", &Error));
+  EXPECT_FALSE(Plan.parse("kill@i!", &Error));
+  // A failed parse must leave the plan exactly as it was.
+  ASSERT_TRUE(Plan.parse("mmapfail@0,pipeexhaust@1!;sigstorm@2", &Error))
+      << Error;
+  EXPECT_EQ(Plan.pendingCount(), 3u);
+  EXPECT_FALSE(Plan.parse("kill@", &Error));
+  EXPECT_EQ(Plan.pendingCount(), 3u)
+      << "a rejected spec must not alter the armed plan";
+  Plan.clear();
+  // In-process parse failures never latch the ALTER_FAULTS load error.
+  EXPECT_TRUE(Plan.loadError().empty());
+}
+
+TEST(FaultPlanTest, SetupFaultsAreInvisibleToForkTimeTake) {
+  // MmapFail/PipeExhaust target worker-slot indices, not chunks: the
+  // fork-time consumption points must skip them entirely (a slot index
+  // numerically equal to a chunk index is a coincidence, not a match), and
+  // takeSetup must match only its exact kind and slot.
+  FaultPlan &Plan = FaultPlan::global();
+  Plan.clear();
+  Plan.arm(FaultKind::MmapFail, /*Chunk=*/1);
+  Plan.arm(FaultKind::PipeExhaust, /*Chunk=*/1);
+  EXPECT_FALSE(Plan.take(1).Armed);
+  EXPECT_FALSE(Plan.take(1, 0, 100).Armed);
+  EXPECT_EQ(Plan.pendingCount(), 2u)
+      << "fork-time take must not consume setup faults";
+  EXPECT_FALSE(Plan.takeSetup(FaultKind::MmapFail, 0).Armed) << "wrong slot";
+  EXPECT_FALSE(Plan.takeSetup(FaultKind::ChildKill, 1).Armed)
+      << "wrong kind";
+  const ArmedFault Mmap = Plan.takeSetup(FaultKind::MmapFail, 1);
+  EXPECT_TRUE(Mmap.Armed);
+  EXPECT_EQ(Mmap.Kind, FaultKind::MmapFail);
+  EXPECT_FALSE(Plan.takeSetup(FaultKind::MmapFail, 1).Armed)
+      << "one-shot setup faults are consumed";
+  EXPECT_TRUE(Plan.takeSetup(FaultKind::PipeExhaust, 1).Armed);
+  EXPECT_EQ(Plan.pendingCount(), 0u);
   Plan.clear();
 }
 
@@ -823,6 +884,216 @@ TEST(DegradationLadderTest, EnvPlanCompletesWithSequentialOutput) {
     EXPECT_EQ(R.Status, RunStatus::Success);
   }
   FaultPlan::global().clear();
+}
+
+//===----------------------------------------------------------------------===
+// Resource exhaustion: setup failures are contained transport downgrades
+//===----------------------------------------------------------------------===
+
+TEST(ResourceFaultMatrixTest, RingSetupFailureDegradesToColdTransport) {
+  // ENOMEM on a slot's ring mmap, or EMFILE on its doorbell/work pipes, at
+  // pool construction: the engine drops the invalid pool, counts a
+  // ResourceFault and a TransportDowngrade, and runs the whole loop on the
+  // cold pipe+fork transport — a performance downgrade, never a failure
+  // and never the recovery ladder.
+  for (ParallelEngine Engine :
+       {ParallelEngine::ForkJoin, ParallelEngine::Pipeline}) {
+    for (FaultKind Kind : {FaultKind::MmapFail, FaultKind::PipeExhaust}) {
+      SCOPED_TRACE(std::string(engineName(Engine)) + "/" +
+                   faultKindName(Kind));
+      FaultPlan::global().clear();
+      FaultPlan::global().arm(Kind, /*Slot=*/0);
+      const RunResult R = runDisjointLoopRecovering(
+          Engine, CommitOrderPolicy::InOrder, /*SeqBaselineNs=*/0,
+          [](ExecutorConfig &Config) {
+            Config.Transport = TransportKind::Ring;
+          });
+      EXPECT_EQ(R.Status, RunStatus::Success);
+      EXPECT_FALSE(R.Stats.Recovered)
+          << "a transport downgrade must not reach the ladder";
+      EXPECT_EQ(R.Stats.WarmForks, 0u) << "the pool was dropped";
+      EXPECT_GT(R.Stats.ColdForks, 0u) << "every fork ran cold";
+      EXPECT_GE(R.Stats.ResourceFaults, 1u);
+      EXPECT_GE(R.Stats.TransportDowngrades, 1u);
+      EXPECT_EQ(FaultPlan::global().pendingCount(), 0u)
+          << "the setup fault must actually have struck";
+    }
+  }
+  FaultPlan::global().clear();
+}
+
+TEST(ResourceFaultMatrixTest, SetupFaultsAreNoOpsOnThePipeTransport) {
+  // The pipe transport allocates no rings and no pool: a slot-targeted
+  // setup fault has nothing to strike. The run is clean and the fault
+  // stays armed (it is not silently consumed by unrelated code).
+  for (ParallelEngine Engine :
+       {ParallelEngine::ForkJoin, ParallelEngine::Pipeline}) {
+    SCOPED_TRACE(engineName(Engine));
+    FaultPlan::global().clear();
+    FaultPlan::global().arm(FaultKind::MmapFail, /*Slot=*/0);
+    FaultPlan::global().arm(FaultKind::PipeExhaust, /*Slot=*/0);
+    const RunResult R = runDisjointLoopRecovering(
+        Engine, CommitOrderPolicy::InOrder, /*SeqBaselineNs=*/0,
+        [](ExecutorConfig &Config) {
+          Config.Transport = TransportKind::Pipe;
+        });
+    EXPECT_EQ(R.Status, RunStatus::Success);
+    EXPECT_EQ(R.Stats.ResourceFaults, 0u);
+    EXPECT_EQ(R.Stats.TransportDowngrades, 0u);
+    EXPECT_EQ(FaultPlan::global().pendingCount(), 2u);
+  }
+  FaultPlan::global().clear();
+}
+
+TEST(ResourceFaultMatrixTest, StagedSetupFailureFallsBackThroughLadder) {
+  // A stage replica whose commit-ring mmap or pipe setup fails cannot join
+  // the generation. The staged engine has no cold transport to retreat to
+  // (its rings ARE the inter-stage queue), so it reports a contained Crash
+  // and the ladder's chunked sub-runs finish the loop to a valid output.
+  std::unique_ptr<Workload> W = makeWorkload("ssca2");
+  W->setUp(0);
+  W->runSequential();
+  const std::vector<double> Reference = W->outputSignature();
+  for (FaultKind Kind : {FaultKind::MmapFail, FaultKind::PipeExhaust}) {
+    SCOPED_TRACE(faultKindName(Kind));
+    FaultPlan::global().clear();
+    FaultPlan::global().arm(Kind, /*Slot=*/0);
+    W->setUp(0);
+    const RunResult R = W->runScheduled(
+        SchedulePolicy::Staged, W->resolveAnnotation(*W->paperAnnotation()),
+        /*NumWorkers=*/4);
+    EXPECT_EQ(R.Status, RunStatus::Success) << R.Detail;
+    EXPECT_TRUE(W->validate(Reference))
+        << "degraded run must still match sequential";
+    EXPECT_GE(R.Stats.ResourceFaults, 1u);
+    EXPECT_GE(R.Stats.NumForkFailures, 1u);
+    EXPECT_EQ(FaultPlan::global().pendingCount(), 0u);
+  }
+  FaultPlan::global().clear();
+}
+
+//===----------------------------------------------------------------------===
+// Graceful shutdown: every engine winds down to a valid Interrupted result
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Live (unreaped) children of this process, per the kernel. Empty when
+/// every forked child — template, resident, stage replica, cold chunk
+/// child — has been reaped.
+std::string liveChildrenOfSelf() {
+  std::ifstream In("/proc/self/task/" + std::to_string(::getpid()) +
+                   "/children");
+  std::string Out((std::istreambuf_iterator<char>(In)),
+                  std::istreambuf_iterator<char>());
+  while (!Out.empty() && (Out.back() == ' ' || Out.back() == '\n'))
+    Out.pop_back();
+  return Out;
+}
+
+} // namespace
+
+TEST(ShutdownTest, SignalStormInterruptsChunkedEnginesWithoutOrphans) {
+  // An injected shutdown signal arriving as chunk 2 is about to fork: the
+  // engine stops dispatching, kills and reaps everything in flight, and
+  // returns Interrupted. The recovery ladder must NOT try to finish the
+  // loop — an interrupt is a command to stop, not a fault to heal — and
+  // the chunks that did commit must hold their sequential values.
+  for (ParallelEngine Engine :
+       {ParallelEngine::ForkJoin, ParallelEngine::Pipeline}) {
+    for (TransportKind Transport :
+         {TransportKind::Pipe, TransportKind::Ring}) {
+      SCOPED_TRACE(std::string(engineName(Engine)) + "/" +
+                   transportKindName(Transport));
+      clearShutdownRequest();
+      FaultPlan::global().clear();
+      FaultPlan::global().arm(FaultKind::SignalStorm, /*Chunk=*/2);
+      constexpr int64_t N = 24;
+      constexpr int64_t Cf = 4;
+      std::vector<int64_t> Data(N, -1);
+      LoopSpec Spec;
+      Spec.NumIterations = N;
+      Spec.Body = [&Data](TxnContext &Ctx, int64_t I) {
+        Ctx.store(&Data[static_cast<size_t>(I)], I * 3 + 1);
+      };
+      ExecutorConfig Config;
+      Config.NumWorkers = 2;
+      Config.Params.ChunkFactor = Cf;
+      Config.Params.CommitOrder = CommitOrderPolicy::InOrder;
+      Config.Transport = Transport;
+      RecoveringLoopRunner Runner(Engine, Config);
+      EXPECT_FALSE(Runner.runInner(Spec))
+          << "an interrupted loop must stop the workload";
+      const RunResult &R = Runner.result();
+      EXPECT_EQ(R.Status, RunStatus::Interrupted) << R.Detail;
+      EXPECT_NE(R.Detail.find("interrupted"), std::string::npos) << R.Detail;
+      EXPECT_EQ(R.Stats.RecoveredIterations, 0u)
+          << "the ladder must not finish an interrupted loop";
+      EXPECT_EQ(R.Stats.QuarantinedIterations, 0u);
+      EXPECT_TRUE(shutdownRequested());
+      EXPECT_EQ(liveChildrenOfSelf(), "") << "no child may be orphaned";
+      // Committed chunks are real commits: their memory is sequential.
+      for (int64_t C : R.CommitOrder)
+        for (int64_t I = C * Cf; I != std::min<int64_t>((C + 1) * Cf, N); ++I)
+          EXPECT_EQ(Data[static_cast<size_t>(I)], I * 3 + 1)
+              << "committed chunk " << C << " iteration " << I;
+      clearShutdownRequest();
+      FaultPlan::global().clear();
+    }
+  }
+}
+
+TEST(ShutdownTest, SignalStormInterruptsTheStagedEngine) {
+  clearShutdownRequest();
+  std::unique_ptr<Workload> W = makeWorkload("ssca2");
+  FaultPlan::global().clear();
+  FaultPlan::global().arm(FaultKind::SignalStorm, /*Chunk=*/1);
+  W->setUp(0);
+  const RunResult R = W->runScheduled(
+      SchedulePolicy::Staged, W->resolveAnnotation(*W->paperAnnotation()),
+      /*NumWorkers=*/4);
+  FaultPlan::global().clear();
+  EXPECT_EQ(R.Status, RunStatus::Interrupted) << R.Detail;
+  EXPECT_NE(R.Detail.find("interrupted"), std::string::npos) << R.Detail;
+  EXPECT_TRUE(shutdownRequested());
+  EXPECT_EQ(liveChildrenOfSelf(), "")
+      << "every stage replica must be reaped on interrupt";
+  clearShutdownRequest();
+}
+
+TEST(ShutdownTest, RealSigtermReturnsInterruptedOnEveryEngine) {
+  // The real signal path: SIGTERM delivered to the parent (synchronously,
+  // via raise) is latched by the supervisor; every engine notices before
+  // dispatching anything and returns a valid Interrupted result with zero
+  // chunks committed and zero children left behind.
+  FaultPlan::global().clear();
+  for (ParallelEngine Engine :
+       {ParallelEngine::ForkJoin, ParallelEngine::Pipeline}) {
+    SCOPED_TRACE(engineName(Engine));
+    clearShutdownRequest();
+    ensureShutdownSupervisorInstalled();
+    ASSERT_EQ(::raise(SIGTERM), 0);
+    ASSERT_TRUE(shutdownRequested()) << "the supervisor must latch SIGTERM";
+    EXPECT_EQ(shutdownSignal(), SIGTERM);
+    constexpr int64_t N = 24;
+    std::vector<int64_t> Data(N, -1);
+    LoopSpec Spec;
+    Spec.NumIterations = N;
+    Spec.Body = [&Data](TxnContext &Ctx, int64_t I) {
+      Ctx.store(&Data[static_cast<size_t>(I)], I);
+    };
+    ExecutorConfig Config;
+    Config.NumWorkers = 2;
+    Config.Params.ChunkFactor = 4;
+    RecoveringLoopRunner Runner(Engine, Config);
+    EXPECT_FALSE(Runner.runInner(Spec));
+    const RunResult &R = Runner.result();
+    EXPECT_EQ(R.Status, RunStatus::Interrupted) << R.Detail;
+    EXPECT_TRUE(R.CommitOrder.empty())
+        << "a pre-latched signal must stop the run before any dispatch";
+    EXPECT_EQ(liveChildrenOfSelf(), "");
+    clearShutdownRequest();
+  }
 }
 
 TEST(ConfigurationSemanticsTest, StaleReadsOutputDependsOnWorkersAndCf) {
