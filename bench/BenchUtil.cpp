@@ -8,6 +8,7 @@
 
 #include "support/Error.h"
 #include "support/Format.h"
+#include "support/Metrics.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -47,6 +48,7 @@ SweepSeries alter::bench::runSweep(const std::string &Name, size_t InputIndex,
     const RunResult R = W->runLockstep(Params, P);
     SweepPoint Point;
     Point.NumWorkers = P;
+    Point.Schedule = scheduleKindName(R.ScheduleUsed);
     Point.Status = R.Status;
     Point.SimTimeNs = R.Stats.SimTimeNs;
     Point.RetryRate = R.Stats.retryRate();
@@ -155,6 +157,8 @@ struct JsonRecord {
 std::string JsonPath;
 std::vector<JsonRecord> JsonRecords;
 std::string TracePath;
+std::string MetricsJsonPath;
+bool ProfileFlag = false;
 
 std::string jsonEscape(const std::string &S) {
   std::string Out;
@@ -187,14 +191,42 @@ void alter::bench::initBenchArgs(int argc, char **argv) {
       TracePath = argv[++I];
     } else if (Arg.rfind("--trace=", 0) == 0) {
       TracePath = Arg.substr(8);
+    } else if (Arg == "--profile") {
+      ProfileFlag = true;
+    } else if (Arg == "--metrics-json") {
+      if (I + 1 == argc)
+        fatalError("--metrics-json requires a path argument");
+      MetricsJsonPath = argv[++I];
+    } else if (Arg.rfind("--metrics-json=", 0) == 0) {
+      MetricsJsonPath = Arg.substr(15);
     }
   }
-  // The flag implies full event recording regardless of ALTER_TRACE.
-  if (!TracePath.empty())
+  // The flags imply full event recording regardless of ALTER_TRACE, and the
+  // profile/metrics reports additionally need the registries on: the
+  // critical-path attribution reads both TraceEvents and the histograms.
+  if (!TracePath.empty() || ProfileFlag || !MetricsJsonPath.empty())
     setGlobalTraceLevel(TraceLevel::Events);
+  if (ProfileFlag || !MetricsJsonPath.empty())
+    setGlobalMetricsEnabled(true);
 }
 
 bool alter::bench::traceRequested() { return !TracePath.empty(); }
+
+bool alter::bench::profileRequested() { return ProfileFlag; }
+
+bool alter::bench::metricsRequested() { return !MetricsJsonPath.empty(); }
+
+void alter::bench::maybeWriteMetricsReport(const RunResult &Result) {
+  if (ProfileFlag)
+    std::printf("%s", Result.profileTable().c_str());
+  if (MetricsJsonPath.empty())
+    return;
+  std::string Error;
+  if (!Result.writeMetricsJson(MetricsJsonPath, &Error))
+    fatalError("cannot write --metrics-json path " + MetricsJsonPath + ": " +
+               Error);
+  std::printf("(metrics json written to %s)\n", MetricsJsonPath.c_str());
+}
 
 void alter::bench::maybeWriteTraceReport(const RunResult &Result) {
   if (TracePath.empty())
@@ -246,7 +278,10 @@ void alter::bench::finalizeBenchJson() {
         "\"child_crashes\": %llu, \"wire_rejects\": %llu, "
         "\"recovered\": %s, \"recovered_iterations\": %llu, "
         "\"salvaged_chunks\": %llu, \"quarantined_iterations\": %llu, "
-        "\"bisection_rounds\": %llu}",
+        "\"bisection_rounds\": %llu, "
+        "\"cpu_user_ns\": %llu, \"cpu_sys_ns\": %llu, "
+        "\"cpu_total_ns\": %llu, \"cpu_vs_wall\": %.6g, "
+        "\"max_child_rss_bytes\": %llu}",
         I == 0 ? "" : ",", jsonEscape(R.Figure).c_str(),
         jsonEscape(R.Series).c_str(), R.Point.NumWorkers,
         runStatusName(R.Point.Status), R.Point.Speedup, R.Point.RetryRate,
@@ -279,7 +314,15 @@ void alter::bench::finalizeBenchJson() {
         static_cast<unsigned long long>(S.RecoveredIterations),
         static_cast<unsigned long long>(S.SalvagedChunks),
         static_cast<unsigned long long>(S.QuarantinedIterations),
-        static_cast<unsigned long long>(S.BisectionRounds));
+        static_cast<unsigned long long>(S.BisectionRounds),
+        static_cast<unsigned long long>(S.ChildUserNs),
+        static_cast<unsigned long long>(S.ChildSysNs),
+        static_cast<unsigned long long>(S.ChildUserNs + S.ChildSysNs),
+        S.RealTimeNs == 0
+            ? 0.0
+            : static_cast<double>(S.ChildUserNs + S.ChildSysNs) /
+                  static_cast<double>(S.RealTimeNs),
+        static_cast<unsigned long long>(S.MaxChildRssBytes));
   }
   std::fprintf(F, "\n  ]\n}\n");
   if (std::fclose(F) != 0)

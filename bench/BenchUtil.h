@@ -111,18 +111,35 @@ void maybeWriteCsv(const std::string &Id, const TextTable &Table);
 /// `--json <path>` (or `--json=<path>`) arms the JSON report written by
 /// finalizeBenchJson(); `--trace <path>` (or `--trace=<path>`) raises the
 /// process-wide trace level to Events and arms the Chrome-trace report
-/// written by maybeWriteTraceReport(). Unrecognized arguments are left for
-/// the driver. Call once at the top of main().
+/// written by maybeWriteTraceReport(); `--profile` arms the post-run
+/// critical-path profile table; `--metrics-json <path>` (or
+/// `--metrics-json=<path>`) arms the machine-readable metrics report.
+/// --profile and --metrics-json both imply event tracing and the metrics
+/// registries, regardless of ALTER_TRACE / ALTER_METRICS. Unrecognized
+/// arguments are left for the driver. Call once at the top of main().
 void initBenchArgs(int argc, char **argv);
 
 /// True when --trace was given: the driver should keep the RunResult of a
 /// representative run and hand it to maybeWriteTraceReport().
 bool traceRequested();
 
+/// True when --profile was given: the driver should keep the RunResult of a
+/// representative run and hand it to maybeWriteMetricsReport().
+bool profileRequested();
+
+/// True when --metrics-json was given (same representative-run contract as
+/// profileRequested()).
+bool metricsRequested();
+
 /// Writes \p Result's event timeline to the --trace path as Chrome
 /// trace-event JSON (Perfetto-loadable) and prints the text summary with
 /// conflict attribution to stdout. No-op when --trace was not given.
 void maybeWriteTraceReport(const RunResult &Result);
+
+/// Prints the critical-path profile table (--profile) and/or writes the
+/// metrics JSON report (--metrics-json) for a representative run. No-op
+/// when neither flag was given.
+void maybeWriteMetricsReport(const RunResult &Result);
 
 /// Appends one measured point to the JSON report (no-op unless --json was
 /// given). printFigure() calls this for every point it prints; drivers with

@@ -25,7 +25,8 @@
 /// rerunning with the printed seed. The final line is machine-checkable:
 ///
 ///   chaos_storm: seed=7 runs=N storms=F interrupted=K recovered=J
-///       orphan_violations=0 map_growth=G verdict=OK
+///       orphan_violations=0 map_growth=G wall_p50_ns=.. wall_p99_ns=..
+///       verdict=OK
 ///
 /// scripts/check.sh --chaos greps verdict=OK and re-asserts the zero
 /// counters.
@@ -35,6 +36,7 @@
 #include "bench/BenchUtil.h"
 #include "runtime/ShutdownSupervisor.h"
 #include "support/FaultInjection.h"
+#include "support/Metrics.h"
 #include "support/Random.h"
 #include "support/Timer.h"
 #include "workloads/Workload.h"
@@ -153,6 +155,10 @@ int main(int argc, char **argv) {
   ensureShutdownSupervisorInstalled();
   SplitMix64 Rng(Seed ^ 0x57a6b5c4d3e2f1ULL);
   Totals T;
+  // Per-run wall-clock distribution across the whole soak: the log-bucketed
+  // histogram keeps exact count/min/max and bucket-resolution percentiles,
+  // so the summary can report p50/p99 without storing every sample.
+  LatencyHistogram WallHist;
   size_t BaselineMaps = 0;
   const uint64_t T0 = nowNs();
   const uint64_t BudgetNs = BudgetMs * 1'000'000ULL;
@@ -180,6 +186,7 @@ int main(int argc, char **argv) {
       R = W->runScheduled(SchedulePolicy::Staged, Params, Workers);
     }
     ++T.Runs;
+    WallHist.record(R.Stats.RealTimeNs);
     FaultPlan::global().clear();
 
     // Invariant 1: a valid outcome. Interrupted is valid only because a
@@ -234,13 +241,16 @@ int main(int argc, char **argv) {
   std::printf("chaos_storm: seed=%llu runs=%llu storms=%llu "
               "interrupted=%llu recovered=%llu orphan_violations=%llu "
               "output_violations=%llu status_violations=%llu "
-              "map_growth=%zu verdict=%s\n",
+              "map_growth=%zu wall_p50_ns=%llu wall_p99_ns=%llu "
+              "verdict=%s\n",
               (unsigned long long)Seed, (unsigned long long)T.Runs,
               (unsigned long long)T.Storms, (unsigned long long)T.Interrupted,
               (unsigned long long)T.Recovered,
               (unsigned long long)T.OrphanViolations,
               (unsigned long long)T.OutputViolations,
               (unsigned long long)T.StatusViolations, Growth,
+              (unsigned long long)WallHist.percentile(0.50),
+              (unsigned long long)WallHist.percentile(0.99),
               Ok ? "OK" : "FAIL");
   return Ok ? 0 : 1;
 }

@@ -43,6 +43,18 @@ int main(int argc, char **argv) {
               "(not in the paper) shows why the planner keeps Genome "
               "chunked: the hash-probe stage is too cheap to pay for a "
               "sequential insertion lane");
+  if (traceRequested() || profileRequested() || metricsRequested()) {
+    // The sweep's lock-step engine is thread-based and ships no child
+    // frames, so the representative run for --trace / --profile /
+    // --metrics-json is a recovering Pipeline-engine run at the figure's
+    // top processor count.
+    std::unique_ptr<Workload> Rep = makeWorkload("genome");
+    Rep->setUp(Input);
+    const RunResult R = Rep->runRecovering(ParallelEngine::Pipeline, Stale,
+                                           paperProcessorCounts().back());
+    maybeWriteTraceReport(R);
+    maybeWriteMetricsReport(R);
+  }
   finalizeBenchJson();
   return 0;
 }

@@ -55,6 +55,20 @@ int main(int argc, char **argv) {
     };
     printFigure(G.Title, Series, G.Note);
   }
+  if (traceRequested() || profileRequested() || metricsRequested()) {
+    // The sweep's lock-step engine is thread-based and ships no child
+    // frames, so the representative run for --trace / --profile /
+    // --metrics-json is a recovering Pipeline-engine run on the bench
+    // input at the figure's top processor count.
+    std::unique_ptr<Workload> Rep = makeWorkload("ssca2");
+    Rep->setUp(1);
+    const RuntimeParams Stale =
+        Rep->resolveAnnotation(*parseAnnotation("[StaleReads]"));
+    const RunResult R = Rep->runRecovering(ParallelEngine::Pipeline, Stale,
+                                           paperProcessorCounts().back());
+    maybeWriteTraceReport(R);
+    maybeWriteMetricsReport(R);
+  }
   finalizeBenchJson();
   return 0;
 }

@@ -49,6 +49,10 @@
 /// stdout. The loop is conflict-free by construction, so --contend adds a
 /// shared read-modify-write cell (labeled "straggler.shared") that every
 /// chunk touches, giving the attribution report a real granule to rank.
+/// --profile and --metrics-json <file> reuse the same representative run
+/// for the critical-path phase profile and the metrics report;
+/// --profile-engine=<forkjoin|pipeline> picks which engine's highest-P run
+/// is the representative (pipeline by default).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -221,6 +225,7 @@ SweepPoint measure(StragglerLoop &Loop, Executor &Exec, unsigned P,
     *TraceOut = R;
   SweepPoint Point;
   Point.NumWorkers = P;
+  Point.Schedule = scheduleKindName(R.ScheduleUsed);
   Point.Status = R.Status;
   Point.SimTimeNs = R.Stats.SimTimeNs;
   Point.RetryRate = R.Stats.retryRate();
@@ -276,6 +281,7 @@ SweepPoint measureRecovering(StragglerLoop &Loop, ParallelEngine Engine,
     fatalError("recovered straggler loop produced wrong output");
   SweepPoint Point;
   Point.NumWorkers = P;
+  Point.Schedule = scheduleKindName(R.ScheduleUsed);
   Point.Status = R.Status;
   Point.SimTimeNs = R.Stats.SimTimeNs;
   Point.RetryRate = R.Stats.retryRate();
@@ -292,13 +298,23 @@ int main(int argc, char **argv) {
   bool Quick = false;
   bool Fault = false;
   bool Contend = false;
+  // Which engine's highest-P straggler run is kept as the representative
+  // for --trace / --profile / --metrics-json.
+  std::string ProfileEngine = "pipeline";
   for (int I = 1; I != argc; ++I) {
-    if (std::string(argv[I]) == "--quick")
+    const std::string Arg = argv[I];
+    if (Arg == "--quick")
       Quick = true;
-    if (std::string(argv[I]) == "--fault")
+    if (Arg == "--fault")
       Fault = true;
-    if (std::string(argv[I]) == "--contend")
+    if (Arg == "--contend")
       Contend = true;
+    if (Arg.rfind("--profile-engine=", 0) == 0) {
+      ProfileEngine = Arg.substr(17);
+      if (ProfileEngine != "forkjoin" && ProfileEngine != "pipeline")
+        fatalError("--profile-engine must be 'forkjoin' or 'pipeline', got '" +
+                   ProfileEngine + "'");
+    }
   }
 
   printHeader("pipeline vs rounds",
@@ -350,18 +366,24 @@ int main(int argc, char **argv) {
     jsonAddPoint("pipeline_vs_rounds", Series, Pt);
   };
   RunResult Traced;
+  const bool KeepRepresentative =
+      traceRequested() || profileRequested() || metricsRequested();
   for (unsigned P : Procs) {
     ExecutorConfig Config;
     Config.NumWorkers = P;
     Config.Params = Params;
 
     ForkJoinExecutor Rounds(Config);
-    const SweepPoint Fj = measure(Loop, Rounds, P, Config.Transport, Ref);
+    // Procs ascends, so the kept representative is the highest-P run of
+    // the --profile-engine engine (pipeline unless overridden).
+    const SweepPoint Fj = measure(
+        Loop, Rounds, P, Config.Transport, Ref,
+        KeepRepresentative && ProfileEngine == "forkjoin" ? &Traced : nullptr);
     addRow(P, "forkjoin", Fj);
     PipelineExecutor Pipe(Config);
-    // Procs ascends, so the kept trace is the highest-P pipelined run.
-    const SweepPoint Pl = measure(Loop, Pipe, P, Config.Transport, Ref,
-                                  traceRequested() ? &Traced : nullptr);
+    const SweepPoint Pl = measure(
+        Loop, Pipe, P, Config.Transport, Ref,
+        KeepRepresentative && ProfileEngine == "pipeline" ? &Traced : nullptr);
     addRow(P, "pipeline", Pl);
 
     if (P == 4) {
@@ -544,6 +566,7 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(PipeCopied4));
 
   maybeWriteTraceReport(Traced);
+  maybeWriteMetricsReport(Traced);
   finalizeBenchJson();
   return 0;
 }

@@ -8,6 +8,7 @@
 #        scripts/check.sh --pool [build-dir]
 #        scripts/check.sh --stage [build-dir]
 #        scripts/check.sh --chaos [build-dir]
+#        scripts/check.sh --metrics [build-dir]
 #
 # Configures, builds, runs the full ctest suite, then smoke-runs the
 # straggler micro-benchmark (--quick, with --fault so the recovery path is
@@ -32,6 +33,14 @@
 # bounded wall-clock), and an assertion pass over its summary line — every
 # run must end Success-with-valid-output or Interrupted, with zero
 # orphaned children and zero leaked mappings per /proc/self.
+#
+# With --metrics the sequence additionally gates the observability layer:
+# the engine x transport matrix of --profile --metrics-json runs (schema
+# key set must match the committed BENCH_metrics.json, every histogram
+# must satisfy min <= p50 <= p99 <= max, and the critical-path profile
+# must reconcile to 100% +/- 1% of wall clock), plus an A/B overhead run
+# asserting ALTER_METRICS=1 costs less than 1.10x the metrics-off
+# wall-clock on the sleep-dominated series.
 #
 # With --sanitize the whole sequence additionally runs in a second build
 # tree compiled with AddressSanitizer + UndefinedBehaviorSanitizer, so
@@ -67,6 +76,7 @@ FAULT=0
 POOL=0
 STAGE=0
 CHAOS=0
+METRICS=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
   --sanitize) SANITIZE=1 ;;
@@ -75,6 +85,7 @@ while [[ "${1:-}" == --* ]]; do
   --pool) POOL=1 ;;
   --stage) STAGE=1 ;;
   --chaos) CHAOS=1 ;;
+  --metrics) METRICS=1 ;;
   *)
     echo "check.sh: unknown flag $1" >&2
     exit 2
@@ -350,6 +361,87 @@ print(f"chaos OK: {summary['runs']} runs, {summary['storms']} faults, "
 EOF
 }
 
+metrics_stage() { # metrics_stage <build-dir>
+  local DIR="$1"
+  local BENCH="$DIR/bench/pipeline_vs_rounds"
+
+  echo "== metrics gate: engine x transport matrix =="
+  # Every cell runs the profiled representative with a metrics JSON and is
+  # validated against the committed BENCH_metrics.json schema: same key
+  # set, ordered percentiles, and a critical-path profile that accounts
+  # for the whole wall clock.
+  local ENGINE TRANSPORT MJSON
+  for ENGINE in forkjoin pipeline; do
+    for TRANSPORT in pipe ring; do
+      MJSON="$DIR/metrics.$ENGINE.$TRANSPORT.json"
+      echo "-- $ENGINE over $TRANSPORT --"
+      ALTER_TRANSPORT="$TRANSPORT" "$BENCH" --quick --profile \
+        --profile-engine="$ENGINE" --metrics-json "$MJSON" >/dev/null
+      python3 - "$MJSON" "$REPO_ROOT/BENCH_metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    cur = json.load(f)
+with open(sys.argv[2]) as f:
+    base = json.load(f)
+def keypaths(node, prefix=""):
+    out = set()
+    for k, v in node.items():
+        path = f"{prefix}.{k}" if prefix else k
+        out.add(path)
+        if isinstance(v, dict):
+            out |= keypaths(v, path)
+    return out
+missing = keypaths(base) - keypaths(cur)
+extra = keypaths(cur) - keypaths(base)
+assert not missing and not extra, (
+    f"metrics schema drifted vs BENCH_metrics.json: "
+    f"missing={sorted(missing)} extra={sorted(extra)} — regenerate the "
+    f"baseline if the change is intentional")
+assert cur["schema"] == "alter-metrics-v1", cur["schema"]
+assert cur["status"] == "success", cur["status"]
+for name, h in cur["histograms"].items():
+    if h["count"] == 0:
+        continue
+    assert h["min"] <= h["p50"] <= h["p90"] <= h["p99"] <= h["max"], (
+        f"{name}: percentiles out of order: {h}")
+prof = cur["profile"]
+assert 99.0 <= prof["coverage_pct"] <= 101.0, (
+    f"critical-path profile does not reconcile: "
+    f"coverage {prof['coverage_pct']}% of wall clock")
+nonzero = sum(1 for h in cur["histograms"].values() if h["count"])
+print(f"metrics OK: schema stable, {nonzero} live histograms, "
+      f"coverage {prof['coverage_pct']:.2f}%")
+EOF
+    done
+  done
+
+  echo "== metrics gate: overhead A/B (ALTER_METRICS on vs off) =="
+  # Same quick sweep either side; the sleep-dominated series make the
+  # comparison robust, and a 1.10x budget catches a hot-path regression
+  # (per-chunk serialization or sampling) without flaking on CI noise.
+  "$BENCH" --quick --json "$DIR/metrics.off.json" >/dev/null
+  ALTER_METRICS=1 "$BENCH" --quick --json "$DIR/metrics.on.json" >/dev/null
+  python3 - "$DIR/metrics.on.json" "$DIR/metrics.off.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    on = json.load(f)["records"]
+with open(sys.argv[2]) as f:
+    off = json.load(f)["records"]
+def stable_sum(records):
+    return sum(r["real_time_ns"] for r in records
+               if "-small-" not in r["series"]
+               and "heavy-tail" not in r["series"])
+on_ns, off_ns = stable_sum(on), stable_sum(off)
+assert off_ns > 0, "metrics-off run recorded no stable series"
+ratio = on_ns / off_ns
+assert ratio < 1.10, (
+    f"metrics-on run is {ratio:.3f}x the metrics-off wall clock "
+    f"({on_ns/1e6:.1f}ms vs {off_ns/1e6:.1f}ms); budget is 1.10x")
+print(f"overhead OK: metrics on/off = {ratio:.3f}x "
+      f"({on_ns/1e6:.1f}ms vs {off_ns/1e6:.1f}ms)")
+EOF
+}
+
 run_stage "$BUILD_DIR"
 baseline_stage "$BUILD_DIR"
 
@@ -371,6 +463,10 @@ fi
 
 if [[ "$CHAOS" == 1 ]]; then
   chaos_stage "$BUILD_DIR"
+fi
+
+if [[ "$METRICS" == 1 ]]; then
+  metrics_stage "$BUILD_DIR"
 fi
 
 if [[ "$SANITIZE" == 1 ]]; then

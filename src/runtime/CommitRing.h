@@ -94,18 +94,28 @@ public:
   /// while the ring is full. After each accepted piece \p OnProgress is
   /// invoked (the child rings its doorbell there, so the parent keeps
   /// draining and a message larger than the ring cannot deadlock).
-  template <typename Fn>
-  void pushAll(const uint8_t *Data, size_t Size, Fn &&OnProgress) {
+  /// \p OnBackoff is invoked before each full-ring backoff sleep — the
+  /// metrics hook that counts and times ring backpressure without putting
+  /// a clock read on the uncontended path.
+  template <typename Fn, typename BackoffFn>
+  void pushAll(const uint8_t *Data, size_t Size, Fn &&OnProgress,
+               BackoffFn &&OnBackoff) {
     size_t Off = 0;
     while (Off != Size) {
       const size_t N = pushSome(Data + Off, Size - Off);
       if (N == 0) {
+        OnBackoff();
         backoff();
         continue;
       }
       Off += N;
       OnProgress();
     }
+  }
+
+  template <typename Fn>
+  void pushAll(const uint8_t *Data, size_t Size, Fn &&OnProgress) {
+    pushAll(Data, Size, static_cast<Fn &&>(OnProgress), [] {});
   }
 
   /// Consumer side: moves every available byte into \p Out (appending) and

@@ -195,6 +195,20 @@ struct ExecutorConfig {
   /// through the config and ship their events back in the commit message's
   /// TRACE section.
   TraceLevel Trace = globalTraceLevel();
+
+  /// Metrics collection for this run (defaults to the ALTER_METRICS-derived
+  /// process setting). When on, children record per-chunk latency/size
+  /// histograms and ship them in the ALTER5 METRICS wire section, the
+  /// parent records validate/commit latencies and merges everything into
+  /// RunResult::Metrics, and the timeline sampler below runs. When off,
+  /// children emit the byte-identical ALTER4 frames of previous releases.
+  bool Metrics = globalMetricsEnabled();
+
+  /// Minimum trace-clock ns between timeline samples. Sampling piggybacks
+  /// on existing dispatch points (poll wakeups, round barriers) — no
+  /// threads — so this is a floor, not a period. Deterministic under the
+  /// seeded trace clock.
+  uint64_t MetricsSampleIntervalNs = 1'000'000;
 };
 
 /// Abstract loop execution engine.

@@ -54,6 +54,7 @@ ForkJoinExecutor::ForkJoinExecutor(ExecutorConfig Config)
 RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
   assert(Spec.Body && "loop has no body");
   RunResult Result;
+  Result.ScheduleUsed = ScheduleKind::Chunked;
   const int64_t Cf = Config.Params.ChunkFactor > 0
                          ? Config.Params.ChunkFactor
                          : globalChunkFactor();
@@ -109,6 +110,38 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
                                         MinStallGraceNs);
   }
 
+  // Timeline sampler: piggybacks on the round barrier and the finish
+  // paths — no threads, zero clock reads when metrics are off, and
+  // deterministic under the seeded trace clock (with tracing below Events
+  // the sampler is the only traceNowNs caller, and the number of rounds is
+  // already fixed by the engine's determinism).
+  uint64_t LastSampleNs = 0;
+  bool Sampled = false;
+  const auto Sample = [&](uint64_t Inflight, bool Force) {
+    if (!Config.Metrics)
+      return;
+    const uint64_t Now = traceNowNs();
+    if (!Force && Sampled &&
+        Now - LastSampleNs < Config.MetricsSampleIntervalNs)
+      return;
+    Sampled = true;
+    LastSampleNs = Now;
+    TimelineSample TS;
+    TS.TimeNs = Now;
+    TS.Committed = Result.Stats.NumCommitted;
+    TS.Retries = Result.Stats.NumRetries;
+    TS.WarmForks = Result.Stats.WarmForks;
+    TS.ColdForks = Result.Stats.ColdForks;
+    TS.InflightChunks = Inflight;
+    TS.RingDepthBytes = Pool ? Pool->ringDepthBytes() : 0;
+    TS.BusyNs = Result.Stats.WorkerBusyNs;
+    TS.SlotNs = (nowNs() - RealStart) * P;
+    Result.Timeline.push_back(TS);
+    Result.Metrics.addCounter(CounterId::TimelineSamples);
+    Result.Metrics.gaugeMax(GaugeId::PeakInflight, Inflight);
+    Result.Metrics.gaugeMax(GaugeId::PeakRingDepthBytes, TS.RingDepthBytes);
+  };
+
   const auto Finish = [&](RunStatus Status, std::string Detail) {
     Result.Status = Status;
     Result.Detail = std::move(Detail);
@@ -127,7 +160,38 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
         ++Result.Stats.ResourceFaults;
         ++Result.Stats.TransportDowngrades;
       }
+      // Retire the template now (the destructor would, but too late to
+      // read the rusage): wait4 on it folds in the CPU time of every warm
+      // child it reaped, so the warm lineage is accounted transitively.
+      Pool->retire();
+      const ChildRusage &U = Pool->templateRusage();
+      Result.Stats.ChildUserNs += U.UserNs;
+      Result.Stats.ChildSysNs += U.SysNs;
+      Result.Stats.MaxChildRssBytes =
+          std::max(Result.Stats.MaxChildRssBytes, U.MaxRssBytes);
     }
+    Sample(0, /*Force=*/true);
+    if (logEnabled(LogLevel::Info))
+      alterLog(LogLevel::Info, "run",
+               "event=run_done engine=forkjoin schedule=%s status=%s "
+               "wall_ns=%llu occupancy=%.3f committed=%llu retries=%llu "
+               "rounds=%llu warm_forks=%llu cold_forks=%llu crashes=%llu "
+               "wire_rejects=%llu resource_faults=%llu cpu_user_ns=%llu "
+               "cpu_sys_ns=%llu",
+               scheduleKindName(Result.ScheduleUsed),
+               runStatusName(Result.Status),
+               static_cast<unsigned long long>(Result.Stats.RealTimeNs),
+               Result.Stats.occupancy(),
+               static_cast<unsigned long long>(Result.Stats.NumCommitted),
+               static_cast<unsigned long long>(Result.Stats.NumRetries),
+               static_cast<unsigned long long>(Result.Stats.NumRounds),
+               static_cast<unsigned long long>(Result.Stats.WarmForks),
+               static_cast<unsigned long long>(Result.Stats.ColdForks),
+               static_cast<unsigned long long>(Result.Stats.NumChildCrashes),
+               static_cast<unsigned long long>(Result.Stats.NumWireRejects),
+               static_cast<unsigned long long>(Result.Stats.ResourceFaults),
+               static_cast<unsigned long long>(Result.Stats.ChildUserNs),
+               static_cast<unsigned long long>(Result.Stats.ChildSysNs));
     Sink.finish(Result);
     return Result;
   };
@@ -261,7 +325,8 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
       if (Sink.events() && N >= 0)
         Sink.event(TraceEventKind::PollWake, /*Worker=*/0, /*Chunk=*/-1,
                    PollT0, traceNowNs() - PollT0,
-                   /*Arg0=*/static_cast<uint64_t>(N));
+                   /*Arg0=*/static_cast<uint64_t>(N),
+                   /*Arg1=*/static_cast<uint64_t>(Pfds.size()));
       if (N < 0 && errno == EINTR)
         continue;
       if (N < 0 || (RealDeadline != 0 && nowNs() >= RealDeadline)) {
@@ -309,11 +374,16 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
         }
       } else {
         int Status = 0;
-        if (waitpidRetry(S.Ch.DirectPid, &Status) < 0) {
+        ChildRusage Usage;
+        if (waitpidRusage(S.Ch.DirectPid, &Status, &Usage) < 0) {
           ++Result.Stats.NumChildCrashes;
           FailWhy[W] = "waitpid failure";
           continue;
         }
+        Result.Stats.ChildUserNs += Usage.UserNs;
+        Result.Stats.ChildSysNs += Usage.SysNs;
+        Result.Stats.MaxChildRssBytes =
+            std::max(Result.Stats.MaxChildRssBytes, Usage.MaxRssBytes);
         if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0) {
           ++Result.Stats.NumChildCrashes;
           FailWhy[W] =
@@ -330,6 +400,8 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
       }
       Ok[W] = true;
       Sink.absorbChild(Reports[W].Trace);
+      if (Config.Metrics)
+        Result.Metrics.merge(Reports[W].Metrics);
     }
 
     if (shutdownRequested())
@@ -399,6 +471,7 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
 
       const uint64_t WordsBefore = Detector.wordsChecked();
       const uint64_t ValT0 = Sink.events() ? traceNowNs() : 0;
+      const uint64_t ValR0 = Config.Metrics ? nowNs() : 0;
       // Preserve the short-circuit: a broken in-order prefix fails the
       // chunk without running (and without charging for) a conflict check.
       bool Failed = InOrderBroken;
@@ -407,6 +480,10 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
       const uintptr_t Witness =
           InOrderBroken ? 0 : Detector.lastConflictWord();
       Costs[W].CheckWords = Detector.wordsChecked() - WordsBefore;
+      if (Config.Metrics) {
+        Result.Metrics.record(HistogramId::ValidateNs, nowNs() - ValR0);
+        Result.Metrics.addCounter(CounterId::ParentValidates);
+      }
       if (Sink.events())
         Sink.event(TraceEventKind::Validate, /*Worker=*/0, Chunk, ValT0,
                    traceNowNs() - ValT0, /*Arg0=*/Failed ? 1 : 0,
@@ -426,6 +503,8 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
       ++Result.Stats.NumCommitted;
       Costs[W].Committed = true;
       Costs[W].CommitBytes = Rep.Log.dataBytes();
+      const uint64_t CommitT0 = Sink.events() ? traceNowNs() : 0;
+      const uint64_t CommitR0 = Config.Metrics ? nowNs() : 0;
       Detector.recordCommit(Rep.Writes);
       // Apply the child's writes verbatim: the ALTER allocator guarantees
       // address disjointness, so this cannot clobber live parent data.
@@ -439,10 +518,14 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
       // applied here, so later warm forks snapshot this state.
       if (Pool)
         Pool->pushCommit(W + 1, Chunk, Rep);
+      if (Config.Metrics) {
+        Result.Metrics.record(HistogramId::CommitNs, nowNs() - CommitR0);
+        Result.Metrics.addCounter(CounterId::ParentCommits);
+      }
       Result.CommitOrder.push_back(Chunk);
       if (Sink.events())
-        Sink.event(TraceEventKind::Commit, /*Worker=*/0, Chunk, traceNowNs(),
-                   0, /*Arg0=*/Rep.Log.dataBytes());
+        Sink.event(TraceEventKind::Commit, /*Worker=*/0, Chunk, CommitT0,
+                   traceNowNs() - CommitT0, /*Arg0=*/Rep.Log.dataBytes());
     }
     // Failed chunks retry ahead of younger chunks, preserving program order.
     for (auto It = Retried.rbegin(); It != Retried.rend(); ++It)
@@ -452,6 +535,7 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
     if (Sink.events())
       Sink.event(TraceEventKind::RoundBarrier, /*Worker=*/0, /*Chunk=*/-1,
                  traceNowNs(), 0, /*Arg0=*/Result.Stats.NumRounds);
+    Sample(0, /*Force=*/false);
   }
 
   return Finish(RunStatus::Success, std::string());

@@ -29,6 +29,7 @@ LockstepExecutor::LockstepExecutor(ExecutorConfig Config)
 RunResult LockstepExecutor::run(const LoopSpec &Spec) {
   assert(Spec.Body && "loop has no body");
   RunResult Result;
+  Result.ScheduleUsed = ScheduleKind::Chunked;
   const int64_t Cf = Config.Params.ChunkFactor > 0
                          ? Config.Params.ChunkFactor
                          : globalChunkFactor();
@@ -188,6 +189,19 @@ RunResult LockstepExecutor::run(const LoopSpec &Spec) {
   }
 
   Result.Stats.RealTimeNs = nowNs() - RealStart;
+  if (logEnabled(LogLevel::Info))
+    alterLog(LogLevel::Info, "run",
+             "event=run_done engine=lockstep schedule=%s status=%s "
+             "wall_ns=%llu sim_ns=%llu occupancy=%.3f committed=%llu "
+             "retries=%llu rounds=%llu",
+             scheduleKindName(Result.ScheduleUsed),
+             runStatusName(Result.Status),
+             static_cast<unsigned long long>(Result.Stats.RealTimeNs),
+             static_cast<unsigned long long>(Result.Stats.SimTimeNs),
+             Result.Stats.occupancy(),
+             static_cast<unsigned long long>(Result.Stats.NumCommitted),
+             static_cast<unsigned long long>(Result.Stats.NumRetries),
+             static_cast<unsigned long long>(Result.Stats.NumRounds));
   Sink.finish(Result);
   return Result;
 }

@@ -76,6 +76,7 @@ PipelineExecutor::PipelineExecutor(ExecutorConfig Config)
 RunResult PipelineExecutor::run(const LoopSpec &Spec) {
   assert(Spec.Body && "loop has no body");
   RunResult Result;
+  Result.ScheduleUsed = ScheduleKind::Chunked;
   const int64_t Cf = Config.Params.ChunkFactor > 0
                          ? Config.Params.ChunkFactor
                          : globalChunkFactor();
@@ -138,6 +139,52 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
   bool Crashed = false;
   std::string CrashDetail;
 
+  auto runningSlots = [&] {
+    uint64_t N = 0;
+    for (const Slot &S : Slots)
+      N += S.St == Slot::State::Running ? 1 : 0;
+    return N;
+  };
+
+  // Accumulate a reaped cold child's CPU time. Warm children are reaped by
+  // the template and arrive transitively via templateRusage() at the end.
+  auto addChildUsage = [&](const ChildRusage &Usage) {
+    Result.Stats.ChildUserNs += Usage.UserNs;
+    Result.Stats.ChildSysNs += Usage.SysNs;
+    Result.Stats.MaxChildRssBytes =
+        std::max(Result.Stats.MaxChildRssBytes, Usage.MaxRssBytes);
+  };
+
+  // Timeline sampler: piggybacks on the poll-wakeup dispatch point (and
+  // the finish path) under the MetricsSampleIntervalNs floor — no threads,
+  // zero clock reads when metrics are off.
+  uint64_t LastSampleNs = 0;
+  bool Sampled = false;
+  auto sampleTimeline = [&](bool Force) {
+    if (!Config.Metrics)
+      return;
+    const uint64_t Now = traceNowNs();
+    if (!Force && Sampled &&
+        Now - LastSampleNs < Config.MetricsSampleIntervalNs)
+      return;
+    Sampled = true;
+    LastSampleNs = Now;
+    TimelineSample TS;
+    TS.TimeNs = Now;
+    TS.Committed = Result.Stats.NumCommitted;
+    TS.Retries = Result.Stats.NumRetries;
+    TS.WarmForks = Result.Stats.WarmForks;
+    TS.ColdForks = Result.Stats.ColdForks;
+    TS.InflightChunks = runningSlots();
+    TS.RingDepthBytes = Pool ? Pool->ringDepthBytes() : 0;
+    TS.BusyNs = Result.Stats.WorkerBusyNs;
+    TS.SlotNs = (nowNs() - RealStart) * P;
+    Result.Timeline.push_back(TS);
+    Result.Metrics.addCounter(CounterId::TimelineSamples);
+    Result.Metrics.gaugeMax(GaugeId::PeakInflight, TS.InflightChunks);
+    Result.Metrics.gaugeMax(GaugeId::PeakRingDepthBytes, TS.RingDepthBytes);
+  };
+
   // Called on every exit path, so the sink flushes into the result exactly
   // once regardless of how the run ends.
   auto finishStats = [&] {
@@ -158,7 +205,34 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
         ++Result.Stats.ResourceFaults;
         ++Result.Stats.TransportDowngrades;
       }
+      // Retire the template now (the destructor would, but too late to
+      // read the rusage): wait4 on it folds in the CPU time of every warm
+      // child it reaped, so the warm lineage is accounted transitively.
+      Pool->retire();
+      addChildUsage(Pool->templateRusage());
     }
+    sampleTimeline(/*Force=*/true);
+    if (logEnabled(LogLevel::Info))
+      alterLog(LogLevel::Info, "run",
+               "event=run_done engine=pipeline schedule=%s status=%s "
+               "wall_ns=%llu occupancy=%.3f committed=%llu retries=%llu "
+               "warm_forks=%llu cold_forks=%llu reuses=%llu crashes=%llu "
+               "wire_rejects=%llu resource_faults=%llu cpu_user_ns=%llu "
+               "cpu_sys_ns=%llu",
+               scheduleKindName(Result.ScheduleUsed),
+               runStatusName(Result.Status),
+               static_cast<unsigned long long>(Result.Stats.RealTimeNs),
+               Result.Stats.occupancy(),
+               static_cast<unsigned long long>(Result.Stats.NumCommitted),
+               static_cast<unsigned long long>(Result.Stats.NumRetries),
+               static_cast<unsigned long long>(Result.Stats.WarmForks),
+               static_cast<unsigned long long>(Result.Stats.ColdForks),
+               static_cast<unsigned long long>(Result.Stats.ChildReuses),
+               static_cast<unsigned long long>(Result.Stats.NumChildCrashes),
+               static_cast<unsigned long long>(Result.Stats.NumWireRejects),
+               static_cast<unsigned long long>(Result.Stats.ResourceFaults),
+               static_cast<unsigned long long>(Result.Stats.ChildUserNs),
+               static_cast<unsigned long long>(Result.Stats.ChildSysNs));
     Sink.finish(Result);
   };
 
@@ -172,7 +246,9 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
         if (S.Ch.PollFd >= 0)
           ::close(S.Ch.PollFd);
         int Status = 0;
-        waitpidRetry(S.Ch.DirectPid, &Status);
+        ChildRusage Usage;
+        if (waitpidRusage(S.Ch.DirectPid, &Status, &Usage) > 0)
+          addChildUsage(Usage);
       }
       // Warm children are the template's to reap; the pool teardown (or
       // the Kill command just sent) takes care of them.
@@ -335,6 +411,8 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
   auto commitReport = [&](ChildReport &Rep, int64_t Chunk,
                           unsigned SlotIdx) {
     ++Result.Stats.NumCommitted;
+    const uint64_t CommitT0 = Sink.events() ? traceNowNs() : 0;
+    const uint64_t CommitR0 = Config.Metrics ? nowNs() : 0;
     Detector.recordCommitEpoch(Rep.Writes);
     // Apply the child's writes verbatim: the ALTER allocator guarantees
     // address disjointness, so this cannot clobber live parent data.
@@ -348,11 +426,15 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
     // it; the chunk id doubles as the reuse commit-gate for the slot.
     if (Pool)
       Pool->pushCommit(SlotIdx + 1, Chunk, Rep);
+    if (Config.Metrics) {
+      Result.Metrics.record(HistogramId::CommitNs, nowNs() - CommitR0);
+      Result.Metrics.addCounter(CounterId::ParentCommits);
+    }
     Result.CommitOrder.push_back(Chunk);
     ++Committed;
     if (Sink.events())
-      Sink.event(TraceEventKind::Commit, /*Worker=*/0, Chunk, traceNowNs(),
-                 0, /*Arg0=*/Rep.Log.dataBytes());
+      Sink.event(TraceEventKind::Commit, /*Worker=*/0, Chunk, CommitT0,
+                 traceNowNs() - CommitT0, /*Arg0=*/Rep.Log.dataBytes());
     if (Chunk == DrainChunk)
       DrainChunk = -1;
     RetryCount.erase(Chunk);
@@ -383,8 +465,13 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
       Arrived.erase(It);
       Slots[B.SlotIdx].St = Slot::State::Free;
       const uint64_t ValT0 = Sink.events() ? traceNowNs() : 0;
+      const uint64_t ValR0 = Config.Metrics ? nowNs() : 0;
       const bool Conflicts = Detector.hasConflictSince(
           B.SnapshotSeq, B.Rep.Reads, B.Rep.Writes);
+      if (Config.Metrics) {
+        Result.Metrics.record(HistogramId::ValidateNs, nowNs() - ValR0);
+        Result.Metrics.addCounter(CounterId::ParentValidates);
+      }
       if (Sink.events())
         Sink.event(TraceEventKind::Validate, /*Worker=*/0, NextToRetire,
                    ValT0, traceNowNs() - ValT0, /*Arg0=*/Conflicts ? 1 : 0,
@@ -417,13 +504,15 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
       }
     } else {
       int Status = 0;
-      if (waitpidRetry(S.Ch.DirectPid, &Status) < 0) {
+      ChildRusage Usage;
+      if (waitpidRusage(S.Ch.DirectPid, &Status, &Usage) < 0) {
         ++Result.Stats.NumChildCrashes;
         S.St = Slot::State::Free;
         S.Ch.Buf.clear();
         chunkFault(S.Chunk, "waitpid failure");
         return;
       }
+      addChildUsage(Usage);
       if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0) {
         ++Result.Stats.NumChildCrashes;
         S.St = Slot::State::Free;
@@ -491,6 +580,8 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
     Result.Stats.WireBytesRaw += Rep.RawWireBytes;
     Result.Stats.WorkerBusyNs += Rep.WorkNs;
     Sink.absorbChild(Rep.Trace);
+    if (Config.Metrics)
+      Result.Metrics.merge(Rep.Metrics);
 
     if (InOrder && S.Chunk != NextToRetire) {
       // Too early to retire: park the report, keep the slot's arena
@@ -502,8 +593,13 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
     }
     S.St = Slot::State::Free;
     const uint64_t ValT0 = Sink.events() ? traceNowNs() : 0;
+    const uint64_t ValR0 = Config.Metrics ? nowNs() : 0;
     const bool Conflicts =
         Detector.hasConflictSince(S.SnapshotSeq, Rep.Reads, Rep.Writes);
+    if (Config.Metrics) {
+      Result.Metrics.record(HistogramId::ValidateNs, nowNs() - ValR0);
+      Result.Metrics.addCounter(CounterId::ParentValidates);
+    }
     if (Sink.events())
       Sink.event(TraceEventKind::Validate, /*Worker=*/0, S.Chunk, ValT0,
                  traceNowNs() - ValT0, /*Arg0=*/Conflicts ? 1 : 0,
@@ -586,7 +682,9 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
       if (Sink.events() && Ready >= 0)
         Sink.event(TraceEventKind::PollWake, /*Worker=*/0, /*Chunk=*/-1,
                    PollT0, traceNowNs() - PollT0,
-                   /*Arg0=*/static_cast<uint64_t>(Ready));
+                   /*Arg0=*/static_cast<uint64_t>(Ready),
+                   /*Arg1=*/static_cast<uint64_t>(Fds.size()));
+      sampleTimeline(/*Force=*/false);
       if (Ready < 0) {
         killInFlight();
         Result.Status = RunStatus::Crash;

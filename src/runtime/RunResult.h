@@ -15,6 +15,7 @@
 #ifndef ALTER_RUNTIME_RUNRESULT_H
 #define ALTER_RUNTIME_RUNRESULT_H
 
+#include "support/Metrics.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
@@ -154,6 +155,22 @@ struct RunStats {
   uint64_t WorkerSlotNs = 0;
 
   //===--------------------------------------------------------------------===
+  // Child CPU accounting (wait4/getrusage at reap time). Separating CPU
+  // time from wall time makes host oversubscription visible: a run whose
+  // children burned 4x its wall clock in CPU really ran 4-wide; one whose
+  // CPU equals its wall clock serialized.
+  //===--------------------------------------------------------------------===
+
+  /// User-mode CPU ns summed over reaped children. Warm (template-forked)
+  /// children are reaped by the template, so their usage arrives
+  /// transitively when the template itself is reaped at pool teardown.
+  uint64_t ChildUserNs = 0;
+  /// System-mode CPU ns summed over reaped children.
+  uint64_t ChildSysNs = 0;
+  /// Peak resident set across reaped children (max-merged).
+  uint64_t MaxChildRssBytes = 0;
+
+  //===--------------------------------------------------------------------===
   // Fault containment and recovery (speculative failures that did NOT
   // abort the run: each was contained to its chunk and retried, or the
   // whole run completed through the sequential fallback)
@@ -262,6 +279,64 @@ struct GranuleAbortStat {
   uint64_t Aborts = 0;
 };
 
+/// One snapshot of the live runtime state, taken by the parent-side
+/// timeline sampler at existing dispatch points (poll wakeups, round
+/// barriers) — no threads, and deterministic under the seeded trace clock.
+/// The counter fields are cumulative (the run's totals at sample time);
+/// rates fall out of adjacent-sample deltas. BusyNs/SlotNs derive from the
+/// real host clock and are excluded from determinism comparisons.
+struct TimelineSample {
+  uint64_t TimeNs = 0;         ///< trace-clock timestamp
+  uint64_t Committed = 0;      ///< cumulative committed chunks
+  uint64_t Retries = 0;        ///< cumulative validation retries
+  uint64_t WarmForks = 0;      ///< cumulative warm (template) forks
+  uint64_t ColdForks = 0;      ///< cumulative cold forks
+  uint64_t InflightChunks = 0; ///< chunks executing right now
+  uint64_t RingDepthBytes = 0; ///< commit-ring backlog right now
+  uint64_t BusyNs = 0;         ///< cumulative WorkerBusyNs (real time)
+  uint64_t SlotNs = 0;         ///< capacity so far: wall-so-far x workers
+};
+
+/// The post-run critical-path attribution: 100% of executor wall clock
+/// split across the phases the runtime can stall in. Derived from the
+/// merged TraceEvents plus the child-side ring-backpressure histogram;
+/// OtherNs absorbs the un-witnessed remainder, and if raw attribution
+/// overshoots the wall (overlapping windows under the ladder), every phase
+/// is scaled down proportionally so the breakdown still sums to the wall.
+struct RunProfile {
+  uint64_t WallNs = 0;            ///< executor wall clock (RealTimeNs)
+  uint64_t DispatchStallNs = 0;   ///< parent polled with nothing in flight
+  uint64_t ChildExecNs = 0;       ///< parent polled while children executed
+  uint64_t ValidationNs = 0;      ///< serialized conflict checks
+  uint64_t CommitLaneNs = 0;      ///< log apply + reductions + pool push
+  uint64_t RingBackpressureNs = 0;///< children blocked on full commit rings
+  uint64_t LadderNs = 0;          ///< recovery-ladder tiers (salvage,
+                                  ///< bisect, quarantine, full tail)
+  uint64_t OtherNs = 0;           ///< wall clock no event witnessed
+  /// Sum of child ChunkExec event durations, reconciled against the
+  /// independently measured RunStats::WorkerBusyNs (WorkNs in each commit
+  /// header): busyReconciliation() ~ 1.0 when the trace is trustworthy.
+  uint64_t ChunkExecDurNs = 0;
+  uint64_t WorkerBusyNs = 0;
+
+  uint64_t attributedNs() const {
+    return DispatchStallNs + ChildExecNs + ValidationNs + CommitLaneNs +
+           RingBackpressureNs + LadderNs + OtherNs;
+  }
+  /// Percentage of the wall clock the phases account for (100 +- rounding
+  /// by construction; the check.sh --metrics gate asserts 99..101).
+  double coveragePct() const {
+    return WallNs == 0 ? 0.0
+                       : 100.0 * static_cast<double>(attributedNs()) /
+                             static_cast<double>(WallNs);
+  }
+  double busyReconciliation() const {
+    return WorkerBusyNs == 0 ? 0.0
+                             : static_cast<double>(ChunkExecDurNs) /
+                                   static_cast<double>(WorkerBusyNs);
+  }
+};
+
 /// Outcome of one loop execution (or of an outer loop's worth of them).
 struct RunResult {
   RunStatus Status = RunStatus::Success;
@@ -304,6 +379,18 @@ struct RunResult {
   /// cascades).
   uint64_t UnattributedAborts = 0;
 
+  //===--------------------------------------------------------------------===
+  // Metrics (populated when ExecutorConfig::Metrics is on)
+  //===--------------------------------------------------------------------===
+
+  /// Merged metrics: child registries shipped in METRICS wire sections plus
+  /// the parent's own validate/commit latencies and high-water gauges.
+  MetricsRegistry Metrics;
+  /// Periodic runtime snapshots from the parent-side timeline sampler,
+  /// ordered by TimeNs. Exported as Perfetto counter tracks by
+  /// writeChromeTrace. Empty when metrics are off.
+  std::vector<TimelineSample> Timeline;
+
   /// Accumulates \p Other's telemetry into this (the trace-side companion
   /// of Stats.merge, used across outer-loop invocations).
   void mergeTrace(const RunResult &Other);
@@ -316,6 +403,22 @@ struct RunResult {
   /// Human-readable telemetry report: event counts per kind plus the top-N
   /// granules ranked by aborts caused, with allocation-site labels.
   std::string traceSummary(size_t TopN = 5) const;
+
+  /// Attributes the executor wall clock to phases from the merged
+  /// TraceEvents (requires TraceLevel::Events) and the metrics registry.
+  RunProfile computeProfile() const;
+
+  /// Human-readable phase table for --profile: one row per phase with ns,
+  /// ms, and percent-of-wall columns, plus the WorkerBusyNs reconciliation
+  /// line.
+  std::string profileTable() const;
+
+  /// Writes the stable machine-readable metrics report ("alter-metrics-v1"
+  /// schema): run stats, CPU accounting, the phase profile, and every
+  /// counter/gauge/histogram (all ids present even when empty, so the key
+  /// set is schema-stable). Returns false with \p Error set on I/O errors.
+  bool writeMetricsJson(const std::string &Path,
+                        std::string *Error = nullptr) const;
 
   bool succeeded() const { return Status == RunStatus::Success; }
 };

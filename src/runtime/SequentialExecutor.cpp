@@ -17,6 +17,7 @@ Executor::~Executor() = default;
 RunResult SequentialExecutor::run(const LoopSpec &Spec) {
   assert(Spec.Body && "loop has no body");
   RunResult Result;
+  Result.ScheduleUsed = ScheduleKind::Sequential;
   TxnContext Ctx(ContextMode::Passthrough, /*Params=*/nullptr, &Spec,
                  Allocator, /*Worker=*/0);
   const uint64_t Start = nowNs();

@@ -469,6 +469,13 @@ RunResult StagePipelineExecutor::run(const LoopSpec &Spec) {
   const uint64_t RealStart = nowNs();
   uint64_t LastProgressNs = RealStart;
 
+  auto addChildUsage = [&](const ChildRusage &Usage) {
+    Result.Stats.ChildUserNs += Usage.UserNs;
+    Result.Stats.ChildSysNs += Usage.SysNs;
+    Result.Stats.MaxChildRssBytes =
+        std::max(Result.Stats.MaxChildRssBytes, Usage.MaxRssBytes);
+  };
+
   auto finishStats = [&] {
     Result.Stats.RealTimeNs = nowNs() - RealStart;
     // Single-CPU host: the protocol ran for real, the parallel wall-clock
@@ -479,6 +486,24 @@ RunResult StagePipelineExecutor::run(const LoopSpec &Spec) {
     Result.Stats.BloomChecks = Detector.bloomChecks();
     Result.Stats.BloomSkips = Detector.bloomSkips();
     Result.Stats.BloomFalsePositives = Detector.bloomFalsePositives();
+    if (logEnabled(LogLevel::Info))
+      alterLog(LogLevel::Info, "run",
+               "event=run_done engine=staged schedule=%s status=%s "
+               "wall_ns=%llu occupancy=%.3f committed=%llu retries=%llu "
+               "stalls=%llu crashes=%llu wire_rejects=%llu "
+               "resource_faults=%llu cpu_user_ns=%llu cpu_sys_ns=%llu",
+               scheduleKindName(Result.ScheduleUsed),
+               runStatusName(Result.Status),
+               static_cast<unsigned long long>(Result.Stats.RealTimeNs),
+               Result.Stats.occupancy(),
+               static_cast<unsigned long long>(Result.Stats.NumCommitted),
+               static_cast<unsigned long long>(Result.Stats.NumRetries),
+               static_cast<unsigned long long>(Result.Stats.StageStalled),
+               static_cast<unsigned long long>(Result.Stats.NumChildCrashes),
+               static_cast<unsigned long long>(Result.Stats.NumWireRejects),
+               static_cast<unsigned long long>(Result.Stats.ResourceFaults),
+               static_cast<unsigned long long>(Result.Stats.ChildUserNs),
+               static_cast<unsigned long long>(Result.Stats.ChildSysNs));
     Sink.finish(Result);
   };
 
@@ -487,7 +512,9 @@ RunResult StagePipelineExecutor::run(const LoopSpec &Spec) {
     if (SW.Pid > 0) {
       ::kill(SW.Pid, SIGKILL);
       int Status = 0;
-      waitpidRetry(SW.Pid, &Status);
+      ChildRusage Usage;
+      if (waitpidRusage(SW.Pid, &Status, &Usage) > 0)
+        addChildUsage(Usage);
     }
     if (SW.WorkW >= 0)
       ::close(SW.WorkW);
@@ -831,7 +858,9 @@ RunResult StagePipelineExecutor::run(const LoopSpec &Spec) {
   auto workerDied = [&](unsigned W) {
     StageWorker &SW = Workers[W];
     int Status = 0;
-    waitpidRetry(SW.Pid, &Status);
+    ChildRusage Usage;
+    if (waitpidRusage(SW.Pid, &Status, &Usage) > 0)
+      addChildUsage(Usage);
     SW.Pid = -1;
     const bool QueueReject =
         WIFEXITED(Status) && WEXITSTATUS(Status) == StageQueueRejectExit;

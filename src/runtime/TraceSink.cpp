@@ -105,10 +105,13 @@ bool RunResult::writeChromeTrace(const std::string &Path,
   }
 
   // Normalize timestamps to the earliest event so the timeline starts at 0
-  // regardless of the clock's epoch.
+  // regardless of the clock's epoch. Timeline samples share the same clock,
+  // so they participate in the base computation when present.
   uint64_t Base = ~uint64_t(0);
   for (const TraceEvent &E : TraceEvents)
     Base = std::min(Base, E.StartNs);
+  for (const TimelineSample &S : Timeline)
+    Base = std::min(Base, S.TimeNs);
   if (Base == ~uint64_t(0))
     Base = 0;
 
@@ -158,6 +161,34 @@ bool RunResult::writeChromeTrace(const std::string &Path,
           static_cast<unsigned long long>(E.Arg0),
           static_cast<unsigned long long>(E.Arg1));
   }
+
+  // Counter tracks from the runtime timeline: Perfetto renders "ph":"C"
+  // events as stacked counter charts, one track per "name". tid 0 keeps the
+  // counters grouped with the parent's track.
+  struct CounterTrack {
+    const char *Name;
+    uint64_t TimelineSample::*Field;
+  };
+  static const CounterTrack Tracks[] = {
+      {"inflight_chunks", &TimelineSample::InflightChunks},
+      {"ring_depth_bytes", &TimelineSample::RingDepthBytes},
+      {"committed", &TimelineSample::Committed},
+      {"retries", &TimelineSample::Retries},
+      {"warm_forks", &TimelineSample::WarmForks},
+      {"cold_forks", &TimelineSample::ColdForks},
+  };
+  for (const CounterTrack &T : Tracks) {
+    for (const TimelineSample &S : Timeline) {
+      const double TsUs = static_cast<double>(S.TimeNs - Base) / 1000.0;
+      std::fprintf(F,
+                   "%s  {\"name\": \"%s\", \"cat\": \"alter\", \"ph\": \"C\", "
+                   "\"ts\": %.3f, \"pid\": 0, \"tid\": 0, "
+                   "\"args\": {\"value\": %llu}}",
+                   Sep(), T.Name, TsUs,
+                   static_cast<unsigned long long>(S.*(T.Field)));
+    }
+  }
+
   std::fprintf(F, "\n]}\n");
   if (std::fclose(F) != 0) {
     if (Error)

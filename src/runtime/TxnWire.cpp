@@ -101,6 +101,7 @@ private:
 
 constexpr uint64_t MessageMagicV3 = 0x33414c544552ULL; // "ALTER3"
 constexpr uint64_t MessageMagicV4 = 0x34414c544552ULL; // "ALTER4"
+constexpr uint64_t MessageMagicV5 = 0x35414c544552ULL; // "ALTER5"
 constexpr size_t FrameHeaderBytes = 3 * sizeof(uint64_t);
 
 /// Fixed wire size of one TRACE-section event: 6 u64 slots (StartNs, DurNs,
@@ -282,7 +283,8 @@ std::vector<uint8_t> buildChildCommitMessage(const LoopSpec &Spec,
                                              unsigned Worker, int64_t Chunk,
                                              int64_t FirstIter,
                                              int64_t LastIter,
-                                             const ArmedFault &Fault) {
+                                             const ArmedFault &Fault,
+                                             MetricsRegistry *Metrics) {
   applyChildRlimits(Config);
   if (Fault.Armed && Fault.Kind == FaultKind::ChildCrash)
     ::raise(SIGSEGV); // the injected "buggy chunk" dies before any work
@@ -309,12 +311,16 @@ std::vector<uint8_t> buildChildCommitMessage(const LoopSpec &Spec,
   if (Trace.events())
     Trace.record(TraceEventKind::ChunkExec, Worker, Chunk, TraceT0, WorkNs,
                  Ctx.readSet().sizeWords(), Ctx.writeSet().sizeWords());
+  if (Metrics) {
+    Metrics->record(HistogramId::ChunkExecNs, WorkNs);
+    Metrics->addCounter(CounterId::ChildChunks);
+  }
 
   if (Fault.Armed && Fault.Kind == FaultKind::ChildKill)
     ::raise(SIGKILL); // the injected kill lands after the work, pre-report
 
   std::vector<uint8_t> Message =
-      encodeCommitFrame(Ctx, Config, Worker, Chunk, WorkNs, Trace);
+      encodeCommitFrame(Ctx, Config, Worker, Chunk, WorkNs, Trace, Metrics);
   if (Fault.Armed) {
     switch (Fault.Kind) {
     case FaultKind::PipeTruncate:
@@ -339,18 +345,22 @@ std::vector<uint8_t> alter::encodeCommitFrame(TxnContext &Ctx,
                                               const ExecutorConfig &Config,
                                               unsigned Worker, int64_t Chunk,
                                               uint64_t WorkNs,
-                                              TraceBuffer &Trace) {
+                                              TraceBuffer &Trace,
+                                              MetricsRegistry *Metrics) {
   const auto &Slots = Ctx.reductionSlots();
 
   // Serialize the body (sets, log, slots) separately from the fixed header:
   // the trace events recorded below need the body size, and the RawBytes
   // header field needs the final TRACE-section size.
+  const uint64_t SerT0 = Metrics ? nowNs() : 0;
   ByteWriter Body;
   serializeAccessSet(Body.bytes(), Ctx.readSet());
   serializeAccessSet(Body.bytes(), Ctx.writeSet());
+  uint64_t LogBytes = 0;
   {
     std::vector<uint8_t> LogBuf;
     Ctx.writeLog().serializeCompact(LogBuf);
+    LogBytes = LogBuf.size();
     Body.u64(LogBuf.size());
     Body.raw(LogBuf.data(), LogBuf.size());
   }
@@ -362,6 +372,26 @@ std::vector<uint8_t> alter::encodeCommitFrame(TxnContext &Ctx,
     Body.u64(AccBits);
   }
 
+  // The METRICS blob must be serialized before the CommitAttempt event so
+  // the event's wire-size prediction is exact, and the recordings must land
+  // before the blob so this frame carries its own serialize latency and
+  // sizes. WireFrameBytes deliberately excludes the optional trace/metrics
+  // sections — the registry cannot contain its own size.
+  std::vector<uint8_t> MetricsBlob;
+  if (Metrics) {
+    Metrics->record(HistogramId::SerializeNs, nowNs() - SerT0);
+    Metrics->record(HistogramId::WriteLogBytes, LogBytes);
+    Metrics->gaugeMax(GaugeId::MaxWriteLogBytes, LogBytes);
+    Metrics->record(HistogramId::WireFrameBytes,
+                    FrameHeaderBytes + 9 * sizeof(uint64_t) +
+                        Body.bytes().size());
+    Metrics->addCounter(CounterId::ChildFrames);
+    Metrics->serialize(MetricsBlob);
+    Metrics->reset(); // each frame ships deltas since the previous one
+  }
+  const uint64_t MetricsSectionBytes =
+      Metrics ? sizeof(uint64_t) + MetricsBlob.size() : 0;
+
   if (Trace.events()) {
     Trace.record(TraceEventKind::Serialize, Worker, Chunk, traceNowNs(), 0,
                  9 * sizeof(uint64_t) + Body.bytes().size());
@@ -369,7 +399,8 @@ std::vector<uint8_t> alter::encodeCommitFrame(TxnContext &Ctx,
     // TRACE section (it is the last one recorded).
     const uint64_t WireTotal =
         FrameHeaderBytes + 9 * sizeof(uint64_t) + Body.bytes().size() +
-        sizeof(uint64_t) + TraceEventWireBytes * (Trace.buffer().size() + 1);
+        sizeof(uint64_t) + TraceEventWireBytes * (Trace.buffer().size() + 1) +
+        MetricsSectionBytes;
     Trace.record(TraceEventKind::CommitAttempt, Worker, Chunk, traceNowNs(),
                  0, WireTotal);
   }
@@ -377,13 +408,15 @@ std::vector<uint8_t> alter::encodeCommitFrame(TxnContext &Ctx,
       sizeof(uint64_t) + TraceEventWireBytes * Trace.buffer().size();
 
   // What the uncompressed format (raw 8-byte word keys, 16-byte write-log
-  // entry table) would have shipped for this same message. The TRACE
-  // section is already fixed-size, so it contributes its wire size as-is.
+  // entry table) would have shipped for this same message. The TRACE and
+  // METRICS sections are already compact, so they contribute their wire
+  // size as-is.
   const uint64_t RawBytes =
       9 * sizeof(uint64_t) + rawAccessSetBytes(Ctx.readSet()) +
       rawAccessSetBytes(Ctx.writeSet()) + sizeof(uint64_t) +
       Ctx.writeLog().serializedSize() + sizeof(uint64_t) +
-      Slots.size() * 2 * sizeof(uint64_t) + TraceSectionBytes;
+      Slots.size() * 2 * sizeof(uint64_t) + TraceSectionBytes +
+      MetricsSectionBytes;
 
   ByteWriter W;
   W.u64(Ctx.limitExceeded() ? 1 : 0);
@@ -409,10 +442,16 @@ std::vector<uint8_t> alter::encodeCommitFrame(TxnContext &Ctx,
           (static_cast<uint64_t>(E.Kind) << 32));
   }
 
+  // METRICS section (ALTER5 only): blob length, then the sparse registry.
+  if (Metrics) {
+    W.u64(MetricsBlob.size());
+    W.raw(MetricsBlob.data(), MetricsBlob.size());
+  }
+
   // Frame the payload: magic | payload length | CRC32. The parent verifies
   // all three before trusting a byte of the payload.
   ByteWriter Framed;
-  Framed.u64(MessageMagicV4);
+  Framed.u64(Metrics ? MessageMagicV5 : MessageMagicV4);
   Framed.u64(W.bytes().size());
   Framed.u64(wireCrc32(W.bytes().data(), W.bytes().size()));
   Framed.raw(W.bytes().data(), W.bytes().size());
@@ -424,8 +463,10 @@ void alter::runWireChild(const LoopSpec &Spec, const ExecutorConfig &Config,
                          unsigned Worker, int64_t Chunk, int64_t FirstIter,
                          int64_t LastIter, int Fd, const ArmedFault &Fault) {
   markForkedChild();
-  const std::vector<uint8_t> Message = buildChildCommitMessage(
-      Spec, Config, Worker, Chunk, FirstIter, LastIter, Fault);
+  MetricsRegistry Reg;
+  const std::vector<uint8_t> Message =
+      buildChildCommitMessage(Spec, Config, Worker, Chunk, FirstIter,
+                              LastIter, Fault, Config.Metrics ? &Reg : nullptr);
   writeAllToPipe(Fd, Message.data(), Message.size());
   ::close(Fd);
   _exit(0);
@@ -448,20 +489,36 @@ void alter::runWireChildRing(const LoopSpec &Spec,
     } while (N < 0 && errno == EINTR);
   };
 
+  // Resident-child registry: survives across redispatches, but each
+  // encodeCommitFrame takes-and-resets it, so chunk N's frame carries the
+  // waits recorded since chunk N-1's frame (the final chunk's post-frame
+  // waits are lost with the child — documented, and bounded to one chunk).
+  MetricsRegistry Reg;
+  MetricsRegistry *Metrics = Config.Metrics ? &Reg : nullptr;
+
   ArmedFault F = Fault;
   for (;;) {
     const std::vector<uint8_t> Message = buildChildCommitMessage(
-        Spec, Config, Worker, Chunk, FirstIter, LastIter, F);
+        Spec, Config, Worker, Chunk, FirstIter, LastIter, F, Metrics);
     // Publish through shared memory; the doorbell after every accepted
     // piece keeps the parent draining, so a message larger than the ring
     // makes progress under backpressure instead of deadlocking.
+    const uint64_t PushT0 = Metrics ? nowNs() : 0;
+    uint64_t Backoffs = 0;
     Ring.pushAll(Message.data(), Message.size(),
-                 [&] { RingBell(RingDoorbellData); });
+                 [&] { RingBell(RingDoorbellData); }, [&] { ++Backoffs; });
+    if (Metrics && Backoffs != 0) {
+      // Only backpressured publishes count: an uncontended memcpy is not a
+      // wait, so the histogram measures full-ring stalls, not throughput.
+      Metrics->record(HistogramId::RingBackpressureNs, nowNs() - PushT0);
+      Metrics->addCounter(CounterId::RingWaits, Backoffs);
+    }
     // Finish marks the record complete even when an injected truncation
     // keeps the frame from looking whole — and it is this chunk's LAST
     // doorbell, the invariant that lets the parent redispatch us under
     // the same attempt tag with no stale bytes in flight.
     RingBell(RingDoorbellFinish);
+    const uint64_t WaitT0 = Metrics ? nowNs() : 0;
     if (WorkFd < 0)
       _exit(0);
     // Fork-free steady state: stay resident and wait for the parent to
@@ -489,6 +546,11 @@ void alter::runWireChildRing(const LoopSpec &Spec,
           (DoorbellTag & RingDoorbellTagMask))
         break;
     }
+    // Finish-to-redispatch latency: the parent's validate + commit + next
+    // dispatch, as seen from the resident child. Recorded now, shipped in
+    // the NEXT chunk's frame (take-and-reset above).
+    if (Metrics)
+      Metrics->record(HistogramId::ValidateWaitNs, nowNs() - WaitT0);
     Chunk = Cmd.Chunk;
     FirstIter = Cmd.First;
     LastIter = Cmd.Last;
@@ -501,7 +563,8 @@ bool alter::wireFrameLooksComplete(const uint8_t *Bytes, size_t Size) {
     return false;
   uint64_t Magic, PayloadLen;
   std::memcpy(&Magic, Bytes, sizeof(Magic));
-  if (Magic != MessageMagicV3 && Magic != MessageMagicV4)
+  if (Magic != MessageMagicV3 && Magic != MessageMagicV4 &&
+      Magic != MessageMagicV5)
     return true; // corrupt header: length untrustworthy, let decode reject
   std::memcpy(&PayloadLen, Bytes + sizeof(uint64_t), sizeof(PayloadLen));
   // Overflow-safe: compare payload bytes present, not header + length.
@@ -518,7 +581,8 @@ bool alter::decodeChildReport(const std::vector<uint8_t> &Bytes,
   }
   ByteReader R(Bytes.data(), Bytes.size());
   const uint64_t Magic = R.u64();
-  if (Magic != MessageMagicV3 && Magic != MessageMagicV4) {
+  if (Magic != MessageMagicV3 && Magic != MessageMagicV4 &&
+      Magic != MessageMagicV5) {
     Error = "bad message magic";
     return false;
   }
@@ -603,11 +667,13 @@ bool alter::decodeChildReport(const std::vector<uint8_t> &Bytes,
     return true;
   }
 
-  // V4: the TRACE section. Bound the allocation by the physical bytes
-  // remaining, and require the section to consume them exactly.
+  // V4/V5: the TRACE section. Bound the allocation by the physical bytes
+  // remaining; a V4 frame must end with it (consume exactly), a V5 frame
+  // is followed by the METRICS section, which consumes the rest.
   const uint64_t NumEvents = R.u64();
   if (R.failed() || NumEvents > R.remaining() / TraceEventWireBytes ||
-      NumEvents * TraceEventWireBytes != R.remaining()) {
+      (Magic == MessageMagicV4 &&
+       NumEvents * TraceEventWireBytes != R.remaining())) {
     Error = "corrupt trace section";
     return false;
   }
@@ -628,6 +694,29 @@ bool alter::decodeChildReport(const std::vector<uint8_t> &Bytes,
     E.Worker = static_cast<uint32_t>(Packed & 0xffffffffULL);
     E.Kind = static_cast<TraceEventKind>(Kind);
     Rep.Trace.push_back(E);
+  }
+  if (Magic == MessageMagicV4) {
+    if (R.failed() || !R.exhausted()) {
+      Error = "message length inconsistent with contents";
+      return false;
+    }
+    return true;
+  }
+
+  // V5: the METRICS section — blob length, then the sparse registry, which
+  // must consume the remaining bytes exactly. The blob's internal
+  // consistency (ids in range, bucket totals matching counts) is checked
+  // by the registry decoder; any violation rejects the whole frame.
+  const uint64_t MetricsBytes = R.u64();
+  if (R.failed() || MetricsBytes != R.remaining()) {
+    Error = "corrupt metrics section";
+    return false;
+  }
+  const uint8_t *Blob = R.raw(static_cast<size_t>(MetricsBytes));
+  if (!MetricsRegistry::deserialize(Blob, static_cast<size_t>(MetricsBytes),
+                                    Rep.Metrics)) {
+    Error = "corrupt metrics blob";
+    return false;
   }
   if (R.failed() || !R.exhausted()) {
     Error = "message length inconsistent with contents";

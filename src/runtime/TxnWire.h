@@ -32,13 +32,19 @@
 ///    structural inconsistencies instead of aborting;
 ///  - pipe I/O retries on EINTR and treats hard errors as truncation.
 ///
-/// Versioning: children emit "ALTER4" frames, which append an optional
-/// TRACE section after the reduction slots — a u64 event count followed by
-/// that many fixed-size (6 x u64) TraceEvents recorded inside the child
-/// (chunk start/exec, serialize, commit attempt). The count is validated
-/// against the physical bytes remaining before any allocation, and the
-/// decoder still accepts "ALTER3" frames (which must end at the slots), so
-/// a parent with this decoder understands both formats.
+/// Versioning: with metrics off children emit "ALTER4" frames, which
+/// append an optional TRACE section after the reduction slots — a u64
+/// event count followed by that many fixed-size (6 x u64) TraceEvents
+/// recorded inside the child (chunk start/exec, serialize, commit
+/// attempt). With metrics on (ExecutorConfig::Metrics) they emit "ALTER5"
+/// frames, which append one more section after TRACE: METRICS, a u64 blob
+/// length followed by the child's sparse MetricsRegistry wire form
+/// (per-chunk latency/size histograms, take-and-reset per frame). Counts
+/// and lengths are validated against the physical bytes remaining before
+/// any allocation, and the decoder still accepts "ALTER4" and "ALTER3"
+/// frames (each of which must end at its last section), so a parent with
+/// this decoder understands all three formats — and a metrics-off run is
+/// byte-identical to the previous release.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -50,6 +56,7 @@
 #include "runtime/CommitRing.h"
 #include "runtime/Executor.h"
 #include "support/FaultInjection.h"
+#include "support/Metrics.h"
 #include "support/Trace.h"
 
 #include <cstdint>
@@ -80,6 +87,10 @@ struct ChildReport {
   /// Child-side trace events from the message's TRACE section (empty below
   /// TraceLevel::Events or for ALTER3 frames).
   std::vector<TraceEvent> Trace;
+  /// Child-side metrics from the message's METRICS section (empty for
+  /// ALTER3/ALTER4 frames, i.e. whenever the run has metrics off). The
+  /// parent merges it into RunResult::Metrics.
+  MetricsRegistry Metrics;
 };
 
 /// Child side: executes iterations [\p FirstIter, \p LastIter) of chunk
@@ -134,18 +145,24 @@ struct WireNextCmd {
                                    uint8_t DoorbellTag, int WorkFd,
                                    const ArmedFault &Fault = ArmedFault());
 
-/// Child side: serializes the framed ALTER4 commit message for a
-/// transaction already executed in \p Ctx (after captureRedo): fixed
-/// header, compressed access sets, write log, reduction slots, TRACE
-/// section, all wrapped in the magic | length | CRC32 frame. The uncorrupted
-/// building block behind runWireChild, exposed so other transactional
-/// children (the stage-pipeline workers) can ship through the identical
-/// validate/commit path. Records the Serialize/CommitAttempt trace events
-/// into \p Trace before encoding the TRACE section.
+/// Child side: serializes the framed commit message for a transaction
+/// already executed in \p Ctx (after captureRedo): fixed header,
+/// compressed access sets, write log, reduction slots, TRACE section, all
+/// wrapped in the magic | length | CRC32 frame. The uncorrupted building
+/// block behind runWireChild, exposed so other transactional children (the
+/// stage-pipeline workers) can ship through the identical validate/commit
+/// path. Records the Serialize/CommitAttempt trace events into \p Trace
+/// before encoding the TRACE section. With \p Metrics null the frame is
+/// the byte-identical ALTER4 format of previous releases; with a registry
+/// the frame is ALTER5 and carries the registry (after recording this
+/// frame's serialize latency and sizes into it) in the METRICS section,
+/// then RESETS it — each frame ships the deltas since the previous one, so
+/// the parent-side merge across frames double-counts nothing.
 std::vector<uint8_t> encodeCommitFrame(TxnContext &Ctx,
                                        const ExecutorConfig &Config,
                                        unsigned Worker, int64_t Chunk,
-                                       uint64_t WorkNs, TraceBuffer &Trace);
+                                       uint64_t WorkNs, TraceBuffer &Trace,
+                                       MetricsRegistry *Metrics = nullptr);
 
 /// True when \p Bytes holds a complete frame: the header has arrived and
 /// the payload-length field is satisfied. A corrupt magic makes the length

@@ -13,6 +13,7 @@
 #include "support/Timer.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstdlib>
@@ -256,7 +257,9 @@ void WorkerPool::killTemplateHard() {
   if (TemplatePid > 0) {
     ::kill(TemplatePid, SIGKILL);
     int Status = 0;
-    waitpidRetry(TemplatePid, &Status);
+    ChildRusage Usage;
+    if (waitpidRusage(TemplatePid, &Status, &Usage) > 0)
+      accumulateTemplateUsage(Usage);
   }
   if (ControlFd >= 0)
     ::close(ControlFd);
@@ -314,6 +317,21 @@ void WorkerPool::killTemplateHard() {
   }
 }
 
+void WorkerPool::accumulateTemplateUsage(const ChildRusage &Usage) {
+  TemplateUsage.UserNs += Usage.UserNs;
+  TemplateUsage.SysNs += Usage.SysNs;
+  TemplateUsage.MaxRssBytes =
+      std::max(TemplateUsage.MaxRssBytes, Usage.MaxRssBytes);
+}
+
+size_t WorkerPool::ringDepthBytes() const {
+  size_t Total = 0;
+  for (const SlotState &S : Slots)
+    if (S.Ring && S.Ring->valid())
+      Total += S.Ring->used();
+  return Total;
+}
+
 void WorkerPool::resetSlot(SlotState &S) {
   S.Used = false;
   S.TerminalSeen = true;
@@ -369,7 +387,9 @@ void WorkerPool::retireTemplate() {
   ::close(ControlFd);
   ControlFd = -1;
   int Status = 0;
-  waitpidRetry(TemplatePid, &Status);
+  ChildRusage Usage;
+  if (waitpidRusage(TemplatePid, &Status, &Usage) > 0)
+    accumulateTemplateUsage(Usage);
   TemplatePid = -1;
   // Resident (reuse-idle) children died in the teardown; forget them so
   // no redispatch targets a dead process.

@@ -71,6 +71,7 @@
 #include "runtime/Executor.h"
 #include "runtime/TxnWire.h"
 #include "support/FaultInjection.h"
+#include "support/Subprocess.h"
 
 #include <memory>
 #include <sys/types.h>
@@ -184,6 +185,21 @@ public:
   uint64_t poolFaults() const { return Faults; }
   uint64_t childReuses() const { return Reuses; }
 
+  /// Retires the current template now (idempotent; the destructor would do
+  /// the same). Executors call it before reading templateRusage() so the
+  /// final incarnation's CPU time is folded in.
+  void retire() { retireTemplate(); }
+
+  /// Accumulated rusage of every template incarnation reaped so far. Linux
+  /// wait4 reports a process's own usage PLUS that of its waited-for
+  /// descendants, and the template reaps every warm child, so this is the
+  /// transitive CPU cost of the whole warm lineage.
+  const ChildRusage &templateRusage() const { return TemplateUsage; }
+
+  /// Bytes currently buffered across all slot commit rings (parent-side
+  /// backlog gauge for the timeline sampler).
+  size_t ringDepthBytes() const;
+
 private:
   struct SlotState {
     std::unique_ptr<CommitRing> Ring;
@@ -202,6 +218,7 @@ private:
   };
 
   void resetSlot(SlotState &S);
+  void accumulateTemplateUsage(const ChildRusage &Usage);
   bool ensureTemplate();
   void retireTemplate();
   void killTemplateHard();
@@ -216,6 +233,7 @@ private:
   unsigned FailSite = 0; // first failure site (0 ring mmap, 1 pipe setup)
   std::vector<SlotState> Slots;
   pid_t TemplatePid = -1;
+  ChildRusage TemplateUsage; // summed over reaped template incarnations
   int ControlFd = -1; // parent's write end of the current template's pipe
   unsigned CommitsSinceSpawn = 0;
   uint64_t Refreshes = 0;

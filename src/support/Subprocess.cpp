@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <csignal>
 #include <unistd.h>
+#include <sys/resource.h>
 #include <sys/wait.h>
 
 using namespace alter;
@@ -34,6 +35,26 @@ pid_t alter::waitpidRetry(pid_t Pid, int *Status) {
     const pid_t R = ::waitpid(Pid, Status, 0);
     if (R >= 0 || errno != EINTR)
       return R;
+  }
+}
+
+pid_t alter::waitpidRusage(pid_t Pid, int *Status, ChildRusage *Usage) {
+  struct rusage Ru;
+  for (;;) {
+    const pid_t R = ::wait4(Pid, Status, 0, &Ru);
+    if (R < 0 && errno == EINTR)
+      continue;
+    if (R >= 0 && Usage) {
+      Usage->UserNs = static_cast<uint64_t>(Ru.ru_utime.tv_sec) *
+                          1'000'000'000ULL +
+                      static_cast<uint64_t>(Ru.ru_utime.tv_usec) * 1000ULL;
+      Usage->SysNs = static_cast<uint64_t>(Ru.ru_stime.tv_sec) *
+                         1'000'000'000ULL +
+                     static_cast<uint64_t>(Ru.ru_stime.tv_usec) * 1000ULL;
+      // ru_maxrss is kilobytes on Linux.
+      Usage->MaxRssBytes = static_cast<uint64_t>(Ru.ru_maxrss) * 1024ULL;
+    }
+    return R;
   }
 }
 

@@ -60,6 +60,20 @@ void writeAllOrDie(int Fd, const void *Data, size_t Size);
 /// mid-reap must never be).
 pid_t waitpidRetry(pid_t Pid, int *Status);
 
+/// CPU and memory accounting of a reaped child, from wait4(2). For a
+/// process that itself waited on children (the warm-pool template), the
+/// kernel folds the waited-for descendants in transitively, so reaping the
+/// template yields the cumulative usage of every warm chunk child.
+struct ChildRusage {
+  uint64_t UserNs = 0;     ///< user CPU time
+  uint64_t SysNs = 0;      ///< system CPU time
+  uint64_t MaxRssBytes = 0; ///< peak resident set
+};
+
+/// waitpidRetry() via wait4(2): additionally fills \p Usage with the
+/// child's resource accounting when non-null (left untouched on failure).
+pid_t waitpidRusage(pid_t Pid, int *Status, ChildRusage *Usage);
+
 } // namespace alter
 
 #endif // ALTER_SUPPORT_SUBPROCESS_H

@@ -140,6 +140,141 @@ TEST(WriteLogCompactTest, RoundTripAppliesIdentically) {
   EXPECT_EQ(FromOriginal[3], 999u) << "program order must be preserved";
 }
 
+TEST(MetricsRegistryTest, SerializeDeserializeRoundTrips) {
+  MetricsRegistry Reg;
+  Reg.addCounter(CounterId::ChildChunks, 5);
+  Reg.addCounter(CounterId::RingWaits, 2);
+  Reg.gaugeMax(GaugeId::MaxWriteLogBytes, 4096);
+  Reg.record(HistogramId::ChunkExecNs, 0);
+  Reg.record(HistogramId::ChunkExecNs, 1234);
+  Reg.record(HistogramId::ChunkExecNs, ~uint64_t(0));
+  Reg.record(HistogramId::WriteLogBytes, 512);
+
+  std::vector<uint8_t> Blob;
+  Reg.serialize(Blob);
+  MetricsRegistry Back;
+  ASSERT_TRUE(MetricsRegistry::deserialize(Blob.data(), Blob.size(), Back));
+  EXPECT_EQ(Back.counter(CounterId::ChildChunks), 5u);
+  EXPECT_EQ(Back.counter(CounterId::RingWaits), 2u);
+  EXPECT_EQ(Back.counter(CounterId::ParentCommits), 0u);
+  EXPECT_EQ(Back.gauge(GaugeId::MaxWriteLogBytes), 4096u);
+  const LatencyHistogram &H = Back.histogram(HistogramId::ChunkExecNs);
+  EXPECT_EQ(H.Count, 3u);
+  EXPECT_EQ(H.Min, 0u);
+  EXPECT_EQ(H.Max, ~uint64_t(0));
+  EXPECT_EQ(Back.histogram(HistogramId::WriteLogBytes).Count, 1u);
+  EXPECT_TRUE(Back.histogram(HistogramId::ValidateNs).empty());
+
+  // An empty registry round-trips to an empty registry in a few bytes.
+  MetricsRegistry Empty, EmptyBack;
+  std::vector<uint8_t> EmptyBlob;
+  Empty.serialize(EmptyBlob);
+  EXPECT_LE(EmptyBlob.size(), 32u);
+  ASSERT_TRUE(MetricsRegistry::deserialize(EmptyBlob.data(),
+                                           EmptyBlob.size(), EmptyBack));
+  EXPECT_TRUE(EmptyBack.empty());
+
+  // Truncated and padded blobs must be rejected, never trusted.
+  MetricsRegistry Junk;
+  EXPECT_FALSE(
+      MetricsRegistry::deserialize(Blob.data(), Blob.size() - 1, Junk));
+  std::vector<uint8_t> Padded = Blob;
+  Padded.push_back(0);
+  EXPECT_FALSE(
+      MetricsRegistry::deserialize(Padded.data(), Padded.size(), Junk));
+}
+
+namespace {
+
+/// Executes a small disjoint-stores chunk transactionally and encodes its
+/// commit frame, with or without a child metrics registry (ALTER5 vs
+/// ALTER4).
+std::vector<uint8_t> encodeTestFrame(const LoopSpec &Spec,
+                                     const ExecutorConfig &Config,
+                                     std::vector<int64_t> &Data,
+                                     MetricsRegistry *Metrics) {
+  std::fill(Data.begin(), Data.end(), 0);
+  TxnContext Ctx(ContextMode::Transactional, &Config.Params, &Spec,
+                 Config.Allocator, /*Worker=*/1, Config.Limits);
+  Ctx.beginTxn();
+  for (int64_t I = 0; I != 4; ++I)
+    Spec.Body(Ctx, I);
+  Ctx.captureRedo();
+  TraceBuffer Trace(TraceLevel::Off);
+  return encodeCommitFrame(Ctx, Config, /*Worker=*/1, /*Chunk=*/0,
+                           /*WorkNs=*/1234, Trace, Metrics);
+}
+
+uint64_t frameMagic(const std::vector<uint8_t> &Frame) {
+  uint64_t Magic = 0;
+  std::memcpy(&Magic, Frame.data(), sizeof(Magic));
+  return Magic;
+}
+
+} // namespace
+
+TEST(CommitFrameVersionTest, Alter4AndAlter5BothRoundTrip) {
+  std::vector<int64_t> Data(16, 0);
+  LoopSpec Spec;
+  Spec.NumIterations = 16;
+  Spec.Body = [&Data](TxnContext &Ctx, int64_t I) {
+    Ctx.store(&Data[static_cast<size_t>(I)], I + 3);
+  };
+  ExecutorConfig Config;
+  Config.NumWorkers = 1;
+
+  // Metrics off: the ALTER4 frame of previous releases, byte-identical
+  // across encodes (the registry must not perturb the metrics-off path).
+  const std::vector<uint8_t> V4 = encodeTestFrame(Spec, Config, Data, nullptr);
+  const std::vector<uint8_t> V4Again =
+      encodeTestFrame(Spec, Config, Data, nullptr);
+  EXPECT_EQ(V4, V4Again);
+  EXPECT_EQ(frameMagic(V4), 0x34414c544552ULL); // "ALTER4" little-endian
+
+  // Metrics on: the ALTER5 frame carries the registry in its METRICS
+  // section and resets it (per-frame deltas).
+  MetricsRegistry Reg;
+  Reg.record(HistogramId::ChunkExecNs, 1234);
+  Reg.addCounter(CounterId::ChildChunks);
+  const std::vector<uint8_t> V5 = encodeTestFrame(Spec, Config, Data, &Reg);
+  EXPECT_EQ(frameMagic(V5), 0x35414c544552ULL); // "ALTER5" little-endian
+  EXPECT_GT(V5.size(), V4.size());
+  EXPECT_TRUE(Reg.empty()) << "encode must take-and-reset the registry";
+
+  // Both decode through the one parent-side decoder; the V4 report has an
+  // empty registry, the V5 report carries the child's.
+  ChildReport Rep4, Rep5;
+  std::string Error;
+  ASSERT_TRUE(decodeChildReport(V4, Spec, Config.Params, Rep4, Error))
+      << Error;
+  EXPECT_TRUE(Rep4.Metrics.empty());
+  ASSERT_TRUE(decodeChildReport(V5, Spec, Config.Params, Rep5, Error))
+      << Error;
+  EXPECT_EQ(Rep5.Metrics.counter(CounterId::ChildChunks), 1u);
+  EXPECT_EQ(Rep5.Metrics.counter(CounterId::ChildFrames), 1u);
+  EXPECT_EQ(Rep5.Metrics.histogram(HistogramId::ChunkExecNs).Count, 1u);
+  EXPECT_EQ(Rep5.Metrics.histogram(HistogramId::ChunkExecNs).Sum, 1234u);
+  EXPECT_EQ(Rep5.Metrics.histogram(HistogramId::SerializeNs).Count, 1u);
+  EXPECT_EQ(Rep5.Metrics.histogram(HistogramId::WriteLogBytes).Count, 1u);
+  // WireFrameBytes excludes the optional sections (the registry cannot
+  // contain its own size): header + fixed fields + body only.
+  const LatencyHistogram &FrameH =
+      Rep5.Metrics.histogram(HistogramId::WireFrameBytes);
+  EXPECT_EQ(FrameH.Count, 1u);
+  EXPECT_LT(FrameH.Max, V5.size());
+
+  // The two reports agree on everything the commit path consumes.
+  EXPECT_EQ(Rep4.WorkNs, Rep5.WorkNs);
+  EXPECT_EQ(Rep4.BytesWritten, Rep5.BytesWritten);
+  EXPECT_EQ(Rep4.Writes.sizeWords(), Rep5.Writes.sizeWords());
+  EXPECT_EQ(Rep4.Log.numEntries(), Rep5.Log.numEntries());
+
+  // A truncated ALTER5 message is a rejected frame, not a crash.
+  std::vector<uint8_t> Truncated(V5.begin(), V5.end() - 1);
+  ChildReport RepT;
+  EXPECT_FALSE(decodeChildReport(Truncated, Spec, Config.Params, RepT, Error));
+}
+
 TEST(WriteLogCompactTest, SequentialStoresCompressBelowRaw) {
   std::vector<double> Target(1024);
   WriteLog Log;

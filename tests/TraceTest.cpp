@@ -393,6 +393,212 @@ TEST(ChromeTraceTest, UnwritablePathReportsTheError) {
   EXPECT_FALSE(Error.empty());
 }
 
+TEST(ChromeTraceTest, TimelineSamplesExportAsCounterTracks) {
+  // The runtime timeline renders as Perfetto counter tracks ("ph":"C"),
+  // one per sampled quantity, even when there are no duration events at
+  // all (metrics on, tracing off).
+  RunResult R;
+  TimelineSample S;
+  S.TimeNs = 1000;
+  S.Committed = 3;
+  S.InflightChunks = 2;
+  S.RingDepthBytes = 4096;
+  R.Timeline.push_back(S);
+  S.TimeNs = 2000;
+  S.Committed = 5;
+  R.Timeline.push_back(S);
+  const std::string Path = ::testing::TempDir() + "trace_test_counters.json";
+  std::string Error;
+  ASSERT_TRUE(R.writeChromeTrace(Path, &Error)) << Error;
+  std::ifstream In(Path);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  const std::string Json = Buf.str();
+  EXPECT_NE(Json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(Json.find("\"inflight_chunks\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ring_depth_bytes\""), std::string::npos);
+  EXPECT_NE(Json.find("\"committed\""), std::string::npos);
+  // Timestamps normalize against the earliest SAMPLE when no events exist:
+  // the first sample lands at ts 0.
+  EXPECT_NE(Json.find("\"ts\": 0.000"), std::string::npos);
+  int Braces = 0, Brackets = 0;
+  for (char C : Json) {
+    Braces += C == '{' ? 1 : C == '}' ? -1 : 0;
+    Brackets += C == '[' ? 1 : C == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(Braces, 0);
+  EXPECT_EQ(Brackets, 0);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===
+// Metrics histograms and the runtime timeline sampler
+//===----------------------------------------------------------------------===
+
+namespace {
+
+LatencyHistogram histogramOf(std::initializer_list<uint64_t> Values) {
+  LatencyHistogram H;
+  for (uint64_t V : Values)
+    H.record(V);
+  return H;
+}
+
+bool histogramsEqual(const LatencyHistogram &A, const LatencyHistogram &B) {
+  if (A.Count != B.Count || A.Sum != B.Sum || A.Min != B.Min ||
+      A.Max != B.Max)
+    return false;
+  for (unsigned I = 0; I != LatencyHistogram::NumBuckets; ++I)
+    if (A.Buckets[I] != B.Buckets[I])
+      return false;
+  return true;
+}
+
+} // namespace
+
+TEST(MetricsHistogramTest, MergeIsAssociativeAndCommutative) {
+  // Parent-side merge order over child registries is arrival order, which
+  // is nondeterministic — so the merge must not care. (A merge B) merge C
+  // == A merge (B merge C), and A merge B == B merge A, across buckets and
+  // the exact Count/Sum/Min/Max stats.
+  const LatencyHistogram A = histogramOf({0, 1, 7, 4096, ~uint64_t(0)});
+  const LatencyHistogram B = histogramOf({3, 3, 3, 1'000'000'000});
+  const LatencyHistogram C = histogramOf({65535, 65536, 65537});
+
+  LatencyHistogram Left = A;
+  Left.merge(B);
+  Left.merge(C);
+  LatencyHistogram BC = B;
+  BC.merge(C);
+  LatencyHistogram Right = A;
+  Right.merge(BC);
+  EXPECT_TRUE(histogramsEqual(Left, Right));
+
+  LatencyHistogram AB = A, BA = B;
+  AB.merge(B);
+  BA.merge(A);
+  EXPECT_TRUE(histogramsEqual(AB, BA));
+
+  // Merging an empty histogram is the identity (Min must not be clobbered
+  // by the empty side's sentinel).
+  LatencyHistogram WithEmpty = A;
+  WithEmpty.merge(LatencyHistogram());
+  EXPECT_TRUE(histogramsEqual(WithEmpty, A));
+
+  // The percentile invariant the --metrics gate asserts, on the merged
+  // distribution: p50 <= p99 <= max, with both clamped into [Min, Max].
+  EXPECT_LE(Left.percentile(0.50), Left.percentile(0.99));
+  EXPECT_LE(Left.percentile(0.99), Left.Max);
+  EXPECT_GE(Left.percentile(0.50), Left.Min);
+}
+
+namespace {
+
+/// A disjoint-writes loop on the warm-pool ring transport with metrics on
+/// and tracing BELOW Events: the timeline sampler is then the only
+/// traceNowNs caller in the parent, so under the seeded deterministic
+/// clock the whole timeline must replay exactly. \p KillChunk >= 0 arms a
+/// one-shot ChildKill on that chunk (contained by the engine's retry).
+RunResult runSampledDisjoint(uint64_t ClockSeed, int64_t KillChunk = -1) {
+  setDeterministicTraceClock(ClockSeed);
+  FaultPlan::global().clear();
+  if (KillChunk >= 0)
+    FaultPlan::global().arm(FaultKind::ChildKill, KillChunk);
+  std::vector<int64_t> Data(48, -1);
+  LoopSpec Spec;
+  Spec.NumIterations = 48;
+  Spec.Body = [&Data](TxnContext &Ctx, int64_t I) {
+    Ctx.store(&Data[static_cast<size_t>(I)], I + 11);
+  };
+  ExecutorConfig Config;
+  Config.NumWorkers = 2;
+  Config.Params.ChunkFactor = 4;
+  Config.Trace = TraceLevel::Counters;
+  Config.Transport = TransportKind::Ring;
+  Config.Metrics = true;
+  Config.MetricsSampleIntervalNs = 1;
+  ForkJoinExecutor Exec(Config);
+  const RunResult R = Exec.run(Spec);
+  FaultPlan::global().clear();
+  EXPECT_EQ(R.Status, RunStatus::Success);
+  for (int64_t I = 0; I != 48; ++I)
+    EXPECT_EQ(Data[static_cast<size_t>(I)], I + 11);
+  return R;
+}
+
+/// Compares every deterministic TimelineSample field. BusyNs/SlotNs carry
+/// real child CPU / wall time and are exempt by design.
+void expectTimelinesEqual(const RunResult &A, const RunResult &B) {
+  ASSERT_EQ(A.Timeline.size(), B.Timeline.size());
+  for (size_t I = 0; I != A.Timeline.size(); ++I) {
+    const TimelineSample &X = A.Timeline[I];
+    const TimelineSample &Y = B.Timeline[I];
+    EXPECT_EQ(X.TimeNs, Y.TimeNs) << "sample " << I;
+    EXPECT_EQ(X.Committed, Y.Committed) << "sample " << I;
+    EXPECT_EQ(X.Retries, Y.Retries) << "sample " << I;
+    EXPECT_EQ(X.WarmForks, Y.WarmForks) << "sample " << I;
+    EXPECT_EQ(X.ColdForks, Y.ColdForks) << "sample " << I;
+    EXPECT_EQ(X.InflightChunks, Y.InflightChunks) << "sample " << I;
+    EXPECT_EQ(X.RingDepthBytes, Y.RingDepthBytes) << "sample " << I;
+  }
+}
+
+} // namespace
+
+TEST(TimelineTest, SamplerIsDeterministicUnderTheWarmPool) {
+  ScopedTraceLevel Scope(TraceLevel::Counters);
+  const RunResult A = runSampledDisjoint(11);
+  const RunResult B = runSampledDisjoint(11);
+  ASSERT_FALSE(A.Timeline.empty());
+  // ForkJoin samples at every round barrier plus the forced finish sample.
+  EXPECT_EQ(A.Timeline.size(),
+            static_cast<size_t>(A.Stats.NumRounds) + 1);
+  EXPECT_EQ(A.Metrics.counter(CounterId::TimelineSamples),
+            A.Timeline.size());
+  expectTimelinesEqual(A, B);
+  // The merged registry is deterministic in its counting dimensions too.
+  EXPECT_EQ(A.Metrics.counter(CounterId::ChildChunks),
+            B.Metrics.counter(CounterId::ChildChunks));
+  EXPECT_EQ(A.Metrics.counter(CounterId::ChildFrames),
+            B.Metrics.counter(CounterId::ChildFrames));
+  EXPECT_EQ(A.Metrics.histogram(HistogramId::ChunkExecNs).Count,
+            B.Metrics.histogram(HistogramId::ChunkExecNs).Count);
+}
+
+TEST(TimelineTest, SamplerIsDeterministicUnderFaults) {
+  // A one-shot injected kill adds a contained crash and a retry round; the
+  // fault point is positional, so two identically seeded runs must still
+  // produce identical timelines.
+  ScopedTraceLevel Scope(TraceLevel::Counters);
+  const RunResult A = runSampledDisjoint(7, /*KillChunk=*/1);
+  const RunResult B = runSampledDisjoint(7, /*KillChunk=*/1);
+  EXPECT_GT(A.Stats.NumChildCrashes, 0u);
+  ASSERT_FALSE(A.Timeline.empty());
+  expectTimelinesEqual(A, B);
+  // The final sample reflects the recovered end state: all chunks
+  // committed despite the kill.
+  EXPECT_EQ(A.Timeline.back().Committed, A.Stats.NumCommitted);
+}
+
+TEST(TimelineTest, MetricsOffLeavesNoTimelineAndNoRegistry) {
+  ScopedTraceLevel Scope(TraceLevel::Off);
+  std::vector<int64_t> Data(16, 0);
+  LoopSpec Spec;
+  Spec.NumIterations = 16;
+  Spec.Body = [&Data](TxnContext &Ctx, int64_t I) {
+    Ctx.store(&Data[static_cast<size_t>(I)], I);
+  };
+  ExecutorConfig Config;
+  Config.NumWorkers = 2;
+  Config.Params.ChunkFactor = 4;
+  Config.Metrics = false;
+  ForkJoinExecutor Exec(Config);
+  const RunResult R = Exec.run(Spec);
+  EXPECT_EQ(R.Status, RunStatus::Success);
+  EXPECT_TRUE(R.Timeline.empty());
+  EXPECT_TRUE(R.Metrics.empty());
+}
+
 //===----------------------------------------------------------------------===
 // EnvFault classification
 //===----------------------------------------------------------------------===
