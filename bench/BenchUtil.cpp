@@ -281,7 +281,9 @@ void alter::bench::finalizeBenchJson() {
         "\"bisection_rounds\": %llu, "
         "\"cpu_user_ns\": %llu, \"cpu_sys_ns\": %llu, "
         "\"cpu_total_ns\": %llu, \"cpu_vs_wall\": %.6g, "
-        "\"max_child_rss_bytes\": %llu}",
+        "\"max_child_rss_bytes\": %llu, "
+        "\"journal_bytes\": %llu, \"journal_fsyncs\": %llu, "
+        "\"replayed_chunks\": %llu, \"recovery_ns\": %llu}",
         I == 0 ? "" : ",", jsonEscape(R.Figure).c_str(),
         jsonEscape(R.Series).c_str(), R.Point.NumWorkers,
         runStatusName(R.Point.Status), R.Point.Speedup, R.Point.RetryRate,
@@ -322,7 +324,11 @@ void alter::bench::finalizeBenchJson() {
             ? 0.0
             : static_cast<double>(S.ChildUserNs + S.ChildSysNs) /
                   static_cast<double>(S.RealTimeNs),
-        static_cast<unsigned long long>(S.MaxChildRssBytes));
+        static_cast<unsigned long long>(S.MaxChildRssBytes),
+        static_cast<unsigned long long>(S.JournalBytes),
+        static_cast<unsigned long long>(S.JournalFsyncs),
+        static_cast<unsigned long long>(S.ReplayedChunks),
+        static_cast<unsigned long long>(S.RecoveryNs));
   }
   std::fprintf(F, "\n  ]\n}\n");
   if (std::fclose(F) != 0)

@@ -9,6 +9,7 @@
 #        scripts/check.sh --stage [build-dir]
 #        scripts/check.sh --chaos [build-dir]
 #        scripts/check.sh --metrics [build-dir]
+#        scripts/check.sh --durability [build-dir]
 #
 # Configures, builds, runs the full ctest suite, then smoke-runs the
 # straggler micro-benchmark (--quick, with --fault so the recovery path is
@@ -41,6 +42,16 @@
 # must reconcile to 100% +/- 1% of wall clock), plus an A/B overhead run
 # asserting ALTER_METRICS=1 costs less than 1.10x the metrics-off
 # wall-clock on the sleep-dominated series.
+#
+# With --durability the sequence additionally gates the crash-consistent
+# commit journal: the journal/torn-tail unit filters (record/replay
+# equivalence, lease protocol, fuzz-truncation and bit-flips at every byte
+# offset), a seeded crash-restart soak (bench/chaos_storm --crash-restart:
+# the parent is SIGKILLed at randomized dispatch/validate/commit/fsync
+# points across the registry, restarted against the surviving journal, and
+# must reproduce the sequential output with zero orphans and zero leaked
+# journal files), and a journal-on overhead A/B asserting the Batched
+# group-commit policy costs less than 1.15x the journal-off wall clock.
 #
 # With --sanitize the whole sequence additionally runs in a second build
 # tree compiled with AddressSanitizer + UndefinedBehaviorSanitizer, so
@@ -77,6 +88,7 @@ POOL=0
 STAGE=0
 CHAOS=0
 METRICS=0
+DURABILITY=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
   --sanitize) SANITIZE=1 ;;
@@ -86,6 +98,7 @@ while [[ "${1:-}" == --* ]]; do
   --stage) STAGE=1 ;;
   --chaos) CHAOS=1 ;;
   --metrics) METRICS=1 ;;
+  --durability) DURABILITY=1 ;;
   *)
     echo "check.sh: unknown flag $1" >&2
     exit 2
@@ -442,6 +455,84 @@ print(f"overhead OK: metrics on/off = {ratio:.3f}x "
 EOF
 }
 
+durability_stage() { # durability_stage <build-dir>
+  local DIR="$1"
+
+  echo "== durability gate: journal + torn-tail unit tests ($DIR) =="
+  # Record/replay equivalence, repeated-restart idempotence, the pid/epoch
+  # lease protocol, identity-mismatch refusal, interrupted-then-resume, and
+  # the exhaustive fuzz passes (truncate at every length, flip a bit at
+  # every byte) that assert a corrupt frame is never applied.
+  "$DIR/tests/robustness_test" \
+    --gtest_filter='JournalTest.*:TornTailTest.*' --gtest_brief=1
+
+  echo "== durability gate: crash-restart soak ($DIR) =="
+  # Seeded, bounded wall-clock. Every scenario arms a parentkill fault at a
+  # randomized journal/commit point, SIGKILLs the parent mid-run, restarts
+  # it fault-free against the surviving journal, and requires the restarted
+  # run to reproduce the sequential output. The harness exits nonzero on
+  # any violation; the summary-line assertions re-check independently.
+  local RESTART_OUT="$DIR/chaos_restart.out"
+  "$DIR/bench/chaos_storm" --crash-restart --seed=42 --budget-ms=20000 \
+    | tee "$RESTART_OUT"
+  python3 - "$RESTART_OUT" <<'EOF'
+import sys
+summary = None
+with open(sys.argv[1]) as f:
+    for line in f:
+        if line.startswith("chaos_restart:"):
+            summary = dict(kv.split("=", 1) for kv in line.split()[1:])
+assert summary, "chaos_storm --crash-restart printed no summary line"
+assert summary["verdict"] == "OK", f"crash-restart soak failed: {summary}"
+assert int(summary["scenarios"]) > 0 and int(summary["kills"]) > 0, \
+    "the soak must actually kill the parent at least once"
+assert int(summary["restarts"]) == int(summary["kills"]), \
+    "every SIGKILLed scenario must be restarted against its journal"
+assert int(summary["violations"]) == 0, "a restarted run diverged"
+assert int(summary["orphan_violations"]) == 0, "orphaned children leaked"
+assert int(summary["leaked_journals"]) == 0, "journal files leaked"
+print(f"crash-restart OK: {summary['scenarios']} scenarios, "
+      f"{summary['kills']} parent kills, all recovered")
+EOF
+
+  echo "== durability gate: journal-on overhead A/B ($DIR) =="
+  # Batched group commit on the default pipelined representative: min-of-N
+  # either side; a 1.15x budget catches an accidental per-commit fsync or
+  # serialization hot path without flaking on CI noise.
+  local OVERHEAD_OUT="$DIR/journal_overhead.out"
+  "$DIR/bench/chaos_storm" --journal-overhead --reps=5 | tee "$OVERHEAD_OUT"
+  python3 - "$OVERHEAD_OUT" <<'EOF'
+import sys
+ratio = None
+with open(sys.argv[1]) as f:
+    for line in f:
+        if line.startswith("journal_overhead:"):
+            fields = dict(kv.split("=", 1) for kv in line.split()[1:])
+            ratio = float(fields["ratio"])
+assert ratio is not None, "chaos_storm --journal-overhead printed no ratio"
+assert ratio < 1.15, (
+    f"journaled run is {ratio:.3f}x the journal-off wall clock; "
+    f"budget is 1.15x (Batched group commit must stay off the hot path)")
+print(f"journal overhead OK: on/off = {ratio:.3f}x")
+EOF
+
+  echo "== durability gate: no leaked journal files =="
+  # Both the soak and the A/B unlink their journals on success; anything
+  # left under /tmp means a cleanup path regressed.
+  local LEAKED
+  LEAKED=$(find /tmp -maxdepth 2 \
+    \( -name 'alter_chaos_*' -o -name 'alter_overhead_*.alterj' \) \
+    2>/dev/null | wc -l)
+  if ((LEAKED > 0)); then
+    echo "check.sh: $LEAKED leaked journal artifacts under /tmp:" >&2
+    find /tmp -maxdepth 2 \
+      \( -name 'alter_chaos_*' -o -name 'alter_overhead_*.alterj' \) \
+      2>/dev/null >&2
+    exit 1
+  fi
+  echo "journal cleanup OK: no leaked files under /tmp"
+}
+
 run_stage "$BUILD_DIR"
 baseline_stage "$BUILD_DIR"
 
@@ -467,6 +558,10 @@ fi
 
 if [[ "$METRICS" == 1 ]]; then
   metrics_stage "$BUILD_DIR"
+fi
+
+if [[ "$DURABILITY" == 1 ]]; then
+  durability_stage "$BUILD_DIR"
 fi
 
 if [[ "$SANITIZE" == 1 ]]; then

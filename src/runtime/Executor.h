@@ -37,6 +37,7 @@
 namespace alter {
 
 class AlterAllocator;
+class CommitJournal;
 
 /// Child->parent commit transport used by the fork engines.
 enum class TransportKind : uint8_t {
@@ -209,6 +210,14 @@ struct ExecutorConfig {
   /// threads — so this is a floor, not a period. Deterministic under the
   /// seeded trace clock.
   uint64_t MetricsSampleIntervalNs = 1'000'000;
+
+  /// Optional crash-consistent commit journal (runtime/CommitJournal.h).
+  /// When set, every engine appends a frame per committed chunk before
+  /// applying its write log, and RecoveringLoopRunner journals its ladder
+  /// tiers and drives restart recovery. Owned by the caller; the ladder's
+  /// sub-runs deliberately null this out (their chunk indices are local
+  /// remappings — the runner re-journals in original coordinates).
+  CommitJournal *Journal = nullptr;
 };
 
 /// Abstract loop execution engine.

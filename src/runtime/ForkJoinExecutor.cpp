@@ -6,6 +6,7 @@
 
 #include "runtime/ForkJoinExecutor.h"
 
+#include "runtime/CommitJournal.h"
 #include "runtime/ConflictDetector.h"
 #include "runtime/ShutdownSupervisor.h"
 #include "runtime/TraceSink.h"
@@ -230,6 +231,7 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
       const int64_t Chunk = RoundChunks[W];
       const int64_t First = Chunk * Cf;
       const int64_t Last = std::min<int64_t>(First + Cf, Spec.NumIterations);
+      faultParentKillPoint(); // crash-restart: parent dies at dispatch
       ArmedFault Fault;
       if (FaultPlan::global().enabled()) {
         // Fault points address the ORIGINAL coordinates of the work: a
@@ -472,6 +474,7 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
       const uint64_t WordsBefore = Detector.wordsChecked();
       const uint64_t ValT0 = Sink.events() ? traceNowNs() : 0;
       const uint64_t ValR0 = Config.Metrics ? nowNs() : 0;
+      faultParentKillPoint(); // crash-restart: parent dies at validate
       // Preserve the short-circuit: a broken in-order prefix fails the
       // chunk without running (and without charging for) a conflict check.
       bool Failed = InOrderBroken;
@@ -506,6 +509,16 @@ RunResult ForkJoinExecutor::run(const LoopSpec &Spec) {
       const uint64_t CommitT0 = Sink.events() ? traceNowNs() : 0;
       const uint64_t CommitR0 = Config.Metrics ? nowNs() : 0;
       Detector.recordCommit(Rep.Writes);
+      // Write-ahead: journal the commit before applying it. A crash in
+      // the gap replays the chunk by re-execution, which re-derives these
+      // same effects from the rebuilt prefix state.
+      if (Config.Journal) {
+        const int64_t JFirst = Chunk * Cf;
+        const int64_t JLast =
+            std::min<int64_t>(JFirst + Cf, Spec.NumIterations);
+        Config.Journal->appendCommit(Chunk, JFirst, JLast, &Rep.Log);
+      }
+      faultParentKillPoint(); // crash-restart: parent dies at commit
       // Apply the child's writes verbatim: the ALTER allocator guarantees
       // address disjointness, so this cannot clobber live parent data.
       Rep.Log.apply();

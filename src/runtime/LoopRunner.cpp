@@ -6,8 +6,10 @@
 
 #include "runtime/LoopRunner.h"
 
+#include "runtime/CommitJournal.h"
 #include "runtime/ForkJoinExecutor.h"
 #include "runtime/PipelineExecutor.h"
+#include "runtime/ShutdownSupervisor.h"
 #include "runtime/StagePipelineExecutor.h"
 #include "support/Error.h"
 #include "support/Random.h"
@@ -80,18 +82,45 @@ RecoveringLoopRunner::RecoveringLoopRunner(ParallelEngine Engine,
 }
 
 bool RecoveringLoopRunner::runInner(const LoopSpec &Spec) {
+  CommitJournal *J = Config.Journal;
+  // Restart recovery: an invocation the journal already records (fully or
+  // partially) is replayed/resumed instead of run fresh. takeRecovered
+  // advances the cursor, so re-iterated algorithms recover invocation by
+  // invocation in their original order.
+  if (J)
+    if (const RecoveredInvocation *Rec = J->takeRecovered())
+      return resumeRecovered(Spec, *Rec);
   if (SequentialMode) {
     // Deadline already tripped: no speculation, no committed chunks — the
     // whole loop is one uncommitted "chunk".
-    fullTailSequential(Spec, {0},
-                       Spec.NumIterations > 0 ? Spec.NumIterations : 1);
+    const int64_t WholeCf = Spec.NumIterations > 0 ? Spec.NumIterations : 1;
+    if (J)
+      J->beginInvocation(Spec.Name, Spec.NumIterations, WholeCf,
+                         static_cast<uint8_t>(ScheduleKind::Sequential));
+    fullTailSequential(Spec, {0}, WholeCf);
+    if (J)
+      J->endInvocation();
+    drainJournalStats();
     return true;
   }
   if (Config.Schedule == SchedulePolicy::Sequential) {
     // Chosen, not degraded-to: run the reference engine outright.
     SequentialExecutor Seq(Allocator);
     Accumulated.ScheduleUsed = ScheduleKind::Sequential;
-    return fold(Seq.run(Spec));
+    if (J)
+      J->beginInvocation(Spec.Name, Spec.NumIterations,
+                         Spec.NumIterations > 0 ? Spec.NumIterations : 1,
+                         static_cast<uint8_t>(ScheduleKind::Sequential));
+    const bool Ok = fold(Seq.run(Spec));
+    if (J && Ok) {
+      // One frame for the whole loop: sequential execution commits all-or-
+      // nothing from the journal's point of view.
+      if (Spec.NumIterations > 0)
+        J->appendRange(0, 0, Spec.NumIterations);
+      J->endInvocation();
+    }
+    drainJournalStats();
+    return Ok;
   }
   // Schedule selection. The pipeline needs a valid decomposition and at
   // least one replica beside the sequential lane; the planner's staged
@@ -102,9 +131,27 @@ bool RecoveringLoopRunner::runInner(const LoopSpec &Spec) {
     UseStaged = CanStage;
   else if (Config.Schedule == SchedulePolicy::Auto && CanStage)
     UseStaged = planPicksStaged(Spec);
+  if (J) {
+    // LoopBegin carries the geometry recovery must reconstruct: the
+    // RESOLVED chunk factor of the schedule actually picked (the staged
+    // engine widens chunks — see stagedChunkFactor).
+    const int64_t BaseCf = Config.Params.ChunkFactor > 0
+                               ? Config.Params.ChunkFactor
+                               : globalChunkFactor();
+    J->beginInvocation(Spec.Name, Spec.NumIterations,
+                       UseStaged ? stagedChunkFactor(BaseCf) : BaseCf,
+                       static_cast<uint8_t>(UseStaged ? ScheduleKind::Staged
+                                                      : ScheduleKind::Chunked));
+  }
   if (UseStaged) {
-    if (!runStagedInner(Spec))
+    if (!runStagedInner(Spec)) {
+      // Interrupted: leave the invocation open (no LoopEnd) so a restart
+      // resumes it, but make the committed prefix durable now — the
+      // supervisor's escalation may not leave us another chance.
+      runShutdownFlushHook();
+      drainJournalStats();
       return false;
+    }
   } else {
     Accumulated.ScheduleUsed = ScheduleKind::Chunked;
     Primary->setAccumulatedSimNs(Accumulated.Stats.SimTimeNs);
@@ -119,6 +166,8 @@ bool RecoveringLoopRunner::runInner(const LoopSpec &Spec) {
       // already reaped its children; surface the partial result as-is.
       Accumulated.Status = RunStatus::Interrupted;
       Accumulated.Detail = std::move(R.Detail);
+      runShutdownFlushHook();
+      drainJournalStats();
       return false;
     }
     if (R.Status != RunStatus::Success) {
@@ -127,6 +176,9 @@ bool RecoveringLoopRunner::runInner(const LoopSpec &Spec) {
       runLadder(Spec, R);
     }
   }
+  if (J)
+    J->endInvocation();
+  drainJournalStats();
   if (Config.SeqBaselineNs != 0 && !SequentialMode &&
       static_cast<double>(Accumulated.Stats.SimTimeNs) >
           Config.TimeoutFactor * static_cast<double>(Config.SeqBaselineNs)) {
@@ -430,9 +482,22 @@ RecoveringLoopRunner::runChunksParallel(const LoopSpec &Spec,
   };
   ExecutorConfig SubConfig = Config;
   SubConfig.Params.ChunkFactor = Cf;
+  // The sub-run numbers chunks locally (positions into \p Chunks); letting
+  // it journal would record coordinates a restart cannot interpret. Journal
+  // here instead, in original coordinates, after the engine validated and
+  // applied each chunk.
+  SubConfig.Journal = nullptr;
   RunResult R = makeParallelEngine(Engine, SubConfig)->run(Sub);
   Accumulated.mergeTrace(R);
   Accumulated.Stats.merge(R.Stats);
+  if (Config.Journal)
+    for (int64_t Local : R.CommitOrder) {
+      if (Local < 0 || static_cast<size_t>(Local) >= List.size())
+        continue;
+      const int64_t Orig = List[static_cast<size_t>(Local)];
+      Config.Journal->appendRange(Orig, Orig * Cf,
+                                  std::min<int64_t>((Orig + 1) * Cf, N));
+    }
   return R;
 }
 
@@ -508,10 +573,16 @@ bool RecoveringLoopRunner::runRangeSolo(const LoopSpec &Spec, int64_t Chunk,
   SubConfig.Params.ChunkFactor = Len;
   // Fail fast: the ladder itself supervises retries.
   SubConfig.ChunkFaultRetryLimit = 0;
+  // Local coordinates again — journal the original range on success.
+  SubConfig.Journal = nullptr;
   RunResult R = makeParallelEngine(Engine, SubConfig)->run(Sub);
   Accumulated.mergeTrace(R);
   Accumulated.Stats.merge(R.Stats);
-  return R.Status == RunStatus::Success;
+  if (R.Status != RunStatus::Success)
+    return false;
+  if (Config.Journal)
+    Config.Journal->appendRange(Chunk, First, Last);
+  return true;
 }
 
 void RecoveringLoopRunner::backoff(int64_t Chunk, unsigned Attempt) {
@@ -562,6 +633,10 @@ void RecoveringLoopRunner::quarantineRange(const LoopSpec &Spec,
   Accumulated.Stats.BytesWritten += Ctx.bytesWritten();
   Accumulated.Stats.QuarantinedIterations +=
       static_cast<uint64_t>(Last - First);
+  // The writes went straight to committed memory: journal the fragment so
+  // a restart never re-executes it.
+  if (Config.Journal)
+    Config.Journal->appendRange(Chunk, First, Last);
 }
 
 void RecoveringLoopRunner::fullTailSequential(
@@ -582,6 +657,10 @@ void RecoveringLoopRunner::fullTailSequential(
     for (int64_t I = First; I != Last; ++I)
       Spec.Body(Ctx, I);
     Iters += static_cast<uint64_t>(Last > First ? Last - First : 0);
+    // Per-chunk frames: a crash mid-floor loses at most one chunk of
+    // sequential work (modulo the sync policy's window).
+    if (Config.Journal && Last > First)
+      Config.Journal->appendRange(C, First, Last);
   }
   const uint64_t Elapsed = nowNs() - Start;
   if (TraceEvents)
@@ -603,4 +682,170 @@ void RecoveringLoopRunner::traceLadderEvent(TraceEventKind Kind,
     return;
   Accumulated.TraceEvents.push_back(
       {traceNowNs(), /*DurNs=*/0, Chunk, Arg0, Arg1, /*Worker=*/0, Kind});
+}
+
+bool RecoveringLoopRunner::resumeRecovered(const LoopSpec &Spec,
+                                           const RecoveredInvocation &Rec) {
+  CommitJournal *J = Config.Journal;
+  const int64_t N = Spec.NumIterations;
+  if (Rec.Schedule != 0)
+    Accumulated.ScheduleUsed = static_cast<ScheduleKind>(Rec.Schedule);
+  // Replay the committed prefix by re-execution, in journal order. The
+  // recorded order is a serialization the loop's annotations already
+  // declared acceptable, so re-executing it sequentially against the
+  // deterministically rebuilt initial state reproduces the committed
+  // memory image exactly. The logged write bytes are NOT applied — they
+  // hold pre-restart virtual addresses (see CommitJournal.h).
+  {
+    TxnContext Ctx(ContextMode::Passthrough, /*Params=*/nullptr, &Spec,
+                   Allocator, /*Worker=*/0);
+    const uint64_t Start = nowNs();
+    for (const JournalFrame &F : Rec.Commits) {
+      const int64_t Last = std::min<int64_t>(F.LastIter, N);
+      for (int64_t I = F.FirstIter; I < Last; ++I)
+        Spec.Body(Ctx, I);
+      ++Accumulated.Stats.ReplayedChunks;
+    }
+    const uint64_t Elapsed = nowNs() - Start;
+    Accumulated.Stats.RecoveryNs += Elapsed;
+    Accumulated.Stats.RealTimeNs += Elapsed;
+    Accumulated.Stats.SimTimeNs += Elapsed;
+    Accumulated.Stats.BytesRead += Ctx.bytesRead();
+    Accumulated.Stats.BytesWritten += Ctx.bytesWritten();
+    if (Config.Metrics)
+      Accumulated.Metrics.record(HistogramId::JournalReplayNs, Elapsed);
+    traceLadderEvent(TraceEventKind::Recovery, /*Chunk=*/-1,
+                     /*Arg0=*/Rec.Commits.size(),
+                     /*Arg1=*/static_cast<uint64_t>(Rec.Finished));
+  }
+  if (Rec.Finished) {
+    drainJournalStats();
+    return true;
+  }
+
+  // The invocation was cut short: finish it. Geometry comes from the
+  // LoopBegin frame, not the live config — the crashed run may have
+  // resolved a different schedule than this one would.
+  const int64_t Cf = Rec.ChunkFactor > 0 ? Rec.ChunkFactor : (N > 0 ? N : 1);
+  const int64_t NumChunks = N > 0 ? (N + Cf - 1) / Cf : 0;
+  // Committed coverage per chunk. Frames can be sub-chunk fragments
+  // (bisection halves, quarantined single iterations), so coverage is
+  // interval arithmetic, not a chunk bitmap.
+  struct IterRange {
+    int64_t First, Last;
+  };
+  std::vector<std::vector<IterRange>> Cover(static_cast<size_t>(NumChunks));
+  for (const JournalFrame &F : Rec.Commits) {
+    int64_t First = std::max<int64_t>(F.FirstIter, 0);
+    const int64_t Last = std::min<int64_t>(F.LastIter, N);
+    while (First < Last) {
+      const int64_t C = First / Cf;
+      const int64_t End = std::min<int64_t>(Last, (C + 1) * Cf);
+      if (C >= 0 && C < NumChunks)
+        Cover[static_cast<size_t>(C)].push_back({First, End});
+      First = End;
+    }
+  }
+  // Partially-committed chunks finish first, sequentially, in ascending
+  // order: under InOrder they hold the oldest uncommitted iterations, so
+  // the splice stays a program-order prefix. Untouched chunks then re-run
+  // in parallel below.
+  std::vector<int64_t> Remaining;
+  TxnContext GapCtx(ContextMode::Passthrough, /*Params=*/nullptr, &Spec,
+                    Allocator, /*Worker=*/0);
+  const uint64_t GapStart = nowNs();
+  uint64_t GapIters = 0;
+  for (int64_t C = 0; C != NumChunks; ++C) {
+    auto &Rs = Cover[static_cast<size_t>(C)];
+    if (Rs.empty()) {
+      Remaining.push_back(C);
+      continue;
+    }
+    std::sort(Rs.begin(), Rs.end(),
+              [](const IterRange &A, const IterRange &B) {
+                return A.First < B.First;
+              });
+    const int64_t ChunkLast = std::min<int64_t>((C + 1) * Cf, N);
+    int64_t Pos = C * Cf;
+    const auto RunGap = [&](int64_t GFirst, int64_t GLast) {
+      if (GLast <= GFirst)
+        return;
+      for (int64_t I = GFirst; I != GLast; ++I)
+        Spec.Body(GapCtx, I);
+      GapIters += static_cast<uint64_t>(GLast - GFirst);
+      if (J)
+        J->appendRange(C, GFirst, GLast);
+    };
+    for (const IterRange &R : Rs) {
+      RunGap(Pos, R.First);
+      Pos = std::max(Pos, R.Last);
+    }
+    RunGap(Pos, ChunkLast);
+  }
+  if (GapIters != 0) {
+    Accumulated.Stats.Recovered = true;
+    Accumulated.Stats.RecoveredIterations += GapIters;
+    const uint64_t Elapsed = nowNs() - GapStart;
+    Accumulated.Stats.RecoveryNs += Elapsed;
+    Accumulated.Stats.RealTimeNs += Elapsed;
+    Accumulated.Stats.SimTimeNs += Elapsed;
+    Accumulated.Stats.BytesRead += GapCtx.bytesRead();
+    Accumulated.Stats.BytesWritten += GapCtx.bytesWritten();
+  }
+
+  if (!Remaining.empty())
+    completeRemaining(Spec, std::move(Remaining), Cf);
+  if (Accumulated.Status == RunStatus::Interrupted) {
+    // Interrupted again before finishing: keep the invocation open for the
+    // next restart, flush what did commit.
+    runShutdownFlushHook();
+    drainJournalStats();
+    return false;
+  }
+  if (J)
+    J->endInvocation();
+  drainJournalStats();
+  return true;
+}
+
+void RecoveringLoopRunner::completeRemaining(const LoopSpec &Spec,
+                                             std::vector<int64_t> Remaining,
+                                             int64_t Cf) {
+  // Same round cap as runLadder: every round either finishes the batch or
+  // resolves one indicted chunk, but termination must not depend on that.
+  int64_t RoundsLeft = 2 * static_cast<int64_t>(Remaining.size()) + 4;
+  while (!Remaining.empty()) {
+    if (!Config.EnableSalvage || --RoundsLeft <= 0 || budgetExpired()) {
+      fullTailSequential(Spec, Remaining, Cf);
+      return;
+    }
+    const std::vector<int64_t> Batch = Remaining;
+    const RunResult R = runChunksParallel(Spec, Batch, Cf);
+    eraseCommitted(Remaining, Batch, R);
+    if (R.Status == RunStatus::Success)
+      return;
+    if (R.Status == RunStatus::Interrupted) {
+      // Stop, don't recover — the caller flushes the journal.
+      Accumulated.Status = RunStatus::Interrupted;
+      Accumulated.Detail = R.Detail;
+      return;
+    }
+    const int64_t Indicted = mapFailedChunk(R, Batch);
+    if (Indicted < 0 ||
+        !std::binary_search(Remaining.begin(), Remaining.end(), Indicted)) {
+      fullTailSequential(Spec, Remaining, Cf);
+      return;
+    }
+    resolveChunk(Spec, Indicted, Cf);
+    Remaining.erase(
+        std::remove(Remaining.begin(), Remaining.end(), Indicted),
+        Remaining.end());
+  }
+}
+
+void RecoveringLoopRunner::drainJournalStats() {
+  if (Config.Journal)
+    Config.Journal->drainStats(Accumulated.Stats,
+                               Config.Metrics ? &Accumulated.Metrics
+                                              : nullptr);
 }

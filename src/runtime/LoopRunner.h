@@ -28,6 +28,8 @@
 
 namespace alter {
 
+struct RecoveredInvocation;
+
 /// Abstract driver for one annotated loop inside a (possibly iterated)
 /// algorithm.
 class LoopRunner {
@@ -132,6 +134,14 @@ private:
 ///
 /// Once the outer 10x deadline trips, later invocations stop speculating
 /// and run sequentially outright — completion guaranteed, time bounded.
+///
+/// With ExecutorConfig::Journal set the runner is also the restart-recovery
+/// driver: fresh invocations are bracketed by LoopBegin/LoopEnd frames (the
+/// engines journal their commits, the ladder tiers journal theirs here, in
+/// original coordinates), and an invocation the journal already records is
+/// replayed by re-execution and resumed at the first uncommitted iteration
+/// (see CommitJournal.h for why replay re-executes instead of applying the
+/// logged bytes).
 class RecoveringLoopRunner : public LoopRunner {
 public:
   /// \p Config carries the engine configuration, the outer deadline
@@ -199,6 +209,24 @@ private:
   /// Records an instant parent-side ladder event at Config.Trace level.
   void traceLadderEvent(TraceEventKind Kind, int64_t Chunk, uint64_t Arg0,
                         uint64_t Arg1);
+
+  /// Restart recovery for one journaled invocation: replays \p Rec's
+  /// committed frames by re-execution (charging ReplayedChunks/RecoveryNs),
+  /// then finishes partial-chunk gaps sequentially and the untouched
+  /// chunks in parallel. Returns false only when the resumed work was
+  /// Interrupted before completing.
+  bool resumeRecovered(const LoopSpec &Spec, const RecoveredInvocation &Rec);
+
+  /// Finishes \p Remaining (original chunk indices, ascending) with the
+  /// parallel-then-ladder discipline runLadder applies after an engine
+  /// failure. A shutdown request surfaces as Accumulated.Status ==
+  /// Interrupted; everything else completes.
+  void completeRemaining(const LoopSpec &Spec, std::vector<int64_t> Remaining,
+                         int64_t Cf);
+
+  /// Moves the journal's I/O accounting for this invocation into
+  /// Accumulated (no-op without a journal).
+  void drainJournalStats();
 
   ParallelEngine Engine;
   ExecutorConfig Config;

@@ -6,6 +6,7 @@
 
 #include "runtime/PipelineExecutor.h"
 
+#include "runtime/CommitJournal.h"
 #include "runtime/ConflictDetector.h"
 #include "runtime/ShutdownSupervisor.h"
 #include "runtime/TraceSink.h"
@@ -294,6 +295,7 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
     Slot &S = Slots[SlotIdx];
     const int64_t First = Chunk * Cf;
     const int64_t Last = std::min<int64_t>(First + Cf, Spec.NumIterations);
+    faultParentKillPoint(); // crash-restart: parent dies at dispatch
     ArmedFault Fault;
     if (FaultPlan::global().enabled()) {
       // Fault points address the ORIGINAL coordinates of the work: a
@@ -414,6 +416,15 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
     const uint64_t CommitT0 = Sink.events() ? traceNowNs() : 0;
     const uint64_t CommitR0 = Config.Metrics ? nowNs() : 0;
     Detector.recordCommitEpoch(Rep.Writes);
+    // Write-ahead: journal before applying (see ForkJoinExecutor — a
+    // crash in the gap replays this chunk by re-execution on restart).
+    if (Config.Journal) {
+      const int64_t JFirst = Chunk * Cf;
+      const int64_t JLast =
+          std::min<int64_t>(JFirst + Cf, Spec.NumIterations);
+      Config.Journal->appendCommit(Chunk, JFirst, JLast, &Rep.Log);
+    }
+    faultParentKillPoint(); // crash-restart: parent dies at commit
     // Apply the child's writes verbatim: the ALTER allocator guarantees
     // address disjointness, so this cannot clobber live parent data.
     Rep.Log.apply();
@@ -466,6 +477,7 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
       Slots[B.SlotIdx].St = Slot::State::Free;
       const uint64_t ValT0 = Sink.events() ? traceNowNs() : 0;
       const uint64_t ValR0 = Config.Metrics ? nowNs() : 0;
+      faultParentKillPoint(); // crash-restart: parent dies at validate
       const bool Conflicts = Detector.hasConflictSince(
           B.SnapshotSeq, B.Rep.Reads, B.Rep.Writes);
       if (Config.Metrics) {
@@ -594,6 +606,7 @@ RunResult PipelineExecutor::run(const LoopSpec &Spec) {
     S.St = Slot::State::Free;
     const uint64_t ValT0 = Sink.events() ? traceNowNs() : 0;
     const uint64_t ValR0 = Config.Metrics ? nowNs() : 0;
+    faultParentKillPoint(); // crash-restart: parent dies at validate
     const bool Conflicts =
         Detector.hasConflictSince(S.SnapshotSeq, Rep.Reads, Rep.Writes);
     if (Config.Metrics) {

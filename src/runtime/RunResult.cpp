@@ -84,6 +84,10 @@ void RunStats::merge(const RunStats &Other) {
   TransportDowngrades += Other.TransportDowngrades;
   ParallelismDowngrades += Other.ParallelismDowngrades;
   Recovered |= Other.Recovered;
+  JournalBytes += Other.JournalBytes;
+  JournalFsyncs += Other.JournalFsyncs;
+  ReplayedChunks += Other.ReplayedChunks;
+  RecoveryNs += Other.RecoveryNs;
 }
 
 //===----------------------------------------------------------------------===
@@ -228,6 +232,11 @@ bool RunResult::writeMetricsJson(const std::string &Path,
                U(Stats.NumTransactions), U(Stats.NumCommitted),
                U(Stats.NumRetries), U(Stats.WarmForks), U(Stats.ColdForks),
                Timeline.size());
+  std::fprintf(F,
+               "  \"journal_bytes\": %llu,\n  \"journal_fsyncs\": %llu,\n"
+               "  \"replayed_chunks\": %llu,\n  \"recovery_ns\": %llu,\n",
+               U(Stats.JournalBytes), U(Stats.JournalFsyncs),
+               U(Stats.ReplayedChunks), U(Stats.RecoveryNs));
   std::fprintf(F,
                "  \"profile\": {\"wall_ns\": %llu, "
                "\"dispatch_stall_ns\": %llu, \"child_exec_ns\": %llu, "

@@ -212,6 +212,16 @@ struct RunStats {
   /// memory (quarantined iterations or the full-tail fallback) — the run
   /// completed, but not entirely speculatively.
   bool Recovered = false;
+  /// Bytes appended to the commit journal (frame headers + payloads),
+  /// zero when no journal is attached.
+  uint64_t JournalBytes = 0;
+  /// fdatasync(2) calls the journal's durability policy issued.
+  uint64_t JournalFsyncs = 0;
+  /// Chunk/range frames replayed from a recovered journal by re-executing
+  /// their iterations against rebuilt initial state (restart recovery).
+  uint64_t ReplayedChunks = 0;
+  /// Wall time spent replaying the journal's committed prefix on restart.
+  uint64_t RecoveryNs = 0;
 
   /// Fraction of worker capacity spent executing bodies. The round-barrier
   /// engine loses occupancy to stragglers (every slot idles until the

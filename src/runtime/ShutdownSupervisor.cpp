@@ -22,6 +22,10 @@ void onShutdownSignal(int Sig) {
   ShutdownFlag = 1;
 }
 
+// Not touched from the handler (see setShutdownFlushHook docs): writes
+// happen at journal-open time, reads at Interrupted wind-down.
+void (*ShutdownFlushHook)() = nullptr;
+
 } // namespace
 
 void alter::ensureShutdownSupervisorInstalled() {
@@ -49,4 +53,11 @@ int alter::shutdownSignal() noexcept { return ShutdownSig; }
 void alter::clearShutdownRequest() noexcept {
   ShutdownFlag = 0;
   ShutdownSig = 0;
+}
+
+void alter::setShutdownFlushHook(void (*Hook)()) { ShutdownFlushHook = Hook; }
+
+void alter::runShutdownFlushHook() {
+  if (ShutdownFlushHook)
+    ShutdownFlushHook();
 }

@@ -54,6 +54,19 @@ int shutdownSignal() noexcept;
 /// run has already wound down, and the next run must not be stillborn.
 void clearShutdownRequest() noexcept;
 
+/// Registers the durable-state flush hook (the commit journal registers a
+/// flush-all here on first open). The hook is NOT called from the signal
+/// handler — fdatasync on arbitrary journal state is not reentrancy-safe
+/// against a half-written frame; instead the engines wind down on the
+/// latched flag and the runner invokes runShutdownFlushHook() on the
+/// Interrupted path, so a SIGTERM'd run's committed prefix always reaches
+/// disk before the process exits. Passing nullptr unregisters.
+void setShutdownFlushHook(void (*Hook)());
+
+/// Invokes the registered flush hook, if any. Called by the recovering
+/// runner whenever a run ends Interrupted, and safe to call redundantly.
+void runShutdownFlushHook();
+
 } // namespace alter
 
 #endif // ALTER_RUNTIME_SHUTDOWNSUPERVISOR_H

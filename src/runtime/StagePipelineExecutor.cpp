@@ -15,6 +15,7 @@
 #include "runtime/StagePipelineExecutor.h"
 
 #include "memory/AlterAllocator.h"
+#include "runtime/CommitJournal.h"
 #include "runtime/CommitRing.h"
 #include "runtime/ConflictDetector.h"
 #include "runtime/ShutdownSupervisor.h"
@@ -23,6 +24,7 @@
 #include "support/Error.h"
 #include "support/FaultInjection.h"
 #include "support/Format.h"
+#include "support/Io.h"
 #include "support/Subprocess.h"
 #include "support/Timer.h"
 
@@ -275,14 +277,8 @@ void runStageChunk(const LoopSpec &Spec, TxnContext &Ctx,
   const auto Bell = [&](uint8_t Kind) {
     const uint8_t B =
         static_cast<uint8_t>(Kind | (Tag & RingDoorbellTagMask));
-    for (;;) {
-      const ssize_t N = ::write(BellW, &B, 1);
-      if (N == 1)
-        return;
-      if (N < 0 && errno == EINTR)
-        continue;
+    if (!writeFull(BellW, &B, 1))
       _exit(0); // parent tore the pipe down: we are done
-    }
   };
 
   // One context for the replica's whole generation: beginTxn() per chunk
@@ -712,13 +708,8 @@ RunResult StagePipelineExecutor::run(const LoopSpec &Spec) {
   auto writeDispatchBell = [&](StageWorker &SW, uint8_t Kind) {
     const uint8_t B = static_cast<uint8_t>(
         Kind | (static_cast<uint8_t>(Generation) & RingDoorbellTagMask));
-    for (;;) {
-      const ssize_t R = ::write(SW.WorkW, &B, 1);
-      if (R == 1 || (R < 0 && errno != EINTR))
-        return; // EPIPE (dead replica) surfaces via the doorbell EOF
-      if (R >= 0)
-        return;
-    }
+    // EPIPE (dead replica) surfaces via the doorbell EOF.
+    (void)writeFull(SW.WorkW, &B, 1);
   };
 
   // Executes the sequential half of chunk \p C in the parent (SeqFirst):
@@ -767,6 +758,7 @@ RunResult StagePipelineExecutor::run(const LoopSpec &Spec) {
     StageWorker &SW = Workers[W];
     const int64_t First = C * Cf;
     const int64_t Last = std::min<int64_t>(First + Cf, N);
+    faultParentKillPoint(); // crash-restart: parent dies at dispatch
     ArmedFault Fault;
     if (FaultPlan::global().enabled()) {
       // Fault points address the ORIGINAL coordinates of the work: a
@@ -1017,6 +1009,7 @@ RunResult StagePipelineExecutor::run(const LoopSpec &Spec) {
 
   // Validates the replica half of chunk \p C against the plan contract.
   auto validatePar = [&](const StageArrival &A, int64_t C) -> bool {
+    faultParentKillPoint(); // crash-restart: parent dies at validate
     const uint64_t ValT0 = Sink.events() ? traceNowNs() : 0;
     const bool Conflicts =
         Detector.hasConflictSince(GenForkSeq, A.Rep.Reads, A.Rep.Writes);
@@ -1132,6 +1125,13 @@ RunResult StagePipelineExecutor::run(const LoopSpec &Spec) {
         CtxPool.push_back(std::move(CtxPtr));
       }
       advanceModel(C, SeqNs, ParNs, CommitBytes, CheckWords, TokenBytes);
+      // Journal only at full retirement — after BOTH halves committed.
+      // Appending earlier, while the sequential half can still fail
+      // (limit breach, plan violation), would duplicate the chunk: the
+      // engine would re-run it and a restart would also replay it.
+      if (Config.Journal)
+        Config.Journal->appendCommit(C, First, Last, &A.Rep.Log);
+      faultParentKillPoint(); // crash-restart: parent dies at commit
       Result.CommitOrder.push_back(C);
       Arrived.erase(It);
       ++Frontier;

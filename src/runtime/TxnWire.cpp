@@ -7,6 +7,7 @@
 #include "runtime/TxnWire.h"
 
 #include "support/Error.h"
+#include "support/Io.h"
 #include "support/Timer.h"
 #include "support/Varint.h"
 
@@ -114,17 +115,8 @@ constexpr size_t TraceEventWireBytes = 6 * sizeof(uint64_t);
 constexpr uint64_t MaxWireSetWords = 1ULL << 26;
 
 void writeAllToPipe(int Fd, const void *Data, size_t Size) {
-  const char *P = static_cast<const char *>(Data);
-  while (Size != 0) {
-    const ssize_t N = ::write(Fd, P, Size);
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      _exit(11); // cannot report further; parent sees an abnormal exit
-    }
-    P += N;
-    Size -= static_cast<size_t>(N);
-  }
+  if (!writeFull(Fd, Data, Size))
+    _exit(11); // cannot report further; parent sees an abnormal exit
 }
 
 /// Applies the kernel-enforced per-child caps. Best-effort: lowering a
@@ -483,10 +475,7 @@ void alter::runWireChildRing(const LoopSpec &Spec,
     // A failed doorbell write (parent gone) is unrecoverable but also
     // unreportable; the template reaps us and the parent sees the frame.
     const uint8_t Bell = Kind | (DoorbellTag & RingDoorbellTagMask);
-    ssize_t N;
-    do {
-      N = ::write(DoorbellFd, &Bell, 1);
-    } while (N < 0 && errno == EINTR);
+    (void)writeFull(DoorbellFd, &Bell, 1);
   };
 
   // Resident-child registry: survives across redispatches, but each

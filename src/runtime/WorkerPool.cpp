@@ -9,6 +9,7 @@
 #include "memory/AlterAllocator.h"
 #include "memory/WriteLog.h"
 #include "support/Error.h"
+#include "support/Io.h"
 #include "support/Subprocess.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
@@ -89,25 +90,11 @@ void ignoreSigpipeOnce() {
 }
 
 bool writeAllRetry(int Fd, const void *Data, size_t Size) {
-  const uint8_t *P = static_cast<const uint8_t *>(Data);
-  while (Size != 0) {
-    const ssize_t N = ::write(Fd, P, Size);
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      return false;
-    }
-    P += N;
-    Size -= static_cast<size_t>(N);
-  }
-  return true;
+  return writeFull(Fd, Data, Size);
 }
 
 void writeDoorbell(int Fd, uint8_t Byte) {
-  ssize_t N;
-  do {
-    N = ::write(Fd, &Byte, 1);
-  } while (N < 0 && errno == EINTR);
+  (void)writeFull(Fd, &Byte, 1);
 }
 
 } // namespace

@@ -12,6 +12,8 @@
 
 #include <cstddef>
 #include <cstdlib>
+#include <csignal>
+#include <unistd.h>
 
 using namespace alter;
 
@@ -43,6 +45,8 @@ bool parseKind(const std::string &Name, FaultKind &Kind) {
     Kind = FaultKind::PipeExhaust;
   else if (Name == "sigstorm")
     Kind = FaultKind::SignalStorm;
+  else if (Name == "parentkill")
+    Kind = FaultKind::ParentKill;
   else
     return false;
   return true;
@@ -95,6 +99,8 @@ const char *alter::faultKindName(FaultKind Kind) {
     return "pipeexhaust";
   case FaultKind::SignalStorm:
     return "sigstorm";
+  case FaultKind::ParentKill:
+    return "parentkill";
   }
   ALTER_UNREACHABLE("covered switch");
 }
@@ -111,7 +117,7 @@ FaultPlan::FaultPlan() : Seed(DefaultSeed), StallNs(DefaultStallNs) {
                      "kind@iN! | seed=N | stallms=N, comma/semicolon "
                      "separated; kinds: forkfail crash kill truncate "
                      "bitflip stall poison qflip mmapfail pipeexhaust "
-                     "sigstorm\"",
+                     "sigstorm parentkill\"",
                      LoadError.c_str());
     }
   }
@@ -126,7 +132,32 @@ void FaultPlan::clear() {
   Points.clear();
   Seed = DefaultSeed;
   StallNs = DefaultStallNs;
+  ParentKillPoints = 0;
 }
+
+void FaultPlan::parentKillPoint() {
+  bool AnyArmed = false;
+  for (const FaultPoint &P : Points)
+    if (P.Kind == FaultKind::ParentKill) {
+      AnyArmed = true;
+      break;
+    }
+  if (!AnyArmed)
+    return; // counter frozen: ordinals stay deterministic for armed plans
+  const int64_t Ordinal = static_cast<int64_t>(ParentKillPoints++);
+  for (const FaultPoint &P : Points) {
+    if (P.Kind != FaultKind::ParentKill || P.IterTarget ||
+        P.Target != Ordinal)
+      continue;
+    // Die exactly as an OOM-killed parent would: no handler, no unwind,
+    // no journal flush. The restart path must cope with precisely this.
+    ::kill(::getpid(), SIGKILL);
+    for (;;)
+      ::pause(); // unreachable: SIGKILL cannot be blocked
+  }
+}
+
+void alter::faultParentKillPoint() { FaultPlan::global().parentKillPoint(); }
 
 void FaultPlan::arm(FaultKind Kind, int64_t Chunk, bool Sticky) {
   Points.push_back({Kind, Chunk, Sticky, /*IterTarget=*/false});
@@ -146,8 +177,8 @@ ArmedFault FaultPlan::take(int64_t Chunk, int64_t FirstIter,
   ArmedFault Fault;
   for (size_t I = 0; I != Points.size(); ++I) {
     const FaultPoint &P = Points[I];
-    if (isSetupKind(P.Kind))
-      continue; // slot-targeted; consumed by takeSetup at creation time
+    if (isSetupKind(P.Kind) || P.Kind == FaultKind::ParentKill)
+      continue; // not fork-targeted; consumed by takeSetup/parentKillPoint
     const bool Hit = P.IterTarget
                          ? (P.Target >= FirstIter && P.Target < LastIter)
                          : P.Target == Chunk;

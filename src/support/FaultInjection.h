@@ -81,10 +81,18 @@ enum class FaultKind : uint8_t {
   MmapFail,
   PipeExhaust,
   SignalStorm,
+  /// SIGKILL the *parent* at the Nth parent-side kill point (dispatch,
+  /// validate, commit, journal fsync). Targets are point ordinals, not
+  /// chunks: the process-global point counter increments at every
+  /// instrumented site, and the point whose ordinal matches an armed
+  /// target kills the process outright — no handler runs, simulating an
+  /// OOM-kill or operator kill of the parent for crash-restart testing.
+  ParentKill,
 };
 
 /// Returns "forkfail", "crash", "kill", "truncate", "bitflip", "stall",
-/// "poison", "qflip", "mmapfail", "pipeexhaust", or "sigstorm".
+/// "poison", "qflip", "mmapfail", "pipeexhaust", "sigstorm", or
+/// "parentkill".
 const char *faultKindName(FaultKind Kind);
 
 /// One armed fault: strikes execution attempts of chunk \p Target (or, when
@@ -170,6 +178,14 @@ public:
   /// driven deterministically.
   ArmedFault takeSetup(FaultKind Kind, int64_t Index);
 
+  /// Parent-kill consumption point: called at every instrumented
+  /// parent-side site (dispatch, validate, commit, fsync). Advances the
+  /// process-global point counter only while a ParentKill point is armed
+  /// (so ordinals are deterministic for a plan armed at process start) and
+  /// raises SIGKILL on the calling process when an armed point's ordinal
+  /// is reached. Never returns on a hit.
+  void parentKillPoint();
+
   /// Parses a plan spec: comma/semicolon-separated entries of
   /// "kind@chunk" (one-shot), "kind@chunk!" (sticky), "kind@iN" /
   /// "kind@iN!" (iteration-targeted), "seed=N", and "stallms=N".
@@ -184,8 +200,15 @@ private:
   std::vector<FaultPoint> Points;
   uint64_t Seed;
   uint64_t StallNs;
+  /// Ordinal of the next parent-side kill point (see parentKillPoint).
+  uint64_t ParentKillPoints = 0;
   std::string LoadError;
 };
+
+/// Convenience wrapper: FaultPlan::global().parentKillPoint(). Executors
+/// and the commit journal call this at each dispatch/validate/commit/fsync
+/// site; it is a cheap no-op unless a ParentKill point is armed.
+void faultParentKillPoint();
 
 /// Child-side wire corruption, exposed for tests: truncates \p Bytes to a
 /// deterministic prefix (about half the message).

@@ -1,0 +1,54 @@
+//===- support/Io.cpp - EINTR-safe file descriptor I/O --------------------===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Io.h"
+
+#include <cerrno>
+#include <unistd.h>
+
+namespace alter {
+
+bool writeFull(int Fd, const void *Data, size_t Size) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  while (Size != 0) {
+    const ssize_t N = ::write(Fd, P, Size);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += static_cast<size_t>(N);
+    Size -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool readFull(int Fd, void *Data, size_t Size) {
+  uint8_t *P = static_cast<uint8_t *>(Data);
+  while (Size != 0) {
+    const ssize_t N = ::read(Fd, P, Size);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false; // EOF before the buffer filled.
+    P += static_cast<size_t>(N);
+    Size -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool fdatasyncRetry(int Fd) {
+  while (::fdatasync(Fd) != 0) {
+    if (errno != EINTR)
+      return false;
+  }
+  return true;
+}
+
+} // namespace alter

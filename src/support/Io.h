@@ -1,0 +1,42 @@
+//===- support/Io.h - EINTR-safe file descriptor I/O ------------*- C++ -*-===//
+//
+// Part of the ALTER reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Short-write and EINTR handling for every raw write(2) the runtime issues:
+/// wire frames, worker doorbells, and the commit journal all push bytes
+/// through pipes or files whose writes can be interrupted by the signal
+/// traffic the fault harness deliberately generates (SignalStorm, SIGCHLD
+/// bursts, shutdown signals installed without SA_RESTART). A bare write()
+/// that returns short silently truncates a frame; these helpers retry until
+/// the full buffer lands or the descriptor reports a real error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALTER_SUPPORT_IO_H
+#define ALTER_SUPPORT_IO_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace alter {
+
+/// Writes all Size bytes of Data to Fd, retrying on EINTR and on short
+/// writes. Returns true when every byte was written; false on the first
+/// non-retryable error (errno is preserved from the failing write). A zero
+/// Size write succeeds trivially without touching the descriptor.
+bool writeFull(int Fd, const void *Data, size_t Size);
+
+/// Reads exactly Size bytes from Fd into Data, retrying on EINTR and short
+/// reads. Returns true when the buffer was filled; false on EOF-before-Size
+/// or a non-retryable error.
+bool readFull(int Fd, void *Data, size_t Size);
+
+/// fdatasync(2) with EINTR retry. Returns true on success.
+bool fdatasyncRetry(int Fd);
+
+} // namespace alter
+
+#endif // ALTER_SUPPORT_IO_H

@@ -73,6 +73,10 @@ const char *alter::histogramName(HistogramId Id) {
     return "commit_ns";
   case HistogramId::RunWallNs:
     return "run_wall_ns";
+  case HistogramId::JournalFsyncNs:
+    return "journal_fsync_ns";
+  case HistogramId::JournalReplayNs:
+    return "journal_replay_ns";
   case HistogramId::NumHistograms:
     break;
   }

@@ -69,6 +69,8 @@ enum class HistogramId : unsigned {
   ValidateNs,         ///< parent: conflict check per chunk
   CommitNs,           ///< parent: log apply + reductions + pool push
   RunWallNs,          ///< harness: per-run wall clock (soak drivers)
+  JournalFsyncNs,     ///< parent: commit-journal fdatasync latency
+  JournalReplayNs,    ///< parent: journal replay (recovery) per invocation
   NumHistograms
 };
 

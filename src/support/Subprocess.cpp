@@ -7,6 +7,7 @@
 #include "support/Subprocess.h"
 
 #include "support/Error.h"
+#include "support/Io.h"
 
 #include <cerrno>
 #include <csignal>
@@ -17,17 +18,8 @@
 using namespace alter;
 
 void alter::writeAllOrDie(int Fd, const void *Data, size_t Size) {
-  const char *P = static_cast<const char *>(Data);
-  while (Size != 0) {
-    const ssize_t N = ::write(Fd, P, Size);
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      _exit(112);
-    }
-    P += N;
-    Size -= static_cast<size_t>(N);
-  }
+  if (!writeFull(Fd, Data, Size))
+    _exit(112);
 }
 
 pid_t alter::waitpidRetry(pid_t Pid, int *Status) {

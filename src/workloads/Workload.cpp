@@ -6,12 +6,34 @@
 
 #include "workloads/Workload.h"
 
+#include "runtime/CommitJournal.h"
 #include "runtime/ForkJoinExecutor.h"
 #include "runtime/LockstepExecutor.h"
 #include "runtime/PipelineExecutor.h"
 #include "support/Timer.h"
 
 using namespace alter;
+
+namespace {
+
+/// Explicit journal wins; otherwise the ALTER_JOURNAL env surface may
+/// attach the process-global one. The identity deliberately excludes
+/// NumWorkers and the baseline: a restart may resume with a different
+/// worker count, but must not resume a different workload or schedule.
+CommitJournal *resolveJournal(CommitJournal *Journal, const Workload &W,
+                              const RuntimeParams &Params,
+                              SchedulePolicy Policy) {
+  if (Journal)
+    return Journal;
+  JournalIdentity Id;
+  Id.Workload = W.name();
+  Id.Seed = 0;
+  Id.ChunkFactor = Params.ChunkFactor;
+  Id.Schedule = schedulePolicyName(Policy);
+  return maybeEnvJournal(Id);
+}
+
+} // namespace
 
 Workload::~Workload() = default;
 
@@ -78,13 +100,15 @@ RunResult Workload::runPipeline(const RuntimeParams &Params,
 RunResult Workload::runRecovering(ParallelEngine Engine,
                                   const RuntimeParams &Params,
                                   unsigned NumWorkers, uint64_t SeqBaselineNs,
-                                  TxnLimits Limits) {
+                                  TxnLimits Limits, CommitJournal *Journal) {
   ExecutorConfig Config;
   Config.NumWorkers = NumWorkers;
   Config.Params = Params;
   Config.Limits = Limits;
   Config.SeqBaselineNs = SeqBaselineNs;
   Config.Allocator = allocator();
+  Config.Journal =
+      resolveJournal(Journal, *this, Params, SchedulePolicy::Auto);
   RecoveringLoopRunner Runner(Engine, Config);
   run(Runner);
   return Runner.result();
@@ -93,7 +117,7 @@ RunResult Workload::runRecovering(ParallelEngine Engine,
 RunResult Workload::runScheduled(SchedulePolicy Policy,
                                  const RuntimeParams &Params,
                                  unsigned NumWorkers, uint64_t SeqBaselineNs,
-                                 TxnLimits Limits) {
+                                 TxnLimits Limits, CommitJournal *Journal) {
   ExecutorConfig Config;
   Config.NumWorkers = NumWorkers;
   Config.Params = Params;
@@ -101,6 +125,7 @@ RunResult Workload::runScheduled(SchedulePolicy Policy,
   Config.SeqBaselineNs = SeqBaselineNs;
   Config.Allocator = allocator();
   Config.Schedule = Policy;
+  Config.Journal = resolveJournal(Journal, *this, Params, Policy);
   RecoveringLoopRunner Runner(ParallelEngine::Pipeline, Config);
   run(Runner);
   return Runner.result();

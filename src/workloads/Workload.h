@@ -31,6 +31,8 @@
 
 namespace alter {
 
+class CommitJournal;
+
 // ParallelEngine (the engine selector the recovery driver takes) now lives
 // in runtime/Executor.h, next to the makeParallelEngine factory.
 
@@ -126,17 +128,23 @@ public:
   /// (RecoveringLoopRunner): speculative failures fall back to sequential
   /// re-execution of the uncommitted iterations, so the returned result is
   /// always Success — Stats.Recovered records whether the fallback ran.
+  /// \p Journal, when non-null, makes committed chunks durable and enables
+  /// restart recovery; when null, ALTER_JOURNAL (see maybeEnvJournal) can
+  /// still attach a process-global journal.
   RunResult runRecovering(ParallelEngine Engine, const RuntimeParams &Params,
                           unsigned NumWorkers, uint64_t SeqBaselineNs = 0,
-                          TxnLimits Limits = TxnLimits());
+                          TxnLimits Limits = TxnLimits(),
+                          CommitJournal *Journal = nullptr);
 
   /// Runs behind the schedule-aware recovery driver with an explicit
   /// SchedulePolicy: Auto lets the CostModel planner pick chunked vs staged
   /// per loop (recorded in RunResult::ScheduleUsed), the other values force
-  /// a schedule. Chunked sub-runs use the pipelined engine.
+  /// a schedule. Chunked sub-runs use the pipelined engine. \p Journal as
+  /// in runRecovering.
   RunResult runScheduled(SchedulePolicy Policy, const RuntimeParams &Params,
                          unsigned NumWorkers, uint64_t SeqBaselineNs = 0,
-                         TxnLimits Limits = TxnLimits());
+                         TxnLimits Limits = TxnLimits(),
+                         CommitJournal *Journal = nullptr);
 
   /// Resolves \p A against this workload's reduction-candidate names and
   /// applies the paper's chunk-factor default when the annotation leaves

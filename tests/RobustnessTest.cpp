@@ -21,6 +21,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "memory/AlterAllocator.h"
+#include "runtime/CommitJournal.h"
 #include "runtime/ForkJoinExecutor.h"
 #include "runtime/LockstepExecutor.h"
 #include "runtime/PipelineExecutor.h"
@@ -34,6 +35,7 @@
 #include <gtest/gtest.h>
 
 #include <csignal>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <memory>
@@ -1127,4 +1129,352 @@ TEST(ConfigurationSemanticsTest, StaleReadsOutputDependsOnWorkersAndCf) {
   EXPECT_NE(RunChain(3, 1), RunChain(3, 4));
   // P = 1 degenerates to sequential regardless of cf.
   EXPECT_EQ(RunChain(1, 4), RunChain(1, 16));
+}
+
+//===----------------------------------------------------------------------===
+// Commit journal: durability, lease protocol, torn-tail recovery
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// The disjoint-writes loop used throughout this file, packaged with its
+/// backing memory so a test can reset it between "restarts": replay by
+/// re-execution assumes the deterministic initial state (-1 everywhere).
+struct JournaledLoop {
+  static constexpr int64_t N = 24;
+  std::vector<int64_t> Data;
+  LoopSpec Spec;
+  JournaledLoop() : Data(static_cast<size_t>(N), -1) {
+    Spec.NumIterations = N;
+    Spec.Body = [this](TxnContext &Ctx, int64_t I) {
+      Ctx.store(&Data[static_cast<size_t>(I)], I * 3 + 1);
+    };
+  }
+  bool sequentialImage() const {
+    for (int64_t I = 0; I != N; ++I)
+      if (Data[static_cast<size_t>(I)] != I * 3 + 1)
+        return false;
+    return true;
+  }
+};
+
+/// Runs the loop under the recovery driver with \p J attached (2 workers,
+/// chunk factor 4 — six chunks).
+RunResult runJournaled(JournaledLoop &L, CommitJournal *J,
+                       ParallelEngine Engine = ParallelEngine::ForkJoin) {
+  FaultPlan::global().clear();
+  ExecutorConfig Config;
+  Config.NumWorkers = 2;
+  Config.Params.ChunkFactor = 4;
+  Config.Journal = J;
+  RecoveringLoopRunner Runner(Engine, Config);
+  EXPECT_TRUE(Runner.runInner(L.Spec));
+  return Runner.result();
+}
+
+std::string journalPath(const std::string &Tag) {
+  return "/tmp/alter_jtest_" + std::to_string(::getpid()) + "_" + Tag +
+         ".alterj";
+}
+
+JournalIdentity testIdentity() {
+  JournalIdentity Id;
+  Id.Workload = "robustness-test";
+  Id.ChunkFactor = 4;
+  return Id;
+}
+
+std::vector<uint8_t> readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(In)),
+                              std::istreambuf_iterator<char>());
+}
+
+void writeFileBytes(const std::string &Path,
+                    const std::vector<uint8_t> &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+}
+
+/// True when \p Got is a (possibly empty) prefix of \p Want, comparing the
+/// fields recovery acts on. The torn-tail rule promises exactly this: a
+/// reopened journal never surfaces a frame the original run didn't write.
+bool framesArePrefix(const std::vector<JournalFrame> &Got,
+                     const std::vector<JournalFrame> &Want) {
+  if (Got.size() > Want.size())
+    return false;
+  for (size_t I = 0; I != Got.size(); ++I) {
+    const JournalFrame &G = Got[I], &W = Want[I];
+    if (G.FrameKind != W.FrameKind || G.Invocation != W.Invocation ||
+        G.Chunk != W.Chunk || G.FirstIter != W.FirstIter ||
+        G.LastIter != W.LastIter || G.LogBytes != W.LogBytes)
+      return false;
+  }
+  return true;
+}
+
+/// Records one complete journaled run at \p Path and returns its frames.
+std::vector<JournalFrame> recordReferenceJournal(const std::string &Path) {
+  ::unlink(Path.c_str());
+  std::string Error;
+  CommitJournal::Options Opts;
+  Opts.Policy = DurabilityPolicy::PerCommit;
+  auto J = CommitJournal::open(Path, testIdentity(), Opts, &Error);
+  EXPECT_TRUE(J) << Error;
+  JournaledLoop L;
+  runJournaled(L, J.get());
+  EXPECT_TRUE(L.sequentialImage());
+  J.reset(); // clean close: lease released, everything synced
+  auto R = CommitJournal::open(Path, testIdentity(), Opts, &Error);
+  EXPECT_TRUE(R) << Error;
+  return R->frames();
+}
+
+} // namespace
+
+TEST(JournalTest, RecordThenReplayReproducesSequentialOutput) {
+  const std::string Path = journalPath("roundtrip");
+  ::unlink(Path.c_str());
+  std::string Error;
+  CommitJournal::Options Opts;
+  Opts.Policy = DurabilityPolicy::PerCommit;
+  {
+    auto J = CommitJournal::open(Path, testIdentity(), Opts, &Error);
+    ASSERT_TRUE(J) << Error;
+    EXPECT_FALSE(J->recovered());
+    EXPECT_EQ(J->epoch(), 1u);
+    JournaledLoop L;
+    const RunResult R = runJournaled(L, J.get());
+    EXPECT_TRUE(L.sequentialImage());
+    EXPECT_GT(R.Stats.JournalBytes, 0u);
+    EXPECT_GT(R.Stats.JournalFsyncs, 0u) << "PerCommit syncs every frame";
+    EXPECT_EQ(R.Stats.ReplayedChunks, 0u);
+  }
+  // "Restart": fresh memory, same journal. The completed invocation must
+  // replay by re-execution — no engine dispatch, identical output.
+  auto J = CommitJournal::open(Path, testIdentity(), Opts, &Error);
+  ASSERT_TRUE(J) << Error;
+  EXPECT_TRUE(J->recovered());
+  EXPECT_EQ(J->epoch(), 2u) << "takeover bumps the epoch";
+  ASSERT_GE(J->frames().size(), 3u);
+  EXPECT_EQ(J->frames().front().FrameKind, JournalFrame::Kind::LoopBegin);
+  EXPECT_EQ(J->frames().back().FrameKind, JournalFrame::Kind::LoopEnd);
+  JournaledLoop L;
+  const RunResult R = runJournaled(L, J.get());
+  EXPECT_TRUE(L.sequentialImage());
+  EXPECT_EQ(R.Stats.ReplayedChunks, 6u) << "six committed chunks replay";
+  EXPECT_GT(R.Stats.RecoveryNs, 0u);
+  EXPECT_TRUE(R.CommitOrder.empty())
+      << "a pure replay dispatches nothing speculative";
+  J.reset();
+  ::unlink(Path.c_str());
+}
+
+TEST(JournalTest, ReplayIsIdempotentAcrossRepeatedRestarts) {
+  // Reopening a completed journal any number of times replays the same
+  // serialization: no frame is applied twice, no chunk re-executes as
+  // fresh work.
+  const std::string Path = journalPath("idempotent");
+  const std::vector<JournalFrame> Reference = recordReferenceJournal(Path);
+  std::string Error;
+  for (int Round = 0; Round != 3; ++Round) {
+    auto J = CommitJournal::open(Path, testIdentity(),
+                                 CommitJournal::Options(), &Error);
+    ASSERT_TRUE(J) << Error;
+    EXPECT_TRUE(framesArePrefix(J->frames(), Reference));
+    EXPECT_EQ(J->frames().size(), Reference.size())
+        << "a clean journal loses nothing on reopen";
+    JournaledLoop L;
+    const RunResult R = runJournaled(L, J.get());
+    EXPECT_TRUE(L.sequentialImage());
+    EXPECT_EQ(R.Stats.ReplayedChunks, 6u);
+  }
+  ::unlink(Path.c_str());
+}
+
+TEST(JournalTest, LeaseRefusesLiveOwnerAndReapsDeadOwner) {
+  const std::string Path = journalPath("lease");
+  recordReferenceJournal(Path);
+  std::string Error;
+  // A live owner (pid 1 always exists; kill(1, 0) yields EPERM, which the
+  // lease treats as alive) must refuse the open.
+  ASSERT_TRUE(CommitJournal::forgeLease(Path, 1, &Error)) << Error;
+  auto Refused = CommitJournal::open(Path, testIdentity(),
+                                     CommitJournal::Options(), &Error);
+  EXPECT_EQ(Refused, nullptr);
+  EXPECT_NE(Error.find("is live"), std::string::npos) << Error;
+  // A dead owner (a pid far beyond pid_max never runs) is reaped: the open
+  // takes the lease over and the journal recovers normally.
+  ASSERT_TRUE(CommitJournal::forgeLease(Path, 999999999, &Error)) << Error;
+  auto Taken = CommitJournal::open(Path, testIdentity(),
+                                   CommitJournal::Options(), &Error);
+  ASSERT_TRUE(Taken) << Error;
+  EXPECT_TRUE(Taken->recovered());
+  Taken.reset();
+  ::unlink(Path.c_str());
+}
+
+TEST(JournalTest, IdentityMismatchIsARefusedOpen) {
+  const std::string Path = journalPath("identity");
+  recordReferenceJournal(Path);
+  JournalIdentity Other = testIdentity();
+  Other.Workload = "some-other-workload";
+  std::string Error;
+  auto J = CommitJournal::open(Path, Other, CommitJournal::Options(), &Error);
+  EXPECT_EQ(J, nullptr);
+  EXPECT_NE(Error.find("different run"), std::string::npos) << Error;
+  ::unlink(Path.c_str());
+}
+
+TEST(JournalTest, InterruptedRunResumesAfterRestart) {
+  // Satellite: SIGTERM lands, the engine returns Interrupted, the runner
+  // flushes the journal without closing the invocation. A restart resumes
+  // that invocation and completes the loop.
+  const std::string Path = journalPath("interrupted");
+  ::unlink(Path.c_str());
+  std::string Error;
+  CommitJournal::Options Opts;
+  Opts.Policy = DurabilityPolicy::PerCommit;
+  FaultPlan::global().clear();
+  {
+    auto J = CommitJournal::open(Path, testIdentity(), Opts, &Error);
+    ASSERT_TRUE(J) << Error;
+    ensureShutdownSupervisorInstalled();
+    clearShutdownRequest();
+    ASSERT_EQ(::raise(SIGTERM), 0);
+    JournaledLoop L;
+    ExecutorConfig Config;
+    Config.NumWorkers = 2;
+    Config.Params.ChunkFactor = 4;
+    Config.Journal = J.get();
+    RecoveringLoopRunner Runner(ParallelEngine::ForkJoin, Config);
+    EXPECT_FALSE(Runner.runInner(L.Spec));
+    EXPECT_EQ(Runner.result().Status, RunStatus::Interrupted);
+    clearShutdownRequest();
+  }
+  auto J = CommitJournal::open(Path, testIdentity(), Opts, &Error);
+  ASSERT_TRUE(J) << Error;
+  ASSERT_TRUE(J->recovered());
+  EXPECT_NE(J->frames().back().FrameKind, JournalFrame::Kind::LoopEnd)
+      << "the interrupted invocation must still be open";
+  JournaledLoop L;
+  const RunResult R = runJournaled(L, J.get());
+  EXPECT_TRUE(L.sequentialImage());
+  EXPECT_EQ(R.Status, RunStatus::Success);
+  J.reset();
+  ::unlink(Path.c_str());
+}
+
+TEST(TornTailTest, TruncationAtEveryOffsetKeepsOnlyAValidPrefix) {
+  // Fuzz-truncate a recorded journal at EVERY byte length. Whatever
+  // survives, open() must accept only frames the original run wrote —
+  // a torn frame is discarded, never decoded into something new.
+  const std::string Path = journalPath("trunc_ref");
+  const std::vector<JournalFrame> Reference = recordReferenceJournal(Path);
+  ASSERT_FALSE(Reference.empty());
+  const std::vector<uint8_t> Orig = readFileBytes(Path);
+  ASSERT_FALSE(Orig.empty());
+  const std::string TPath = journalPath("trunc_case");
+  std::string Error;
+  size_t FullPrefixes = 0;
+  for (size_t Len = 0; Len <= Orig.size(); ++Len) {
+    std::vector<uint8_t> Cut(Orig.begin(),
+                             Orig.begin() + static_cast<ptrdiff_t>(Len));
+    writeFileBytes(TPath, Cut);
+    auto J = CommitJournal::open(TPath, testIdentity(),
+                                 CommitJournal::Options(), &Error);
+    ASSERT_TRUE(J) << "truncation to " << Len << " bytes must recover or "
+                   << "re-initialize, never fail: " << Error;
+    EXPECT_TRUE(framesArePrefix(J->frames(), Reference))
+        << "truncation to " << Len << " bytes surfaced a frame the "
+        << "original run never wrote";
+    if (J->frames().size() == Reference.size())
+      ++FullPrefixes;
+  }
+  EXPECT_GT(FullPrefixes, 0u) << "the untruncated file must round-trip";
+  ::unlink(TPath.c_str());
+  ::unlink(Path.c_str());
+}
+
+TEST(TornTailTest, BitFlipAtEveryOffsetNeverAppliesACorruptFrame) {
+  // Flip one bit at EVERY byte offset of a recorded journal. Every open
+  // must either refuse cleanly (structured error) or surface a pure prefix
+  // of the original frames — the CRC must catch every single-bit lie.
+  const std::string Path = journalPath("flip_ref");
+  const std::vector<JournalFrame> Reference = recordReferenceJournal(Path);
+  const std::vector<uint8_t> Orig = readFileBytes(Path);
+  ASSERT_FALSE(Orig.empty());
+  const std::string FPath = journalPath("flip_case");
+  std::string Error;
+  size_t Refusals = 0, Recoveries = 0;
+  for (size_t Off = 0; Off != Orig.size(); ++Off) {
+    std::vector<uint8_t> Bad = Orig;
+    Bad[Off] ^= static_cast<uint8_t>(1u << (Off % 8));
+    writeFileBytes(FPath, Bad);
+    Error.clear();
+    auto J = CommitJournal::open(FPath, testIdentity(),
+                                 CommitJournal::Options(), &Error);
+    if (!J) {
+      EXPECT_FALSE(Error.empty())
+          << "a refused open must explain itself (offset " << Off << ")";
+      ++Refusals;
+      continue;
+    }
+    EXPECT_TRUE(framesArePrefix(J->frames(), Reference))
+        << "bit flip at offset " << Off << " surfaced a corrupt frame";
+    ++Recoveries;
+  }
+  EXPECT_GT(Refusals, 0u) << "magic/identity flips must refuse";
+  EXPECT_GT(Recoveries, 0u) << "frame-area flips must recover a prefix";
+  ::unlink(FPath.c_str());
+  ::unlink(Path.c_str());
+}
+
+TEST(TornTailTest, TornTailResumeCompletesAndMatchesSequential) {
+  // End-to-end torn-tail recovery: cut the journal at every FRAME
+  // boundary (plus a mid-frame tear), then resume with fresh memory. The
+  // replayed prefix plus resumed remainder must equal sequential output.
+  const std::string Path = journalPath("resume_ref");
+  const std::vector<JournalFrame> Reference = recordReferenceJournal(Path);
+  const std::vector<uint8_t> Orig = readFileBytes(Path);
+  const std::string RPath = journalPath("resume_case");
+  std::string Error;
+  // Frame boundaries: re-scan the file the same way open() does — magic,
+  // len, crc, payload.
+  std::vector<size_t> Cuts;
+  {
+    // Header: magic(8) + len(8) + crc(8) + payload + lease(24).
+    const auto ReadU64 = [&Orig](size_t At) {
+      uint64_t V;
+      std::memcpy(&V, Orig.data() + At, sizeof(V));
+      return V;
+    };
+    size_t Off = 24 + static_cast<size_t>(ReadU64(8)) + 24;
+    Cuts.push_back(Off);
+    while (Off + 24 <= Orig.size()) {
+      const uint64_t PLen = ReadU64(Off + 8);
+      Off += 24 + static_cast<size_t>(PLen);
+      Cuts.push_back(Off);
+      Cuts.push_back(Off + 11 <= Orig.size() ? Off + 11 : Off); // mid-frame
+    }
+  }
+  for (size_t Len : Cuts) {
+    SCOPED_TRACE("cut at " + std::to_string(Len));
+    std::vector<uint8_t> Cut(Orig.begin(),
+                             Orig.begin() + static_cast<ptrdiff_t>(
+                                                std::min(Len, Orig.size())));
+    writeFileBytes(RPath, Cut);
+    auto J = CommitJournal::open(RPath, testIdentity(),
+                                 CommitJournal::Options(), &Error);
+    ASSERT_TRUE(J) << Error;
+    EXPECT_TRUE(framesArePrefix(J->frames(), Reference));
+    JournaledLoop L; // fresh initial state, as after a real restart
+    const RunResult R = runJournaled(L, J.get());
+    EXPECT_TRUE(L.sequentialImage())
+        << "resume after tear at " << Len << " diverged from sequential";
+    EXPECT_EQ(R.Status, RunStatus::Success);
+  }
+  ::unlink(RPath.c_str());
+  ::unlink(Path.c_str());
 }
